@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ndpcr/internal/report"
+)
+
+// maybeCSV writes one experiment's data as <csv-dir>/<name>.csv when the
+// -csv-dir flag is set, so the sweeps can be re-plotted outside the
+// terminal. A write failure is fatal: silently missing data files are
+// worse than a failed run.
+func maybeCSV(name string, headers []string, rows [][]string) error {
+	if *flagCSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*flagCSVDir, 0o755); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	path := filepath.Join(*flagCSVDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	defer f.Close()
+	if err := report.CSV(f, headers, rows); err != nil {
+		return fmt.Errorf("csv: %s: %w", path, err)
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

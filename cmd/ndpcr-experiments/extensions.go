@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"ndpcr/internal/miniapps"
+	"ndpcr/internal/model"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/report"
+	"ndpcr/internal/units"
+)
+
+// runExt evaluates the extension/ablation studies DESIGN.md calls out,
+// beyond the paper's published figures:
+//
+//  1. serializing vs overlapping the NDP's compression and transmission
+//     (§4.2.2's design choice);
+//  2. NVM-bandwidth exclusivity during host commits (§4.2.1);
+//  3. incremental NDP drains (the conclusion's proposed extension),
+//     swept over the per-interval change ratio.
+func runExt() error {
+	p := params()
+	p.PLocal = 0.85
+
+	// 1. Overlap vs serialize.
+	fmt.Println("Ablation 1: NDP drain pipeline — overlap vs serialize (factor 73%)")
+	tab := &report.Table{Headers: []string{"Drain pipeline", "Drain time", "NDP ratio", "Progress"}}
+	for _, serialize := range []bool{false, true} {
+		pv := model.WithCompression(p, 0.73)
+		pv.SerializeDrain = serialize
+		ev, err := model.Evaluate(model.ConfigLocalIONDP, pv)
+		if err != nil {
+			return err
+		}
+		label := "overlapped (paper)"
+		if serialize {
+			label = "serialized"
+		}
+		tab.AddRow(label, pv.DrainTime().String(), fmt.Sprintf("%d", ev.Ratio),
+			fmt.Sprintf("%.1f%%", ev.Efficiency()*100))
+	}
+	tab.Fprint(os.Stdout)
+
+	// 2. NVM exclusivity. Visible only when commits occupy a meaningful
+	// share of the period, so evaluate at a slow 2 GB/s local NVM too.
+	fmt.Println("\nAblation 2: NVM exclusivity during host commits (factor 73%)")
+	tab2 := &report.Table{Headers: []string{"Local NVM", "Exclusive", "Effective ratio", "Progress"}}
+	for _, bw := range []units.Bandwidth{15 * units.GBps, 2 * units.GBps} {
+		for _, excl := range []bool{false, true} {
+			pv := model.WithLocalBW(model.WithCompression(p, 0.73), bw)
+			pv.LocalInterval = 0
+			pv.NVMExclusive = excl
+			ev, err := model.Evaluate(model.ConfigLocalIONDP, pv)
+			if err != nil {
+				return err
+			}
+			tab2.AddRow(bw.String(), fmt.Sprintf("%v", excl),
+				fmt.Sprintf("%d", ev.Ratio), fmt.Sprintf("%.1f%%", ev.Efficiency()*100))
+		}
+	}
+	tab2.Fprint(os.Stdout)
+	fmt.Println("(With compressed drains shorter than the compute interval the drain")
+	fmt.Println("never overlaps a commit, so exclusivity costs nothing here — which is")
+	fmt.Println("why §4.2.1 can afford to give the host all NVM bandwidth.)")
+
+	// 3. Incremental drains.
+	fmt.Println("\nExtension: incremental NDP drains (conclusion's proposal), factor 73%")
+	tab3 := &report.Table{Headers: []string{"Change ratio", "Drain time", "NDP ratio", "Progress"}}
+	for _, ratio := range []float64{0, 0.5, 0.25, 0.10, 0.05} {
+		pv := model.WithCompression(p, 0.73)
+		pv.IncrementalRatio = ratio
+		ev, err := model.Evaluate(model.ConfigLocalIONDP, pv)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%.0f%% changed", ratio*100)
+		if ratio == 0 {
+			label = "full drains (paper)"
+		}
+		tab3.AddRow(label, pv.DrainTime().String(), fmt.Sprintf("%d", ev.Ratio),
+			fmt.Sprintf("%.1f%%", ev.Efficiency()*100))
+	}
+	tab3.Fprint(os.Stdout)
+	fmt.Println("\nIncremental drains shrink the I/O checkpoint lag toward the local")
+	fmt.Println("cadence, squeezing the residual rerun-from-I/O overhead toward zero.")
+
+	// 3b. Restore pipelining (§4.3's design discussion): the naive restore
+	// stages and then decompresses; the paper's pipelined restore costs
+	// only the fetch.
+	fmt.Println("\nAblation 3: restore-from-I/O pipeline (factor 73%, PLocal 20% to stress restores)")
+	tabR := &report.Table{Headers: []string{"Restore path", "Restore-I/O stall", "Progress"}}
+	for _, serialize := range []bool{false, true} {
+		pv := model.WithPLocal(model.WithCompression(p, 0.73), 0.20)
+		pv.SerializeRestore = serialize
+		ev, err := model.Evaluate(model.ConfigLocalIONDP, pv)
+		if err != nil {
+			return err
+		}
+		label := "pipelined (paper)"
+		if serialize {
+			label = "staged + serialized (naive)"
+		}
+		tabR.AddRow(label, pv.RestoreIO().String(), fmt.Sprintf("%.1f%%", ev.Efficiency()*100))
+	}
+	tabR.Fprint(os.Stdout)
+
+	// 4. Cross-checkpoint/cross-rank dedup at the I/O store (the other
+	// half of the conclusion's proposal), measured on live mini-app
+	// checkpoints.
+	fmt.Println("\nExtension: content-addressed dedup at the I/O store (64 KiB blocks)")
+	if err := runDedupStudy(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runDedupStudy drains consecutive checkpoints of each mini-app into a
+// DedupStore and reports the physical-vs-logical savings.
+func runDedupStudy() error {
+	const blockSize = 64 << 10
+	tab := &report.Table{Headers: []string{"Mini-app", "Ckpts", "Logical", "Physical", "Dedup factor"}}
+	for _, name := range miniapps.Names() {
+		app, err := miniapps.New(name, miniapps.Small, *flagSeed)
+		if err != nil {
+			return err
+		}
+		store := iostore.NewDedup(nvm.Pacer{})
+		const ckpts = 3
+		for id := uint64(1); id <= ckpts; id++ {
+			for s := 0; s < 2; s++ {
+				if err := app.Step(); err != nil {
+					return err
+				}
+			}
+			var buf bytes.Buffer
+			if err := app.Checkpoint(&buf); err != nil {
+				return err
+			}
+			data := buf.Bytes()
+			key := iostore.Key{Job: "dedup", Rank: 0, ID: id}
+			for i := 0; i*blockSize < len(data); i++ {
+				lo := i * blockSize
+				hi := lo + blockSize
+				if hi > len(data) {
+					hi = len(data)
+				}
+				if err := store.PutBlock(key, iostore.Object{OrigSize: int64(len(data))}, i, data[lo:hi]); err != nil {
+					return err
+				}
+			}
+		}
+		st := store.Stats()
+		tab.AddRow(name, fmt.Sprintf("%d", ckpts),
+			units.Bytes(st.LogicalBytes).String(), units.Bytes(st.PhysicalBytes).String(),
+			fmt.Sprintf("%.1f%%", st.Factor()*100))
+	}
+	tab.Fprint(os.Stdout)
+	fmt.Println("(Dedup across consecutive checkpoints is workload-dependent: apps")
+	fmt.Println("whose state evolves everywhere — CG Krylov vectors, MD positions —")
+	fmt.Println("dedup poorly; apps with stable regions dedup well. The NDP-side")
+	fmt.Println("incremental drain above exploits the same redundancy at the source.)")
+	return nil
+}

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ndpcr/internal/model"
+	"ndpcr/internal/report"
+	"ndpcr/internal/sim"
+	"ndpcr/internal/units"
+)
+
+// breakdownTable renders a set of labeled breakdowns both normalized to
+// compute time (Fig 4a/7-left style) and as % of total (Fig 4b/7-right).
+func breakdownTable(title string, labels []string, bs []sim.Breakdown) {
+	norm := &report.Table{
+		Title: title + " — normalized to compute time",
+		Headers: []string{"Config", "Compute", "Ckpt local", "Ckpt I/O",
+			"Restore local", "Restore I/O", "Rerun local", "Rerun I/O", "Total"},
+	}
+	pct := &report.Table{
+		Title: title + " — % of total execution time",
+		Headers: []string{"Config", "Compute", "Ckpt local", "Ckpt I/O",
+			"Restore local", "Restore I/O", "Rerun local", "Rerun I/O"},
+	}
+	for i, b := range bs {
+		c := float64(b.Compute)
+		if c <= 0 {
+			c = 1
+		}
+		norm.AddRow(labels[i],
+			fmt.Sprintf("%.3f", float64(b.Compute)/c),
+			fmt.Sprintf("%.3f", float64(b.CheckpointLocal)/c),
+			fmt.Sprintf("%.3f", float64(b.CheckpointIO)/c),
+			fmt.Sprintf("%.3f", float64(b.RestoreLocal)/c),
+			fmt.Sprintf("%.3f", float64(b.RestoreIO)/c),
+			fmt.Sprintf("%.3f", float64(b.RerunLocal)/c),
+			fmt.Sprintf("%.3f", float64(b.RerunIO)/c),
+			fmt.Sprintf("%.3f", float64(b.Total())/c))
+		tot := float64(b.Total())
+		if tot <= 0 {
+			tot = 1
+		}
+		pct.AddRow(labels[i],
+			fmt.Sprintf("%.1f%%", 100*float64(b.Compute)/tot),
+			fmt.Sprintf("%.1f%%", 100*float64(b.CheckpointLocal)/tot),
+			fmt.Sprintf("%.1f%%", 100*float64(b.CheckpointIO)/tot),
+			fmt.Sprintf("%.1f%%", 100*float64(b.RestoreLocal)/tot),
+			fmt.Sprintf("%.1f%%", 100*float64(b.RestoreIO)/tot),
+			fmt.Sprintf("%.1f%%", 100*float64(b.RerunLocal)/tot),
+			fmt.Sprintf("%.1f%%", 100*float64(b.RerunIO)/tot))
+	}
+	norm.Fprint(os.Stdout)
+	fmt.Println()
+	pct.Fprint(os.Stdout)
+}
+
+// runFig4 sweeps the locally:I/O ratio for Local + I/O-Host.
+func runFig4() error {
+	p := params()
+	ratios := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	pts, err := model.Fig4(p, ratios)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(pts))
+	bs := make([]sim.Breakdown, len(pts))
+	for i, pt := range pts {
+		labels[i] = fmt.Sprintf("ratio %3d:1", pt.Ratio)
+		bs[i] = pt.B
+	}
+	breakdownTable("Figure 4: Local + I/O-Host overhead vs locally:I/O ratio "+
+		"(no compression, PLocal=85%)", labels, bs)
+	fmt.Println("\nProgress rate by ratio (total C/R overhead is minimized at the optimum):")
+	fracs := make([]float64, len(pts))
+	for i, pt := range pts {
+		fracs[i] = pt.B.Efficiency()
+	}
+	report.Series(os.Stdout, "", labels, fracs, 50)
+	rows := make([][]string, len(pts))
+	for i, pt := range pts {
+		rows[i] = breakdownCSVRow(fmt.Sprintf("%d", pt.Ratio), pt.B)
+	}
+	return maybeCSV("fig4", breakdownCSVHeader("ratio"), rows)
+}
+
+// breakdownCSVHeader/Row serialize a breakdown for CSV export.
+func breakdownCSVHeader(key string) []string {
+	return []string{key, "compute_s", "ckpt_local_s", "ckpt_io_s",
+		"restore_local_s", "restore_io_s", "rerun_local_s", "rerun_io_s", "efficiency"}
+}
+
+func breakdownCSVRow(key string, b sim.Breakdown) []string {
+	f := func(v units.Seconds) string { return fmt.Sprintf("%.3f", float64(v)) }
+	return []string{key, f(b.Compute), f(b.CheckpointLocal), f(b.CheckpointIO),
+		f(b.RestoreLocal), f(b.RestoreIO), f(b.RerunLocal), f(b.RerunIO),
+		fmt.Sprintf("%.6f", b.Efficiency())}
+}
+
+// runFig5 prints the optimal ratios.
+func runFig5() error {
+	p := params()
+	plocals := []float64{0.20, 0.40, 0.60, 0.80}
+	factors := []float64{0, 0.728, 0.85}
+	pts, err := model.Fig5(p, plocals, factors)
+	if err != nil {
+		return err
+	}
+	tab := &report.Table{
+		Title:   "Figure 5: optimal locally-saved : I/O-saved checkpoint ratios",
+		Headers: []string{"Configuration", "factor 0%", "factor 72.8%", "factor 85%"},
+	}
+	ratio := func(cfg model.Configuration, pl, f float64) string {
+		for _, pt := range pts {
+			if pt.Config == cfg && pt.PLocal == pl && pt.Factor == f {
+				return fmt.Sprintf("%d", pt.Ratio)
+			}
+		}
+		return "-"
+	}
+	for _, pl := range plocals {
+		tab.AddRow(fmt.Sprintf("Local(%.0f%%) + I/O-Host", pl*100),
+			ratio(model.ConfigLocalIOHost, pl, 0),
+			ratio(model.ConfigLocalIOHost, pl, 0.728),
+			ratio(model.ConfigLocalIOHost, pl, 0.85))
+	}
+	tab.AddRow("Local + I/O-NDP (any PLocal)",
+		ratio(model.ConfigLocalIONDP, 0, 0),
+		ratio(model.ConfigLocalIONDP, 0, 0.728),
+		ratio(model.ConfigLocalIONDP, 0, 0.85))
+	tab.Fprint(os.Stdout)
+	fmt.Println("\nTrends to match the paper: ratio falls with compression factor, rises")
+	fmt.Println("with PLocal; NDP has a single (much lower) drain-limited ratio per factor.")
+	rows := make([][]string, len(pts))
+	for i, pt := range pts {
+		rows[i] = []string{pt.Config.String(), fmt.Sprintf("%.2f", pt.PLocal),
+			fmt.Sprintf("%.3f", pt.Factor), fmt.Sprintf("%d", pt.Ratio)}
+	}
+	return maybeCSV("fig5", []string{"config", "plocal", "factor", "ratio"}, rows)
+}
+
+// runFig6 prints the progress-rate comparison.
+func runFig6() error {
+	p := params()
+	groups := []struct {
+		Name   string
+		Factor float64
+	}{
+		{"None", 0},
+		{"CoMD", 0.842},
+		{"HPCCG", 0.884},
+		{"miniSmac", 0.350},
+		{"Average", 0.728},
+	}
+	plocals := []float64{0.20, 0.40, 0.60, 0.80}
+	bars, err := model.Fig6(p, groups, plocals)
+	if err != nil {
+		return err
+	}
+	// One table per group.
+	current := ""
+	var labels []string
+	var fracs []float64
+	flush := func() {
+		if current != "" {
+			report.Series(os.Stdout, "Group "+current, labels, fracs, 50)
+			fmt.Println()
+		}
+		labels, fracs = nil, nil
+	}
+	for _, b := range bars {
+		if b.Group != current {
+			flush()
+			current = b.Group
+		}
+		labels = append(labels, b.Config)
+		fracs = append(fracs, b.Eff)
+	}
+	flush()
+
+	// Headline: averages over PLocal for host+compression vs NDP+compression.
+	sumHost, sumNDP, n := 0.0, 0.0, 0
+	for _, b := range bars {
+		if b.Group != "Average (72.8%)" {
+			continue
+		}
+		for _, pl := range []string{"20", "40", "60", "80"} {
+			if b.Config == "Local("+pl+"%) + I/O-Host" {
+				sumHost += b.Eff
+				n++
+			}
+			if b.Config == "Local("+pl+"%) + I/O-NDP" {
+				sumNDP += b.Eff
+			}
+		}
+	}
+	if n > 0 {
+		fmt.Printf("Headline (group Average, mean over PLocal 20-80%%):\n")
+		fmt.Printf("  multilevel + compression (host): %.1f%%  (paper: ~51%%)\n", 100*sumHost/float64(n))
+		fmt.Printf("  multilevel + compression (NDP):  %.1f%%  (paper: ~78%%)\n", 100*sumNDP/float64(n))
+	}
+	rows := make([][]string, len(bars))
+	for i, b := range bars {
+		rows[i] = []string{b.Group, b.Config, fmt.Sprintf("%.6f", b.Eff)}
+	}
+	return maybeCSV("fig6", []string{"group", "config", "progress_rate"}, rows)
+}
+
+// runFig7 prints the four-configuration breakdown at 4% I/O recovery.
+func runFig7() error {
+	p := params()
+	cols, err := model.Fig7(p)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(cols))
+	bs := make([]sim.Breakdown, len(cols))
+	for i, c := range cols {
+		labels[i] = c.Label
+		bs[i] = c.B
+	}
+	breakdownTable("Figure 7: breakdown at PLocal=96%, compression factor 73%", labels, bs)
+	fmt.Println("\nPaper's Rerun-I/O shares: H=17%, HC=9%, N=1.2%, NC=0.6% of execution time.")
+	for i, c := range cols {
+		share := 100 * float64(c.B.RerunIO) / float64(c.B.Total())
+		fmt.Printf("  %-16s Rerun-I/O = %5.1f%%   efficiency = %5.1f%%\n",
+			labels[i], share, 100*c.B.Efficiency())
+	}
+	rows := make([][]string, len(cols))
+	for i, c := range cols {
+		rows[i] = breakdownCSVRow(c.Label, c.B)
+	}
+	return maybeCSV("fig7", breakdownCSVHeader("config"), rows)
+}
+
+func sweepTable(title, xname string, pts []model.SweepPoint) {
+	configs := []string{}
+	seen := map[string]bool{}
+	xs := []float64{}
+	seenX := map[float64]bool{}
+	for _, p := range pts {
+		if !seen[p.Config] {
+			seen[p.Config] = true
+			configs = append(configs, p.Config)
+		}
+		if !seenX[p.X] {
+			seenX[p.X] = true
+			xs = append(xs, p.X)
+		}
+	}
+	tab := &report.Table{Title: title, Headers: append([]string{xname}, configs...)}
+	for _, x := range xs {
+		row := []any{fmt.Sprintf("%g", x)}
+		for _, cfg := range configs {
+			val := "-"
+			for _, p := range pts {
+				if p.X == x && p.Config == cfg {
+					val = fmt.Sprintf("%.1f%%", p.Eff*100)
+				}
+			}
+			row = append(row, val)
+		}
+		tab.AddRow(row...)
+	}
+	tab.Fprint(os.Stdout)
+}
+
+// runFig8 sweeps checkpoint size.
+func runFig8() error {
+	p := params()
+	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	if *flagQuick {
+		fractions = []float64{0.1, 0.4, 0.8}
+	}
+	pts, err := model.Fig8(p, 140*units.GB, fractions)
+	if err != nil {
+		return err
+	}
+	sweepTable("Figure 8: progress rate vs checkpoint size (fraction of 140 GB node memory), "+
+		"PLocal=85%, MTTI=30 min", "size frac", pts)
+	fmt.Println("\nPaper anchors: at 10%, HC=88% vs NC=96%; at 80%, HC=65% vs NC=87%.")
+	return maybeCSV("fig8", []string{"size_fraction", "config", "progress_rate"}, sweepCSVRows(pts))
+}
+
+func sweepCSVRows(pts []model.SweepPoint) [][]string {
+	rows := make([][]string, len(pts))
+	for i, p := range pts {
+		rows[i] = []string{fmt.Sprintf("%g", p.X), p.Config, fmt.Sprintf("%.6f", p.Eff)}
+	}
+	return rows
+}
+
+// runFig9 sweeps MTTI.
+func runFig9() error {
+	p := params()
+	mttis := []units.Seconds{30 * units.Minute, 60 * units.Minute, 90 * units.Minute,
+		120 * units.Minute, 150 * units.Minute}
+	if *flagQuick {
+		mttis = []units.Seconds{30 * units.Minute, 90 * units.Minute, 150 * units.Minute}
+	}
+	pts, err := model.Fig9(p, mttis)
+	if err != nil {
+		return err
+	}
+	sweepTable("Figure 9: progress rate vs MTTI (minutes), checkpoint 112 GB, PLocal=85%",
+		"MTTI (min)", pts)
+	fmt.Println("\nPaper trend: the NDP gain over multilevel+compression shrinks as MTTI grows.")
+	return maybeCSV("fig9", []string{"mtti_minutes", "config", "progress_rate"}, sweepCSVRows(pts))
+}

@@ -1,0 +1,110 @@
+// Command ndpcr-experiments regenerates every table and figure from the
+// paper's evaluation. Each subcommand prints the reproduced data, alongside
+// the paper's published values where the paper states them.
+//
+// Usage:
+//
+//	ndpcr-experiments [flags] <experiment>
+//
+// Experiments: fig1, table1, table2, table3, table4, fig4, fig5, fig6,
+// fig7, fig8, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpcr/internal/model"
+	"ndpcr/internal/units"
+)
+
+var (
+	flagQuick  = flag.Bool("quick", false, "fewer Monte-Carlo trials and shorter simulated runs")
+	flagSeed   = flag.Uint64("seed", 2017, "simulation seed")
+	flagTrials = flag.Int("trials", 0, "Monte-Carlo trials per point (0 = default)")
+	flagLive   = flag.Bool("live", false, "table2/table3: run the live compression study instead of (in addition to) paper data only")
+	flagCSVDir = flag.String("csv-dir", "", "also write each experiment's data as CSV into this directory")
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ndpcr-experiments [flags] <experiment>
+
+experiments:
+  fig1     progress rate vs M/delta (Daly closed form)
+  table1   exascale system projection
+  table2   compression study (paper data; -live adds our codecs on our mini-apps)
+  table3   NDP compression configuration
+  table4   evaluation parameters
+  fig4     overhead breakdown vs locally:I/O ratio
+  fig5     optimal locally:I/O ratios
+  fig6     progress-rate comparison across configurations
+  fig7     overhead breakdown at 4%% I/O recovery
+  fig8     sensitivity to checkpoint size
+  fig9     sensitivity to MTTI
+  ext      ablations + incremental-drain extension (beyond the paper)
+  all      everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func params() model.Params {
+	p := model.DefaultParams()
+	p.Seed = *flagSeed
+	if *flagQuick {
+		p.Work = 25 * units.Hour
+		p.Trials = 10
+	}
+	if *flagTrials > 0 {
+		p.Trials = *flagTrials
+	}
+	return p
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	runners := map[string]func() error{
+		"fig1":   runFig1,
+		"table1": runTable1,
+		"table2": runTable2,
+		"table3": runTable3,
+		"table4": runTable4,
+		"fig4":   runFig4,
+		"fig5":   runFig5,
+		"fig6":   runFig6,
+		"fig7":   runFig7,
+		"fig8":   runFig8,
+		"fig9":   runFig9,
+		"ext":    runExt,
+	}
+	if exp == "all" {
+		order := []string{"fig1", "table1", "table2", "table3", "table4",
+			"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ext"}
+		for _, name := range order {
+			fmt.Printf("\n================ %s ================\n\n", name)
+			if err := runners[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "ndpcr-experiments: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ndpcr-experiments: unknown experiment %q\n", exp)
+		usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ndpcr-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

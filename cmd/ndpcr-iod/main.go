@@ -1,0 +1,68 @@
+// Command ndpcr-iod runs a global I/O node: a TCP service exposing the
+// checkpoint store to compute-node runtimes. Point ndpcr-node (or any
+// program using the node runtime) at it with -iod <addr> and every drained
+// block will traverse a real TCP connection, per §4.2.2's requirement that
+// the NDP run the network stack.
+//
+//	ndpcr-iod -listen :9400 [-bw 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"ndpcr/internal/iod"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/units"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9400", "address to listen on")
+		bwMBps = flag.Float64("bw", 0, "simulated per-node I/O bandwidth in MB/s (0 = unthrottled); "+
+			"the paper's projected share is 100")
+	)
+	flag.Parse()
+
+	var pacer nvm.Pacer
+	if *bwMBps > 0 {
+		pacer = nvm.Pacer{
+			Bandwidth: units.Bandwidth(*bwMBps) * units.MBps,
+			Sleep:     func(d units.Seconds) { timeSleep(d) },
+		}
+	}
+	srv, err := iod.NewServer(iostore.New(pacer))
+	if err != nil {
+		fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*listen) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	fmt.Printf("ndpcr-iod: serving checkpoint store on %s", *listen)
+	if *bwMBps > 0 {
+		fmt.Printf(" (paced at %.0f MB/s per transfer)", *bwMBps)
+	}
+	fmt.Println()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case <-sig:
+		fmt.Println("\nndpcr-iod: shutting down")
+		srv.Close()
+		<-done
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ndpcr-iod: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+package main
+
+import (
+	"time"
+
+	"ndpcr/internal/units"
+)
+
+// timeSleep applies a real wall-clock delay for paced transfers.
+func timeSleep(d units.Seconds) { time.Sleep(d.Duration()) }

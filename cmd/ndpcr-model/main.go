@@ -1,0 +1,109 @@
+// Command ndpcr-model evaluates the analytical + Monte-Carlo performance
+// model for one checkpoint/restart configuration from flags, printing the
+// progress rate and overhead breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpcr/internal/model"
+	"ndpcr/internal/units"
+)
+
+func main() {
+	var (
+		cfgName  = flag.String("config", "ndp", `configuration: "io", "host", or "ndp"`)
+		mttiMin  = flag.Float64("mtti", 30, "system MTTI in minutes")
+		sizeStr  = flag.String("size", "112GB", "per-node checkpoint size")
+		localBW  = flag.Float64("local-bw", 15, "node-local NVM bandwidth, GB/s")
+		ioBW     = flag.Float64("io-bw", 100, "per-node share of global I/O, MB/s")
+		interval = flag.Float64("interval", 150, "local checkpoint interval, seconds (0 = Daly optimum)")
+		plocal   = flag.Float64("plocal", 0.85, "probability of recovery from local level")
+		factor   = flag.Float64("factor", 0, "compression factor (0 = no compression)")
+		ratio    = flag.Int("ratio", 0, "locally:I/O ratio for host config (0 = optimize)")
+		work     = flag.Float64("work", 100, "simulated solve time, hours")
+		trials   = flag.Int("trials", 30, "Monte-Carlo trials")
+		seed     = flag.Uint64("seed", 2017, "simulation seed")
+		exclus   = flag.Bool("nvm-exclusive", false, "pause NDP drain during host commits")
+		serial   = flag.Bool("serialize-drain", false, "disable compress/send overlap in the NDP")
+	)
+	flag.Parse()
+
+	size, err := units.ParseBytes(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	p := model.DefaultParams()
+	p.MTTI = units.Seconds(*mttiMin) * units.Minute
+	p.CheckpointSize = size
+	p.LocalBW = units.Bandwidth(*localBW) * units.GBps
+	p.IOBW = units.Bandwidth(*ioBW) * units.MBps
+	p.LocalInterval = units.Seconds(*interval)
+	p.PLocal = *plocal
+	p.CompressionFactor = *factor
+	p.Ratio = *ratio
+	p.Work = units.Seconds(*work) * units.Hour
+	p.Trials = *trials
+	p.Seed = *seed
+	p.NVMExclusive = *exclus
+	p.SerializeDrain = *serial
+
+	var cfg model.Configuration
+	switch *cfgName {
+	case "io":
+		cfg = model.ConfigIOOnly
+	case "host":
+		cfg = model.ConfigLocalIOHost
+	case "ndp":
+		cfg = model.ConfigLocalIONDP
+	default:
+		fatal(fmt.Errorf("unknown -config %q (io, host, ndp)", *cfgName))
+	}
+
+	ana, err := model.AnalyticEfficiency(cfg, p, p.Ratio)
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := model.Evaluate(cfg, p)
+	if err != nil {
+		fatal(err)
+	}
+	b := ev.Breakdown()
+	fmt.Printf("configuration        %s\n", cfg)
+	fmt.Printf("locally:I/O ratio    %d\n", ev.Ratio)
+	fmt.Printf("local commit         %v\n", p.DeltaLocal())
+	if cfg == model.ConfigLocalIONDP {
+		fmt.Printf("NDP drain time       %v\n", p.DrainTime())
+	} else {
+		fmt.Printf("host I/O commit      %v\n", p.DeltaIOHost())
+	}
+	fmt.Printf("restore local / I/O  %v / %v\n", p.RestoreLocal(), p.RestoreIO())
+	fmt.Printf("\nprogress rate        %.2f%% (Monte-Carlo, %d trials, ±%.2f%%)\n",
+		ev.Efficiency()*100, p.Trials, ev.Result.Eff.CI95()*100)
+	fmt.Printf("analytic estimate    %.2f%%\n", ana*100)
+	fmt.Printf("failures per run     %d (%d recovered from I/O)\n",
+		b.Failures, b.IOFailures)
+	fmt.Printf("\nbreakdown (%% of total):\n")
+	tot := float64(b.Total())
+	for _, row := range []struct {
+		name string
+		v    units.Seconds
+	}{
+		{"compute", b.Compute},
+		{"checkpoint local", b.CheckpointLocal},
+		{"checkpoint I/O", b.CheckpointIO},
+		{"restore local", b.RestoreLocal},
+		{"restore I/O", b.RestoreIO},
+		{"rerun local", b.RerunLocal},
+		{"rerun I/O", b.RerunIO},
+	} {
+		fmt.Printf("  %-18s %6.2f%%\n", row.name, 100*float64(row.v)/tot)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ndpcr-model: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command ndpcr-sim runs the raw discrete-event simulator from explicit
+// timing inputs (seconds), bypassing the bandwidth-derivation layer — a
+// debugging and what-if tool for the C/R timeline of §4.2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpcr/internal/sim"
+	"ndpcr/internal/units"
+)
+
+func main() {
+	var (
+		work       = flag.Float64("work", 360000, "solve time, seconds")
+		mtti       = flag.Float64("mtti", 1800, "mean time to interrupt, seconds")
+		interval   = flag.Float64("interval", 150, "compute interval between checkpoints, seconds")
+		deltaLocal = flag.Float64("delta-local", 7.47, "local commit stall, seconds")
+		ioEveryK   = flag.Int("io-every", 0, "host writes to I/O every k-th checkpoint (0 = never)")
+		deltaIO    = flag.Float64("delta-io", 1120, "host I/O commit stall, seconds")
+		ndp        = flag.Bool("ndp", false, "enable NDP background drain")
+		drain      = flag.Float64("drain", 1120, "NDP drain wall time per checkpoint, seconds")
+		exclusive  = flag.Bool("nvm-exclusive", false, "pause drain during host commits")
+		plocal     = flag.Float64("plocal", 0.85, "probability of local recovery")
+		restLocal  = flag.Float64("restore-local", 7.47, "local restore stall, seconds")
+		restIO     = flag.Float64("restore-io", 1120, "I/O restore stall, seconds")
+		trials     = flag.Int("trials", 30, "Monte-Carlo trials")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := sim.Config{
+		Work:          units.Seconds(*work),
+		MTTI:          units.Seconds(*mtti),
+		LocalInterval: units.Seconds(*interval),
+		DeltaLocal:    units.Seconds(*deltaLocal),
+		IOEveryK:      *ioEveryK,
+		DeltaIO:       units.Seconds(*deltaIO),
+		NDP:           *ndp,
+		DrainTime:     units.Seconds(*drain),
+		NVMExclusive:  *exclusive,
+		PLocal:        *plocal,
+		RestoreLocal:  units.Seconds(*restLocal),
+		RestoreIO:     units.Seconds(*restIO),
+		Seed:          *seed,
+	}
+	if !*ndp {
+		cfg.DrainTime = 0
+	}
+	res, err := sim.MonteCarlo(cfg, *trials)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndpcr-sim: %v\n", err)
+		os.Exit(1)
+	}
+	b := res.Mean
+	fmt.Printf("trials                %d completed, %d stalled\n", res.Trials, res.Stalled)
+	fmt.Printf("progress rate         %.2f%% ± %.2f%%\n", res.Efficiency()*100, res.Eff.CI95()*100)
+	fmt.Printf("failures per run      %d (%d from I/O)\n", b.Failures, b.IOFailures)
+	fmt.Printf("mean wall time        %v for %v of work\n", b.Total(), cfg.Work)
+	fmt.Printf("\nmean breakdown:\n")
+	fmt.Printf("  compute           %v\n", b.Compute)
+	fmt.Printf("  checkpoint local  %v\n", b.CheckpointLocal)
+	fmt.Printf("  checkpoint I/O    %v\n", b.CheckpointIO)
+	fmt.Printf("  restore local     %v\n", b.RestoreLocal)
+	fmt.Printf("  restore I/O       %v\n", b.RestoreIO)
+	fmt.Printf("  rerun local       %v\n", b.RerunLocal)
+	fmt.Printf("  rerun I/O         %v\n", b.RerunIO)
+}

@@ -1,0 +1,94 @@
+// Capacity: a planning study built on the projection + model packages.
+// Given a target progress rate, it compares machine variants (node counts,
+// local NVM speeds, with/without NDP and compression) and reports which
+// configurations reach the target — the §6.5 "can a 2 GB/s NVM with NDP
+// replace a 15 GB/s NVM?" question, answered programmatically.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ndpcr/internal/model"
+	"ndpcr/internal/projection"
+	"ndpcr/internal/report"
+	"ndpcr/internal/units"
+)
+
+func main() {
+	target := flag.Float64("target", 0.85, "required progress rate")
+	trials := flag.Int("trials", 15, "Monte-Carlo trials per variant")
+	flag.Parse()
+
+	exa := projection.Exascale(projection.Titan(), projection.DefaultScaling())
+	fmt.Printf("projected machine: %d nodes, %s memory, MTTI %v, per-node I/O %v\n\n",
+		exa.NodeCount, exa.SystemMemory, exa.MTTI, exa.PerNodeIOBandwidth())
+
+	base := model.DefaultParams()
+	base.MTTI = exa.MTTI
+	base.IOBW = exa.PerNodeIOBandwidth()
+	base.PLocal = 0.85
+	base.Trials = *trials
+	base.Work = 50 * units.Hour
+
+	type variant struct {
+		name    string
+		cfg     model.Configuration
+		localBW units.Bandwidth
+		factor  float64
+	}
+	variants := []variant{
+		{"multilevel, 15 GB/s NVM", model.ConfigLocalIOHost, 15 * units.GBps, 0},
+		{"multilevel + compression, 15 GB/s NVM", model.ConfigLocalIOHost, 15 * units.GBps, 0.728},
+		{"NDP, 15 GB/s NVM", model.ConfigLocalIONDP, 15 * units.GBps, 0},
+		{"NDP + compression, 15 GB/s NVM", model.ConfigLocalIONDP, 15 * units.GBps, 0.728},
+		{"NDP, 2 GB/s NVM", model.ConfigLocalIONDP, 2 * units.GBps, 0},
+		{"NDP + compression, 2 GB/s NVM", model.ConfigLocalIONDP, 2 * units.GBps, 0.728},
+	}
+
+	tab := &report.Table{
+		Title:   fmt.Sprintf("Variant comparison (target progress rate %.0f%%)", *target*100),
+		Headers: []string{"Variant", "Progress", "Meets target", "Local:I/O ratio"},
+	}
+	cheapest := ""
+	for _, v := range variants {
+		p := model.WithLocalBW(model.WithCompression(base, v.factor), v.localBW)
+		p.LocalInterval = 0 // re-derive Daly's optimum per variant
+		ev, err := model.Evaluate(v.cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := "no"
+		if ev.Efficiency() >= *target {
+			meets = "YES"
+			if cheapest == "" && v.localBW == 2*units.GBps {
+				cheapest = v.name
+			}
+		}
+		tab.AddRow(v.name, fmt.Sprintf("%.1f%%", ev.Efficiency()*100), meets,
+			fmt.Sprintf("%d", ev.Ratio))
+	}
+	tab.Fprint(os.Stdout)
+
+	if cheapest != "" {
+		fmt.Printf("\ncheapest passing option uses the slow (2 GB/s) NVM: %s\n", cheapest)
+	}
+	fmt.Println("\nSweep: minimum NVM bandwidth for the target, NDP + compression:")
+	for _, bw := range []units.Bandwidth{1, 2, 4, 8, 15} {
+		p := model.WithLocalBW(model.WithCompression(base, 0.728), bw*units.GBps)
+		p.LocalInterval = 0
+		ev, err := model.Evaluate(model.ConfigLocalIONDP, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := " "
+		if ev.Efficiency() >= *target {
+			marker = "<- meets target"
+		}
+		fmt.Printf("  %5v GB/s NVM: %5.1f%% %s\n", float64(bw), ev.Efficiency()*100, marker)
+	}
+}

@@ -1,0 +1,3 @@
+module ndpcr
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package cluster implements coordinated checkpoint/restart across many
+// compute-node runtimes, in the style of OpenMPI+BLCR coordinated
+// checkpoints (§4.2.1): every rank pauses, commits its snapshot under a
+// shared global checkpoint ID, and resumes; recovery computes the restart
+// line — the newest checkpoint ID every rank can still restore — and rolls
+// all ranks back to it together.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ndpcr/internal/node"
+	"ndpcr/internal/node/iostore"
+)
+
+// Rank is one checkpointable application process.
+type Rank interface {
+	// Snapshot serializes the paused rank's state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the rank's state from a snapshot.
+	Restore(data []byte) error
+}
+
+// Cluster coordinates C/R for a fixed set of ranks, each backed by its own
+// node runtime writing into a shared global store.
+type Cluster struct {
+	job     string
+	store   iostore.API
+	nodes   []*node.Node
+	ranks   []Rank
+	partner bool
+
+	mu     sync.Mutex
+	nextID uint64
+	closed bool
+}
+
+// Option configures a cluster at assembly time.
+type Option func(*Cluster)
+
+// WithPartnerReplication enables the §3.4 partner level: each coordinated
+// checkpoint is also copied into the next rank's node-local storage, so a
+// single-node NVM loss recovers at local-storage speed from the buddy
+// instead of global I/O. Requires at least two ranks.
+func WithPartnerReplication() Option {
+	return func(c *Cluster) { c.partner = true }
+}
+
+// New assembles a cluster. nodes[i] backs ranks[i]; the slices must be the
+// same non-zero length and every node must use the given job name.
+func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts ...Option) (*Cluster, error) {
+	if job == "" {
+		return nil, errors.New("cluster: empty job name")
+	}
+	if store == nil {
+		return nil, errors.New("cluster: store is required")
+	}
+	if len(nodes) == 0 || len(nodes) != len(ranks) {
+		return nil, fmt.Errorf("cluster: %d nodes vs %d ranks", len(nodes), len(ranks))
+	}
+	c := &Cluster{job: job, store: store, nodes: nodes, ranks: ranks, nextID: 1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.partner {
+		if len(nodes) < 2 {
+			return nil, errors.New("cluster: partner replication needs at least 2 ranks")
+		}
+		// Rank i's copies live on node (i+1) mod N.
+		for i, n := range nodes {
+			n.SetPartner(nodes[(i+1)%len(nodes)])
+		}
+	}
+	return c, nil
+}
+
+// Size returns the rank count.
+func (c *Cluster) Size() int { return len(c.ranks) }
+
+// Node returns the runtime backing rank i (metrics, drain observation),
+// or nil for an out-of-range rank.
+func (c *Cluster) Node(i int) *node.Node {
+	if i < 0 || i >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[i]
+}
+
+// Checkpoint performs one coordinated checkpoint: all ranks snapshot and
+// commit in parallel under the same global ID (the application is assumed
+// paused for the duration, as in Figure 3's timeline). It returns the
+// global checkpoint ID. If any rank fails to commit, the global checkpoint
+// is not considered valid and an error is returned.
+func (c *Cluster) Checkpoint(step int) (uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errors.New("cluster: closed")
+	}
+	want := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+
+	errs := make([]error, len(c.ranks))
+	var wg sync.WaitGroup
+	for i := range c.ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := c.ranks[i].Snapshot()
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d snapshot: %w", i, err)
+				return
+			}
+			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
+			id, err := c.nodes[i].Commit(snap, meta)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d commit: %w", i, err)
+				return
+			}
+			if id != want {
+				errs[i] = fmt.Errorf("cluster: rank %d committed id %d, expected %d (nodes out of sync)",
+					i, id, want)
+				return
+			}
+			if c.partner {
+				buddy := c.nodes[(i+1)%len(c.nodes)]
+				if err := buddy.StorePartnerCopy(i, id, snap, meta); err != nil {
+					errs[i] = fmt.Errorf("cluster: rank %d partner copy: %w", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return want, nil
+}
+
+// available reports the checkpoint IDs rank i can restore from any level:
+// its own NVM, its buddy's partner region, or the global store.
+func (c *Cluster) available(i int) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, id := range c.nodes[i].Device().IDs() {
+		out[id] = true
+	}
+	if c.partner {
+		buddy := c.nodes[(i+1)%len(c.nodes)]
+		for _, id := range buddy.PartnerCopyIDs(i) {
+			out[id] = true
+		}
+	}
+	for _, id := range c.store.IDs(c.job, i) {
+		out[id] = true
+	}
+	return out
+}
+
+// ErrNoRestartLine reports that no checkpoint ID is restorable by all
+// ranks.
+var ErrNoRestartLine = errors.New("cluster: no common restorable checkpoint")
+
+// RestartLine returns the newest checkpoint ID restorable by every rank —
+// the consistent rollback point of §4.2.3.
+func (c *Cluster) RestartLine() (uint64, error) {
+	common := c.available(0)
+	for i := 1; i < len(c.ranks) && len(common) > 0; i++ {
+		avail := c.available(i)
+		for id := range common {
+			if !avail[id] {
+				delete(common, id)
+			}
+		}
+	}
+	best := uint64(0)
+	for id := range common {
+		if id > best {
+			best = id
+		}
+	}
+	if best == 0 {
+		return 0, ErrNoRestartLine
+	}
+	return best, nil
+}
+
+// RecoverOutcome describes a completed recovery.
+type RecoverOutcome struct {
+	// ID is the restart-line checkpoint all ranks rolled back to.
+	ID uint64
+	// Step is the application step recorded at that checkpoint.
+	Step int
+	// Levels records which storage level served each rank's restore.
+	Levels []node.Level
+}
+
+// Recover rolls every rank back to the restart line in parallel.
+func (c *Cluster) Recover() (RecoverOutcome, error) {
+	line, err := c.RestartLine()
+	if err != nil {
+		return RecoverOutcome{}, err
+	}
+	out := RecoverOutcome{ID: line, Levels: make([]node.Level, len(c.ranks))}
+	errs := make([]error, len(c.ranks))
+	steps := make([]int, len(c.ranks))
+	var wg sync.WaitGroup
+	for i := range c.ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, meta, level, err := c.nodes[i].RestoreID(line)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d restore %d: %w", i, line, err)
+				return
+			}
+			if err := c.ranks[i].Restore(data); err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d apply restore: %w", i, err)
+				return
+			}
+			out.Levels[i] = level
+			steps[i] = meta.Step
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return RecoverOutcome{}, err
+		}
+	}
+	for i, s := range steps {
+		if i == 0 {
+			out.Step = s
+		} else if s != out.Step {
+			return RecoverOutcome{}, fmt.Errorf(
+				"cluster: inconsistent restart line: rank 0 at step %d, rank %d at step %d",
+				out.Step, i, s)
+		}
+	}
+	return out, nil
+}
+
+// FailNode injects a node-local failure on rank i: its NVM is wiped and any
+// in-flight drain aborted. The rank's in-memory state is presumed lost; the
+// caller follows with Recover.
+func (c *Cluster) FailNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: rank %d out of range", i)
+	}
+	c.nodes[i].FailLocal()
+	return nil
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,59 @@
+package bwz
+
+// bitWriter accumulates MSB-first bits into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nAcc uint
+}
+
+func newBitWriter(buf []byte) *bitWriter { return &bitWriter{buf: buf} }
+
+// writeBits appends the low n bits of v, most significant first. n <= 32.
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc = w.acc<<n | uint64(v)&((1<<n)-1)
+	w.nAcc += n
+	for w.nAcc >= 8 {
+		w.nAcc -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.nAcc))
+	}
+}
+
+// flush pads the final partial byte with zero bits and returns the buffer.
+func (w *bitWriter) flush() []byte {
+	if w.nAcc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nAcc)))
+		w.nAcc = 0
+	}
+	return w.buf
+}
+
+// bitReader consumes MSB-first bits from a byte slice.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	acc  uint64
+	nAcc uint
+	bad  bool
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+// readBits returns the next n bits (n <= 32). Reading past the end sets the
+// sticky error flag and returns zeros.
+func (r *bitReader) readBits(n uint) uint32 {
+	for r.nAcc < n {
+		if r.pos >= len(r.buf) {
+			r.bad = true
+			return 0
+		}
+		r.acc = r.acc<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.nAcc += 8
+	}
+	r.nAcc -= n
+	return uint32(r.acc>>r.nAcc) & uint32((uint64(1)<<n)-1)
+}
+
+// err reports whether any read overran the input.
+func (r *bitReader) err() bool { return r.bad }

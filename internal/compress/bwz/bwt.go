@@ -1,0 +1,150 @@
+// Package bwz implements a Burrows-Wheeler-transform block compressor from
+// scratch: BWT over cyclic rotations, move-to-front, bijective zero-run
+// coding, and canonical Huffman entropy coding. It is the bzip2 family
+// member of the paper's compression study; like bzip2, the level selects
+// the block size (level × 100 kB).
+package bwz
+
+// bwt computes the Burrows-Wheeler transform of s over its cyclic
+// rotations. It returns the last column and the primary index (the row of
+// the sorted rotation matrix holding the original string).
+//
+// Rotation order is computed by prefix doubling with counting-sort radix
+// passes: O(n log n) total, no recursion, exact cyclic semantics (indices
+// wrap mod n), which sidesteps the sentinel issues of suffix-array BWTs.
+func bwt(s []byte) (last []byte, primary int) {
+	n := len(s)
+	last = make([]byte, n)
+	if n == 0 {
+		return last, 0
+	}
+	if n == 1 {
+		last[0] = s[0]
+		return last, 0
+	}
+
+	rank := make([]int, n)
+	sa := make([]int, n)
+	tmpSA := make([]int, n)
+	newRank := make([]int, n)
+	count := make([]int, n+1)
+
+	// Initial one-character sort via counting sort on byte values, then
+	// rank compression so ranks stay in [0, n) for the doubling passes.
+	var byteCount [257]int
+	for _, c := range s {
+		byteCount[int(c)+1]++
+	}
+	for i := 1; i < 257; i++ {
+		byteCount[i] += byteCount[i-1]
+	}
+	for i := 0; i < n; i++ {
+		sa[byteCount[s[i]]] = i
+		byteCount[s[i]]++
+	}
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		rank[sa[i]] = rank[sa[i-1]]
+		if s[sa[i]] != s[sa[i-1]] {
+			rank[sa[i]]++
+		}
+	}
+
+	for k := 1; ; k *= 2 {
+		// Sort by (rank[i], rank[i+k mod n]) with two stable counting
+		// passes: first by the second key, then by the first.
+		secondKey := func(i int) int {
+			return rank[(i+k)%n] // k can exceed n on the final doubling
+		}
+		// Pass 1: stable counting sort of current sa by second key.
+		for i := range count {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[secondKey(i)+1]++
+		}
+		for i := 1; i <= n; i++ {
+			count[i] += count[i-1]
+		}
+		for _, i := range sa {
+			tmpSA[count[secondKey(i)]] = i
+			count[secondKey(i)]++
+		}
+		// Pass 2: stable counting sort of tmpSA by first key.
+		for i := range count {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[rank[i]+1]++
+		}
+		for i := 1; i <= n; i++ {
+			count[i] += count[i-1]
+		}
+		for _, i := range tmpSA {
+			sa[count[rank[i]]] = i
+			count[rank[i]]++
+		}
+		// Re-rank.
+		newRank[sa[0]] = 0
+		distinct := 1
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			if rank[a] != rank[b] || secondKey(a) != secondKey(b) {
+				distinct++
+			}
+			newRank[b] = distinct - 1
+		}
+		rank, newRank = newRank, rank
+		if distinct == n || k >= n {
+			break
+		}
+	}
+
+	for i, r := range sa {
+		j := r - 1
+		if j < 0 {
+			j = n - 1
+		}
+		last[i] = s[j]
+		if r == 0 {
+			primary = i
+		}
+	}
+	return last, primary
+}
+
+// ibwt inverts the Burrows-Wheeler transform given the last column and
+// primary index, using the standard LF-mapping walk.
+func ibwt(last []byte, primary int) []byte {
+	n := len(last)
+	out := make([]byte, n)
+	if n == 0 {
+		return out
+	}
+
+	// C[c] = number of characters in last strictly smaller than c.
+	var freq [256]int
+	for _, c := range last {
+		freq[c]++
+	}
+	var c [256]int
+	sum := 0
+	for v := 0; v < 256; v++ {
+		c[v] = sum
+		sum += freq[v]
+	}
+	// lf[i] = C[last[i]] + rank of last[i] among its equals up to i.
+	lf := make([]int, n)
+	var seen [256]int
+	for i, ch := range last {
+		lf[i] = c[ch] + seen[ch]
+		seen[ch]++
+	}
+	// Walk backwards from the primary row.
+	row := primary
+	for k := n - 1; k >= 0; k-- {
+		out[k] = last[row]
+		row = lf[row]
+	}
+	return out
+}

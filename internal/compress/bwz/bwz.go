@@ -1,0 +1,176 @@
+package bwz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports malformed compressed input.
+var ErrCorrupt = errors.New("bwz: corrupt input")
+
+// BlockSize returns the block size for a compression level, following
+// bzip2's convention of level × 100 kB. Levels outside [1,9] are clamped.
+func BlockSize(level int) int {
+	if level < 1 {
+		level = 1
+	}
+	if level > 9 {
+		level = 9
+	}
+	return level * 100_000
+}
+
+// Block payload kinds.
+const (
+	kindBWZ = 0 // BWT+MTF+ZRLE+Huffman payload
+	kindRaw = 1 // stored raw (incompressible block)
+)
+
+// Compress appends the compressed form of src to dst using the given
+// level's block size.
+//
+// Stream layout: uvarint(totalLen), then per block:
+// uvarint(blockLen) byte(kind) uvarint(payloadLen) payload.
+// A bwz payload is: uvarint(primary), 258×5-bit code lengths, Huffman bits.
+func Compress(dst, src []byte, level int) ([]byte, error) {
+	bs := BlockSize(level)
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	for off := 0; off < len(src); off += bs {
+		end := off + bs
+		if end > len(src) {
+			end = len(src)
+		}
+		dst = compressBlock(dst, src[off:end])
+	}
+	return dst, nil
+}
+
+func compressBlock(dst, block []byte) []byte {
+	payload := encodeBWZ(block)
+	kind := byte(kindBWZ)
+	if payload == nil || len(payload) >= len(block) {
+		kind = kindRaw
+		payload = block
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(block)))
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// encodeBWZ runs the full pipeline on one block, returning nil if the
+// result would not be a valid encoding (never expected; defensive).
+func encodeBWZ(block []byte) []byte {
+	last, primary := bwt(block)
+	syms := zrleEncode(mtfEncode(last))
+
+	counts := make([]int, NumSymbols)
+	for _, s := range syms {
+		counts[s]++
+	}
+	lengths := buildCodeLengths(counts)
+	codes := canonicalCodes(lengths)
+
+	out := binary.AppendUvarint(nil, uint64(primary))
+	w := newBitWriter(out)
+	for _, l := range lengths {
+		w.writeBits(uint32(l), 5)
+	}
+	for _, s := range syms {
+		w.writeBits(codes[s], uint(lengths[s]))
+	}
+	return w.flush()
+}
+
+// Decompress appends the decompressed form of src to dst.
+func Decompress(dst, src []byte) ([]byte, error) {
+	total, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad stream header", ErrCorrupt)
+	}
+	src = src[n:]
+	var produced uint64
+	for produced < total {
+		blockLen, n := binary.Uvarint(src)
+		if n <= 0 || blockLen == 0 || blockLen > total-produced {
+			return nil, fmt.Errorf("%w: bad block header", ErrCorrupt)
+		}
+		src = src[n:]
+		if len(src) < 1 {
+			return nil, fmt.Errorf("%w: missing block kind", ErrCorrupt)
+		}
+		kind := src[0]
+		src = src[1:]
+		payloadLen, n := binary.Uvarint(src)
+		if n <= 0 || payloadLen > uint64(len(src[n:])) {
+			return nil, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+		}
+		src = src[n:]
+		payload := src[:payloadLen]
+		src = src[payloadLen:]
+
+		switch kind {
+		case kindRaw:
+			if uint64(len(payload)) != blockLen {
+				return nil, fmt.Errorf("%w: raw block size mismatch", ErrCorrupt)
+			}
+			dst = append(dst, payload...)
+		case kindBWZ:
+			block, err := decodeBWZ(payload, int(blockLen))
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, block...)
+		default:
+			return nil, fmt.Errorf("%w: unknown block kind %d", ErrCorrupt, kind)
+		}
+		produced += blockLen
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(src))
+	}
+	return dst, nil
+}
+
+func decodeBWZ(payload []byte, blockLen int) ([]byte, error) {
+	primary, n := binary.Uvarint(payload)
+	if n <= 0 || primary >= uint64(blockLen) {
+		return nil, fmt.Errorf("%w: bad primary index", ErrCorrupt)
+	}
+	r := newBitReader(payload[n:])
+	lengths := make([]uint8, NumSymbols)
+	for i := range lengths {
+		lengths[i] = uint8(r.readBits(5))
+	}
+	if r.err() {
+		return nil, fmt.Errorf("%w: truncated code table", ErrCorrupt)
+	}
+	dec, ok := newHuffDecoder(lengths)
+	if !ok {
+		return nil, fmt.Errorf("%w: invalid code table", ErrCorrupt)
+	}
+	// Decode symbols until EOB. The symbol count is bounded: every symbol
+	// either emits ≥1 output byte or extends a zero run whose value grows
+	// exponentially, so > blockLen+64 symbols means corruption.
+	syms := make([]uint16, 0, blockLen/4+16)
+	limit := blockLen + 64
+	for {
+		s, ok := dec.decode(r)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated symbol stream", ErrCorrupt)
+		}
+		syms = append(syms, s)
+		if s == symEOB {
+			break
+		}
+		if len(syms) > limit {
+			return nil, fmt.Errorf("%w: symbol stream overrun", ErrCorrupt)
+		}
+	}
+	mtf, ok := zrleDecode(syms, blockLen)
+	if !ok {
+		return nil, fmt.Errorf("%w: run-length decode failed", ErrCorrupt)
+	}
+	return ibwt(mtfDecode(mtf), int(primary)), nil
+}

@@ -1,0 +1,348 @@
+package bwz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBWTKnownVector(t *testing.T) {
+	// The classic example: BWT("banana") over rotations = "nnbaaa",
+	// primary row 3 (0-indexed position of "banana" in the sorted matrix:
+	// abanan, anaban, ananab... recompute: rotations sorted:
+	// "abanan"(5), "anaban"(3), "ananab"(1), "banana"(0), "nabana"(4),
+	// "nanaba"(2) → last column "nnbaaa", primary 3).
+	last, primary := bwt([]byte("banana"))
+	if string(last) != "nnbaaa" {
+		t.Errorf("bwt(banana) last = %q, want %q", last, "nnbaaa")
+	}
+	if primary != 3 {
+		t.Errorf("bwt(banana) primary = %d, want 3", primary)
+	}
+	if got := ibwt(last, primary); string(got) != "banana" {
+		t.Errorf("ibwt = %q", got)
+	}
+}
+
+func TestBWTRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		[]byte("a"),
+		[]byte("abab"),     // periodic: ties in rotation sort
+		[]byte("aaaaaaaa"), // fully periodic
+		[]byte("mississippi"),
+		bytes.Repeat([]byte("abcabc"), 100),
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		b := make([]byte, r.Intn(3000))
+		r.Read(b)
+		cases = append(cases, b)
+	}
+	for i, c := range cases {
+		last, primary := bwt(c)
+		got := ibwt(last, primary)
+		if !bytes.Equal(got, c) {
+			t.Errorf("case %d (len %d): BWT round trip failed", i, len(c))
+		}
+	}
+}
+
+func TestMTFRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(mtfDecode(mtfEncode(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMTFKnown(t *testing.T) {
+	// "aaa" → first 'a' is at index 97, then index 0 twice.
+	got := mtfEncode([]byte("aaa"))
+	if got[0] != 97 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("mtf(aaa) = %v", got)
+	}
+}
+
+func TestZRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{0, 0, 0, 0, 0, 0, 0},
+		{1, 2, 3},
+		{0, 0, 5, 0, 0, 0, 9, 0},
+		bytes.Repeat([]byte{0}, 100000),
+	}
+	for i, c := range cases {
+		syms := zrleEncode(c)
+		got, ok := zrleDecode(syms, len(c))
+		if !ok || !bytes.Equal(got, c) {
+			t.Errorf("case %d: zrle round trip failed (ok=%v)", i, ok)
+		}
+	}
+}
+
+func TestZRLECompactsRuns(t *testing.T) {
+	syms := zrleEncode(bytes.Repeat([]byte{0}, 1_000_000))
+	if len(syms) > 25 { // ~log2(1e6)+eob
+		t.Errorf("run of 1M zeros used %d symbols", len(syms))
+	}
+}
+
+func TestZRLEDecodeRejectsBadStreams(t *testing.T) {
+	if _, ok := zrleDecode([]uint16{symRunA, symRunA}, 3); ok {
+		t.Error("missing eob accepted")
+	}
+	if _, ok := zrleDecode([]uint16{5, symEOB}, 0); ok {
+		t.Error("overlong literal accepted")
+	}
+	if _, ok := zrleDecode([]uint16{symRunA, symEOB}, 0); ok {
+		t.Error("overlong run accepted")
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	counts := make([]int, NumSymbols)
+	counts[symRunA] = 1000
+	counts[symRunB] = 400
+	counts[50] = 30
+	counts[251] = 1
+	counts[symEOB] = 1
+	lengths := buildCodeLengths(counts)
+	codes := canonicalCodes(lengths)
+	dec, ok := newHuffDecoder(lengths)
+	if !ok {
+		t.Fatal("decoder rejected valid lengths")
+	}
+	stream := []uint16{symRunA, 50, symRunB, 251, symRunA, symEOB}
+	w := newBitWriter(nil)
+	for _, s := range stream {
+		if lengths[s] == 0 {
+			t.Fatalf("symbol %d got no code", s)
+		}
+		w.writeBits(codes[s], uint(lengths[s]))
+	}
+	r := newBitReader(w.flush())
+	for i, want := range stream {
+		got, ok := dec.decode(r)
+		if !ok || got != want {
+			t.Fatalf("symbol %d: got %d (ok=%v), want %d", i, got, ok, want)
+		}
+	}
+}
+
+func TestHuffmanLengthLimit(t *testing.T) {
+	// Fibonacci-like counts force a skewed tree; lengths must be limited.
+	counts := make([]int, 40)
+	a, b := 1, 1
+	for i := range counts {
+		counts[i] = a
+		a, b = b, a+b
+		if a > 1<<30 {
+			a = 1 << 30
+		}
+	}
+	lengths := buildCodeLengths(counts)
+	for sym, l := range lengths {
+		if counts[sym] > 0 && (l == 0 || l > maxCodeLen) {
+			t.Errorf("symbol %d: length %d", sym, l)
+		}
+	}
+	if _, ok := newHuffDecoder(lengths); !ok {
+		t.Error("limited lengths rejected by decoder")
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	counts := make([]int, NumSymbols)
+	counts[symEOB] = 5
+	lengths := buildCodeLengths(counts)
+	if lengths[symEOB] != 1 {
+		t.Errorf("single symbol length = %d, want 1", lengths[symEOB])
+	}
+	dec, ok := newHuffDecoder(lengths)
+	if !ok {
+		t.Fatal("decoder rejected single-symbol table")
+	}
+	w := newBitWriter(nil)
+	w.writeBits(0, 1)
+	r := newBitReader(w.flush())
+	if s, ok := dec.decode(r); !ok || s != symEOB {
+		t.Errorf("decode = %d, %v", s, ok)
+	}
+}
+
+func TestHuffDecoderRejectsOversubscribed(t *testing.T) {
+	lengths := make([]uint8, 8)
+	for i := range lengths {
+		lengths[i] = 1 // 8 codes of length 1: invalid
+	}
+	if _, ok := newHuffDecoder(lengths); ok {
+		t.Error("oversubscribed table accepted")
+	}
+	if _, ok := newHuffDecoder(make([]uint8, 8)); ok {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestBitIORoundTrip(t *testing.T) {
+	w := newBitWriter(nil)
+	vals := []struct {
+		v uint32
+		n uint
+	}{{1, 1}, {0, 1}, {5, 3}, {255, 8}, {1 << 19, 20}, {0xABCDE, 20}, {3, 2}}
+	for _, x := range vals {
+		w.writeBits(x.v, x.n)
+	}
+	r := newBitReader(w.flush())
+	for i, x := range vals {
+		if got := r.readBits(x.n); got != x.v {
+			t.Errorf("value %d: got %d, want %d", i, got, x.v)
+		}
+	}
+	if r.err() {
+		t.Error("unexpected read error")
+	}
+	r.readBits(32) // overrun
+	if !r.err() {
+		t.Error("overrun not flagged")
+	}
+}
+
+func roundTrip(t *testing.T, src []byte, level int) {
+	t.Helper()
+	comp, err := Compress(nil, src, level)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	got, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch (len %d, level %d)", len(src), level)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	random := make([]byte, 50000)
+	r.Read(random)
+	cases := [][]byte{
+		nil,
+		{42},
+		[]byte("hello hello hello hello"),
+		bytes.Repeat([]byte("abcdefgh"), 50000), // multi-block at level 1
+		make([]byte, 250000),                    // zeros, multi-block
+		random,
+	}
+	for _, level := range []int{1, 9} {
+		for i, c := range cases {
+			_ = i
+			roundTrip(t, c, level)
+		}
+	}
+}
+
+func TestCompressRatioOnText(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 3000)
+	comp, err := Compress(nil, src, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) > len(src)/20 {
+		t.Errorf("text compressed to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestIncompressibleStoredRaw(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	src := make([]byte, 120000)
+	r.Read(src)
+	comp, err := Compress(nil, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw fallback bounds expansion to framing overhead.
+	if len(comp) > len(src)+64 {
+		t.Errorf("incompressible input expanded to %d/%d", len(comp), len(src))
+	}
+	roundTrip(t, src, 1)
+}
+
+func TestBlockSizeClamping(t *testing.T) {
+	if BlockSize(0) != 100_000 || BlockSize(-3) != 100_000 {
+		t.Error("low levels should clamp to 100kB")
+	}
+	if BlockSize(9) != 900_000 || BlockSize(99) != 900_000 {
+		t.Error("high levels should clamp to 900kB")
+	}
+	if BlockSize(4) != 400_000 {
+		t.Error("level 4 should be 400kB")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("data data data "), 100)
+	comp, _ := Compress(nil, src, 1)
+	// Truncations at every prefix length must error, not panic.
+	for cut := 0; cut < len(comp)-1; cut += 7 {
+		if _, err := Decompress(nil, comp[:cut]); err == nil {
+			// A cut exactly at the stream-header end of an empty stream
+			// would be valid; no other prefix should be.
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := Decompress(nil, append(append([]byte{}, comp...), 1, 2, 3)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestDecompressFuzzNoPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		b := make([]byte, r.Intn(300))
+		r.Read(b)
+		Decompress(nil, b)
+	}
+}
+
+func TestCompressQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		comp, err := Compress(nil, data, 1)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(nil, comp)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressLevel1(b *testing.B) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 2000)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst, _ = Compress(dst[:0], src, 1)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 2000)
+	comp, _ := Compress(nil, src, 1)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst, _ = Decompress(dst[:0], comp)
+	}
+}

@@ -1,0 +1,51 @@
+package bwz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks compress→decompress identity on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), 1)
+	f.Add([]byte("banana"), 1)
+	f.Add(bytes.Repeat([]byte("ab"), 300), 9)
+	f.Fuzz(func(t *testing.T, data []byte, level int) {
+		comp, err := Compress(nil, data, level)
+		if err != nil {
+			t.Fatalf("Compress: %v", err)
+		}
+		got, err := Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompress checks the decoder tolerates malformed input.
+func FuzzDecompress(f *testing.F) {
+	comp, _ := Compress(nil, []byte("seed data for the corpus"), 1)
+	f.Add(comp)
+	f.Add([]byte{0x05, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Decompress(nil, data) // must not panic
+	})
+}
+
+// FuzzBWT checks the transform pair on arbitrary inputs.
+func FuzzBWT(f *testing.F) {
+	f.Add([]byte("mississippi"))
+	f.Add([]byte("aaaa"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		last, primary := bwt(data)
+		if got := ibwt(last, primary); !bytes.Equal(got, data) {
+			t.Fatal("BWT round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package bwz
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// maxCodeLen bounds Huffman code lengths so the table header stays compact
+// (5 bits per length) and the decoder's canonical walk stays in uint32.
+const maxCodeLen = 20
+
+// buildCodeLengths returns a length-limited Huffman code length for each
+// symbol with a non-zero count (0 for absent symbols). If the unrestricted
+// Huffman tree exceeds maxCodeLen, counts are repeatedly halved (rounding
+// up) and the tree rebuilt — the classic bzip2 approach, which costs a
+// fraction of a percent of ratio in pathological cases.
+func buildCodeLengths(counts []int) []uint8 {
+	lengths := make([]uint8, len(counts))
+	working := make([]int, len(counts))
+	copy(working, counts)
+	for {
+		if tryBuild(working, lengths) {
+			return lengths
+		}
+		for i, c := range working {
+			if c > 0 {
+				working[i] = c/2 + 1
+			}
+		}
+	}
+}
+
+type hnode struct {
+	weight int
+	// depth-tie-breaking keeps trees flat for equal weights
+	depth    int
+	symbol   int // -1 for internal
+	from, to int // children indices into the pool, -1 for leaves
+}
+
+type hheap struct {
+	pool []hnode
+	idx  []int
+}
+
+func (h *hheap) Len() int { return len(h.idx) }
+func (h *hheap) Less(i, j int) bool {
+	a, b := h.pool[h.idx[i]], h.pool[h.idx[j]]
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return a.depth < b.depth
+}
+func (h *hheap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *hheap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *hheap) Pop() any      { v := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return v }
+
+// tryBuild computes Huffman code lengths for counts into lengths, returning
+// false if any length exceeds maxCodeLen.
+func tryBuild(counts []int, lengths []uint8) bool {
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	h := &hheap{}
+	for sym, c := range counts {
+		if c > 0 {
+			h.pool = append(h.pool, hnode{weight: c, symbol: sym, from: -1, to: -1})
+			h.idx = append(h.idx, len(h.pool)-1)
+		}
+	}
+	switch len(h.idx) {
+	case 0:
+		return true
+	case 1:
+		lengths[h.pool[h.idx[0]].symbol] = 1
+		return true
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		d := h.pool[a].depth
+		if h.pool[b].depth > d {
+			d = h.pool[b].depth
+		}
+		h.pool = append(h.pool, hnode{
+			weight: h.pool[a].weight + h.pool[b].weight,
+			depth:  d + 1,
+			symbol: -1, from: a, to: b,
+		})
+		heap.Push(h, len(h.pool)-1)
+	}
+	root := h.idx[0]
+	// Iterative DFS assigning depths.
+	type frame struct{ node, depth int }
+	stack := []frame{{root, 0}}
+	ok := true
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := h.pool[f.node]
+		if n.symbol >= 0 {
+			if f.depth > maxCodeLen {
+				ok = false
+				break
+			}
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.symbol] = uint8(d)
+			continue
+		}
+		stack = append(stack, frame{n.from, f.depth + 1}, frame{n.to, f.depth + 1})
+	}
+	return ok
+}
+
+// canonicalCodes assigns canonical code values for the given lengths:
+// shorter codes first, ties broken by symbol order. Returned codes are
+// valid for symbols with non-zero lengths.
+func canonicalCodes(lengths []uint8) []uint32 {
+	codes := make([]uint32, len(lengths))
+	type sl struct {
+		sym int
+		len uint8
+	}
+	order := make([]sl, 0, len(lengths))
+	for sym, l := range lengths {
+		if l > 0 {
+			order = append(order, sl{sym, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].len != order[j].len {
+			return order[i].len < order[j].len
+		}
+		return order[i].sym < order[j].sym
+	})
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, e := range order {
+		code <<= (e.len - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.len
+	}
+	return codes
+}
+
+// huffDecoder decodes canonical codes with the firstCode/offset method.
+type huffDecoder struct {
+	// firstCode[l] is the canonical code value of the first code of
+	// length l; index[l] is the position in syms of that first code.
+	firstCode [maxCodeLen + 2]uint32
+	index     [maxCodeLen + 2]int
+	countAt   [maxCodeLen + 2]int
+	syms      []uint16
+}
+
+// newHuffDecoder builds a decoder from code lengths. It returns false for
+// inconsistent (non-Kraft) length sets.
+func newHuffDecoder(lengths []uint8) (*huffDecoder, bool) {
+	d := &huffDecoder{}
+	for sym, l := range lengths {
+		if l > maxCodeLen {
+			return nil, false
+		}
+		if l > 0 {
+			d.countAt[l]++
+			_ = sym
+		}
+	}
+	// Kraft check and firstCode computation.
+	code := uint32(0)
+	total := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.index[l] = total
+		code += uint32(d.countAt[l])
+		total += d.countAt[l]
+		if code > 1<<uint(l) {
+			return nil, false // over-subscribed
+		}
+	}
+	if total == 0 {
+		return nil, false
+	}
+	// Symbols in canonical order.
+	d.syms = make([]uint16, total)
+	next := make([]int, maxCodeLen+1)
+	for l := 1; l <= maxCodeLen; l++ {
+		next[l] = d.index[l]
+	}
+	for sym, l := range lengths {
+		if l > 0 {
+			d.syms[next[l]] = uint16(sym)
+			next[l]++
+		}
+	}
+	return d, true
+}
+
+// decode reads one symbol from r. It returns false on malformed input.
+func (d *huffDecoder) decode(r *bitReader) (uint16, bool) {
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = code<<1 | r.readBits(1)
+		if r.err() {
+			return 0, false
+		}
+		if d.countAt[l] > 0 && code-d.firstCode[l] < uint32(d.countAt[l]) {
+			return d.syms[d.index[l]+int(code-d.firstCode[l])], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,39 @@
+package bwz
+
+// mtfEncode applies the move-to-front transform in place on a fresh slice:
+// each byte is replaced by its current index in a recency list, after which
+// it moves to the front. After a BWT, the output is dominated by small
+// values (especially zero), which the run/entropy stages exploit.
+func mtfEncode(src []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, c := range src {
+		j := 0
+		for order[j] != c {
+			j++
+		}
+		out[i] = byte(j)
+		copy(order[1:j+1], order[:j])
+		order[0] = c
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(src []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(src))
+	for i, j := range src {
+		c := order[j]
+		out[i] = c
+		copy(order[1:int(j)+1], order[:j])
+		order[0] = c
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package bwz
+
+// Zero-run-length coding of the MTF output, in the style of bzip2's
+// RUNA/RUNB stage. MTF output is mostly zeros; runs of z zeros are encoded
+// in bijective base 2 over two dedicated symbols, so a run of length z uses
+// ~log2(z) symbols instead of z.
+//
+// Symbol space after this stage (and the Huffman alphabet):
+//
+//	0 (runA), 1 (runB)      encode zero runs
+//	2..256                  literal MTF values 1..255 (value+1)
+//	257 (eob)               end of block
+const (
+	symRunA    = 0
+	symRunB    = 1
+	symEOB     = 257
+	NumSymbols = 258
+)
+
+// zrleEncode converts MTF bytes to the symbol stream, appending eob.
+func zrleEncode(mtf []byte) []uint16 {
+	out := make([]uint16, 0, len(mtf)/4+16)
+	run := 0
+	flush := func() {
+		// Bijective base-2: digits are 1 (runA) and 2 (runB).
+		for run > 0 {
+			if run&1 == 1 {
+				out = append(out, symRunA)
+				run = (run - 1) / 2
+			} else {
+				out = append(out, symRunB)
+				run = (run - 2) / 2
+			}
+		}
+	}
+	for _, v := range mtf {
+		if v == 0 {
+			run++
+			continue
+		}
+		flush()
+		out = append(out, uint16(v)+1)
+	}
+	flush()
+	return append(out, symEOB)
+}
+
+// zrleDecode expands the symbol stream back to MTF bytes. The stream must
+// be terminated by eob; n is the expected output length, used for
+// preallocation and as a corruption bound.
+func zrleDecode(syms []uint16, n int) ([]byte, bool) {
+	out := make([]byte, 0, n)
+	run := 0
+	weight := 1
+	flush := func() bool {
+		if run > 0 {
+			if run > n-len(out) {
+				return false
+			}
+			for i := 0; i < run; i++ {
+				out = append(out, 0)
+			}
+			run = 0
+		}
+		weight = 1
+		return true
+	}
+	for _, s := range syms {
+		switch {
+		case s == symRunA:
+			run += weight
+			weight <<= 1
+		case s == symRunB:
+			run += 2 * weight
+			weight <<= 1
+		case s == symEOB:
+			if !flush() {
+				return nil, false
+			}
+			return out, len(out) == n
+		default:
+			if !flush() {
+				return nil, false
+			}
+			if len(out) >= n {
+				return nil, false
+			}
+			out = append(out, byte(s-1))
+		}
+	}
+	return nil, false // missing eob
+}

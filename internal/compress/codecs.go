@@ -1,0 +1,43 @@
+package compress
+
+import (
+	"ndpcr/internal/compress/bwz"
+	"ndpcr/internal/compress/lzr"
+)
+
+// bwzCodec adapts the BWT compressor (bzip2 family) to the Codec interface.
+type bwzCodec struct{ level int }
+
+func (c bwzCodec) Name() string { return "bwz" }
+func (c bwzCodec) Level() int   { return c.level }
+
+func (c bwzCodec) Compress(dst, src []byte) ([]byte, error) {
+	return bwz.Compress(dst, src, c.level)
+}
+
+func (c bwzCodec) Decompress(dst, src []byte) ([]byte, error) {
+	return bwz.Decompress(dst, src)
+}
+
+// lzrCodec adapts the range-coder compressor (xz family) to the Codec
+// interface.
+type lzrCodec struct{ level int }
+
+func (c lzrCodec) Name() string { return "lzr" }
+func (c lzrCodec) Level() int   { return c.level }
+
+func (c lzrCodec) Compress(dst, src []byte) ([]byte, error) {
+	return lzr.Compress(dst, src, c.level)
+}
+
+func (c lzrCodec) Decompress(dst, src []byte) ([]byte, error) {
+	return lzr.Decompress(dst, src)
+}
+
+func init() {
+	// The paper studies bzip2 at levels 1 and 9 and xz at levels 1 and 6.
+	Register(bwzCodec{1})
+	Register(bwzCodec{9})
+	Register(lzrCodec{1})
+	Register(lzrCodec{6})
+}

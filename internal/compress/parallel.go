@@ -1,0 +1,158 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel wraps a Codec with block-parallel execution across a fixed
+// number of workers, the way pbzip2 parallelizes bzip2 and the way both the
+// projected host (64 cores, §3.5) and the NDP (4 cores, §5.3) scale their
+// compression rate in the paper.
+//
+// The framed format is: uvarint(blockSize) uvarint(numBlocks), then per
+// block uvarint(compLen) + codec payload. Blocks are independent, so
+// decompression parallelizes the same way.
+type Parallel struct {
+	codec     Codec
+	workers   int
+	blockSize int
+}
+
+// ErrBadFrame reports malformed parallel-frame input.
+var ErrBadFrame = errors.New("compress: corrupt parallel frame")
+
+// DefaultBlockSize is the per-worker unit of compression. 1 MB amortizes
+// codec startup cost while keeping dozens of blocks in flight for typical
+// checkpoint segments.
+const DefaultBlockSize = 1 << 20
+
+// NewParallel returns a parallel wrapper around codec. workers <= 0 selects
+// GOMAXPROCS; blockSize <= 0 selects DefaultBlockSize.
+func NewParallel(codec Codec, workers, blockSize int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Parallel{codec: codec, workers: workers, blockSize: blockSize}
+}
+
+// Name returns the wrapped codec's name with a "p" prefix (gzip → pgzip).
+func (p *Parallel) Name() string { return "p" + p.codec.Name() }
+
+// Level returns the wrapped codec's level.
+func (p *Parallel) Level() int { return p.codec.Level() }
+
+// Workers returns the configured worker count.
+func (p *Parallel) Workers() int { return p.workers }
+
+// Compress appends the framed, block-parallel compressed form of src.
+func (p *Parallel) Compress(dst, src []byte) ([]byte, error) {
+	n := len(src)
+	numBlocks := (n + p.blockSize - 1) / p.blockSize
+	dst = binary.AppendUvarint(dst, uint64(p.blockSize))
+	dst = binary.AppendUvarint(dst, uint64(numBlocks))
+	if numBlocks == 0 {
+		return dst, nil
+	}
+
+	results := make([][]byte, numBlocks)
+	errs := make([]error, numBlocks)
+	var wg sync.WaitGroup
+	blocks := make(chan int)
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range blocks {
+				lo := i * p.blockSize
+				hi := lo + p.blockSize
+				if hi > n {
+					hi = n
+				}
+				results[i], errs[i] = p.codec.Compress(nil, src[lo:hi])
+			}
+		}()
+	}
+	for i := 0; i < numBlocks; i++ {
+		blocks <- i
+	}
+	close(blocks)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("compress: parallel block %d: %w", i, err)
+		}
+	}
+	for _, r := range results {
+		dst = binary.AppendUvarint(dst, uint64(len(r)))
+		dst = append(dst, r...)
+	}
+	return dst, nil
+}
+
+// Decompress appends the decoded form of a parallel frame to dst.
+func (p *Parallel) Decompress(dst, src []byte) ([]byte, error) {
+	_, n := binary.Uvarint(src) // block size: informational
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing block size", ErrBadFrame)
+	}
+	src = src[n:]
+	numBlocks, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing block count", ErrBadFrame)
+	}
+	src = src[n:]
+	if numBlocks > uint64(len(src))+1 {
+		return nil, fmt.Errorf("%w: implausible block count %d", ErrBadFrame, numBlocks)
+	}
+
+	payloads := make([][]byte, numBlocks)
+	for i := range payloads {
+		compLen, n := binary.Uvarint(src)
+		if n <= 0 || compLen > uint64(len(src[n:])) {
+			return nil, fmt.Errorf("%w: bad block %d length", ErrBadFrame, i)
+		}
+		src = src[n:]
+		payloads[i] = src[:compLen]
+		src = src[compLen:]
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadFrame)
+	}
+
+	results := make([][]byte, numBlocks)
+	errs := make([]error, numBlocks)
+	var wg sync.WaitGroup
+	blocks := make(chan int)
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range blocks {
+				results[i], errs[i] = p.codec.Decompress(nil, payloads[i])
+			}
+		}()
+	}
+	for i := range payloads {
+		blocks <- i
+	}
+	close(blocks)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("compress: parallel block %d: %w", i, err)
+		}
+	}
+	for _, r := range results {
+		dst = append(dst, r...)
+	}
+	return dst, nil
+}

@@ -1,0 +1,144 @@
+// Package daly implements J. T. Daly's analytical checkpoint/restart model:
+// the higher-order estimate of the optimum checkpoint interval ("A higher
+// order estimate of the optimum checkpoint interval for restart dumps",
+// FGCS 2006) and the expected-runtime / efficiency equations from
+// "Quantifying Checkpoint Efficiency" used by the paper (§1, §3.3, Fig 1).
+//
+// Notation follows the paper: M is the system mean time to interrupt,
+// delta (δ) is the checkpoint commit time, R the restart (restore) time,
+// tau (τ) the useful-computation interval between checkpoints, and Ts the
+// failure-free solve time.
+package daly
+
+import (
+	"errors"
+	"math"
+
+	"ndpcr/internal/units"
+)
+
+// ErrBadParams reports non-positive model parameters.
+var ErrBadParams = errors.New("daly: parameters must be positive")
+
+// OptimalInterval returns Daly's higher-order estimate of the optimum
+// useful-computation interval between checkpoints:
+//
+//	τ_opt = sqrt(2δM)·[1 + (1/3)√(δ/2M) + (1/9)(δ/2M)] − δ   for δ < 2M
+//	τ_opt = M                                                 otherwise
+//
+// The result is the *compute* time between checkpoint starts, i.e. the
+// checkpoint period is τ_opt + δ.
+func OptimalInterval(delta, m units.Seconds) (units.Seconds, error) {
+	if delta <= 0 || m <= 0 {
+		return 0, ErrBadParams
+	}
+	d := float64(delta)
+	mf := float64(m)
+	if d >= 2*mf {
+		return m, nil
+	}
+	x := d / (2 * mf)
+	tau := math.Sqrt(2*d*mf)*(1+math.Sqrt(x)/3+x/9) - d
+	return units.Seconds(tau), nil
+}
+
+// FirstOrderInterval returns the classic Young/Daly first-order optimum
+// τ ≈ sqrt(2δM) − δ (clamped to be positive). It is retained for
+// cross-checking; the higher-order form should be preferred.
+func FirstOrderInterval(delta, m units.Seconds) (units.Seconds, error) {
+	if delta <= 0 || m <= 0 {
+		return 0, ErrBadParams
+	}
+	tau := math.Sqrt(2*float64(delta)*float64(m)) - float64(delta)
+	if tau < float64(delta) {
+		tau = float64(delta)
+	}
+	return units.Seconds(tau), nil
+}
+
+// ExpectedRuntime returns Daly's expected total wall-clock time to complete
+// a solve of failure-free duration ts, checkpointing every tau seconds of
+// useful work with commit time delta, restart time r, and MTTI m:
+//
+//	T = M · e^{R/M} · (e^{(τ+δ)/M} − 1) · Ts/τ
+//
+// The formula assumes exponentially distributed interrupts and includes
+// checkpoint, restart, and rework (lost work) overheads.
+func ExpectedRuntime(ts, tau, delta, r, m units.Seconds) (units.Seconds, error) {
+	if ts <= 0 || tau <= 0 || delta <= 0 || m <= 0 || r < 0 {
+		return 0, ErrBadParams
+	}
+	mf := float64(m)
+	t := mf * math.Exp(float64(r)/mf) *
+		(math.Exp((float64(tau)+float64(delta))/mf) - 1) *
+		float64(ts) / float64(tau)
+	return units.Seconds(t), nil
+}
+
+// Efficiency returns Ts/T for the given parameters: the fraction of total
+// wall-clock time spent on useful computation (the paper's "progress rate").
+func Efficiency(tau, delta, r, m units.Seconds) (float64, error) {
+	// Ts cancels; use 1 second of solve time.
+	t, err := ExpectedRuntime(1, tau, delta, r, m)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / float64(t), nil
+}
+
+// OptimalEfficiency returns the progress rate at Daly's optimum interval
+// with restart time equal to commit time (the paper's Fig 1 assumption).
+func OptimalEfficiency(delta, m units.Seconds) (float64, error) {
+	tau, err := OptimalInterval(delta, m)
+	if err != nil {
+		return 0, err
+	}
+	return Efficiency(tau, delta, delta, m)
+}
+
+// EfficiencyVsRatio returns the progress rate as a function of M/δ alone
+// (Fig 1). Because Daly's expression is scale-free in M once δ/M is fixed,
+// the result depends only on the ratio.
+func EfficiencyVsRatio(mOverDelta float64) (float64, error) {
+	if mOverDelta <= 0 {
+		return 0, ErrBadParams
+	}
+	const m = units.Seconds(1800) // arbitrary scale; result is ratio-only
+	return OptimalEfficiency(m/units.Seconds(mOverDelta), m)
+}
+
+// RatioForEfficiency inverts EfficiencyVsRatio by bisection: the M/δ ratio
+// needed to reach the target progress rate (e.g. ≈200 for 90%, per §3.3).
+func RatioForEfficiency(target float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, ErrBadParams
+	}
+	lo, hi := 1.0, 1e9
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // log-space bisection
+		eff, err := EfficiencyVsRatio(mid)
+		if err != nil {
+			return 0, err
+		}
+		if eff < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// Curve samples EfficiencyVsRatio at the given M/δ ratios, returning the
+// corresponding progress rates. It is the generator for Fig 1.
+func Curve(ratios []float64) ([]float64, error) {
+	out := make([]float64, len(ratios))
+	for i, r := range ratios {
+		eff, err := EfficiencyVsRatio(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = eff
+	}
+	return out, nil
+}

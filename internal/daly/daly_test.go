@@ -1,0 +1,190 @@
+package daly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ndpcr/internal/units"
+)
+
+func TestOptimalIntervalSection33(t *testing.T) {
+	// Paper §3.3: for M = 30 min and δ = M/200 (9 s), the optimal
+	// checkpoint period is ~1/10 of M, i.e. τ ≈ 3 minutes.
+	m := 30 * units.Minute
+	delta := m / 200
+	tau, err := OptimalInterval(delta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(tau)-180) > 10 {
+		t.Errorf("τ_opt = %v s, want ~180 s", float64(tau))
+	}
+}
+
+func TestNinetyPercentEfficiencyAt200(t *testing.T) {
+	// Paper §3.3: commit time ~1/200 of MTTI gives ~90% progress rate.
+	eff, err := EfficiencyVsRatio(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-0.90) > 0.005 {
+		t.Errorf("efficiency at M/δ=200 is %v, want ~0.90", eff)
+	}
+	ratio, err := RatioForEfficiency(0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 150 || ratio > 250 {
+		t.Errorf("ratio for 90%% = %v, want ~200", ratio)
+	}
+}
+
+func TestEfficiencyMonotonicInRatio(t *testing.T) {
+	// Fig 1: progress rate increases with M/δ.
+	prev := 0.0
+	for _, r := range []float64{2, 5, 10, 20, 50, 100, 200, 500, 1000, 1e4, 1e6} {
+		eff, err := EfficiencyVsRatio(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff <= prev {
+			t.Errorf("efficiency not increasing at ratio %v: %v <= %v", r, eff, prev)
+		}
+		if eff <= 0 || eff >= 1 {
+			t.Errorf("efficiency out of (0,1) at ratio %v: %v", r, eff)
+		}
+		prev = eff
+	}
+	// Asymptote: approaches 1 for very reliable systems.
+	eff, _ := EfficiencyVsRatio(1e8)
+	if eff < 0.999 {
+		t.Errorf("efficiency at ratio 1e8 = %v, want →1", eff)
+	}
+}
+
+func TestExpectedRuntimeExceedsSolveTime(t *testing.T) {
+	f := func(tsRaw, tauRaw, deltaRaw, mRaw uint32) bool {
+		ts := units.Seconds(float64(tsRaw%100000) + 1)
+		m := units.Seconds(float64(mRaw%100000) + 10)
+		delta := units.Seconds(float64(deltaRaw%1000)/10 + 0.1)
+		tau := units.Seconds(float64(tauRaw%10000)/10 + 0.1)
+		tt, err := ExpectedRuntime(ts, tau, delta, delta, m)
+		if err != nil {
+			return false
+		}
+		return float64(tt) > float64(ts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalIntervalMinimizesRuntime(t *testing.T) {
+	// Property: perturbing τ away from the optimum must not reduce the
+	// expected runtime (within Daly's approximation accuracy, the
+	// higher-order optimum should be within 1% of the true minimum).
+	m := 30 * units.Minute
+	for _, delta := range []units.Seconds{1, 9, 60, 300} {
+		tau, err := OptimalInterval(delta, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _ := ExpectedRuntime(1e6, tau, delta, delta, m)
+		for _, f := range []float64{0.5, 0.75, 1.5, 2.0} {
+			perturbed, _ := ExpectedRuntime(1e6, units.Seconds(float64(tau)*f), delta, delta, m)
+			if float64(perturbed) < float64(base)*0.99 {
+				t.Errorf("δ=%v: τ×%v runtime %v < optimum %v", delta, f, perturbed, base)
+			}
+		}
+	}
+}
+
+func TestOptimalIntervalClampsAtHighDelta(t *testing.T) {
+	// δ ≥ 2M: Daly's series is invalid; interval clamps to M.
+	tau, err := OptimalInterval(4000, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 1800 {
+		t.Errorf("τ = %v, want M = 1800", tau)
+	}
+}
+
+func TestFirstOrderVsHigherOrder(t *testing.T) {
+	// For small δ/M the two estimates should agree closely.
+	m := 30 * units.Minute
+	delta := units.Seconds(9)
+	hi, err := OptimalInterval(delta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := FirstOrderInterval(delta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(hi)-float64(lo))/float64(hi) > 0.05 {
+		t.Errorf("estimates disagree: higher=%v first=%v", hi, lo)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := OptimalInterval(0, 100); err == nil {
+		t.Error("OptimalInterval(0, ...) should fail")
+	}
+	if _, err := OptimalInterval(10, -1); err == nil {
+		t.Error("OptimalInterval(..., -1) should fail")
+	}
+	if _, err := FirstOrderInterval(0, 1); err == nil {
+		t.Error("FirstOrderInterval(0, ...) should fail")
+	}
+	if _, err := ExpectedRuntime(0, 1, 1, 1, 1); err == nil {
+		t.Error("ExpectedRuntime ts=0 should fail")
+	}
+	if _, err := ExpectedRuntime(1, 1, 1, -1, 1); err == nil {
+		t.Error("ExpectedRuntime r<0 should fail")
+	}
+	if _, err := Efficiency(1, 1, 1, 0); err == nil {
+		t.Error("Efficiency m=0 should fail")
+	}
+	if _, err := EfficiencyVsRatio(0); err == nil {
+		t.Error("EfficiencyVsRatio(0) should fail")
+	}
+	if _, err := RatioForEfficiency(1.5); err == nil {
+		t.Error("RatioForEfficiency(1.5) should fail")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	ratios := []float64{10, 100, 1000}
+	effs, err := Curve(ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effs) != 3 {
+		t.Fatalf("len = %d", len(effs))
+	}
+	for i := 1; i < len(effs); i++ {
+		if effs[i] <= effs[i-1] {
+			t.Errorf("curve not increasing: %v", effs)
+		}
+	}
+	if _, err := Curve([]float64{10, -1}); err == nil {
+		t.Error("Curve with invalid ratio should fail")
+	}
+}
+
+func TestEfficiencyRestartPenalty(t *testing.T) {
+	// Higher restart cost must strictly reduce efficiency.
+	a, err := Efficiency(180, 9, 9, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Efficiency(180, 9, 900, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Errorf("restart penalty not reflected: R=9 → %v, R=900 → %v", a, b)
+	}
+}

@@ -1,0 +1,29 @@
+package daly_test
+
+import (
+	"fmt"
+
+	"ndpcr/internal/daly"
+	"ndpcr/internal/units"
+)
+
+// ExampleOptimalInterval reproduces the paper's §3.3 arithmetic: with a
+// 30-minute MTTI and a 9-second commit, checkpoint about every 3 minutes.
+func ExampleOptimalInterval() {
+	tau, err := daly.OptimalInterval(9*units.Second, 30*units.Minute)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("checkpoint every ~%.0f min of compute\n", float64(tau)/60)
+	// Output: checkpoint every ~3 min of compute
+}
+
+// ExampleEfficiencyVsRatio evaluates Fig 1 at the 90%-progress anchor.
+func ExampleEfficiencyVsRatio() {
+	eff, err := daly.EfficiencyVsRatio(200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("progress rate at M/delta=200: %.0f%%\n", eff*100)
+	// Output: progress rate at M/delta=200: 90%
+}

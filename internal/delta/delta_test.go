@@ -1,0 +1,248 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffApplyIdentity(t *testing.T) {
+	base := make([]byte, 300_000)
+	r := rand.New(rand.NewSource(1))
+	r.Read(base)
+	tbl := Snapshot(1, base, 4096)
+
+	mod := append([]byte(nil), base...)
+	mod[0] ^= 1          // first block
+	mod[150_000] ^= 1    // middle block
+	mod[len(mod)-1] ^= 1 // final (short) block
+
+	p, tbl2, err := Diff(tbl, 2, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Changed) != 3 {
+		t.Errorf("changed blocks = %d, want 3", len(p.Changed))
+	}
+	got, err := Apply(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mod) {
+		t.Fatal("apply did not reconstruct the new checkpoint")
+	}
+	if tbl2.BaseID != 2 || len(tbl2.Digests) != len(tbl.Digests) {
+		t.Errorf("next table wrong: %+v", tbl2)
+	}
+}
+
+func TestDiffNilBase(t *testing.T) {
+	if _, _, err := Diff(nil, 1, []byte("x")); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+func TestNoChangeEmptyPatch(t *testing.T) {
+	data := bytes.Repeat([]byte("abc"), 10000)
+	tbl := Snapshot(1, data, 1024)
+	p, _, err := Diff(tbl, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Changed) != 0 || p.ChangedBytes() != 0 || p.Ratio() != 0 {
+		t.Errorf("unchanged data produced %d changed blocks", len(p.Changed))
+	}
+	got, err := Apply(data, p)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Error("empty patch did not reproduce base")
+	}
+}
+
+func TestGrowAndShrink(t *testing.T) {
+	base := bytes.Repeat([]byte{7}, 10_000)
+	tbl := Snapshot(1, base, 1024)
+
+	grown := append(append([]byte(nil), base...), bytes.Repeat([]byte{9}, 5000)...)
+	p, tbl2, err := Diff(tbl, 2, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(base, p)
+	if err != nil || !bytes.Equal(got, grown) {
+		t.Fatal("grow reconstruction failed")
+	}
+
+	shrunk := grown[:3000]
+	p2, _, err := Diff(tbl2, 3, shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Apply(grown, p2)
+	if err != nil || !bytes.Equal(got2, shrunk) {
+		t.Fatal("shrink reconstruction failed")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	base := make([]byte, 100_000)
+	r := rand.New(rand.NewSource(2))
+	r.Read(base)
+	tbl := Snapshot(5, base, 4096)
+	mod := append([]byte(nil), base...)
+	for i := 0; i < 10; i++ {
+		mod[r.Intn(len(mod))] ^= 0xFF
+	}
+	p, _, err := Diff(tbl, 6, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := p.Encode(nil)
+	dec, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.BaseID != 5 || dec.NewID != 6 || dec.NewLen != len(mod) ||
+		dec.BlockSize != 4096 || len(dec.Changed) != len(p.Changed) {
+		t.Errorf("decoded header mismatch: %+v", dec)
+	}
+	got, err := Apply(base, dec)
+	if err != nil || !bytes.Equal(got, mod) {
+		t.Fatal("decoded patch did not reconstruct")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	base := bytes.Repeat([]byte{1}, 10000)
+	tbl := Snapshot(1, base, 1024)
+	mod := append([]byte(nil), base...)
+	mod[5000] = 2
+	p, _, _ := Diff(tbl, 2, mod)
+	wire := p.Encode(nil)
+
+	for cut := 0; cut < len(wire); cut += 3 {
+		if _, err := Decode(wire[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(wire, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	bad := append([]byte(nil), wire...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		copy(b, patchMagic) // exercise past the magic check too
+		Decode(b)
+	}
+}
+
+func TestChain(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	v1 := make([]byte, 50_000)
+	r.Read(v1)
+	tbl := Snapshot(1, v1, 2048)
+
+	versions := [][]byte{v1}
+	var patches []*Patch
+	cur := v1
+	for id := uint64(2); id <= 5; id++ {
+		next := append([]byte(nil), cur...)
+		for i := 0; i < 5; i++ {
+			next[r.Intn(len(next))] ^= byte(id)
+		}
+		p, t2, err := Diff(tbl, id, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-encode through the wire to keep data independent of buffers.
+		dec, err := Decode(p.Encode(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		patches = append(patches, dec)
+		versions = append(versions, next)
+		tbl = t2
+		cur = next
+	}
+	got, err := Chain(v1, 1, patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, versions[len(versions)-1]) {
+		t.Fatal("chain reconstruction mismatch")
+	}
+	// Out-of-order chain is rejected.
+	if _, err := Chain(v1, 1, []*Patch{patches[1]}); err == nil {
+		t.Error("mis-chained patch accepted")
+	}
+}
+
+func TestRatioReflectsLocality(t *testing.T) {
+	// An HPC-like update: 10% of a large array touched → patch volume
+	// should be ~10%, not 100%.
+	data := make([]byte, 1_000_000)
+	tbl := Snapshot(1, data, DefaultBlockSize)
+	mod := append([]byte(nil), data...)
+	for i := 0; i < 100_000; i++ { // contiguous 10% region
+		mod[i] = byte(i)
+	}
+	p, _, err := Diff(tbl, 2, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ratio() < 0.08 || p.Ratio() > 0.15 {
+		t.Errorf("ratio = %v, want ~0.1", p.Ratio())
+	}
+}
+
+func TestQuickDiffApply(t *testing.T) {
+	f := func(base []byte, flips []uint16, grow uint8) bool {
+		tbl := Snapshot(1, base, 256)
+		mod := append([]byte(nil), base...)
+		mod = append(mod, make([]byte, int(grow))...)
+		for _, fl := range flips {
+			if len(mod) > 0 {
+				mod[int(fl)%len(mod)] ^= 0x5A
+			}
+		}
+		p, _, err := Diff(tbl, 2, mod)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(p.Encode(nil))
+		if err != nil {
+			return false
+		}
+		got, err := Apply(base, dec)
+		return err == nil && bytes.Equal(got, mod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	data := make([]byte, 8<<20)
+	r := rand.New(rand.NewSource(5))
+	r.Read(data)
+	tbl := Snapshot(1, data, DefaultBlockSize)
+	mod := append([]byte(nil), data...)
+	for i := 0; i < 1000; i++ {
+		mod[r.Intn(len(mod))] ^= 1
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Diff(tbl, 2, mod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

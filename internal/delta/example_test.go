@@ -1,0 +1,33 @@
+package delta_test
+
+import (
+	"fmt"
+
+	"ndpcr/internal/delta"
+)
+
+// Example demonstrates an incremental checkpoint: only the changed block
+// is shipped, and the new version reconstructs from the base plus patch.
+func Example() {
+	base := make([]byte, 4096)
+	table := delta.Snapshot(1, base, 1024)
+
+	next := append([]byte(nil), base...)
+	next[2000] = 0xFF // one mutation, second block
+
+	patch, _, err := delta.Diff(table, 2, next)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("changed blocks: %d (%d of %d bytes)\n",
+		len(patch.Changed), patch.ChangedBytes(), patch.NewLen)
+
+	restored, err := delta.Apply(base, patch)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reconstructed:", restored[2000] == 0xFF)
+	// Output:
+	// changed blocks: 1 (1024 of 4096 bytes)
+	// reconstructed: true
+}

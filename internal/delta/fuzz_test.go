@@ -1,0 +1,45 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiffApply checks diff→encode→decode→apply identity for arbitrary
+// base/new pairs.
+func FuzzDiffApply(f *testing.F) {
+	f.Add([]byte("base data"), []byte("base date"), 16)
+	f.Add([]byte(nil), []byte("grown"), 4)
+	f.Fuzz(func(t *testing.T, base, mod []byte, blockSize int) {
+		if blockSize <= 0 || blockSize > 1<<20 {
+			blockSize = 64
+		}
+		tbl := Snapshot(1, base, blockSize)
+		p, _, err := Diff(tbl, 2, mod)
+		if err != nil {
+			t.Fatalf("Diff: %v", err)
+		}
+		dec, err := Decode(p.Encode(nil))
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		got, err := Apply(base, dec)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if !bytes.Equal(got, mod) {
+			t.Fatal("reconstruction mismatch")
+		}
+	})
+}
+
+// FuzzDecode checks the patch decoder tolerates malformed input.
+func FuzzDecode(f *testing.F) {
+	tbl := Snapshot(1, []byte("hello world hello world"), 8)
+	p, _, _ := Diff(tbl, 2, []byte("hello earth hello world"))
+	f.Add(p.Encode(nil))
+	f.Add([]byte("NDPD"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Decode(data) // must not panic
+	})
+}

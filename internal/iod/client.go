@@ -1,0 +1,182 @@
+package iod
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ndpcr/internal/node/iostore"
+)
+
+// Client talks to an iod server and satisfies iostore.API, so a node
+// runtime can be pointed at a remote I/O node transparently. Requests on
+// one client serialize over a single TCP connection (the NDP's drain is a
+// single ordered stream anyway); use one client per node for parallelism,
+// as real compute nodes would.
+//
+// Clients created with Dial reconnect automatically: if a call fails on a
+// broken connection, the client redials once and retries, so a transient
+// network blip does not permanently wedge a node's drain engine.
+type Client struct {
+	mu     sync.Mutex
+	addr   string // "" disables reconnection (NewClient-wrapped conns)
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+var _ iostore.API = (*Client)(nil)
+
+// Dial connects to an iod server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iod: dial %s: %w", addr, err)
+	}
+	c := NewClient(conn)
+	c.addr = addr
+	return c, nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe). Clients
+// built this way do not reconnect.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// reconnectLocked re-establishes the connection; caller holds c.mu.
+func (c *Client) reconnectLocked() error {
+	if c.addr == "" {
+		return errors.New("iod: connection broken (no address to redial)")
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("iod: redial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Close shuts the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// call performs one request/response exchange, redialing once if the
+// connection has gone bad.
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("iod: client closed")
+	}
+	resp, err := c.exchangeLocked(req)
+	if err == nil {
+		return resp, nil
+	}
+	// One reconnect attempt. The protocol is strictly request/response,
+	// so a failed exchange leaves no half-consumed stream to resync.
+	if rerr := c.reconnectLocked(); rerr != nil {
+		return nil, fmt.Errorf("iod: %v (reconnect failed: %w)", err, rerr)
+	}
+	return c.exchangeLocked(req)
+}
+
+func (c *Client) exchangeLocked(req *request) (*response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("iod: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("iod: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Put implements iostore.API.
+func (c *Client) Put(o iostore.Object) error {
+	resp, err := c.call(&request{Op: opPut, Meta: o})
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// PutBlock implements iostore.API.
+func (c *Client) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	resp, err := c.call(&request{Op: opPutBlock, Key: key, Meta: meta, Index: index, Block: block})
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// Delete implements iostore.API. Network failures are swallowed: Delete is
+// a best-effort cleanup in the drain-abort path.
+func (c *Client) Delete(key iostore.Key) {
+	_, _ = c.call(&request{Op: opDelete, Key: key})
+}
+
+// Get implements iostore.API.
+func (c *Client) Get(key iostore.Key) (iostore.Object, error) {
+	resp, err := c.call(&request{Op: opGet, Key: key})
+	if err != nil {
+		return iostore.Object{}, err
+	}
+	if resp.NotFound {
+		return iostore.Object{}, fmt.Errorf("%w: %s", iostore.ErrNotFound, key)
+	}
+	if resp.Err != "" {
+		return iostore.Object{}, errors.New(resp.Err)
+	}
+	return resp.Object, nil
+}
+
+// Stat implements iostore.API. Network failures report "not found", which
+// the runtime treats as level-miss.
+func (c *Client) Stat(key iostore.Key) (iostore.Object, bool) {
+	resp, err := c.call(&request{Op: opStat, Key: key})
+	if err != nil {
+		return iostore.Object{}, false
+	}
+	return resp.Object, resp.OK
+}
+
+// IDs implements iostore.API. Network failures report no checkpoints.
+func (c *Client) IDs(job string, rank int) []uint64 {
+	resp, err := c.call(&request{Op: opIDs, Job: job, Rank: rank})
+	if err != nil {
+		return nil
+	}
+	return resp.IDs
+}
+
+// Latest implements iostore.API. Network failures report no checkpoints.
+func (c *Client) Latest(job string, rank int) (uint64, bool) {
+	resp, err := c.call(&request{Op: opLatest, Job: job, Rank: rank})
+	if err != nil {
+		return 0, false
+	}
+	return resp.Latest, resp.OK
+}
+
+func respErr(resp *response) error {
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}

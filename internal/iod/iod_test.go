@@ -1,0 +1,266 @@
+package iod
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ndpcr/internal/compress"
+	"ndpcr/internal/node"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// startServer launches a server on a free localhost port and returns a
+// connected client.
+func startServer(t *testing.T) (*Server, *Client, *iostore.Store) {
+	t.Helper()
+	backing := iostore.New(nvm.Pacer{})
+	srv, err := NewServer(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe("127.0.0.1:0") }()
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	client, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, client, backing
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil backing accepted")
+	}
+}
+
+func TestPutGetOverTCP(t *testing.T) {
+	_, client, _ := startServer(t)
+	obj := iostore.Object{
+		Key:      iostore.Key{Job: "j", Rank: 2, ID: 7},
+		Codec:    "gzip",
+		OrigSize: 10,
+		Blocks:   [][]byte{[]byte("hello"), []byte("world")},
+		Meta:     map[string]string{"step": "5"},
+	}
+	if err := client.Put(obj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(obj.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Codec != "gzip" || got.Meta["step"] != "5" || len(got.Blocks) != 2 ||
+		!bytes.Equal(got.Blocks[1], []byte("world")) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestNotFoundCrossesWire(t *testing.T) {
+	_, client, _ := startServer(t)
+	_, err := client.Get(iostore.Key{Job: "x", Rank: 0, ID: 1})
+	if !errors.Is(err, iostore.ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound sentinel", err)
+	}
+	if _, ok := client.Stat(iostore.Key{Job: "x"}); ok {
+		t.Error("Stat found missing object")
+	}
+	if _, ok := client.Latest("x", 0); ok {
+		t.Error("Latest on empty store")
+	}
+	if ids := client.IDs("x", 0); len(ids) != 0 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestPutBlockStreamingOverTCP(t *testing.T) {
+	_, client, backing := startServer(t)
+	key := iostore.Key{Job: "j", Rank: 0, ID: 3}
+	meta := iostore.Object{Codec: "lz4", CodecLevel: 1, OrigSize: 6}
+	if err := client.PutBlock(key, meta, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutBlock(key, meta, 1, []byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := backing.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Codec != "lz4" || len(obj.Blocks) != 2 {
+		t.Errorf("backing object %+v", obj)
+	}
+	client.Delete(key)
+	if _, err := backing.Get(key); !errors.Is(err, iostore.ErrNotFound) {
+		t.Error("delete did not propagate")
+	}
+}
+
+func TestValidationErrorsCrossWire(t *testing.T) {
+	_, client, _ := startServer(t)
+	if err := client.Put(iostore.Object{}); err == nil {
+		t.Error("empty job accepted over wire")
+	}
+	if err := client.PutBlock(iostore.Key{}, iostore.Object{}, 0, nil); err == nil {
+		t.Error("PutBlock with empty job accepted over wire")
+	}
+}
+
+func TestManyClientsConcurrently(t *testing.T) {
+	srv, _, _ := startServer(t)
+	addr := srv.Addr().String()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				key := iostore.Key{Job: "conc", Rank: g, ID: uint64(i + 1)}
+				if err := c.PutBlock(key, iostore.Object{OrigSize: 4}, 0, []byte("data")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+			if latest, ok := c.Latest("conc", g); !ok || latest != 50 {
+				t.Errorf("rank %d latest = %d, %v", g, latest, ok)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClientAfterClose(t *testing.T) {
+	_, client, _ := startServer(t)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := client.Put(iostore.Object{Key: iostore.Key{Job: "j"}}); err == nil {
+		t.Error("call after close succeeded")
+	}
+}
+
+func TestNodeRuntimeDrainsOverTCP(t *testing.T) {
+	// The headline integration: a full node runtime (commit → NDP drain
+	// with compression → node loss → restore) where the global store is a
+	// remote TCP service. Every drained block traverses the network stack,
+	// per §4.2.2.
+	_, client, _ := startServer(t)
+	gz, _ := compress.Lookup("gzip", 1)
+	n, err := node.New(node.Config{Job: "tcp", Store: client, Codec: gz, BlockSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	snap := make([]byte, 200_000)
+	for i := range snap {
+		snap[i] = byte(i / 100)
+	}
+	id, err := n.Commit(snap, node.Metadata{Step: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if last, ok := n.Engine().LastDrained(); ok && last >= id {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain over TCP never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.FailLocal()
+	got, meta, level, err := n.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != node.LevelIO || meta.Step != 4 || !bytes.Equal(got, snap) {
+		t.Error("restore over TCP failed")
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	_, client, _ := startServer(t)
+	key := iostore.Key{Job: "r", Rank: 0, ID: 1}
+	if err := client.PutBlock(key, iostore.Object{OrigSize: 4}, 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Break the connection out from under the client: the next call must
+	// redial transparently (the client was built with Dial, so it knows
+	// the address).
+	client.mu.Lock()
+	client.conn.Close()
+	client.mu.Unlock()
+
+	got, err := client.Get(key)
+	if err != nil {
+		t.Fatalf("call after broken connection: %v", err)
+	}
+	if !bytes.Equal(got.Blocks[0], []byte("data")) {
+		t.Error("reconnected read returned wrong data")
+	}
+}
+
+func TestWrappedClientDoesNotReconnect(t *testing.T) {
+	// NewClient-wrapped pipes have no address; a broken conn is terminal.
+	a, b := net.Pipe()
+	defer b.Close()
+	c := NewClient(a)
+	a.Close()
+	if err := c.Put(iostore.Object{Key: iostore.Key{Job: "x"}}); err == nil {
+		t.Error("call on closed pipe succeeded")
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	backing := iostore.New(nvm.Pacer{})
+	srv, _ := NewServer(backing)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no listener")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	srv.Close() // idempotent
+}

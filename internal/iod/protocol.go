@@ -1,0 +1,57 @@
+// Package iod implements the global I/O node as a network service: a TCP
+// daemon exposing the iostore API over a gob-framed request/response
+// protocol, and a client that satisfies iostore.API so a node runtime (and
+// its NDP drain engine) can target a remote I/O node instead of an
+// in-process store.
+//
+// This is the substrate behind the paper's §4.2.2 requirement that "the
+// NDP must be able to operate the relevant system code for running the
+// network stack (e.g., TCP/IP) and other code necessary for interfacing
+// with the remote file-system": with an iod store plugged into the node
+// runtime, every drained block really does traverse a TCP connection.
+package iod
+
+import (
+	"ndpcr/internal/node/iostore"
+)
+
+// op identifies a request type.
+type op uint8
+
+// Protocol operations, one per iostore.API method.
+const (
+	opPut op = iota + 1
+	opPutBlock
+	opDelete
+	opGet
+	opStat
+	opIDs
+	opLatest
+)
+
+// request is the wire form of one call. Only the fields relevant to Op are
+// populated; gob omits zero values efficiently.
+type request struct {
+	Op   op
+	Key  iostore.Key
+	Meta iostore.Object // PutBlock metadata / Put object
+	// Index is PutBlock's block index.
+	Index int
+	// Block is PutBlock's payload.
+	Block []byte
+	// Job/Rank parameterize IDs and Latest.
+	Job  string
+	Rank int
+}
+
+// response is the wire form of one result.
+type response struct {
+	// Err carries the remote error text ("" = success). iostore.ErrNotFound
+	// is mapped by sentinel (NotFound) so errors.Is works across the wire.
+	Err      string
+	NotFound bool
+	Object   iostore.Object
+	OK       bool
+	IDs      []uint64
+	Latest   uint64
+}

@@ -1,0 +1,173 @@
+package iod
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ndpcr/internal/node/iostore"
+)
+
+// Server serves the iostore API over TCP. Each connection gets its own
+// goroutine and processes requests sequentially; concurrency comes from
+// many connections (one per compute node, as on a real I/O node).
+type Server struct {
+	backing iostore.API
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a backing store (usually *iostore.Store, possibly paced
+// to the per-node I/O share).
+func NewServer(backing iostore.API) (*Server, error) {
+	if backing == nil {
+		return nil, errors.New("iod: backing store is required")
+	}
+	return &Server{backing: backing, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts connections on l until Close. It returns after the
+// listener fails (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("iod: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("iod: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port"; ":0" picks a free port) and
+// serves until Close. Addr() reports the bound address once listening.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("iod: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			// EOF and reset are normal client departures.
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *request) *response {
+	resp := &response{}
+	switch req.Op {
+	case opPut:
+		if err := s.backing.Put(req.Meta); err != nil {
+			resp.Err = err.Error()
+		}
+	case opPutBlock:
+		if err := s.backing.PutBlock(req.Key, req.Meta, req.Index, req.Block); err != nil {
+			resp.Err = err.Error()
+		}
+	case opDelete:
+		s.backing.Delete(req.Key)
+	case opGet:
+		obj, err := s.backing.Get(req.Key)
+		switch {
+		case errors.Is(err, iostore.ErrNotFound):
+			resp.NotFound = true
+			resp.Err = err.Error()
+		case err != nil:
+			resp.Err = err.Error()
+		default:
+			resp.Object = obj
+		}
+	case opStat:
+		obj, ok := s.backing.Stat(req.Key)
+		resp.Object, resp.OK = obj, ok
+	case opIDs:
+		resp.IDs = s.backing.IDs(req.Job, req.Rank)
+	case opLatest:
+		resp.Latest, resp.OK = s.backing.Latest(req.Job, req.Rank)
+	default:
+		resp.Err = fmt.Sprintf("iod: unknown op %d", req.Op)
+	}
+	return resp
+}
+
+// Close stops accepting, closes every connection, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,267 @@
+package miniapps
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ndpcr/internal/stats"
+)
+
+// comd is a Lennard-Jones molecular-dynamics kernel in the style of CoMD:
+// atoms on an initially perturbed FCC lattice, cell-list force evaluation,
+// velocity-Verlet integration. Checkpoint state is the position, velocity,
+// and force arrays plus per-atom species tags.
+type comd struct {
+	step int
+
+	nAtoms  int
+	boxLen  float64 // cubic box edge
+	cutoff  float64
+	dt      float64
+	epsilon float64
+	sigma   float64
+
+	pos     []float64 // 3*nAtoms
+	vel     []float64
+	force   []float64
+	species []int32
+
+	// cell list scratch (rebuilt each step; not checkpointed)
+	cellsPerSide int
+	cellHead     []int32
+	cellNext     []int32
+}
+
+func newCoMD(size Size, seed uint64) App {
+	cells := map[Size]int{Small: 4, Medium: 14, Large: 24}[size]
+	c := &comd{
+		cutoff:  2.5,
+		dt:      0.002,
+		epsilon: 1.0,
+		sigma:   1.0,
+	}
+	// FCC lattice: 4 atoms per unit cell, lattice constant chosen near the
+	// LJ solid equilibrium density.
+	const a = 1.5874 // 2^(2/3) σ
+	c.nAtoms = 4 * cells * cells * cells
+	c.boxLen = a * float64(cells)
+	c.pos = make([]float64, 3*c.nAtoms)
+	c.vel = make([]float64, 3*c.nAtoms)
+	c.force = make([]float64, 3*c.nAtoms)
+	c.species = make([]int32, c.nAtoms)
+
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	rng := stats.NewRNG(seed)
+	i := 0
+	for x := 0; x < cells; x++ {
+		for y := 0; y < cells; y++ {
+			for z := 0; z < cells; z++ {
+				for _, b := range basis {
+					c.pos[3*i] = (float64(x) + b[0]) * a
+					c.pos[3*i+1] = (float64(y) + b[1]) * a
+					c.pos[3*i+2] = (float64(z) + b[2]) * a
+					// Maxwell-ish initial velocities.
+					for d := 0; d < 3; d++ {
+						c.vel[3*i+d] = rng.Normal(0, 0.1)
+					}
+					c.species[i] = int32(i % 2)
+					i++
+				}
+			}
+		}
+	}
+	c.buildCells()
+	c.computeForces()
+	return c
+}
+
+func (c *comd) Name() string   { return "CoMD" }
+func (c *comd) StepCount() int { return c.step }
+
+func (c *comd) buildCells() {
+	n := int(c.boxLen / c.cutoff)
+	if n < 3 {
+		n = 3
+	}
+	c.cellsPerSide = n
+	if len(c.cellHead) != n*n*n {
+		c.cellHead = make([]int32, n*n*n)
+	}
+	if len(c.cellNext) != c.nAtoms {
+		c.cellNext = make([]int32, c.nAtoms)
+	}
+	for i := range c.cellHead {
+		c.cellHead[i] = -1
+	}
+	inv := float64(n) / c.boxLen
+	for i := 0; i < c.nAtoms; i++ {
+		cx := int(c.pos[3*i] * inv)
+		cy := int(c.pos[3*i+1] * inv)
+		cz := int(c.pos[3*i+2] * inv)
+		cx, cy, cz = clampCell(cx, n), clampCell(cy, n), clampCell(cz, n)
+		idx := (cx*n+cy)*n + cz
+		c.cellNext[i] = c.cellHead[idx]
+		c.cellHead[idx] = int32(i)
+	}
+}
+
+func clampCell(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+func (c *comd) computeForces() {
+	for i := range c.force {
+		c.force[i] = 0
+	}
+	n := c.cellsPerSide
+	rc2 := c.cutoff * c.cutoff
+	for cx := 0; cx < n; cx++ {
+		for cy := 0; cy < n; cy++ {
+			for cz := 0; cz < n; cz++ {
+				for i := c.cellHead[(cx*n+cy)*n+cz]; i >= 0; i = c.cellNext[i] {
+					for dx := -1; dx <= 1; dx++ {
+						for dy := -1; dy <= 1; dy++ {
+							for dz := -1; dz <= 1; dz++ {
+								nx, ny, nz := (cx+dx+n)%n, (cy+dy+n)%n, (cz+dz+n)%n
+								for j := c.cellHead[(nx*n+ny)*n+nz]; j >= 0; j = c.cellNext[j] {
+									if j <= i {
+										continue
+									}
+									c.pairForce(int(i), int(j), rc2)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *comd) pairForce(i, j int, rc2 float64) {
+	var d [3]float64
+	r2 := 0.0
+	for k := 0; k < 3; k++ {
+		d[k] = c.pos[3*i+k] - c.pos[3*j+k]
+		// Minimum image under periodic boundaries.
+		if d[k] > c.boxLen/2 {
+			d[k] -= c.boxLen
+		} else if d[k] < -c.boxLen/2 {
+			d[k] += c.boxLen
+		}
+		r2 += d[k] * d[k]
+	}
+	if r2 >= rc2 || r2 < 1e-12 {
+		return
+	}
+	s2 := c.sigma * c.sigma / r2
+	s6 := s2 * s2 * s2
+	f := 24 * c.epsilon * s6 * (2*s6 - 1) / r2
+	for k := 0; k < 3; k++ {
+		c.force[3*i+k] += f * d[k]
+		c.force[3*j+k] -= f * d[k]
+	}
+}
+
+func (c *comd) Step() error {
+	half := c.dt / 2
+	for i := 0; i < 3*c.nAtoms; i++ {
+		c.vel[i] += half * c.force[i]
+	}
+	for i := 0; i < 3*c.nAtoms; i++ {
+		c.pos[i] += c.dt * c.vel[i]
+		// Wrap into the periodic box.
+		if c.pos[i] < 0 {
+			c.pos[i] += c.boxLen
+		} else if c.pos[i] >= c.boxLen {
+			c.pos[i] -= c.boxLen
+		}
+	}
+	c.buildCells()
+	c.computeForces()
+	for i := 0; i < 3*c.nAtoms; i++ {
+		c.vel[i] += half * c.force[i]
+	}
+	c.step++
+	return nil
+}
+
+// KineticEnergy returns the total kinetic energy (a sanity invariant).
+func (c *comd) KineticEnergy() float64 {
+	ke := 0.0
+	for i := 0; i < c.nAtoms; i++ {
+		for k := 0; k < 3; k++ {
+			v := c.vel[3*i+k]
+			ke += 0.5 * v * v
+		}
+	}
+	return ke
+}
+
+func (c *comd) Checkpoint(w io.Writer) error {
+	cw := newCkptWriter(w)
+	cw.putHeader(c.Name(), c.step)
+	cw.putU64(math.Float64bits(c.boxLen))
+	cw.putF64s("pos", c.pos)
+	cw.putF64s("vel", c.vel)
+	cw.putF64s("force", c.force)
+	cw.putI32s("species", c.species)
+	return cw.finish()
+}
+
+func (c *comd) Restore(r io.Reader) error {
+	cr := newCkptReader(r)
+	step, err := cr.header(c.Name())
+	if err != nil {
+		return err
+	}
+	boxBits := cr.u64()
+	pos, err := cr.f64s("pos", 3*c.nAtoms)
+	if err != nil {
+		return err
+	}
+	vel, err := cr.f64s("vel", 3*c.nAtoms)
+	if err != nil {
+		return err
+	}
+	force, err := cr.f64s("force", 3*c.nAtoms)
+	if err != nil {
+		return err
+	}
+	species, err := cr.i32s("species", c.nAtoms)
+	if err != nil {
+		return err
+	}
+	if err := cr.finish(); err != nil {
+		return err
+	}
+	box := math.Float64frombits(boxBits)
+	if box <= 0 || math.IsNaN(box) {
+		return fmt.Errorf("miniapps: CoMD checkpoint has invalid box length")
+	}
+	c.step = step
+	c.boxLen = box
+	c.pos, c.vel, c.force, c.species = pos, vel, force, species
+	c.buildCells()
+	return nil
+}
+
+func (c *comd) Signature() uint64 {
+	h := uint64(0xcbf29ce484222325) ^ uint64(c.step)
+	h = sigHash(h, c.pos)
+	h = sigHash(h, c.vel)
+	h = sigHash(h, c.force)
+	h = sigHashI32(h, c.species)
+	return h
+}
+
+func init() {
+	register("CoMD", newCoMD)
+}

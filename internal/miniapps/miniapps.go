@@ -1,0 +1,79 @@
+// Package miniapps implements small-but-real numerical kernels standing in
+// for the seven Mantevo mini-apps of the paper's compression study (§5.1.1):
+// CoMD, HPCCG, miniAero, miniFE, miniMD, miniSMAC2D, and pHPCCG.
+//
+// Each kernel holds live simulation state (coordinate/velocity arrays,
+// sparse matrices, structured-grid fields, neighbor lists) and can serialize
+// it as a checkpoint, the way BLCR dumps process state. The point is that
+// checkpoint *content statistics* — smooth floating-point fields, integer
+// index arrays, zeroed allocations — are what determine compression factors,
+// and live kernel state reproduces those statistics honestly.
+package miniapps
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// App is a checkpointable mini-application.
+type App interface {
+	// Name returns the mini-app's name as used in Table 2.
+	Name() string
+	// Step advances the simulation by one iteration.
+	Step() error
+	// StepCount returns the number of completed steps.
+	StepCount() int
+	// Checkpoint serializes the full application state.
+	Checkpoint(w io.Writer) error
+	// Restore replaces the application state from a checkpoint.
+	Restore(r io.Reader) error
+	// Signature returns a cheap digest of the live state, used by tests
+	// to prove restore-then-step equivalence.
+	Signature() uint64
+}
+
+// Size selects a problem scale. The mapping to grid/atom counts is
+// per-app; Small is meant for unit tests (<1 MB checkpoints), Medium for
+// the compression study (tens of MB), Large for benchmarks.
+type Size int
+
+// Problem sizes.
+const (
+	Small Size = iota
+	Medium
+	Large
+)
+
+// Factory constructs an app at a given size with a deterministic seed.
+type Factory func(size Size, seed uint64) App
+
+var factories = map[string]Factory{}
+
+// register adds a factory; called from each app's init.
+func register(name string, f Factory) {
+	if _, dup := factories[name]; dup {
+		panic("miniapps: duplicate app " + name)
+	}
+	factories[name] = f
+}
+
+// New constructs the named app.
+func New(name string, size Size, seed uint64) (App, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("miniapps: unknown app %q", name)
+	}
+	return f(size, seed), nil
+}
+
+// Names returns all registered app names in Table 2 order (alphabetical,
+// as the paper lists them).
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

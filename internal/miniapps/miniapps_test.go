@@ -1,0 +1,322 @@
+package miniapps
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+func allApps(t *testing.T, size Size) []App {
+	t.Helper()
+	var apps []App
+	for _, name := range Names() {
+		a, err := New(name, size, 12345)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"CoMD", "HPCCG", "miniAero", "miniFE", "miniMD", "miniSmac", "pHPCCG"}
+	if len(names) != len(want) {
+		t.Fatalf("registered apps: %v", names)
+	}
+	for i, n := range names {
+		if n != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, n, want[i])
+		}
+	}
+	if _, err := New("bogus", Small, 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestStepAdvances(t *testing.T) {
+	for _, a := range allApps(t, Small) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			if a.StepCount() != 0 {
+				t.Fatalf("fresh app at step %d", a.StepCount())
+			}
+			sig0 := a.Signature()
+			for i := 0; i < 5; i++ {
+				if err := a.Step(); err != nil {
+					t.Fatalf("Step: %v", err)
+				}
+			}
+			if a.StepCount() != 5 {
+				t.Errorf("step count = %d", a.StepCount())
+			}
+			if a.Signature() == sig0 {
+				t.Error("state did not change after stepping")
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a, _ := New(name, Small, 777)
+			b, _ := New(name, Small, 777)
+			for i := 0; i < 3; i++ {
+				a.Step()
+				b.Step()
+			}
+			if a.Signature() != b.Signature() {
+				t.Error("same seed produced different trajectories")
+			}
+			c, _ := New(name, Small, 778)
+			for i := 0; i < 3; i++ {
+				c.Step()
+			}
+			if c.Signature() == a.Signature() {
+				t.Error("different seeds produced identical trajectories")
+			}
+		})
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	for _, a := range allApps(t, Small) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < 3; i++ {
+				a.Step()
+			}
+			var buf bytes.Buffer
+			if err := a.Checkpoint(&buf); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			want := a.Signature()
+
+			// Corrupt the live state by stepping further, then restore.
+			for i := 0; i < 4; i++ {
+				a.Step()
+			}
+			if a.Signature() == want {
+				t.Fatal("stepping did not change signature; test is vacuous")
+			}
+			if err := a.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if a.Signature() != want {
+				t.Error("restored state differs from checkpointed state")
+			}
+			if a.StepCount() != 3 {
+				t.Errorf("restored step count = %d, want 3", a.StepCount())
+			}
+		})
+	}
+}
+
+func TestRestoreThenStepMatchesOriginal(t *testing.T) {
+	// The strongest C/R correctness property: executing from a restored
+	// checkpoint reproduces the exact trajectory of uninterrupted
+	// execution.
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			orig, _ := New(name, Small, 42)
+			twin, _ := New(name, Small, 42)
+
+			for i := 0; i < 2; i++ {
+				orig.Step()
+				twin.Step()
+			}
+			var buf bytes.Buffer
+			if err := twin.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			// "Fail" the twin: run it ahead, then roll back.
+			twin.Step()
+			twin.Step()
+			if err := twin.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				orig.Step()
+				twin.Step()
+			}
+			if orig.Signature() != twin.Signature() {
+				t.Error("restored trajectory diverged from uninterrupted run")
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsWrongApp(t *testing.T) {
+	a, _ := New("CoMD", Small, 1)
+	b, _ := New("HPCCG", Small, 1)
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("HPCCG accepted a CoMD checkpoint")
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	for _, a := range allApps(t, Small) {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := a.Checkpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+
+			// Bit flip mid-payload must fail the digest.
+			flipped := append([]byte{}, data...)
+			flipped[len(flipped)/2] ^= 0x01
+			if err := a.Restore(bytes.NewReader(flipped)); err == nil {
+				t.Error("bit-flipped checkpoint accepted")
+			}
+			// Truncation must fail.
+			if err := a.Restore(bytes.NewReader(data[:len(data)/2])); err == nil {
+				t.Error("truncated checkpoint accepted")
+			}
+			// Garbage must fail.
+			if err := a.Restore(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+				t.Error("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestCheckpointSizesScale(t *testing.T) {
+	for _, name := range Names() {
+		small, _ := New(name, Small, 1)
+		medium, _ := New(name, Medium, 1)
+		var sb, mb bytes.Buffer
+		if err := small.Checkpoint(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := medium.Checkpoint(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if mb.Len() <= 4*sb.Len() {
+			t.Errorf("%s: Medium checkpoint (%d) not much larger than Small (%d)",
+				name, mb.Len(), sb.Len())
+		}
+	}
+}
+
+func TestPhysicalSanity(t *testing.T) {
+	t.Run("CoMD energy finite", func(t *testing.T) {
+		a, _ := New("CoMD", Small, 5)
+		c := a.(*comd)
+		for i := 0; i < 20; i++ {
+			c.Step()
+		}
+		ke := c.KineticEnergy()
+		if math.IsNaN(ke) || math.IsInf(ke, 0) || ke <= 0 {
+			t.Errorf("kinetic energy = %v", ke)
+		}
+	})
+	t.Run("HPCCG residual decreases", func(t *testing.T) {
+		a, _ := New("HPCCG", Small, 5)
+		h := a.(*hpccg)
+		r0 := h.Residual()
+		for i := 0; i < 10; i++ {
+			h.Step()
+		}
+		if h.Residual() >= r0 {
+			t.Errorf("residual %v did not decrease from %v", h.Residual(), r0)
+		}
+	})
+	t.Run("miniFE residual decreases", func(t *testing.T) {
+		a, _ := New("miniFE", Small, 5)
+		m := a.(*minife)
+		r0 := m.Residual()
+		for i := 0; i < 10; i++ {
+			m.Step()
+		}
+		if m.Residual() >= r0 {
+			t.Errorf("residual %v did not decrease from %v", m.Residual(), r0)
+		}
+	})
+	t.Run("pHPCCG residual decreases", func(t *testing.T) {
+		a, _ := New("pHPCCG", Small, 5)
+		h := a.(*phpccg)
+		r0 := h.Residual()
+		for i := 0; i < 10; i++ {
+			h.Step()
+		}
+		if h.Residual() >= r0 {
+			t.Errorf("residual %v did not decrease from %v", h.Residual(), r0)
+		}
+	})
+	t.Run("miniSmac stable", func(t *testing.T) {
+		a, _ := New("miniSmac", Small, 5)
+		m := a.(*minismac2d)
+		for i := 0; i < 20; i++ {
+			m.Step()
+		}
+		if v := m.MaxVelocity(); math.IsNaN(v) || v > 100 {
+			t.Errorf("velocity blew up: %v", v)
+		}
+	})
+	t.Run("miniAero mass roughly conserved", func(t *testing.T) {
+		a, _ := New("miniAero", Small, 5)
+		m := a.(*miniaero)
+		m0 := m.TotalMass()
+		for i := 0; i < 20; i++ {
+			m.Step()
+		}
+		if d := math.Abs(m.TotalMass()-m0) / m0; d > 0.05 {
+			t.Errorf("mass drifted by %.1f%%", d*100)
+		}
+	})
+	t.Run("miniMD energy finite", func(t *testing.T) {
+		a, _ := New("miniMD", Small, 5)
+		m := a.(*minimd)
+		for i := 0; i < 20; i++ {
+			m.Step()
+		}
+		for _, v := range m.vel[:30] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("velocity = %v", v)
+			}
+		}
+	})
+}
+
+func TestCheckpointStreamsToAnyWriter(t *testing.T) {
+	// io.Writer contract: checkpoints work through a short-write writer.
+	a, _ := New("HPCCG", Small, 9)
+	var direct bytes.Buffer
+	if err := a.Checkpoint(&direct); err != nil {
+		t.Fatal(err)
+	}
+	var chunked bytes.Buffer
+	if err := a.Checkpoint(&oneByteWriter{&chunked}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), chunked.Bytes()) {
+		t.Error("checkpoint bytes depend on writer chunking")
+	}
+}
+
+type oneByteWriter struct{ w io.Writer }
+
+func (o *oneByteWriter) Write(p []byte) (int, error) {
+	for i := range p {
+		if _, err := o.w.Write(p[i : i+1]); err != nil {
+			return i, err
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,263 @@
+package miniapps
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ndpcr/internal/stats"
+)
+
+// minimd is a Lennard-Jones MD kernel in the style of miniMD: unlike CoMD's
+// cell lists, it maintains explicit Verlet neighbor lists with a skin
+// distance, rebuilt periodically — and those int32 neighbor lists are part
+// of the checkpointed state, giving miniMD checkpoints a large
+// integer-array component.
+type minimd struct {
+	step int
+
+	nAtoms int
+	boxLen float64
+	cutoff float64
+	skin   float64
+	dt     float64
+
+	pos   []float64
+	vel   []float64
+	force []float64
+
+	// Verlet neighbor list (checkpointed, as miniMD's arrays would be in a
+	// system-level BLCR dump).
+	nbrPtr       []int32 // nAtoms+1
+	nbrList      []int32
+	rebuildEvery int
+}
+
+func newMiniMD(size Size, seed uint64) App {
+	cells := map[Size]int{Small: 4, Medium: 13, Large: 22}[size]
+	m := &minimd{
+		cutoff:       2.5,
+		skin:         0.3,
+		dt:           0.002,
+		rebuildEvery: 10,
+	}
+	const a = 1.6796 // slightly looser lattice than CoMD
+	m.nAtoms = 4 * cells * cells * cells
+	m.boxLen = a * float64(cells)
+	m.pos = make([]float64, 3*m.nAtoms)
+	m.vel = make([]float64, 3*m.nAtoms)
+	m.force = make([]float64, 3*m.nAtoms)
+
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	rng := stats.NewRNG(seed)
+	i := 0
+	for x := 0; x < cells; x++ {
+		for y := 0; y < cells; y++ {
+			for z := 0; z < cells; z++ {
+				for _, b := range basis {
+					m.pos[3*i] = (float64(x) + b[0]) * a
+					m.pos[3*i+1] = (float64(y) + b[1]) * a
+					m.pos[3*i+2] = (float64(z) + b[2]) * a
+					for d := 0; d < 3; d++ {
+						m.vel[3*i+d] = rng.Normal(0, 0.12)
+					}
+					i++
+				}
+			}
+		}
+	}
+	m.buildNeighbors()
+	m.computeForces()
+	return m
+}
+
+func (m *minimd) Name() string   { return "miniMD" }
+func (m *minimd) StepCount() int { return m.step }
+
+// buildNeighbors rebuilds the Verlet lists using a temporary cell grid.
+func (m *minimd) buildNeighbors() {
+	rl := m.cutoff + m.skin
+	rl2 := rl * rl
+	n := int(m.boxLen / rl)
+	if n < 3 {
+		n = 3
+	}
+	head := make([]int32, n*n*n)
+	next := make([]int32, m.nAtoms)
+	for i := range head {
+		head[i] = -1
+	}
+	inv := float64(n) / m.boxLen
+	for i := 0; i < m.nAtoms; i++ {
+		cx := clampCell(int(m.pos[3*i]*inv), n)
+		cy := clampCell(int(m.pos[3*i+1]*inv), n)
+		cz := clampCell(int(m.pos[3*i+2]*inv), n)
+		idx := (cx*n+cy)*n + cz
+		next[i] = head[idx]
+		head[idx] = int32(i)
+	}
+
+	m.nbrPtr = make([]int32, m.nAtoms+1)
+	m.nbrList = m.nbrList[:0]
+	for i := 0; i < m.nAtoms; i++ {
+		cx := clampCell(int(m.pos[3*i]*inv), n)
+		cy := clampCell(int(m.pos[3*i+1]*inv), n)
+		cz := clampCell(int(m.pos[3*i+2]*inv), n)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					nx, ny, nz := (cx+dx+n)%n, (cy+dy+n)%n, (cz+dz+n)%n
+					for j := head[(nx*n+ny)*n+nz]; j >= 0; j = next[j] {
+						if int(j) <= i {
+							continue
+						}
+						if m.dist2(i, int(j)) < rl2 {
+							m.nbrList = append(m.nbrList, j)
+						}
+					}
+				}
+			}
+		}
+		m.nbrPtr[i+1] = int32(len(m.nbrList))
+	}
+}
+
+func (m *minimd) dist2(i, j int) float64 {
+	r2 := 0.0
+	for k := 0; k < 3; k++ {
+		d := m.pos[3*i+k] - m.pos[3*j+k]
+		if d > m.boxLen/2 {
+			d -= m.boxLen
+		} else if d < -m.boxLen/2 {
+			d += m.boxLen
+		}
+		r2 += d * d
+	}
+	return r2
+}
+
+func (m *minimd) computeForces() {
+	for i := range m.force {
+		m.force[i] = 0
+	}
+	rc2 := m.cutoff * m.cutoff
+	for i := 0; i < m.nAtoms; i++ {
+		for k := m.nbrPtr[i]; k < m.nbrPtr[i+1]; k++ {
+			j := int(m.nbrList[k])
+			var d [3]float64
+			r2 := 0.0
+			for c := 0; c < 3; c++ {
+				d[c] = m.pos[3*i+c] - m.pos[3*j+c]
+				if d[c] > m.boxLen/2 {
+					d[c] -= m.boxLen
+				} else if d[c] < -m.boxLen/2 {
+					d[c] += m.boxLen
+				}
+				r2 += d[c] * d[c]
+			}
+			if r2 >= rc2 || r2 < 1e-12 {
+				continue
+			}
+			s2 := 1.0 / r2
+			s6 := s2 * s2 * s2
+			f := 24 * s6 * (2*s6 - 1) / r2
+			for c := 0; c < 3; c++ {
+				m.force[3*i+c] += f * d[c]
+				m.force[3*j+c] -= f * d[c]
+			}
+		}
+	}
+}
+
+func (m *minimd) Step() error {
+	half := m.dt / 2
+	for i := range m.vel {
+		m.vel[i] += half * m.force[i]
+	}
+	for i := range m.pos {
+		m.pos[i] += m.dt * m.vel[i]
+		if m.pos[i] < 0 {
+			m.pos[i] += m.boxLen
+		} else if m.pos[i] >= m.boxLen {
+			m.pos[i] -= m.boxLen
+		}
+	}
+	if m.step%m.rebuildEvery == 0 {
+		m.buildNeighbors()
+	}
+	m.computeForces()
+	for i := range m.vel {
+		m.vel[i] += half * m.force[i]
+	}
+	m.step++
+	return nil
+}
+
+func (m *minimd) Checkpoint(w io.Writer) error {
+	cw := newCkptWriter(w)
+	cw.putHeader(m.Name(), m.step)
+	cw.putU64(math.Float64bits(m.boxLen))
+	cw.putF64s("pos", m.pos)
+	cw.putF64s("vel", m.vel)
+	cw.putF64s("force", m.force)
+	cw.putI32s("nbrptr", m.nbrPtr)
+	cw.putI32s("nbrlist", m.nbrList)
+	return cw.finish()
+}
+
+func (m *minimd) Restore(r io.Reader) error {
+	cr := newCkptReader(r)
+	step, err := cr.header(m.Name())
+	if err != nil {
+		return err
+	}
+	boxBits := cr.u64()
+	pos, err := cr.f64s("pos", 3*m.nAtoms)
+	if err != nil {
+		return err
+	}
+	vel, err := cr.f64s("vel", 3*m.nAtoms)
+	if err != nil {
+		return err
+	}
+	force, err := cr.f64s("force", 3*m.nAtoms)
+	if err != nil {
+		return err
+	}
+	nbrPtr, err := cr.i32s("nbrptr", m.nAtoms+1)
+	if err != nil {
+		return err
+	}
+	nbrList, err := cr.i32s("nbrlist", -1)
+	if err != nil {
+		return err
+	}
+	if err := cr.finish(); err != nil {
+		return err
+	}
+	if int(nbrPtr[m.nAtoms]) != len(nbrList) {
+		return fmt.Errorf("miniapps: miniMD checkpoint neighbor list inconsistent")
+	}
+	for _, j := range nbrList {
+		if j < 0 || int(j) >= m.nAtoms {
+			return fmt.Errorf("miniapps: miniMD checkpoint neighbor %d out of range", j)
+		}
+	}
+	m.step = step
+	m.boxLen = math.Float64frombits(boxBits)
+	m.pos, m.vel, m.force = pos, vel, force
+	m.nbrPtr, m.nbrList = nbrPtr, nbrList
+	return nil
+}
+
+func (m *minimd) Signature() uint64 {
+	sig := uint64(0xcbf29ce484222325) ^ uint64(m.step)
+	sig = sigHash(sig, m.pos)
+	sig = sigHash(sig, m.vel)
+	sig = sigHashI32(sig, m.nbrList)
+	return sig
+}
+
+func init() {
+	register("miniMD", newMiniMD)
+}

@@ -1,0 +1,341 @@
+package miniapps
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint serialization: a small self-describing binary format shared by
+// all mini-apps. Each checkpoint is
+//
+//	magic "NDPC" | version u32 | app name (u32 len + bytes) | step u64 |
+//	fields... | trailing crc (FNV-64 of the payload)
+//
+// Field encodings are length-prefixed typed arrays, so Restore can verify
+// shapes before allocating.
+
+const (
+	ckptMagic   = "NDPC"
+	ckptVersion = 1
+)
+
+type fieldType uint8
+
+const (
+	fieldF64 fieldType = iota + 1
+	fieldF32
+	fieldI32
+	fieldU64
+)
+
+// ckptWriter streams a checkpoint with a running digest.
+type ckptWriter struct {
+	w    *bufio.Writer
+	h    *fnvWriter
+	err  error
+	blen [8]byte
+}
+
+type fnvWriter struct {
+	h   uint64
+	dst io.Writer
+}
+
+// newFNVWriter wraps dst with a running FNV-64a digest (implemented inline
+// so the digest can be read without the hash.Hash64 boxing).
+func newFNVWriter(dst io.Writer) *fnvWriter {
+	return &fnvWriter{h: 0xcbf29ce484222325, dst: dst}
+}
+
+func (f *fnvWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		f.h ^= uint64(b)
+		f.h *= 0x100000001b3
+	}
+	return f.dst.Write(p)
+}
+
+func newCkptWriter(w io.Writer) *ckptWriter {
+	h := newFNVWriter(w)
+	return &ckptWriter{w: bufio.NewWriterSize(h, 1<<16), h: h}
+}
+
+func (c *ckptWriter) writeAll(p []byte) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = c.w.Write(p)
+}
+
+func (c *ckptWriter) putU32(v uint32) {
+	binary.LittleEndian.PutUint32(c.blen[:4], v)
+	c.writeAll(c.blen[:4])
+}
+
+func (c *ckptWriter) putU64(v uint64) {
+	binary.LittleEndian.PutUint64(c.blen[:], v)
+	c.writeAll(c.blen[:])
+}
+
+func (c *ckptWriter) putHeader(app string, step int) {
+	c.writeAll([]byte(ckptMagic))
+	c.putU32(ckptVersion)
+	c.putU32(uint32(len(app)))
+	c.writeAll([]byte(app))
+	c.putU64(uint64(step))
+}
+
+func (c *ckptWriter) putF64s(name string, xs []float64) {
+	c.putField(name, fieldF64, len(xs))
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		c.writeAll(buf[:])
+	}
+}
+
+func (c *ckptWriter) putF32s(name string, xs []float32) {
+	c.putField(name, fieldF32, len(xs))
+	var buf [4]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+		c.writeAll(buf[:])
+	}
+}
+
+func (c *ckptWriter) putI32s(name string, xs []int32) {
+	c.putField(name, fieldI32, len(xs))
+	var buf [4]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(buf[:], uint32(x))
+		c.writeAll(buf[:])
+	}
+}
+
+func (c *ckptWriter) putU64s(name string, xs []uint64) {
+	c.putField(name, fieldU64, len(xs))
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		c.writeAll(buf[:])
+	}
+}
+
+func (c *ckptWriter) putField(name string, t fieldType, n int) {
+	c.putU32(uint32(len(name)))
+	c.writeAll([]byte(name))
+	c.writeAll([]byte{byte(t)})
+	c.putU64(uint64(n))
+}
+
+// finish flushes buffered data and appends the digest.
+func (c *ckptWriter) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	sum := c.h.h
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], sum)
+	_, err := c.h.dst.Write(buf[:]) // digest itself is not digested
+	return err
+}
+
+// ckptReader parses a checkpoint, validating the trailing digest as it
+// goes (digest check happens at finish()).
+type ckptReader struct {
+	r   *bufio.Reader
+	h   uint64
+	err error
+}
+
+func newCkptReader(r io.Reader) *ckptReader {
+	return &ckptReader{r: bufio.NewReaderSize(r, 1<<16), h: 0xcbf29ce484222325}
+}
+
+func (c *ckptReader) readFull(p []byte) {
+	if c.err != nil {
+		return
+	}
+	if _, c.err = io.ReadFull(c.r, p); c.err != nil {
+		return
+	}
+	for _, b := range p {
+		c.h ^= uint64(b)
+		c.h *= 0x100000001b3
+	}
+}
+
+func (c *ckptReader) u32() uint32 {
+	var buf [4]byte
+	c.readFull(buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (c *ckptReader) u64() uint64 {
+	var buf [8]byte
+	c.readFull(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (c *ckptReader) header(wantApp string) (step int, err error) {
+	var magic [4]byte
+	c.readFull(magic[:])
+	if c.err == nil && string(magic[:]) != ckptMagic {
+		return 0, fmt.Errorf("miniapps: bad checkpoint magic %q", magic)
+	}
+	if v := c.u32(); c.err == nil && v != ckptVersion {
+		return 0, fmt.Errorf("miniapps: unsupported checkpoint version %d", v)
+	}
+	nameLen := c.u32()
+	if c.err == nil && nameLen > 256 {
+		return 0, fmt.Errorf("miniapps: implausible app name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	c.readFull(name)
+	if c.err == nil && string(name) != wantApp {
+		return 0, fmt.Errorf("miniapps: checkpoint is for %q, not %q", name, wantApp)
+	}
+	st := c.u64()
+	return int(st), c.err
+}
+
+func (c *ckptReader) fieldHeader(wantName string, wantType fieldType) (n int, err error) {
+	nameLen := c.u32()
+	if c.err == nil && nameLen > 256 {
+		return 0, fmt.Errorf("miniapps: implausible field name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	c.readFull(name)
+	var t [1]byte
+	c.readFull(t[:])
+	cnt := c.u64()
+	if c.err != nil {
+		return 0, c.err
+	}
+	if string(name) != wantName {
+		return 0, fmt.Errorf("miniapps: field %q, want %q", name, wantName)
+	}
+	if fieldType(t[0]) != wantType {
+		return 0, fmt.Errorf("miniapps: field %q has type %d, want %d", name, t[0], wantType)
+	}
+	if cnt > 1<<34 {
+		return 0, fmt.Errorf("miniapps: implausible field size %d", cnt)
+	}
+	return int(cnt), nil
+}
+
+func (c *ckptReader) f64s(name string, want int) ([]float64, error) {
+	n, err := c.fieldHeader(name, fieldF64)
+	if err != nil {
+		return nil, err
+	}
+	if want >= 0 && n != want {
+		return nil, fmt.Errorf("miniapps: field %q has %d elements, want %d", name, n, want)
+	}
+	out := make([]float64, n)
+	var buf [8]byte
+	for i := range out {
+		c.readFull(buf[:])
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out, c.err
+}
+
+func (c *ckptReader) f32s(name string, want int) ([]float32, error) {
+	n, err := c.fieldHeader(name, fieldF32)
+	if err != nil {
+		return nil, err
+	}
+	if want >= 0 && n != want {
+		return nil, fmt.Errorf("miniapps: field %q has %d elements, want %d", name, n, want)
+	}
+	out := make([]float32, n)
+	var buf [4]byte
+	for i := range out {
+		c.readFull(buf[:])
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return out, c.err
+}
+
+func (c *ckptReader) i32s(name string, want int) ([]int32, error) {
+	n, err := c.fieldHeader(name, fieldI32)
+	if err != nil {
+		return nil, err
+	}
+	if want >= 0 && n != want {
+		return nil, fmt.Errorf("miniapps: field %q has %d elements, want %d", name, n, want)
+	}
+	out := make([]int32, n)
+	var buf [4]byte
+	for i := range out {
+		c.readFull(buf[:])
+		out[i] = int32(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return out, c.err
+}
+
+func (c *ckptReader) u64sField(name string, want int) ([]uint64, error) {
+	n, err := c.fieldHeader(name, fieldU64)
+	if err != nil {
+		return nil, err
+	}
+	if want >= 0 && n != want {
+		return nil, fmt.Errorf("miniapps: field %q has %d elements, want %d", name, n, want)
+	}
+	out := make([]uint64, n)
+	var buf [8]byte
+	for i := range out {
+		c.readFull(buf[:])
+		out[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return out, c.err
+}
+
+// finish validates the trailing digest.
+func (c *ckptReader) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	want := c.h // digest of everything read so far
+	var buf [8]byte
+	if _, err := io.ReadFull(c.r, buf[:]); err != nil {
+		return fmt.Errorf("miniapps: missing checkpoint digest: %w", err)
+	}
+	got := binary.LittleEndian.Uint64(buf[:])
+	if got != want {
+		return fmt.Errorf("miniapps: checkpoint digest mismatch")
+	}
+	return nil
+}
+
+// sigHash folds a float64 slice into a signature accumulator.
+func sigHash(h uint64, xs []float64) uint64 {
+	for _, x := range xs {
+		h ^= math.Float64bits(x)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func sigHash32(h uint64, xs []float32) uint64 {
+	for _, x := range xs {
+		h ^= uint64(math.Float32bits(x))
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func sigHashI32(h uint64, xs []int32) uint64 {
+	for _, x := range xs {
+		h ^= uint64(uint32(x))
+		h *= 0x100000001b3
+	}
+	return h
+}

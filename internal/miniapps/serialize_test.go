@@ -1,0 +1,180 @@
+package miniapps
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFieldRoundTrips exercises every field type through the checkpoint
+// writer/reader pair, including the u64 array type no current app uses.
+func TestFieldRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	w := newCkptWriter(&buf)
+	w.putHeader("testapp", 42)
+	f64s := []float64{0, 1.5, -2.25, math.Inf(1), math.Pi}
+	f32s := []float32{0, 3.5, -1}
+	i32s := []int32{0, -5, 1 << 30}
+	u64s := []uint64{0, 1, math.MaxUint64}
+	w.putF64s("f64", f64s)
+	w.putF32s("f32", f32s)
+	w.putI32s("i32", i32s)
+	w.putU64s("u64", u64s)
+	if err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newCkptReader(bytes.NewReader(buf.Bytes()))
+	step, err := r.header("testapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 42 {
+		t.Errorf("step = %d", step)
+	}
+	gf64, err := r.f64s("f64", len(f64s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f64s {
+		if gf64[i] != v && !(math.IsNaN(v) && math.IsNaN(gf64[i])) {
+			t.Errorf("f64[%d] = %v, want %v", i, gf64[i], v)
+		}
+	}
+	gf32, err := r.f32s("f32", len(f32s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f32s {
+		if gf32[i] != v {
+			t.Errorf("f32[%d] = %v", i, gf32[i])
+		}
+	}
+	gi32, err := r.i32s("i32", len(i32s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range i32s {
+		if gi32[i] != v {
+			t.Errorf("i32[%d] = %v", i, gi32[i])
+		}
+	}
+	gu64, err := r.u64sField("u64", len(u64s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range u64s {
+		if gu64[i] != v {
+			t.Errorf("u64[%d] = %v", i, gu64[i])
+		}
+	}
+	if err := r.finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeTestCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := newCkptWriter(&buf)
+	w.putHeader("app", 1)
+	w.putF64s("x", []float64{1, 2, 3})
+	if err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderRejectsWrongFieldName(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	r := newCkptReader(bytes.NewReader(data))
+	if _, err := r.header("app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.f64s("y", 3); err == nil || !strings.Contains(err.Error(), `"y"`) {
+		t.Errorf("wrong field name accepted: %v", err)
+	}
+}
+
+func TestReaderRejectsWrongFieldType(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	r := newCkptReader(bytes.NewReader(data))
+	r.header("app")
+	if _, err := r.i32s("x", 3); err == nil {
+		t.Error("wrong field type accepted")
+	}
+}
+
+func TestReaderRejectsWrongLength(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	r := newCkptReader(bytes.NewReader(data))
+	r.header("app")
+	if _, err := r.f64s("x", 5); err == nil {
+		t.Error("wrong element count accepted")
+	}
+}
+
+func TestReaderRejectsWrongApp(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	r := newCkptReader(bytes.NewReader(data))
+	if _, err := r.header("other"); err == nil {
+		t.Error("wrong app name accepted")
+	}
+}
+
+func TestReaderRejectsBadMagicAndVersion(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := newCkptReader(bytes.NewReader(bad)).header("app"); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte{}, data...)
+	bad[4] = 0xFF // version low byte
+	if _, err := newCkptReader(bytes.NewReader(bad)).header("app"); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReaderDetectsDigestMismatch(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	flip := append([]byte{}, data...)
+	flip[len(flip)/2] ^= 1
+	r := newCkptReader(bytes.NewReader(flip))
+	// Depending on where the flip lands parsing may fail earlier; the
+	// digest is the backstop when it does not.
+	if _, err := r.header("app"); err == nil {
+		if _, err := r.f64s("x", 3); err == nil {
+			if err := r.finish(); err == nil {
+				t.Error("corruption escaped both parsing and the digest")
+			}
+		}
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	data := writeTestCheckpoint(t)
+	r := newCkptReader(bytes.NewReader(data[:len(data)-9]))
+	r.header("app")
+	if _, err := r.f64s("x", 3); err == nil {
+		if err := r.finish(); err == nil {
+			t.Error("truncation accepted")
+		}
+	}
+}
+
+func TestWriterPropagatesSinkErrors(t *testing.T) {
+	w := newCkptWriter(failingWriter{})
+	w.putHeader("app", 1)
+	w.putF64s("x", make([]float64, 100000)) // exceed the buffer to force a flush
+	if err := w.finish(); err == nil {
+		t.Error("sink error not propagated")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, bytes.ErrTooLarge
+}

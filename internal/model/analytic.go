@@ -1,0 +1,130 @@
+package model
+
+import (
+	"math"
+
+	"ndpcr/internal/units"
+)
+
+// The first-order analytic approximation: failures arrive at rate 1/M;
+// each failure costs an expected restore plus expected rework (wall time
+// back to the recovery checkpoint). Solving the self-consistent equation
+//
+//	T = W·(period/τ) + (T/M)·(E[restore] + E[rework])
+//
+// gives T = W·(period/τ) / (1 − (E[restore]+E[rework])/M) and efficiency
+// W/T. It is accurate to a few percent in the regimes the paper evaluates
+// and fast enough to sweep thousands of ratio candidates (Fig 4/5).
+
+// AnalyticEfficiency returns the approximate progress rate of a
+// configuration at a given locally:I/O ratio. For ConfigLocalIONDP the
+// ratio argument is ignored (the drain-limited ratio is derived).
+func AnalyticEfficiency(cfg Configuration, p Params, ratio int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	tau, err := p.EffectiveLocalInterval()
+	if err != nil {
+		return 0, err
+	}
+
+	var period, eRestore, eRework float64
+	switch cfg {
+	case ConfigIOOnly:
+		// Single level: every checkpoint goes to I/O at host cost.
+		delta := float64(p.DeltaIOHost())
+		t, err := ioOnlyInterval(p)
+		if err != nil {
+			return 0, err
+		}
+		period = float64(t) + delta
+		eRestore = float64(p.RestoreIO())
+		eRework = period / 2
+		tau = t
+
+	case ConfigLocalIOHost:
+		if ratio < 1 {
+			ratio = 1
+		}
+		deltaL := float64(p.DeltaLocal())
+		deltaIO := float64(p.DeltaIOHost())
+		period = float64(tau) + deltaL + deltaIO/float64(ratio)
+		eRestore = p.PLocal*float64(p.RestoreLocal()) + (1-p.PLocal)*float64(p.RestoreIO())
+		lostLocal := period / 2
+		lostIO := float64(ratio) * period / 2
+		eRework = p.PLocal*lostLocal + (1-p.PLocal)*lostIO
+
+	case ConfigLocalIONDP:
+		deltaL := float64(p.DeltaLocal())
+		period = float64(tau) + deltaL
+		eRestore = p.PLocal*float64(p.RestoreLocal()) + (1-p.PLocal)*float64(p.RestoreIO())
+		drain := float64(p.DrainTime())
+		if p.NVMExclusive {
+			busy := deltaL / period
+			if busy < 1 {
+				drain /= 1 - busy
+			}
+		}
+		lostLocal := period / 2
+		// The newest I/O checkpoint lags the execution front by the drain
+		// time plus on average half a period of staleness.
+		lostIO := drain + period/2
+		eRework = p.PLocal*lostLocal + (1-p.PLocal)*lostIO
+
+	default:
+		return 0, errUnknownConfig(cfg)
+	}
+
+	m := float64(p.MTTI)
+	denom := 1 - (eRestore+eRework)/m
+	if denom <= 0 {
+		return 0, nil // overheads exceed the failure budget: no progress
+	}
+	perWork := (period / float64(tau)) / denom
+	eff := 1 / perWork
+	if eff < 0 {
+		eff = 0
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return eff, nil
+}
+
+// OptimalRatio finds the locally:I/O ratio maximizing the analytic
+// efficiency of the host configuration (the paper derives these optima
+// empirically; Fig 5). The search is exhaustive over 1..maxRatio, which is
+// cheap because the analytic model is closed-form.
+func OptimalRatio(p Params, maxRatio int) (int, float64, error) {
+	if maxRatio < 1 {
+		maxRatio = 512
+	}
+	bestK, bestEff := 1, -1.0
+	for k := 1; k <= maxRatio; k++ {
+		eff, err := AnalyticEfficiency(ConfigLocalIOHost, p, k)
+		if err != nil {
+			return 0, 0, err
+		}
+		if eff > bestEff {
+			bestK, bestEff = k, eff
+		}
+	}
+	return bestK, bestEff, nil
+}
+
+// ioOnlyInterval is Daly's optimum for the I/O-level commit cost, used by
+// the single-level configuration.
+func ioOnlyInterval(p Params) (units.Seconds, error) {
+	delta := p.DeltaIOHost()
+	if float64(delta) >= 2*float64(p.MTTI) {
+		return p.MTTI, nil
+	}
+	d := float64(delta)
+	m := float64(p.MTTI)
+	x := d / (2 * m)
+	tau := math.Sqrt(2*d*m)*(1+math.Sqrt(x)/3+x/9) - d
+	if tau < d {
+		tau = d
+	}
+	return units.Seconds(tau), nil
+}

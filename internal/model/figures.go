@@ -1,0 +1,227 @@
+package model
+
+import (
+	"fmt"
+
+	"ndpcr/internal/sim"
+	"ndpcr/internal/units"
+)
+
+// This file generates the data behind each evaluation figure (§6.2–§6.5).
+// Each generator returns plain data; rendering lives in internal/report.
+
+// BreakdownPoint is one x-position of Fig 4: the overhead breakdown at a
+// given locally-saved:I/O-saved ratio.
+type BreakdownPoint struct {
+	Ratio int
+	B     sim.Breakdown
+}
+
+// Fig4 sweeps the locally:I/O ratio for the Local + I/O-Host configuration
+// and returns the overhead breakdown at each ratio.
+func Fig4(p Params, ratios []int) ([]BreakdownPoint, error) {
+	out := make([]BreakdownPoint, 0, len(ratios))
+	for _, k := range ratios {
+		if k < 1 {
+			return nil, fmt.Errorf("model: Fig4 ratio %d < 1", k)
+		}
+		pk := p
+		pk.Ratio = k
+		ev, err := Evaluate(ConfigLocalIOHost, pk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BreakdownPoint{Ratio: k, B: ev.Breakdown()})
+	}
+	return out, nil
+}
+
+// RatioPoint is one bar of Fig 5: the optimal (or drain-limited) ratio for
+// a configuration at a compression factor.
+type RatioPoint struct {
+	Config Configuration
+	PLocal float64 // meaningful for the host configuration only
+	Factor float64
+	Ratio  int
+}
+
+// Fig5 computes the optimal locally:I/O ratio for the host configuration at
+// each (PLocal, factor) pair, plus the single drain-limited NDP ratio per
+// factor (the paper notes PLocal plays no role in the NDP ratio).
+func Fig5(p Params, plocals, factors []float64) ([]RatioPoint, error) {
+	var out []RatioPoint
+	for _, f := range factors {
+		for _, pl := range plocals {
+			pp := WithPLocal(WithCompression(p, f), pl)
+			k, _, err := OptimalRatio(pp, 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RatioPoint{ConfigLocalIOHost, pl, f, k})
+		}
+		k, err := WithCompression(p, f).NDPRatio()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RatioPoint{ConfigLocalIONDP, 0, f, k})
+	}
+	return out, nil
+}
+
+// Fig6Bar is one bar of Fig 6: a configuration's progress rate within an
+// app group (the group's compression factor applies to all bars but the
+// no-compression group).
+type Fig6Bar struct {
+	Group  string // "None (0%)", "CoMD (84.2%)", …, "Average (72.8%)"
+	Config string // "I/O Only", "Local(20%) + I/O-Host", "Local(20%) + I/O-NDP", …
+	Eff    float64
+}
+
+// Fig6 evaluates progress rates for every configuration across app groups.
+// Each group uses that app's gzip(1) compression factor; the first group
+// disables compression. PLocal varies over plocals for both the host and
+// NDP multilevel configurations, as in the paper.
+func Fig6(p Params, groups []struct {
+	Name   string
+	Factor float64
+}, plocals []float64) ([]Fig6Bar, error) {
+	var out []Fig6Bar
+	for _, g := range groups {
+		pg := WithCompression(p, g.Factor)
+		label := fmt.Sprintf("%s (%.1f%%)", g.Name, g.Factor*100)
+
+		ev, err := Evaluate(ConfigIOOnly, pg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig6Bar{label, "I/O Only", ev.Efficiency()})
+
+		for _, pl := range plocals {
+			ev, err := Evaluate(ConfigLocalIOHost, WithPLocal(pg, pl))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig6Bar{
+				label, fmt.Sprintf("Local(%.0f%%) + I/O-Host", pl*100), ev.Efficiency()})
+		}
+		for _, pl := range plocals {
+			ev, err := Evaluate(ConfigLocalIONDP, WithPLocal(pg, pl))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig6Bar{
+				label, fmt.Sprintf("Local(%.0f%%) + I/O-NDP", pl*100), ev.Efficiency()})
+		}
+	}
+	return out, nil
+}
+
+// Fig7Col is one column of Fig 7: a configuration's full breakdown.
+type Fig7Col struct {
+	Label string
+	B     sim.Breakdown
+}
+
+// Fig7 evaluates the four multilevel variants at PLocal=0.96 (4% of
+// failures need I/O recovery) and a 73% compression factor, per §6.4.
+func Fig7(p Params) ([]Fig7Col, error) {
+	p = WithPLocal(p, 0.96)
+	const factor = 0.73
+	type variant struct {
+		label  string
+		cfg    Configuration
+		factor float64
+	}
+	variants := []variant{
+		{"Local + I/O-H", ConfigLocalIOHost, 0},
+		{"Local + I/O-HC", ConfigLocalIOHost, factor},
+		{"Local + I/O-N", ConfigLocalIONDP, 0},
+		{"Local + I/O-NC", ConfigLocalIONDP, factor},
+	}
+	out := make([]Fig7Col, 0, len(variants))
+	for _, v := range variants {
+		ev, err := Evaluate(v.cfg, WithCompression(p, v.factor))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Col{Label: v.label, B: ev.Breakdown()})
+	}
+	return out, nil
+}
+
+// SweepPoint is one (x, config) sample of Fig 8 or Fig 9.
+type SweepPoint struct {
+	X      float64 // checkpoint size fraction (Fig 8) or MTTI minutes (Fig 9)
+	Config string
+	Eff    float64
+}
+
+// sensitivityVariants are the five configurations of Figs 8 and 9.
+func sensitivityVariants() []struct {
+	label   string
+	cfg     Configuration
+	localBW units.Bandwidth
+	factor  float64
+} {
+	const factor = 0.73
+	return []struct {
+		label   string
+		cfg     Configuration
+		localBW units.Bandwidth
+		factor  float64
+	}{
+		{"L-15GBps + I/O-HC", ConfigLocalIOHost, 15 * units.GBps, factor},
+		{"L-15GBps + I/O-N", ConfigLocalIONDP, 15 * units.GBps, 0},
+		{"L-15GBps + I/O-NC", ConfigLocalIONDP, 15 * units.GBps, factor},
+		{"L-2GBps + I/O-N", ConfigLocalIONDP, 2 * units.GBps, 0},
+		{"L-2GBps + I/O-NC", ConfigLocalIONDP, 2 * units.GBps, factor},
+	}
+}
+
+// Fig8 sweeps the checkpoint size (as a fraction of node memory) for the
+// five sensitivity configurations at PLocal=0.85.
+func Fig8(p Params, nodeMemory units.Bytes, fractions []float64) ([]SweepPoint, error) {
+	p = WithPLocal(p, 0.85)
+	var out []SweepPoint
+	for _, frac := range fractions {
+		if frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("model: Fig8 fraction %v out of (0,1]", frac)
+		}
+		for _, v := range sensitivityVariants() {
+			pv := WithLocalBW(WithCompression(p, v.factor), v.localBW)
+			pv.CheckpointSize = units.Bytes(frac * float64(nodeMemory))
+			// The local interval follows Daly's optimum as the commit
+			// time changes with size and bandwidth.
+			pv.LocalInterval = 0
+			ev, err := Evaluate(v.cfg, pv)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{X: frac, Config: v.label, Eff: ev.Efficiency()})
+		}
+	}
+	return out, nil
+}
+
+// Fig9 sweeps the system MTTI for the five sensitivity configurations at
+// PLocal=0.85 and the default checkpoint size.
+func Fig9(p Params, mttis []units.Seconds) ([]SweepPoint, error) {
+	p = WithPLocal(p, 0.85)
+	var out []SweepPoint
+	for _, m := range mttis {
+		if m <= 0 {
+			return nil, fmt.Errorf("model: Fig9 MTTI %v must be positive", m)
+		}
+		for _, v := range sensitivityVariants() {
+			pv := WithLocalBW(WithCompression(p, v.factor), v.localBW)
+			pv.MTTI = m
+			pv.LocalInterval = 0
+			ev, err := Evaluate(v.cfg, pv)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{X: float64(m) / 60, Config: v.label, Eff: ev.Efficiency()})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+func TestIncrementalDrainTime(t *testing.T) {
+	p := WithCompression(DefaultParams(), 0.73)
+	full := p.DrainTime() // 302.4 s
+
+	p.IncrementalRatio = 0.25
+	// Shipped = 28 GB; compressed write = 7.56 GB / 100 MB/s = 75.6 s;
+	// compression = 28 GB / 440.4 MB/s = 63.6 s; diff = 112/2 GBps = 56 s.
+	inc := p.DrainTime()
+	if math.Abs(float64(inc)-75.6) > 0.5 {
+		t.Errorf("incremental drain = %v s, want ~75.6 s", float64(inc))
+	}
+	if inc >= full {
+		t.Errorf("incremental drain %v not below full %v", inc, full)
+	}
+
+	// Tiny change ratios bottom out at the diff-scan time.
+	p.IncrementalRatio = 0.01
+	if got := float64(p.DrainTime()); math.Abs(got-56) > 0.5 {
+		t.Errorf("diff-bound drain = %v s, want ~56 s", got)
+	}
+
+	// Serialized incremental adds the three stages.
+	p.IncrementalRatio = 0.25
+	p.SerializeDrain = true
+	if got := float64(p.DrainTime()); math.Abs(got-(56+63.6+75.6)) > 1 {
+		t.Errorf("serialized incremental = %v s, want ~195 s", got)
+	}
+}
+
+func TestIncrementalImprovesNDP(t *testing.T) {
+	p := WithCompression(DefaultParams(), 0.73)
+	p.Work = 30 * units.Hour
+	p.Trials = 10
+	base, err := Evaluate(ConfigLocalIONDP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IncrementalRatio = 0.10
+	inc, err := Evaluate(ConfigLocalIONDP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Efficiency() <= base.Efficiency() {
+		t.Errorf("incremental %.3f not above full %.3f", inc.Efficiency(), base.Efficiency())
+	}
+	if inc.Ratio > base.Ratio {
+		t.Errorf("incremental ratio %d above full %d", inc.Ratio, base.Ratio)
+	}
+}
+
+func TestSerializeRestoreAblation(t *testing.T) {
+	p := WithCompression(DefaultParams(), 0.73)
+	pipelined := p.RestoreIO()
+	p.SerializeRestore = true
+	naive := p.RestoreIO()
+	if naive <= pipelined {
+		t.Errorf("serialized restore %v not above pipelined %v", naive, pipelined)
+	}
+	// fetch 302.4 s + stage 30.24GB/15GBps ≈ 2 s + decompress 7 s.
+	if math.Abs(float64(naive)-311.4) > 1 {
+		t.Errorf("naive restore = %v s, want ~311.4 s", float64(naive))
+	}
+	// Without compression the knob has no pipeline to serialize… the
+	// uncompressed path is a plain fetch either way.
+	u := DefaultParams()
+	u.SerializeRestore = true
+	if u.RestoreIO() != DefaultParams().RestoreIO() {
+		t.Error("SerializeRestore changed the uncompressed path")
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	p := DefaultParams()
+	p.IncrementalRatio = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	p.IncrementalRatio = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	p.IncrementalRatio = 0.5
+	p.DiffRate = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero diff rate accepted with incremental enabled")
+	}
+}

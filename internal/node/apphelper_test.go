@@ -1,0 +1,17 @@
+package node
+
+import (
+	"testing"
+
+	"ndpcr/internal/miniapps"
+)
+
+// mustApp builds a small HPCCG instance for end-to-end runtime tests.
+func mustApp(t *testing.T, seed uint64) miniapps.App {
+	t.Helper()
+	app, err := miniapps.New("HPCCG", miniapps.Small, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}

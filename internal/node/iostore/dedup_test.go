@@ -1,0 +1,207 @@
+package iostore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/units"
+)
+
+func TestDedupRoundTrip(t *testing.T) {
+	s := NewDedup(nvm.Pacer{})
+	obj := Object{
+		Key:      Key{Job: "j", Rank: 0, ID: 1},
+		Codec:    "gzip",
+		OrigSize: 8,
+		Blocks:   [][]byte{[]byte("aaaa"), []byte("bbbb")},
+		Meta:     map[string]string{"step": "1"},
+	}
+	if err := s.Put(obj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(obj.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Codec != "gzip" || got.Meta["step"] != "1" ||
+		!bytes.Equal(got.Blocks[0], []byte("aaaa")) || !bytes.Equal(got.Blocks[1], []byte("bbbb")) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDedupSharesAcrossRanks(t *testing.T) {
+	// Neighbouring ranks with identical blocks (halo regions, constant
+	// tables): stored once.
+	s := NewDedup(nvm.Pacer{})
+	shared := bytes.Repeat([]byte("halo"), 1000)
+	uniqueA := bytes.Repeat([]byte("A"), 4000)
+	uniqueB := bytes.Repeat([]byte("B"), 4000)
+	for rank, unique := range [][]byte{uniqueA, uniqueB} {
+		key := Key{Job: "j", Rank: rank, ID: 1}
+		if err := s.PutBlock(key, Object{OrigSize: 8000}, 0, shared); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutBlock(key, Object{OrigSize: 8000}, 1, unique); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.LogicalBytes != 16000 {
+		t.Errorf("logical = %d", st.LogicalBytes)
+	}
+	if st.PhysicalBytes != 12000 { // shared stored once
+		t.Errorf("physical = %d", st.PhysicalBytes)
+	}
+	if st.UniqueBlocks != 3 {
+		t.Errorf("unique blocks = %d", st.UniqueBlocks)
+	}
+	if f := st.Factor(); f < 0.24 || f > 0.26 {
+		t.Errorf("dedup factor = %v, want 0.25", f)
+	}
+	// Both ranks still read their own full data.
+	for rank := 0; rank < 2; rank++ {
+		got, err := s.Get(Key{Job: "j", Rank: rank, ID: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Blocks[0], shared) {
+			t.Errorf("rank %d shared block corrupted", rank)
+		}
+	}
+}
+
+func TestDedupConsecutiveCheckpoints(t *testing.T) {
+	// Consecutive checkpoints of one rank share most blocks.
+	s := NewDedup(nvm.Pacer{})
+	stable := bytes.Repeat([]byte{7}, 8192)
+	for id := uint64(1); id <= 5; id++ {
+		key := Key{Job: "j", Rank: 0, ID: id}
+		changing := bytes.Repeat([]byte{byte(id)}, 8192)
+		s.PutBlock(key, Object{}, 0, stable)
+		s.PutBlock(key, Object{}, 1, changing)
+	}
+	st := s.Stats()
+	// 10 logical blocks, 6 unique (1 stable + 5 changing).
+	if st.UniqueBlocks != 6 {
+		t.Errorf("unique = %d, want 6", st.UniqueBlocks)
+	}
+	if st.Factor() < 0.39 || st.Factor() > 0.41 {
+		t.Errorf("factor = %v, want 0.4", st.Factor())
+	}
+}
+
+func TestDedupDeleteReleasesRefs(t *testing.T) {
+	s := NewDedup(nvm.Pacer{})
+	shared := []byte("shared-block-content")
+	a := Key{Job: "j", Rank: 0, ID: 1}
+	b := Key{Job: "j", Rank: 1, ID: 1}
+	s.PutBlock(a, Object{}, 0, shared)
+	s.PutBlock(b, Object{}, 0, shared)
+
+	s.Delete(a)
+	// Still readable through b.
+	if got, err := s.Get(b); err != nil || !bytes.Equal(got.Blocks[0], shared) {
+		t.Fatal("shared block lost after one deleter")
+	}
+	if _, err := s.Get(a); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted object still present")
+	}
+	s.Delete(b)
+	st := s.Stats()
+	if st.PhysicalBytes != 0 || st.LogicalBytes != 0 || st.UniqueBlocks != 0 {
+		t.Errorf("residual after full delete: %+v", st)
+	}
+	s.Delete(b) // idempotent
+}
+
+func TestDedupBlockReplacement(t *testing.T) {
+	s := NewDedup(nvm.Pacer{})
+	key := Key{Job: "j", Rank: 0, ID: 1}
+	s.PutBlock(key, Object{}, 0, []byte("old-content"))
+	s.PutBlock(key, Object{}, 0, []byte("new-content"))
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got.Blocks[0], []byte("new-content")) {
+		t.Fatal("replacement failed")
+	}
+	if st := s.Stats(); st.UniqueBlocks != 1 {
+		t.Errorf("old content leaked: %+v", st)
+	}
+}
+
+func TestDedupPacingOnlyNewContent(t *testing.T) {
+	var slept units.Seconds
+	s := NewDedup(nvm.Pacer{Bandwidth: 1 * units.MBps, Sleep: func(d units.Seconds) { slept += d }})
+	block := make([]byte, 500_000) // 0.5 s at 1 MB/s
+	s.PutBlock(Key{Job: "j", Rank: 0, ID: 1}, Object{}, 0, block)
+	first := slept
+	if first < 0.49 || first > 0.51 {
+		t.Fatalf("first write paced %v", first)
+	}
+	// The duplicate write moves no data.
+	s.PutBlock(Key{Job: "j", Rank: 1, ID: 1}, Object{}, 0, block)
+	if slept != first {
+		t.Errorf("duplicate write paced %v extra", slept-first)
+	}
+	// Reads always pace the logical size.
+	s.Get(Key{Job: "j", Rank: 1, ID: 1})
+	if slept-first < 0.49 {
+		t.Error("read did not pace logical transfer")
+	}
+}
+
+func TestDedupValidation(t *testing.T) {
+	s := NewDedup(nvm.Pacer{})
+	if err := s.Put(Object{}); err == nil {
+		t.Error("empty job accepted")
+	}
+	if err := s.PutBlock(Key{}, Object{}, 0, nil); err == nil {
+		t.Error("PutBlock empty job accepted")
+	}
+	if _, ok := s.Stat(Key{Job: "x"}); ok {
+		t.Error("missing Stat found")
+	}
+	if _, ok := s.Latest("x", 0); ok {
+		t.Error("Latest on empty store")
+	}
+	if st := s.Stats(); st.Factor() != 0 {
+		t.Error("empty store factor should be 0")
+	}
+}
+
+func TestDedupMetadataOnlyObject(t *testing.T) {
+	s := NewDedup(nvm.Pacer{})
+	key := Key{Job: "j", Rank: 0, ID: 9}
+	if err := s.Put(Object{Key: key, Meta: map[string]string{"step": "3"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || got.Meta["step"] != "3" {
+		t.Error("metadata-only object lost")
+	}
+	if latest, ok := s.Latest("j", 0); !ok || latest != 9 {
+		t.Errorf("latest = %d, %v", latest, ok)
+	}
+	if ids := s.IDs("j", 0); len(ids) != 1 || ids[0] != 9 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestDedupBehindNodeRuntime(t *testing.T) {
+	// DedupStore satisfies iostore.API; drains from two runtimes with
+	// overlapping content share storage. (Node runtimes are exercised via
+	// the iod test for TCP; here the in-process interface suffices.)
+	var api API = NewDedup(nvm.Pacer{})
+	shared := bytes.Repeat([]byte("common"), 2048)
+	for rank := 0; rank < 2; rank++ {
+		key := Key{Job: "j", Rank: rank, ID: 1}
+		if err := api.PutBlock(key, Object{OrigSize: int64(len(shared))}, 0, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := api.(*DedupStore).Stats()
+	if st.PhysicalBytes >= st.LogicalBytes {
+		t.Errorf("no sharing: %+v", st)
+	}
+}

@@ -1,0 +1,190 @@
+// Package iostore models the global (parallel-file-system) checkpoint
+// store shared by all compute nodes. Objects are keyed by (job, rank,
+// checkpoint ID) and carry the framing metadata needed to reassemble and
+// decompress a drained checkpoint. Per-node bandwidth pacing models the
+// paper's 100 MB/s effective per-node share of global I/O (§3.4).
+package iostore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ndpcr/internal/node/nvm"
+)
+
+// ErrNotFound reports a missing object.
+var ErrNotFound = errors.New("iostore: object not found")
+
+// Key identifies one rank's checkpoint.
+type Key struct {
+	Job  string
+	Rank int
+	ID   uint64
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s/rank%d/ckpt%d", k.Job, k.Rank, k.ID) }
+
+// Object is a stored checkpoint plus reassembly metadata.
+type Object struct {
+	Key Key
+	// Codec names the compression codec ("" = uncompressed).
+	Codec string
+	// CodecLevel is the codec's level (meaningful when Codec != "").
+	CodecLevel int
+	// OrigSize is the uncompressed payload size (the checkpoint for full
+	// objects, the encoded patch for incremental ones).
+	OrigSize int64
+	// DeltaBase, when non-zero, marks this object as an incremental
+	// patch applying on top of checkpoint DeltaBase (same job/rank).
+	DeltaBase uint64
+	// Blocks holds the (possibly compressed) data blocks in order. Blocks
+	// are independent so restore can decompress them in parallel (§4.3).
+	Blocks [][]byte
+	// Meta carries BLCR-style identification.
+	Meta map[string]string
+}
+
+// StoredSize returns the total stored bytes across blocks.
+func (o Object) StoredSize() int64 {
+	var n int64
+	for _, b := range o.Blocks {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// API is the global-store surface the node runtime drains to and restores
+// from. Store implements it in-process; internal/iod implements it over
+// TCP against a remote I/O node, which is how a real NDP would reach the
+// parallel file system (§4.2.2: "the NDP must be able to operate the
+// relevant system code for running the network stack").
+type API interface {
+	Put(o Object) error
+	PutBlock(key Key, meta Object, index int, block []byte) error
+	Delete(key Key)
+	Get(key Key) (Object, error)
+	Stat(key Key) (Object, bool)
+	IDs(job string, rank int) []uint64
+	Latest(job string, rank int) (uint64, bool)
+}
+
+// Store is the shared global store. All methods are safe for concurrent
+// use by many node goroutines.
+type Store struct {
+	mu      sync.Mutex
+	objects map[Key]Object
+	pacer   nvm.Pacer // per-node share pacing applied to each transfer
+}
+
+// New creates a store whose transfers are paced at the given per-node
+// bandwidth (zero disables pacing).
+func New(pacer nvm.Pacer) *Store {
+	return &Store{objects: make(map[Key]Object), pacer: pacer}
+}
+
+// Put stores an object, replacing any previous version. Blocks are copied.
+func (s *Store) Put(o Object) error {
+	if o.Key.Job == "" {
+		return errors.New("iostore: empty job name")
+	}
+	cp := o
+	cp.Blocks = make([][]byte, len(o.Blocks))
+	for i, b := range o.Blocks {
+		cp.Blocks[i] = append([]byte(nil), b...)
+	}
+	if o.Meta != nil {
+		cp.Meta = make(map[string]string, len(o.Meta))
+		for k, v := range o.Meta {
+			cp.Meta[k] = v
+		}
+	}
+	s.mu.Lock()
+	s.objects[o.Key] = cp
+	s.mu.Unlock()
+	s.pacer.Move(int(cp.StoredSize()))
+	return nil
+}
+
+// PutBlock appends one block to an object, creating it on first use. This
+// is the streaming path the NDP uses: blocks arrive as they are compressed
+// (§4.2.2), each paced individually.
+func (s *Store) PutBlock(key Key, meta Object, index int, block []byte) error {
+	if key.Job == "" {
+		return errors.New("iostore: empty job name")
+	}
+	s.mu.Lock()
+	o, ok := s.objects[key]
+	if !ok {
+		o = meta
+		o.Key = key
+		o.Blocks = nil
+	}
+	for len(o.Blocks) <= index {
+		o.Blocks = append(o.Blocks, nil)
+	}
+	o.Blocks[index] = append([]byte(nil), block...)
+	s.objects[key] = o
+	s.mu.Unlock()
+	s.pacer.Move(len(block))
+	return nil
+}
+
+// Delete removes an object (used when an aborted drain must not leave a
+// torn checkpoint behind).
+func (s *Store) Delete(key Key) {
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+}
+
+// Get returns an object, pacing the full transfer.
+func (s *Store) Get(key Key) (Object, error) {
+	s.mu.Lock()
+	o, ok := s.objects[key]
+	s.mu.Unlock()
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	s.pacer.Move(int(o.StoredSize()))
+	return o, nil
+}
+
+// Stat returns an object's metadata without pacing a transfer.
+func (s *Store) Stat(key Key) (Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return Object{}, false
+	}
+	o.Blocks = nil
+	return o, true
+}
+
+// IDs returns the checkpoint IDs stored for (job, rank), ascending.
+func (s *Store) IDs(job string, rank int) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint64
+	for k := range s.objects {
+		if k.Job == job && k.Rank == rank {
+			out = append(out, k.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Latest returns the newest checkpoint ID for (job, rank).
+func (s *Store) Latest(job string, rank int) (uint64, bool) {
+	ids := s.IDs(job, rank)
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[len(ids)-1], true
+}
+
+// Store satisfies API.
+var _ API = (*Store)(nil)

@@ -1,0 +1,125 @@
+// Package nic models the compute node's network interface: a bounded
+// transmit buffer in front of a paced link. The NDP streams compressed
+// checkpoint blocks through it (§4.2.2); when the buffer is full — e.g.
+// under conflicting application traffic — Send blocks, which naturally
+// pauses the upstream compression pipeline exactly as the paper describes.
+package nic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ndpcr/internal/node/nvm"
+)
+
+// ErrClosed reports use of a closed link.
+var ErrClosed = errors.New("nic: link closed")
+
+// Link is a paced, buffer-bounded transmit path. It is safe for concurrent
+// use.
+type Link struct {
+	pacer nvm.Pacer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queued int // bytes in the transmit buffer
+	limit  int
+	closed bool
+}
+
+// NewLink creates a link with the given transmit-buffer size in bytes and
+// pacing. bufBytes must be positive.
+func NewLink(bufBytes int, pacer nvm.Pacer) (*Link, error) {
+	if bufBytes <= 0 {
+		return nil, fmt.Errorf("nic: buffer size must be positive, got %d", bufBytes)
+	}
+	l := &Link{pacer: pacer, limit: bufBytes}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// Send enqueues a block, blocking while the transmit buffer is full, then
+// paces its transmission. Cancelling ctx abandons the wait.
+func (l *Link) Send(ctx context.Context, block []byte) error {
+	if len(block) > l.limit {
+		// Oversized blocks are transmitted in buffer-sized bursts; model
+		// as a full-buffer occupancy.
+		return l.sendChunked(ctx, block)
+	}
+	if err := l.reserve(ctx, len(block)); err != nil {
+		return err
+	}
+	l.pacer.Move(len(block))
+	l.release(len(block))
+	return nil
+}
+
+func (l *Link) sendChunked(ctx context.Context, block []byte) error {
+	for off := 0; off < len(block); off += l.limit {
+		end := off + l.limit
+		if end > len(block) {
+			end = len(block)
+		}
+		if err := l.Send(ctx, block[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Link) reserve(ctx context.Context, n int) error {
+	// A goroutine watches ctx and wakes the cond waiters on cancellation.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Take the lock before broadcasting so a waiter that has
+			// checked ctx but not yet parked cannot miss the wakeup.
+			l.mu.Lock()
+			l.mu.Unlock() //nolint:staticcheck // empty section orders the broadcast
+			l.cond.Broadcast()
+		case <-done:
+		}
+	}()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if l.queued+n <= l.limit {
+			l.queued += n
+			return nil
+		}
+		l.cond.Wait()
+	}
+}
+
+func (l *Link) release(n int) {
+	l.mu.Lock()
+	l.queued -= n
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Queued returns the bytes currently buffered (for tests/metrics).
+func (l *Link) Queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queued
+}
+
+// Close fails all pending and future sends.
+func (l *Link) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}

@@ -1,0 +1,147 @@
+package nic
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/units"
+)
+
+func TestNewLinkValidation(t *testing.T) {
+	if _, err := NewLink(0, nvm.Pacer{}); err == nil {
+		t.Error("zero buffer accepted")
+	}
+}
+
+func TestSendPaces(t *testing.T) {
+	var slept units.Seconds
+	l, err := NewLink(1<<20, nvm.Pacer{Bandwidth: 10 * units.MBps, Sleep: func(d units.Seconds) { slept += d }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Send(context.Background(), make([]byte, 1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 0.099 || slept > 0.101 {
+		t.Errorf("paced %v, want 0.1 s", slept)
+	}
+	if l.Queued() != 0 {
+		t.Errorf("queued = %d after send", l.Queued())
+	}
+}
+
+func TestOversizedBlockChunks(t *testing.T) {
+	var slept units.Seconds
+	l, _ := NewLink(1024, nvm.Pacer{Bandwidth: 1 * units.MBps, Sleep: func(d units.Seconds) { slept += d }})
+	if err := l.Send(context.Background(), make([]byte, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 0.0099 || slept > 0.0101 {
+		t.Errorf("paced %v, want 0.01 s total", slept)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	// A slow link with a small buffer: concurrent senders must all
+	// eventually complete, and the buffer never overfills.
+	block := make(chan units.Seconds, 1024)
+	l, _ := NewLink(4096, nvm.Pacer{
+		Bandwidth: 1000 * units.MBps,
+		Sleep: func(d units.Seconds) {
+			block <- d
+			time.Sleep(100 * time.Microsecond) // simulated wire time
+		},
+	})
+	var wg sync.WaitGroup
+	var sent atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := l.Send(context.Background(), make([]byte, 1024)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				sent.Add(1)
+				if q := l.Queued(); q > 4096 {
+					t.Errorf("buffer overfilled: %d", q)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sent.Load() != 160 {
+		t.Errorf("sent %d blocks", sent.Load())
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// Fill the buffer with a send that never drains (sleep blocks), then
+	// verify a second send cancels cleanly.
+	release := make(chan struct{})
+	l, _ := NewLink(100, nvm.Pacer{
+		Bandwidth: 1, // absurdly slow
+		Sleep:     func(units.Seconds) { <-release },
+	})
+	go l.Send(context.Background(), make([]byte, 100)) // occupies the buffer
+
+	// Wait until the first send holds the buffer.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() != 100 {
+		if time.Now().After(deadline) {
+			t.Fatal("first send never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- l.Send(ctx, make([]byte, 50)) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled send did not return")
+	}
+	close(release)
+}
+
+func TestClose(t *testing.T) {
+	release := make(chan struct{})
+	l, _ := NewLink(100, nvm.Pacer{Bandwidth: 1, Sleep: func(units.Seconds) { <-release }})
+	go l.Send(context.Background(), make([]byte, 100))
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() != 100 {
+		if time.Now().After(deadline) {
+			t.Fatal("first send never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- l.Send(context.Background(), make([]byte, 50)) }()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not observe close")
+	}
+	close(release)
+	// Sends after close fail immediately.
+	if err := l.Send(context.Background(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close send: %v", err)
+	}
+}

@@ -1,0 +1,440 @@
+// Package node implements the compute-node checkpoint/restart runtime of
+// §4: a host API that commits application snapshots to node-local NVM
+// (pausing any NDP activity for the duration, §4.2.1), an NDP engine that
+// drains them to global I/O with overlapped compression (§4.2.2), and a
+// two-path restore — local NVM when available, otherwise a streamed fetch
+// from global I/O with pipelined host-side decompression (§4.3).
+package node
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"ndpcr/internal/compress"
+	"ndpcr/internal/delta"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/ndp"
+	"ndpcr/internal/node/nic"
+	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/units"
+)
+
+// Metadata is the BLCR-style identification attached to every checkpoint
+// (§4.2.1): enough to find the latest checkpoint of an application rank
+// after a restart.
+type Metadata struct {
+	Job  string
+	Rank int
+	// Step is the application's own progress marker (iteration count).
+	Step int
+}
+
+func (m Metadata) toMap(id uint64) map[string]string {
+	return map[string]string{
+		"job":  m.Job,
+		"rank": strconv.Itoa(m.Rank),
+		"step": strconv.Itoa(m.Step),
+		"ckpt": strconv.FormatUint(id, 10),
+	}
+}
+
+func metadataFrom(mm map[string]string) Metadata {
+	var m Metadata
+	m.Job = mm["job"]
+	m.Rank, _ = strconv.Atoi(mm["rank"])
+	m.Step, _ = strconv.Atoi(mm["step"])
+	return m
+}
+
+// Config assembles a node.
+type Config struct {
+	Job  string
+	Rank int
+
+	// NVMCapacity bounds the local checkpoint region. Zero selects
+	// 4 GiB (enough for tests; real deployments size it to hold a few
+	// checkpoints).
+	NVMCapacity int64
+	// NVMBandwidth paces local commits; zero disables pacing.
+	NVMBandwidth units.Bandwidth
+	// Sleep is the pacing sleep hook shared by all paced devices; nil
+	// performs no real delay (durations are still modeled).
+	Sleep func(units.Seconds)
+
+	// Store is the shared global I/O store (required).
+	Store iostore.API
+
+	// Codec enables NDP compression of drained checkpoints; nil drains
+	// raw.
+	Codec compress.Codec
+	// NDPWorkers is the NDP core count for compression (default 4, the
+	// paper's gzip(1) configuration).
+	NDPWorkers int
+	// BlockSize is the drain streaming unit (default 1 MB).
+	BlockSize int
+	// RestoreWorkers sizes the host-side decompression pool on restore
+	// (default 8; the paper fans blocks out across host cores, §4.3).
+	RestoreWorkers int
+	// SerializeDrain disables the compress/send overlap (ablation).
+	SerializeDrain bool
+	// Incremental enables block-level incremental drains: after a full
+	// checkpoint reaches I/O, the NDP ships only changed blocks, with a
+	// full checkpoint every FullEvery drains (the paper conclusion's
+	// proposed NDP extension).
+	Incremental bool
+	// FullEvery bounds incremental patch chains (default 8).
+	FullEvery int
+	// DeltaBlockSize is the incremental-dedup granularity (default 64 KiB).
+	DeltaBlockSize int
+	// DisableNDP turns the background drain off entirely: checkpoints
+	// reach I/O only via explicit host writes (the conventional
+	// multilevel baseline).
+	DisableNDP bool
+	// NICBuffer is the NIC transmit buffer size (default 8 MB).
+	NICBuffer int
+	// NICBandwidth paces the NIC link; zero disables pacing.
+	NICBandwidth units.Bandwidth
+
+	// OnError receives asynchronous NDP errors.
+	OnError func(error)
+}
+
+// Node is one compute node's C/R runtime. All methods are safe for
+// concurrent use, though an application typically serializes Commit and
+// Restore itself.
+type Node struct {
+	cfg    Config
+	device *nvm.Device
+	link   *nic.Link
+	engine *ndp.Engine // nil when DisableNDP
+
+	// partner is this node's region for *other* ranks' redundant copies;
+	// buddy is the node holding *this* rank's copies (§3.4 partner level).
+	partner partnerRegion
+	buddy   *Node
+
+	mu     sync.Mutex
+	nextID uint64
+	closed bool
+}
+
+// New assembles and starts a node runtime.
+func New(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("node: Store is required")
+	}
+	if cfg.Job == "" {
+		return nil, errors.New("node: Job is required")
+	}
+	if cfg.NVMCapacity == 0 {
+		cfg.NVMCapacity = 4 << 30
+	}
+	if cfg.NDPWorkers == 0 {
+		cfg.NDPWorkers = 4
+	}
+	if cfg.RestoreWorkers <= 0 {
+		cfg.RestoreWorkers = 8
+	}
+	if cfg.NICBuffer == 0 {
+		cfg.NICBuffer = 8 << 20
+	}
+
+	device, err := nvm.NewDevice(cfg.NVMCapacity, nvm.Pacer{Bandwidth: cfg.NVMBandwidth, Sleep: cfg.Sleep})
+	if err != nil {
+		return nil, err
+	}
+	link, err := nic.NewLink(cfg.NICBuffer, nvm.Pacer{Bandwidth: cfg.NICBandwidth, Sleep: cfg.Sleep})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{cfg: cfg, device: device, link: link, nextID: 1}
+	if !cfg.DisableNDP {
+		n.engine, err = ndp.New(ndp.Config{
+			Job:            cfg.Job,
+			Rank:           cfg.Rank,
+			Device:         device,
+			Store:          cfg.Store,
+			Link:           link,
+			Codec:          cfg.Codec,
+			Workers:        cfg.NDPWorkers,
+			BlockSize:      cfg.BlockSize,
+			Serialize:      cfg.SerializeDrain,
+			Incremental:    cfg.Incremental,
+			FullEvery:      cfg.FullEvery,
+			DeltaBlockSize: cfg.DeltaBlockSize,
+			OnError:        cfg.OnError,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Device exposes the NVM device (tests, metrics).
+func (n *Node) Device() *nvm.Device { return n.device }
+
+// Engine exposes the NDP engine, nil when disabled.
+func (n *Node) Engine() *ndp.Engine { return n.engine }
+
+// Commit writes one application snapshot to local NVM and notifies the
+// NDP. The host "pauses" for the NVM write — any concurrent NDP NVM access
+// is excluded for the duration (§4.2.1). It returns the checkpoint ID.
+func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, errors.New("node: closed")
+	}
+	id := n.nextID
+	n.nextID++
+	n.mu.Unlock()
+
+	if meta.Job == "" {
+		meta.Job = n.cfg.Job
+		meta.Rank = n.cfg.Rank
+	}
+	if n.engine != nil {
+		n.engine.PauseNVM()
+	}
+	err := n.device.Put(nvm.Checkpoint{ID: id, Data: snapshot, Meta: meta.toMap(id)})
+	if n.engine != nil {
+		n.engine.ResumeNVM()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("node: commit %d: %w", id, err)
+	}
+	if n.engine != nil {
+		n.engine.Notify()
+	}
+	return id, nil
+}
+
+// WriteThrough writes a committed checkpoint to global I/O from the host —
+// the conventional multilevel path used when the NDP is disabled. It
+// blocks for the full (uncompressed) transfer.
+func (n *Node) WriteThrough(id uint64) error {
+	ckpt, err := n.device.Get(id)
+	if err != nil {
+		return fmt.Errorf("node: write-through %d: %w", id, err)
+	}
+	obj := iostore.Object{
+		Key:      iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id},
+		OrigSize: int64(len(ckpt.Data)),
+		Blocks:   [][]byte{ckpt.Data},
+		Meta:     ckpt.Meta,
+	}
+	return n.cfg.Store.Put(obj)
+}
+
+// ErrNoCheckpoint reports that neither level holds a restorable checkpoint.
+var ErrNoCheckpoint = errors.New("node: no checkpoint available at any level")
+
+// Restore returns the newest restorable snapshot, walking the §4.2.3
+// recovery hierarchy: local NVM, then the buddy node's partner copy
+// (§3.4), then global I/O with pipelined host decompression (§4.3). It
+// reports which level served the restore.
+func (n *Node) Restore() ([]byte, Metadata, Level, error) {
+	if ckpt, ok := n.device.Latest(); ok {
+		// Local path: one paced NVM read.
+		data, err := n.device.Get(ckpt.ID)
+		if err == nil {
+			return data.Data, metadataFrom(data.Meta), LevelLocal, nil
+		}
+	}
+	// Pick the newest checkpoint across the partner and I/O levels,
+	// preferring the (faster) partner on ties.
+	var pLatest uint64
+	pOK := false
+	n.mu.Lock()
+	buddy := n.buddy
+	n.mu.Unlock()
+	if buddy != nil {
+		if ids := buddy.PartnerCopyIDs(n.cfg.Rank); len(ids) > 0 {
+			pLatest, pOK = ids[len(ids)-1], true
+		}
+	}
+	ioLatest, ioOK := n.cfg.Store.Latest(n.cfg.Job, n.cfg.Rank)
+	if pOK && (!ioOK || pLatest >= ioLatest) {
+		if data, meta, ok := n.restoreFromPartner(pLatest); ok {
+			return data, meta, LevelPartner, nil
+		}
+	}
+	if !ioOK {
+		return nil, Metadata{}, LevelNone, ErrNoCheckpoint
+	}
+	data, meta, err := n.fetchFromIO(ioLatest)
+	if err != nil {
+		return nil, Metadata{}, LevelNone, err
+	}
+	return data, meta, LevelIO, nil
+}
+
+// RestoreID restores a specific checkpoint ID: local, then partner, then
+// global I/O.
+func (n *Node) RestoreID(id uint64) ([]byte, Metadata, Level, error) {
+	if data, err := n.device.Get(id); err == nil {
+		return data.Data, metadataFrom(data.Meta), LevelLocal, nil
+	}
+	if data, meta, ok := n.restoreFromPartner(id); ok {
+		return data, meta, LevelPartner, nil
+	}
+	data, meta, err := n.fetchFromIO(id)
+	if err != nil {
+		return nil, Metadata{}, LevelNone, err
+	}
+	return data, meta, LevelIO, nil
+}
+
+// Level identifies which storage level served a restore.
+type Level int
+
+// Restore levels.
+const (
+	LevelNone Level = iota
+	LevelLocal
+	LevelPartner
+	LevelIO
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelLocal:
+		return "local"
+	case LevelPartner:
+		return "partner"
+	case LevelIO:
+		return "io"
+	}
+	return "none"
+}
+
+// fetchFromIO streams a checkpoint from the global store, decompressing
+// across a host worker pool and, for incremental objects, walking the
+// patch chain back to its full base and replaying it forward.
+func (n *Node) fetchFromIO(id uint64) ([]byte, Metadata, error) {
+	var patches []*delta.Patch
+	var meta Metadata
+	curID := id
+	for depth := 0; ; depth++ {
+		if depth > maxPatchChain {
+			return nil, Metadata{}, fmt.Errorf(
+				"node: restore %d: patch chain exceeds %d links", id, maxPatchChain)
+		}
+		payload, m, base, err := n.fetchObject(curID)
+		if err != nil {
+			return nil, Metadata{}, err
+		}
+		if depth == 0 {
+			meta = m // the requested checkpoint's metadata wins
+		}
+		if base == 0 {
+			// Full checkpoint: replay the collected patches (newest was
+			// appended first, so walk backwards).
+			data := payload
+			for i := len(patches) - 1; i >= 0; i-- {
+				data, err = delta.Apply(data, patches[i])
+				if err != nil {
+					return nil, Metadata{}, fmt.Errorf("node: restore %d: %w", id, err)
+				}
+			}
+			return data, meta, nil
+		}
+		p, err := delta.Decode(payload)
+		if err != nil {
+			return nil, Metadata{}, fmt.Errorf("node: restore %d: %w", id, err)
+		}
+		patches = append(patches, p)
+		curID = base
+	}
+}
+
+// maxPatchChain bounds incremental-restore recursion against corrupt
+// metadata cycles.
+const maxPatchChain = 1024
+
+// fetchObject retrieves one object's decompressed payload plus its
+// metadata and delta base (0 for full checkpoints).
+func (n *Node) fetchObject(id uint64) ([]byte, Metadata, uint64, error) {
+	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
+	obj, err := n.cfg.Store.Get(key)
+	if err != nil {
+		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d from I/O: %w", id, err)
+	}
+	meta := metadataFrom(obj.Meta)
+	if obj.Codec == "" {
+		out := make([]byte, 0, obj.OrigSize)
+		for _, b := range obj.Blocks {
+			out = append(out, b...)
+		}
+		return out, meta, obj.DeltaBase, nil
+	}
+	codec, err := compress.Lookup(obj.Codec, obj.CodecLevel)
+	if err != nil {
+		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d: %w", id, err)
+	}
+	// Pipelined host decompression: each block to a different core (§4.3).
+	plain := make([][]byte, len(obj.Blocks))
+	errs := make([]error, len(obj.Blocks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := n.cfg.RestoreWorkers
+	if workers > len(obj.Blocks) {
+		workers = len(obj.Blocks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				plain[i], errs[i] = codec.Decompress(nil, obj.Blocks[i])
+			}
+		}()
+	}
+	for i := range obj.Blocks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	out := make([]byte, 0, obj.OrigSize)
+	for i, p := range plain {
+		if errs[i] != nil {
+			return nil, Metadata{}, 0, fmt.Errorf("node: restore %d block %d: %w", id, i, errs[i])
+		}
+		out = append(out, p...)
+	}
+	if int64(len(out)) != obj.OrigSize {
+		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d: reassembled %d bytes, expected %d",
+			id, len(out), obj.OrigSize)
+	}
+	return out, meta, obj.DeltaBase, nil
+}
+
+// FailLocal simulates a node failure that destroys local state: the NVM is
+// wiped — including any partner copies this node held for other ranks,
+// since they live on the same physical device — and an in-flight drain
+// aborts. The node keeps running (a replacement node reattaches to the
+// same job/rank).
+func (n *Node) FailLocal() {
+	n.device.Wipe()
+	if dev, err := n.partnerDevice(); err == nil {
+		dev.Wipe()
+	}
+}
+
+// Close shuts the runtime down.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	if n.engine != nil {
+		n.engine.Close()
+	}
+	n.link.Close()
+}

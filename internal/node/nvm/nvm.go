@@ -1,0 +1,264 @@
+// Package nvm models a compute node's local NVM checkpoint store: a
+// capacity-bounded device whose checkpoint region is organized as a
+// circular FIFO buffer (§4.2.1). Checkpoints being drained to global I/O by
+// the NDP are locked against eviction (§4.2.2); the host's writes always
+// get the full device bandwidth, with any concurrent NDP activity paused by
+// the engine layer.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ndpcr/internal/units"
+)
+
+// Common errors.
+var (
+	// ErrFull reports that a write cannot fit even after evicting every
+	// unlocked checkpoint.
+	ErrFull = errors.New("nvm: device full (all resident checkpoints locked)")
+	// ErrNotFound reports a missing checkpoint ID.
+	ErrNotFound = errors.New("nvm: checkpoint not found")
+	// ErrTooLarge reports a checkpoint bigger than the device.
+	ErrTooLarge = errors.New("nvm: checkpoint exceeds device capacity")
+)
+
+// Pacer throttles data movement to a simulated bandwidth. The zero-value
+// pacer is unthrottled; tests inject a recording sleep function.
+type Pacer struct {
+	// Bandwidth of the simulated device; 0 disables throttling.
+	Bandwidth units.Bandwidth
+	// Sleep is called with the transfer duration; nil means no delay is
+	// simulated (the duration is still computed for callers that record
+	// it). Tests substitute a recorder.
+	Sleep func(units.Seconds)
+}
+
+// Move accounts (and optionally sleeps for) a transfer of n bytes,
+// returning the simulated duration.
+func (p Pacer) Move(n int) units.Seconds {
+	if p.Bandwidth <= 0 {
+		return 0
+	}
+	d := p.Bandwidth.TimeToMove(units.Bytes(n))
+	if p.Sleep != nil {
+		p.Sleep(d)
+	}
+	return d
+}
+
+// Checkpoint is one resident checkpoint.
+type Checkpoint struct {
+	ID   uint64
+	Data []byte
+	// Meta carries BLCR-style identification (job, rank, step); opaque to
+	// the device.
+	Meta map[string]string
+}
+
+// Device is a checkpoint-region NVM device. All methods are safe for
+// concurrent use.
+type Device struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ckpts    map[uint64]*entry
+	order    []uint64 // FIFO eviction order (ascending insertion)
+	pacer    Pacer
+}
+
+type entry struct {
+	ckpt  Checkpoint
+	locks int
+}
+
+// NewDevice creates a device with the given checkpoint-region capacity in
+// bytes and pacing. Capacity must be positive.
+func NewDevice(capacity int64, pacer Pacer) (*Device, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("nvm: capacity must be positive, got %d", capacity)
+	}
+	return &Device{
+		capacity: capacity,
+		ckpts:    make(map[uint64]*entry),
+		pacer:    pacer,
+	}, nil
+}
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() int64 { return d.capacity }
+
+// Used returns the bytes currently resident.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Put writes a checkpoint, evicting the oldest unlocked checkpoints as
+// needed (circular-buffer semantics). It returns ErrTooLarge for oversized
+// checkpoints and ErrFull when locked residents block the space. The data
+// slice is copied; callers may reuse it.
+func (d *Device) Put(ckpt Checkpoint) error {
+	size := int64(len(ckpt.Data))
+	if size > d.capacity {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, d.capacity)
+	}
+	d.mu.Lock()
+	if old, exists := d.ckpts[ckpt.ID]; exists {
+		if old.locks > 0 {
+			d.mu.Unlock()
+			return fmt.Errorf("nvm: checkpoint %d is locked and cannot be overwritten", ckpt.ID)
+		}
+		d.removeLocked(ckpt.ID)
+	}
+	// Evict oldest unlocked until the new checkpoint fits.
+	for d.used+size > d.capacity {
+		if !d.evictOldestUnlocked() {
+			d.mu.Unlock()
+			return ErrFull
+		}
+	}
+	stored := Checkpoint{ID: ckpt.ID, Data: append([]byte(nil), ckpt.Data...)}
+	if ckpt.Meta != nil {
+		stored.Meta = make(map[string]string, len(ckpt.Meta))
+		for k, v := range ckpt.Meta {
+			stored.Meta[k] = v
+		}
+	}
+	d.ckpts[ckpt.ID] = &entry{ckpt: stored}
+	d.order = append(d.order, ckpt.ID)
+	d.used += size
+	d.mu.Unlock()
+
+	// Pace outside the lock: the simulated transfer time must not block
+	// metadata readers.
+	d.pacer.Move(len(ckpt.Data))
+	return nil
+}
+
+// evictOldestUnlocked removes the oldest unlocked checkpoint; it reports
+// whether anything was evicted. Caller holds d.mu.
+func (d *Device) evictOldestUnlocked() bool {
+	for _, id := range d.order {
+		e, ok := d.ckpts[id]
+		if ok && e.locks == 0 {
+			d.removeLocked(id)
+			return true
+		}
+	}
+	return false
+}
+
+// removeLocked removes id from the maps. Caller holds d.mu.
+func (d *Device) removeLocked(id uint64) {
+	e, ok := d.ckpts[id]
+	if !ok {
+		return
+	}
+	d.used -= int64(len(e.ckpt.Data))
+	delete(d.ckpts, id)
+	for i, oid := range d.order {
+		if oid == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns the checkpoint with the given ID. The returned data aliases
+// device memory and must be treated as read-only; the read is paced.
+func (d *Device) Get(id uint64) (Checkpoint, error) {
+	d.mu.Lock()
+	e, ok := d.ckpts[id]
+	if !ok {
+		d.mu.Unlock()
+		return Checkpoint{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	ckpt := e.ckpt
+	d.mu.Unlock()
+	d.pacer.Move(len(ckpt.Data))
+	return ckpt, nil
+}
+
+// Peek is Get without pacing (metadata inspection).
+func (d *Device) Peek(id uint64) (Checkpoint, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.ckpts[id]
+	if !ok {
+		return Checkpoint{}, false
+	}
+	return e.ckpt, true
+}
+
+// Latest returns the resident checkpoint with the highest ID, or false if
+// the device is empty.
+func (d *Device) Latest() (Checkpoint, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *entry
+	for _, e := range d.ckpts {
+		if best == nil || e.ckpt.ID > best.ckpt.ID {
+			best = e
+		}
+	}
+	if best == nil {
+		return Checkpoint{}, false
+	}
+	return best.ckpt, true
+}
+
+// IDs returns resident checkpoint IDs in ascending order.
+func (d *Device) IDs() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]uint64, 0, len(d.ckpts))
+	for id := range d.ckpts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lock pins a checkpoint against eviction and overwrite (the NDP locks the
+// checkpoint it is draining, §4.2.2). Locks nest.
+func (d *Device) Lock(id uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.ckpts[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	e.locks++
+	return nil
+}
+
+// Unlock releases one lock on a checkpoint. Unlocking a missing or
+// unlocked checkpoint is an error (it indicates an engine bug).
+func (d *Device) Unlock(id uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.ckpts[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if e.locks == 0 {
+		return fmt.Errorf("nvm: checkpoint %d is not locked", id)
+	}
+	e.locks--
+	return nil
+}
+
+// Wipe simulates node-local storage loss (a failure that the local level
+// cannot recover from): every checkpoint disappears, locks and all.
+func (d *Device) Wipe() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ckpts = make(map[uint64]*entry)
+	d.order = nil
+	d.used = 0
+}

@@ -1,0 +1,254 @@
+// Package projection implements the paper's scaling study (§3): projecting
+// an exascale system from the Titan Cray XK7 baseline (Table 1), the MTTI
+// projection (§3.2), and the derived checkpoint/restart requirements
+// (§3.3–§3.5).
+package projection
+
+import (
+	"fmt"
+	"math"
+
+	"ndpcr/internal/daly"
+	"ndpcr/internal/units"
+)
+
+// System describes the machine-level parameters the C/R model consumes.
+type System struct {
+	Name string
+
+	NodeCount int
+	// SystemPeakFlops and NodePeakFlops are theoretical peaks in FLOP/s.
+	SystemPeakFlops float64
+	NodePeakFlops   float64
+
+	NodeMemory   units.Bytes
+	SystemMemory units.Bytes
+
+	// InterconnectBW is the per-node injection bandwidth.
+	InterconnectBW units.Bandwidth
+	// IOBandwidth is the aggregate file-system (global I/O) bandwidth.
+	IOBandwidth units.Bandwidth
+
+	// MTTI is the system mean time to interrupt.
+	MTTI units.Seconds
+
+	// CPUCores is the per-node host core count (used to size host-side
+	// compression/decompression throughput).
+	CPUCores int
+}
+
+// PerNodeIOBandwidth is the share of global I/O bandwidth available to one
+// compute node when all nodes checkpoint concurrently.
+func (s System) PerNodeIOBandwidth() units.Bandwidth {
+	if s.NodeCount <= 0 {
+		return 0
+	}
+	return s.IOBandwidth / units.Bandwidth(s.NodeCount)
+}
+
+// Titan returns the Titan Cray XK7 baseline as reported in Table 1.
+func Titan() System {
+	return System{
+		Name:            "Titan Cray XK7",
+		NodeCount:       18688,
+		SystemPeakFlops: 27e15,
+		NodePeakFlops:   1.44e12,
+		NodeMemory:      38 * units.GB,
+		SystemMemory:    710 * units.TB,
+		InterconnectBW:  20 * units.GBps,
+		IOBandwidth:     1000 * units.GBps,
+		MTTI:            160 * units.Minute, // 9 failures/day (§3, footnote 4)
+		CPUCores:        16,
+	}
+}
+
+// ScalingAssumptions captures the §3.1/§3.2 scaling rules applied to the
+// baseline. The defaults (DefaultScaling) reproduce Table 1 exactly.
+type ScalingAssumptions struct {
+	// TargetSystemFlops is the projected system peak (1 exaflops).
+	TargetSystemFlops float64
+	// NodePerfFactor is the per-node performance increase (7x → 10 TF).
+	NodePerfFactor float64
+	// CPUCoreCount is the projected host cores per node (64).
+	CPUCoreCount int
+	// MemPerCore keeps the CPU memory ratio (2 GB/core).
+	MemPerCore units.Bytes
+	// GPUMemory is the projected per-node GPU memory (12 GB, doubled
+	// conservatively rather than scaled 7x).
+	GPUMemory units.Bytes
+	// InterconnectBW and IOBandwidth are taken from cited projections.
+	InterconnectBW units.Bandwidth
+	IOBandwidth    units.Bandwidth
+	// NodeMTTF is the assumed per-node mean time to failure (5 years).
+	NodeMTTF units.Seconds
+	// MTTIRounding optionally rounds the computed system MTTI up to a
+	// friendlier figure; the paper rounds 26.28 min to 30 min. Zero
+	// disables rounding.
+	MTTIRounding units.Seconds
+}
+
+// DefaultScaling returns the paper's assumptions (§3.1–3.2).
+func DefaultScaling() ScalingAssumptions {
+	return ScalingAssumptions{
+		TargetSystemFlops: 1e18,
+		NodePerfFactor:    7,
+		CPUCoreCount:      64,
+		MemPerCore:        2 * units.GB,
+		GPUMemory:         12 * units.GB,
+		InterconnectBW:    50 * units.GBps,
+		IOBandwidth:       10 * units.TBps,
+		NodeMTTF:          5 * 365 * units.Day,
+		MTTIRounding:      30 * units.Minute,
+	}
+}
+
+// Exascale projects the baseline system under the given assumptions,
+// following the paper's arithmetic:
+//
+//   - node peak = baseline node peak × NodePerfFactor
+//   - node count = ceil(TargetSystemFlops / node peak), rounded to the
+//     nearest 10,000 as the paper does (→ 100,000)
+//   - node memory = CPU cores × mem/core + GPU memory
+//   - system MTTI = NodeMTTF / node count, optionally rounded up
+func Exascale(base System, a ScalingAssumptions) System {
+	nodePeak := base.NodePeakFlops * a.NodePerfFactor
+	rawCount := a.TargetSystemFlops / nodePeak
+	// The paper rounds 37x/7x ≈ 5.3x × 18,688 ≈ 99,000 up to 100,000.
+	nodeCount := int(math.Round(rawCount/10000) * 10000)
+	if nodeCount <= 0 {
+		nodeCount = int(math.Ceil(rawCount))
+	}
+	nodeMem := units.Bytes(a.CPUCoreCount)*a.MemPerCore + a.GPUMemory
+	mtti := units.Seconds(float64(a.NodeMTTF) / float64(nodeCount))
+	if a.MTTIRounding > 0 && mtti < a.MTTIRounding {
+		mtti = a.MTTIRounding
+	}
+	return System{
+		Name:            "Projected exascale",
+		NodeCount:       nodeCount,
+		SystemPeakFlops: float64(nodeCount) * nodePeak,
+		NodePeakFlops:   nodePeak,
+		NodeMemory:      nodeMem,
+		SystemMemory:    units.Bytes(nodeCount) * nodeMem,
+		InterconnectBW:  a.InterconnectBW,
+		IOBandwidth:     a.IOBandwidth,
+		MTTI:            mtti,
+		CPUCores:        a.CPUCoreCount,
+	}
+}
+
+// RawMTTI returns the unrounded system MTTI implied by the node MTTF and
+// count (≈26.28 minutes for the default projection).
+func RawMTTI(a ScalingAssumptions, nodeCount int) units.Seconds {
+	if nodeCount <= 0 {
+		return 0
+	}
+	return units.Seconds(float64(a.NodeMTTF) / float64(nodeCount))
+}
+
+// Requirements holds the §3.3 derived C/R requirements for a target
+// progress rate on a projected system.
+type Requirements struct {
+	TargetProgress  float64
+	CheckpointFrac  float64     // fraction of node memory checkpointed
+	CheckpointSize  units.Bytes // per node
+	CommitTime      units.Seconds
+	Period          units.Seconds // optimal compute interval between checkpoints
+	NodeCommitBW    units.Bandwidth
+	SystemCommitBW  units.Bandwidth
+	PerNodeIOBW     units.Bandwidth
+	TimeToIOCommit  units.Seconds // writing one checkpoint to global I/O
+	IOShortfallFrac float64       // required system BW / available I/O BW
+}
+
+// Derive computes the §3.3–§3.4 requirements: the commit time needed for the
+// target progress rate, the resulting per-node bandwidth requirement, and
+// how far global I/O falls short.
+func Derive(s System, targetProgress, checkpointFrac float64) (Requirements, error) {
+	if targetProgress <= 0 || targetProgress >= 1 {
+		return Requirements{}, fmt.Errorf("projection: target progress %v out of (0,1)", targetProgress)
+	}
+	if checkpointFrac <= 0 || checkpointFrac > 1 {
+		return Requirements{}, fmt.Errorf("projection: checkpoint fraction %v out of (0,1]", checkpointFrac)
+	}
+	ratio, err := daly.RatioForEfficiency(targetProgress)
+	if err != nil {
+		return Requirements{}, err
+	}
+	delta := units.Seconds(float64(s.MTTI) / ratio)
+	tau, err := daly.OptimalInterval(delta, s.MTTI)
+	if err != nil {
+		return Requirements{}, err
+	}
+	size := units.Bytes(checkpointFrac * float64(s.NodeMemory))
+	nodeBW := units.Bandwidth(float64(size) / float64(delta))
+	perNodeIO := s.PerNodeIOBandwidth()
+	req := Requirements{
+		TargetProgress: targetProgress,
+		CheckpointFrac: checkpointFrac,
+		CheckpointSize: size,
+		CommitTime:     delta,
+		Period:         tau,
+		NodeCommitBW:   nodeBW,
+		SystemCommitBW: nodeBW * units.Bandwidth(s.NodeCount),
+		PerNodeIOBW:    perNodeIO,
+		TimeToIOCommit: perNodeIO.TimeToMove(size),
+	}
+	if s.IOBandwidth > 0 {
+		req.IOShortfallFrac = float64(req.SystemCommitBW) / float64(s.IOBandwidth)
+	}
+	return req, nil
+}
+
+// Row is one line of the Table 1 rendering.
+type Row struct {
+	Parameter string
+	Titan     string
+	Exascale  string
+	Factor    string
+}
+
+// Table1 renders the baseline/projection comparison in the paper's Table 1
+// layout.
+func Table1(base, exa System) []Row {
+	factor := func(b, e float64) string {
+		if b == 0 {
+			return "-"
+		}
+		f := e / b
+		if f < 1 && f > 0 {
+			return fmt.Sprintf("(1/%.2f)x", 1/f)
+		}
+		return fmt.Sprintf("%.2fx", f)
+	}
+	return []Row{
+		{"Node Count", fmt.Sprintf("%d", base.NodeCount), fmt.Sprintf("%d", exa.NodeCount),
+			factor(float64(base.NodeCount), float64(exa.NodeCount))},
+		{"System Peak", flops(base.SystemPeakFlops), flops(exa.SystemPeakFlops),
+			factor(base.SystemPeakFlops, exa.SystemPeakFlops)},
+		{"Node Peak", flops(base.NodePeakFlops), flops(exa.NodePeakFlops),
+			factor(base.NodePeakFlops, exa.NodePeakFlops)},
+		{"System Memory", base.SystemMemory.String(), exa.SystemMemory.String(),
+			factor(float64(base.SystemMemory), float64(exa.SystemMemory))},
+		{"Node Memory", base.NodeMemory.String(), exa.NodeMemory.String(),
+			factor(float64(base.NodeMemory), float64(exa.NodeMemory))},
+		{"Interconnect BW", base.InterconnectBW.String(), exa.InterconnectBW.String(),
+			factor(float64(base.InterconnectBW), float64(exa.InterconnectBW))},
+		{"I/O Bandwidth", base.IOBandwidth.String(), exa.IOBandwidth.String(),
+			factor(float64(base.IOBandwidth), float64(exa.IOBandwidth))},
+		{"System MTTI", base.MTTI.String(), exa.MTTI.String(),
+			factor(float64(base.MTTI), float64(exa.MTTI))},
+	}
+}
+
+func flops(f float64) string {
+	switch {
+	case f >= 1e18:
+		return fmt.Sprintf("%g exaflops", f/1e18)
+	case f >= 1e15:
+		return fmt.Sprintf("%g petaflops", f/1e15)
+	case f >= 1e12:
+		return fmt.Sprintf("%g teraflops", f/1e12)
+	}
+	return fmt.Sprintf("%g flops", f)
+}

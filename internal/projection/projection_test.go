@@ -1,0 +1,152 @@
+package projection
+
+import (
+	"math"
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+func TestExascaleReproducesTable1(t *testing.T) {
+	exa := Exascale(Titan(), DefaultScaling())
+
+	if exa.NodeCount != 100000 {
+		t.Errorf("node count = %d, want 100000", exa.NodeCount)
+	}
+	if math.Abs(exa.NodePeakFlops-10.08e12) > 0.2e12 {
+		t.Errorf("node peak = %v, want ~10 TF", exa.NodePeakFlops)
+	}
+	if exa.SystemPeakFlops < 0.99e18 {
+		t.Errorf("system peak = %v, want ≥1 EF", exa.SystemPeakFlops)
+	}
+	if exa.NodeMemory != 140*units.GB {
+		t.Errorf("node memory = %v, want 140 GB", exa.NodeMemory)
+	}
+	if exa.SystemMemory != 14*units.PB {
+		t.Errorf("system memory = %v, want 14 PB", exa.SystemMemory)
+	}
+	if exa.InterconnectBW != 50*units.GBps {
+		t.Errorf("interconnect = %v, want 50 GB/s", exa.InterconnectBW)
+	}
+	if exa.IOBandwidth != 10*units.TBps {
+		t.Errorf("I/O BW = %v, want 10 TB/s", exa.IOBandwidth)
+	}
+	if exa.MTTI != 30*units.Minute {
+		t.Errorf("MTTI = %v, want 30 min", exa.MTTI)
+	}
+	if exa.CPUCores != 64 {
+		t.Errorf("CPU cores = %d, want 64", exa.CPUCores)
+	}
+}
+
+func TestRawMTTIMatchesSection32(t *testing.T) {
+	// §3.2: 5-year node MTTF over 100K nodes → ~26.28 minutes.
+	raw := RawMTTI(DefaultScaling(), 100000)
+	if math.Abs(float64(raw)/60-26.28) > 0.05 {
+		t.Errorf("raw MTTI = %v min, want ~26.28", float64(raw)/60)
+	}
+}
+
+func TestMTTIRoundingOnlyRoundsUp(t *testing.T) {
+	a := DefaultScaling()
+	a.MTTIRounding = 10 * units.Minute // below the computed 26.28 min
+	exa := Exascale(Titan(), a)
+	if float64(exa.MTTI) < 26*60 {
+		t.Errorf("MTTI rounded down: %v", exa.MTTI)
+	}
+}
+
+func TestPerNodeIOBandwidth(t *testing.T) {
+	// §3.4: 10 TB/s over 100K nodes → 100 MB/s per node.
+	exa := Exascale(Titan(), DefaultScaling())
+	got := exa.PerNodeIOBandwidth()
+	if math.Abs(float64(got)-100e6) > 1e-3 {
+		t.Errorf("per-node I/O BW = %v, want 100 MB/s", got)
+	}
+	var empty System
+	if empty.PerNodeIOBandwidth() != 0 {
+		t.Error("zero-node system should report zero per-node BW")
+	}
+}
+
+func TestDeriveSection33(t *testing.T) {
+	exa := Exascale(Titan(), DefaultScaling())
+	req, err := Derive(exa, 0.90, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.3: checkpoint size 112 GB/node.
+	if req.CheckpointSize != 112*units.GB {
+		t.Errorf("checkpoint size = %v, want 112 GB", req.CheckpointSize)
+	}
+	// Commit time ~9 s (M/200).
+	if math.Abs(float64(req.CommitTime)-9) > 1 {
+		t.Errorf("commit time = %v s, want ~9 s", float64(req.CommitTime))
+	}
+	// Period ~3 minutes.
+	if math.Abs(float64(req.Period)-180) > 15 {
+		t.Errorf("period = %v s, want ~180 s", float64(req.Period))
+	}
+	// Node commit bandwidth ~12.44 GB/s (paper rounds M/δ to exactly 200;
+	// the exact Daly inversion gives ~204, hence ~2% slack here).
+	if math.Abs(float64(req.NodeCommitBW)/1e9-12.44) > 0.5 {
+		t.Errorf("node commit BW = %v, want ~12.44 GB/s", req.NodeCommitBW)
+	}
+	// System requirement ~1.244 PB/s, vastly above 10 TB/s → shortfall >100x.
+	if req.IOShortfallFrac < 100 {
+		t.Errorf("I/O shortfall = %vx, want >100x", req.IOShortfallFrac)
+	}
+	// Writing 112 GB at 100 MB/s ≈ 18.67 min.
+	if math.Abs(float64(req.TimeToIOCommit)/60-18.67) > 0.05 {
+		t.Errorf("time to I/O commit = %v min, want ~18.67", float64(req.TimeToIOCommit)/60)
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	exa := Exascale(Titan(), DefaultScaling())
+	for _, c := range []struct{ p, f float64 }{
+		{0, 0.8}, {1, 0.8}, {-1, 0.8}, {0.9, 0}, {0.9, 1.5},
+	} {
+		if _, err := Derive(exa, c.p, c.f); err == nil {
+			t.Errorf("Derive(%v, %v) should fail", c.p, c.f)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	rows := Table1(Titan(), Exascale(Titan(), DefaultScaling()))
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	want := map[string]string{
+		"Node Count":    "100000",
+		"System Memory": "14 PB",
+		"Node Memory":   "140 GB",
+		"I/O Bandwidth": "10 TB/s",
+		"System MTTI":   "30 min",
+	}
+	for _, r := range rows {
+		if w, ok := want[r.Parameter]; ok && r.Exascale != w {
+			t.Errorf("%s: exascale = %q, want %q", r.Parameter, r.Exascale, w)
+		}
+	}
+	// MTTI factor should render as a reduction.
+	last := rows[len(rows)-1]
+	if last.Parameter != "System MTTI" || last.Factor[0] != '(' {
+		t.Errorf("MTTI factor = %q, want (1/…)x form", last.Factor)
+	}
+}
+
+func TestFlopsFormatting(t *testing.T) {
+	cases := map[float64]string{
+		27e15:   "27 petaflops",
+		1e18:    "1 exaflops",
+		1.44e12: "1.44 teraflops",
+		5:       "5 flops",
+	}
+	for in, want := range cases {
+		if got := flops(in); got != want {
+			t.Errorf("flops(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

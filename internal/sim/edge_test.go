@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+func TestNoIOCheckpointsEverMeansRestartFromZero(t *testing.T) {
+	// IOEveryK=0 and no NDP: nothing ever reaches I/O. Failures that miss
+	// the local level roll all the way back to the start, so rerun-from-
+	// I/O dwarfs everything at low PLocal.
+	cfg := Config{
+		Work:          20 * units.Hour,
+		MTTI:          2 * units.Hour,
+		LocalInterval: 180,
+		DeltaLocal:    9,
+		IOEveryK:      0,
+		PLocal:        0.7,
+		RestoreLocal:  9,
+		RestoreIO:     1120,
+		Seed:          3,
+	}
+	res, err := MonteCarlo(cfg, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.RerunIO == 0 {
+		t.Error("restart-from-zero runs recorded no rerun-I/O")
+	}
+	// Compare with a configuration that does write I/O checkpoints: it
+	// must waste far less rerun.
+	cfg2 := cfg
+	cfg2.IOEveryK = 8
+	cfg2.DeltaIO = 1120
+	res2, err := MonteCarlo(cfg2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Mean.RerunIO >= res.Mean.RerunIO {
+		t.Errorf("I/O checkpoints did not reduce rerun: %v vs %v",
+			res2.Mean.RerunIO, res.Mean.RerunIO)
+	}
+}
+
+func TestWorkShorterThanInterval(t *testing.T) {
+	// Total work below one checkpoint interval: no checkpoints at all,
+	// and failures restart from scratch.
+	cfg := Config{
+		Work:          100,
+		MTTI:          1e9, // effectively failure-free
+		LocalInterval: 1000,
+		DeltaLocal:    5,
+		PLocal:        1,
+		RestoreLocal:  5,
+		RestoreIO:     5,
+		Seed:          4,
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CheckpointLocal != 0 {
+		t.Errorf("checkpointed despite short run: %v", b.CheckpointLocal)
+	}
+	if b.Compute != 100 || b.Total() != 100 {
+		t.Errorf("breakdown = %+v", b)
+	}
+}
+
+func TestFailureDuringRestoreRetries(t *testing.T) {
+	// Restore takes longer than the MTTI on average: restores are
+	// themselves interrupted and retried. The run must still finish and
+	// count those interrupts.
+	cfg := Config{
+		Work:          2 * units.Hour,
+		MTTI:          10 * units.Minute,
+		LocalInterval: 60,
+		DeltaLocal:    2,
+		PLocal:        0.5,
+		RestoreLocal:  2,
+		RestoreIO:     15 * units.Minute, // longer than MTTI
+		IOEveryK:      4,
+		DeltaIO:       30,
+		Seed:          5,
+		MaxWallTime:   2000 * units.Hour,
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Failures <= b.IOFailures {
+		t.Errorf("failures=%d ioFailures=%d", b.Failures, b.IOFailures)
+	}
+	if b.RestoreIO == 0 {
+		t.Error("no I/O restore time accumulated")
+	}
+	if b.Compute != cfg.Work {
+		t.Errorf("compute = %v, want %v", b.Compute, cfg.Work)
+	}
+}
+
+func TestEfficiencyMonotoneInDeltaLocal(t *testing.T) {
+	effAt := func(delta units.Seconds) float64 {
+		cfg := base()
+		cfg.DeltaLocal = delta
+		cfg.Seed = 6
+		res, err := MonteCarlo(cfg, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Efficiency()
+	}
+	fast := effAt(2)
+	slow := effAt(60)
+	if slow >= fast {
+		t.Errorf("slower commits did not hurt: δ=2 → %.3f, δ=60 → %.3f", fast, slow)
+	}
+}
+
+func TestNDPWithPerfectLocalRecoveryIgnoresDrain(t *testing.T) {
+	// PLocal=1: the I/O level is never consulted, so drain speed must not
+	// matter to the outcome.
+	run := func(drain units.Seconds) float64 {
+		cfg := base()
+		cfg.NDP = true
+		cfg.DrainTime = drain
+		cfg.Seed = 8
+		res, err := MonteCarlo(cfg, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Efficiency()
+	}
+	slow := run(10000)
+	fast := run(10)
+	if diff := slow - fast; diff > 0.005 || diff < -0.005 {
+		t.Errorf("drain speed changed outcome under PLocal=1: %.4f vs %.4f", slow, fast)
+	}
+}
+
+func TestZeroCostCheckpointsApproachIdeal(t *testing.T) {
+	cfg := base()
+	cfg.DeltaLocal = 1e-9
+	cfg.RestoreLocal = 1e-9
+	cfg.LocalInterval = 10 // very frequent, nearly free
+	cfg.Seed = 9
+	res, err := MonteCarlo(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Efficiency() < 0.995 {
+		t.Errorf("near-free C/R efficiency = %.4f", res.Efficiency())
+	}
+}
+
+func TestBreakdownComputeAlwaysEqualsWork(t *testing.T) {
+	// Property: any completed run performed exactly Work seconds of
+	// first-time compute, no matter the failure history.
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg := base()
+		cfg.PLocal = 0.6
+		cfg.IOEveryK = 4
+		cfg.DeltaIO = 600
+		cfg.RestoreIO = 600
+		cfg.Work = 10 * units.Hour
+		cfg.Seed = seed
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Compute != cfg.Work {
+			t.Errorf("seed %d: compute %v != work %v", seed, b.Compute, cfg.Work)
+		}
+		if b.Total() < cfg.Work {
+			t.Errorf("seed %d: total below work", seed)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"ndpcr/internal/sim"
+	"ndpcr/internal/units"
+)
+
+// Example simulates the paper's NDP+compression configuration (Table 4
+// timings) and prints the progress rate.
+func Example() {
+	cfg := sim.Config{
+		Work:          100 * units.Hour,
+		MTTI:          30 * units.Minute,
+		LocalInterval: 150,
+		DeltaLocal:    7.47, // 112 GB at 15 GB/s
+		NDP:           true,
+		DrainTime:     302.4, // 73%-compressed drain at 100 MB/s
+		PLocal:        0.96,
+		RestoreLocal:  7.47,
+		RestoreIO:     302.4,
+		Seed:          2017,
+	}
+	res, err := sim.MonteCarlo(cfg, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("progress rate ~%.0f%%\n", res.Efficiency()*100)
+	// Output: progress rate ~89%
+}

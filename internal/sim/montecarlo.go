@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ndpcr/internal/stats"
+	"ndpcr/internal/units"
+)
+
+// Result aggregates Monte-Carlo trials of one configuration.
+type Result struct {
+	// Mean is the per-bucket mean across trials.
+	Mean Breakdown
+	// Eff summarizes the per-trial efficiency distribution.
+	Eff stats.Summary
+	// Trials is the number of successful trials.
+	Trials int
+	// Stalled is the number of trials aborted at the wall-time bound
+	// (their efficiency is recorded as 0 in Eff).
+	Stalled int
+}
+
+// Efficiency returns the mean progress rate across trials.
+func (r Result) Efficiency() float64 { return r.Eff.Mean() }
+
+// MonteCarlo runs `trials` independent simulations of cfg in parallel and
+// aggregates them. Trials use decorrelated substreams derived from
+// cfg.Seed, so results are deterministic regardless of scheduling.
+func MonteCarlo(cfg Config, trials int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if trials <= 0 {
+		return Result{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	seeds := make([]uint64, trials)
+	root := stats.NewRNG(cfg.Seed)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+
+	type trialOut struct {
+		b       Breakdown
+		stalled bool
+		err     error
+	}
+	outs := make([]trialOut, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Seed = seeds[i]
+				b, err := Run(c)
+				switch {
+				case err == nil:
+					outs[i] = trialOut{b: b}
+				case isStall(err):
+					outs[i] = trialOut{b: b, stalled: true}
+				default:
+					outs[i] = trialOut{err: err}
+				}
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var res Result
+	var sum Breakdown
+	for _, o := range outs {
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		if o.stalled {
+			res.Stalled++
+			res.Eff.Add(0)
+			continue
+		}
+		res.Trials++
+		res.Eff.Add(o.b.Efficiency())
+		sum.Compute += o.b.Compute
+		sum.CheckpointLocal += o.b.CheckpointLocal
+		sum.CheckpointIO += o.b.CheckpointIO
+		sum.RestoreLocal += o.b.RestoreLocal
+		sum.RestoreIO += o.b.RestoreIO
+		sum.RerunLocal += o.b.RerunLocal
+		sum.RerunIO += o.b.RerunIO
+		sum.Failures += o.b.Failures
+		sum.IOFailures += o.b.IOFailures
+	}
+	if res.Trials > 0 {
+		n := units.Seconds(res.Trials)
+		res.Mean = Breakdown{
+			Compute:         sum.Compute / n,
+			CheckpointLocal: sum.CheckpointLocal / n,
+			CheckpointIO:    sum.CheckpointIO / n,
+			RestoreLocal:    sum.RestoreLocal / n,
+			RestoreIO:       sum.RestoreIO / n,
+			RerunLocal:      sum.RerunLocal / n,
+			RerunIO:         sum.RerunIO / n,
+			Failures:        sum.Failures / res.Trials,
+			IOFailures:      sum.IOFailures / res.Trials,
+		}
+	}
+	return res, nil
+}
+
+func isStall(err error) bool { return errors.Is(err, ErrStalled) }

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ndpcr/internal/daly"
+	"ndpcr/internal/units"
+)
+
+// base returns a single-level-ish config used across tests.
+func base() Config {
+	return Config{
+		Work:          100 * units.Hour,
+		MTTI:          30 * units.Minute,
+		LocalInterval: 180,
+		DeltaLocal:    9,
+		PLocal:        1,
+		RestoreLocal:  9,
+		RestoreIO:     9,
+		Seed:          1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Work = 0 },
+		func(c *Config) { c.MTTI = 0 },
+		func(c *Config) { c.LocalInterval = 0 },
+		func(c *Config) { c.DeltaLocal = -1 },
+		func(c *Config) { c.DeltaIO = -1 },
+		func(c *Config) { c.RestoreLocal = -1 },
+		func(c *Config) { c.RestoreIO = -1 },
+		func(c *Config) { c.PLocal = -0.1 },
+		func(c *Config) { c.PLocal = 1.1 },
+		func(c *Config) { c.IOEveryK = -1 },
+		func(c *Config) { c.NDP = true; c.DrainTime = 0 },
+	}
+	for i, mut := range mutations {
+		c := base()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNoFailuresIsDeterministic(t *testing.T) {
+	// With an astronomically large MTTI, total time is exactly
+	// work + (#checkpoints × δ).
+	cfg := base()
+	cfg.MTTI = 1e12
+	cfg.Work = 3600
+	cfg.LocalInterval = 180
+	cfg.DeltaLocal = 9
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Compute != 3600 {
+		t.Errorf("compute = %v, want 3600", b.Compute)
+	}
+	// 3600/180 = 20 segments; the last ends the run, so 19 checkpoints.
+	want := units.Seconds(19 * 9)
+	if b.CheckpointLocal != want {
+		t.Errorf("checkpoint time = %v, want %v", b.CheckpointLocal, want)
+	}
+	if b.Failures != 0 || b.RerunLocal != 0 || b.RestoreLocal != 0 {
+		t.Errorf("unexpected failure activity: %+v", b)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different breakdowns")
+	}
+	c := base()
+	c.Seed = 2
+	d, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Error("different seeds produced identical breakdowns")
+	}
+}
+
+func TestMatchesDalyClosedForm(t *testing.T) {
+	// Cross-validation (DESIGN.md §6): single-level C/R at Daly's optimum
+	// should match Daly's predicted efficiency within Monte-Carlo noise.
+	m := 30 * units.Minute
+	delta := units.Seconds(9)
+	tau, err := daly.OptimalInterval(delta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEff, err := daly.Efficiency(tau, delta, delta, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		Work:          200 * units.Hour,
+		MTTI:          m,
+		LocalInterval: tau,
+		DeltaLocal:    delta,
+		PLocal:        1,
+		RestoreLocal:  delta,
+		RestoreIO:     delta,
+		Seed:          99,
+	}
+	res, err := MonteCarlo(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Efficiency()
+	if math.Abs(got-wantEff) > 0.015 {
+		t.Errorf("simulated efficiency %.4f, Daly predicts %.4f", got, wantEff)
+	}
+}
+
+func TestEfficiencyDecreasesWithFailureRate(t *testing.T) {
+	effAt := func(mtti units.Seconds) float64 {
+		cfg := base()
+		cfg.MTTI = mtti
+		cfg.Seed = 7
+		res, err := MonteCarlo(cfg, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Efficiency()
+	}
+	e30 := effAt(30 * units.Minute)
+	e150 := effAt(150 * units.Minute)
+	if e150 <= e30 {
+		t.Errorf("efficiency at MTTI=150min (%v) not above MTTI=30min (%v)", e150, e30)
+	}
+}
+
+func TestIORecoveryCostsMore(t *testing.T) {
+	// Lower PLocal → more I/O recoveries → more rerun-from-I/O → lower
+	// efficiency. This is the core multilevel trade-off (§3.4).
+	effAt := func(p float64) (float64, Breakdown) {
+		cfg := base()
+		cfg.IOEveryK = 8
+		cfg.DeltaIO = 1120 // 112 GB at 100 MB/s
+		cfg.PLocal = p
+		cfg.RestoreIO = 1120
+		cfg.Seed = 11
+		res, err := MonteCarlo(cfg, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Efficiency(), res.Mean
+	}
+	eHigh, _ := effAt(0.96)
+	eLow, bLow := effAt(0.20)
+	if eLow >= eHigh {
+		t.Errorf("PLocal=0.2 efficiency %v not below PLocal=0.96 %v", eLow, eHigh)
+	}
+	if bLow.RerunIO <= 0 || bLow.RestoreIO <= 0 {
+		t.Errorf("I/O recovery buckets empty: %+v", bLow)
+	}
+	if bLow.IOFailures == 0 {
+		t.Error("no I/O failures recorded at PLocal=0.2")
+	}
+}
+
+func TestNDPRemovesHostIOStall(t *testing.T) {
+	// The headline mechanism: with NDP, CheckpointIO must be zero and
+	// efficiency must beat the host-written configuration.
+	host := base()
+	host.PLocal = 0.85
+	host.IOEveryK = 8
+	host.DeltaIO = 1120
+	host.RestoreIO = 1120
+	host.Seed = 13
+	hostRes, err := MonteCarlo(host, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ndp := base()
+	ndp.PLocal = 0.85
+	ndp.NDP = true
+	ndp.DrainTime = 1120
+	ndp.RestoreIO = 1120
+	ndp.Seed = 13
+	ndpRes, err := MonteCarlo(ndp, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ndpRes.Mean.CheckpointIO != 0 {
+		t.Errorf("NDP run charged host I/O checkpoint time: %v", ndpRes.Mean.CheckpointIO)
+	}
+	if ndpRes.Efficiency() <= hostRes.Efficiency() {
+		t.Errorf("NDP efficiency %.3f not above host %.3f",
+			ndpRes.Efficiency(), hostRes.Efficiency())
+	}
+	// NDP drains more often than every 8th checkpoint here (drain 1120 s
+	// vs 189 s cadence → every ~6th), so rerun-from-I/O should not be
+	// larger than the host's.
+	if ndpRes.Mean.RerunIO > hostRes.Mean.RerunIO {
+		t.Errorf("NDP rerun-I/O %v exceeds host %v",
+			ndpRes.Mean.RerunIO, hostRes.Mean.RerunIO)
+	}
+}
+
+func TestFasterDrainReducesIORerun(t *testing.T) {
+	// Compression shrinks DrainTime, which should shrink rerun-from-I/O
+	// (Fig 7's Local+I/O-N vs Local+I/O-NC).
+	effAt := func(drain units.Seconds) Breakdown {
+		cfg := base()
+		cfg.PLocal = 0.85
+		cfg.NDP = true
+		cfg.DrainTime = drain
+		cfg.RestoreIO = drain
+		cfg.Seed = 17
+		res, err := MonteCarlo(cfg, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mean
+	}
+	slow := effAt(1120)
+	fast := effAt(302) // 73% compression
+	if fast.RerunIO >= slow.RerunIO {
+		t.Errorf("faster drain did not reduce I/O rerun: %v vs %v",
+			fast.RerunIO, slow.RerunIO)
+	}
+}
+
+func TestNVMExclusiveSlowsDrain(t *testing.T) {
+	// Pausing the drain during host commits stretches drain wall time;
+	// with a drain comparable to the segment length the effect must be
+	// visible in rerun-from-I/O (ablation from DESIGN.md §5).
+	run := func(exclusive bool) Breakdown {
+		cfg := base()
+		cfg.PLocal = 0.5
+		cfg.NDP = true
+		// Drain spans multiple segments so it overlaps host commits; the
+		// large commit stall amplifies the exclusive-NVM pause.
+		cfg.DrainTime = 500
+		cfg.DeltaLocal = 60
+		cfg.RestoreIO = 1120
+		cfg.NVMExclusive = exclusive
+		cfg.Seed = 23
+		res, err := MonteCarlo(cfg, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mean
+	}
+	excl := run(true)
+	free := run(false)
+	if excl.RerunIO <= free.RerunIO {
+		t.Errorf("NVM-exclusive drain should lag: rerunIO excl=%v free=%v",
+			excl.RerunIO, free.RerunIO)
+	}
+}
+
+func TestStalledRunDetected(t *testing.T) {
+	// Checkpoint takes longer than the MTTI: the run can never finish.
+	cfg := Config{
+		Work:          10 * units.Hour,
+		MTTI:          60,
+		LocalInterval: 600,
+		DeltaLocal:    600,
+		PLocal:        1,
+		RestoreLocal:  600,
+		RestoreIO:     600,
+		Seed:          5,
+		MaxWallTime:   20 * units.Hour,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("degenerate run completed")
+	}
+	res, err := MonteCarlo(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled != 4 {
+		t.Errorf("stalled = %d, want 4", res.Stalled)
+	}
+	if res.Efficiency() != 0 {
+		t.Errorf("stalled efficiency = %v", res.Efficiency())
+	}
+}
+
+func TestMonteCarloDeterministicAcrossParallelism(t *testing.T) {
+	cfg := base()
+	cfg.Work = 20 * units.Hour
+	a, err := MonteCarlo(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean {
+		t.Error("MonteCarlo not deterministic")
+	}
+	if _, err := MonteCarlo(cfg, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	cfg := base()
+	cfg.IOEveryK = 4
+	cfg.DeltaIO = 500
+	cfg.PLocal = 0.5
+	cfg.RestoreIO = 500
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work must be completed exactly once as Compute.
+	if b.Compute != cfg.Work {
+		t.Errorf("compute = %v, want %v", b.Compute, cfg.Work)
+	}
+	if b.Total() < cfg.Work {
+		t.Error("total less than solve time")
+	}
+	if b.Efficiency() <= 0 || b.Efficiency() > 1 {
+		t.Errorf("efficiency = %v", b.Efficiency())
+	}
+	if got := b.Overhead() + b.Efficiency(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("overhead + efficiency = %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Compute: 100, CheckpointLocal: 10}
+	s := b.String()
+	if s == "" || b.Efficiency() == 0 {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+func TestScheduledFailuresFireExactly(t *testing.T) {
+	// Work 1000 s, τ=100, δ=10: segments end at wall times 110, 220, …
+	// One failure at wall 150 (mid second compute segment) and one at
+	// 5000 (after completion — must never fire).
+	cfg := Config{
+		Work:          1000,
+		MTTI:          1e9, // ignored in scheduled mode
+		LocalInterval: 100,
+		DeltaLocal:    10,
+		PLocal:        1,
+		RestoreLocal:  5,
+		RestoreIO:     5,
+		FailureTimes:  []units.Seconds{150, 1e7},
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Failures != 1 {
+		t.Errorf("failures = %d, want 1", b.Failures)
+	}
+	// Failure at 150: 40 s into the second segment (checkpoint at work
+	// 100 committed at wall 110). Restore 5 s, rerun 40 s of work.
+	if b.RestoreLocal != 5 {
+		t.Errorf("restore = %v, want 5", b.RestoreLocal)
+	}
+	if b.RerunLocal != 40 {
+		t.Errorf("rerun = %v, want 40 s", b.RerunLocal)
+	}
+	if b.Compute != 1000 {
+		t.Errorf("compute = %v", b.Compute)
+	}
+	// Total: 1000 work + 9 checkpoints × 10 + 5 restore + 40 rerun.
+	if want := units.Seconds(1000 + 90 + 5 + 40); b.Total() != want {
+		t.Errorf("total = %v, want %v", b.Total(), want)
+	}
+}
+
+func TestScheduledFailuresExhaust(t *testing.T) {
+	cfg := Config{
+		Work:          500,
+		MTTI:          1, // would be catastrophic if the RNG were used
+		LocalInterval: 50,
+		DeltaLocal:    1,
+		PLocal:        1,
+		RestoreLocal:  1,
+		RestoreIO:     1,
+		FailureTimes:  []units.Seconds{60},
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Failures != 1 {
+		t.Errorf("failures = %d, want exactly the scheduled one", b.Failures)
+	}
+}
+
+func TestScheduledFailuresDeterministic(t *testing.T) {
+	cfg := Config{
+		Work:          2000,
+		MTTI:          1e9,
+		LocalInterval: 100,
+		DeltaLocal:    5,
+		PLocal:        0.5, // recovery level still drawn from the RNG
+		RestoreLocal:  2,
+		RestoreIO:     50,
+		IOEveryK:      3,
+		DeltaIO:       30,
+		Seed:          42,
+		FailureTimes:  []units.Seconds{333, 777, 1500},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace-driven runs not reproducible")
+	}
+	if a.Failures != 3 {
+		t.Errorf("failures = %d, want 3", a.Failures)
+	}
+}
+
+func TestScheduledPastTimesStillFire(t *testing.T) {
+	// Two failures at the same instant: the second fires immediately
+	// after recovery rather than being dropped.
+	cfg := Config{
+		Work:          300,
+		MTTI:          1e9,
+		LocalInterval: 50,
+		DeltaLocal:    1,
+		PLocal:        1,
+		RestoreLocal:  1,
+		RestoreIO:     1,
+		FailureTimes:  []units.Seconds{75, 75},
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Failures != 2 {
+		t.Errorf("failures = %d, want 2", b.Failures)
+	}
+}

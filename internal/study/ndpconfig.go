@@ -1,0 +1,84 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"ndpcr/internal/units"
+)
+
+// NDPConfig is one row of Table 3: the compression speed the NDP must
+// sustain to saturate per-node I/O bandwidth, the number of NDP cores that
+// achieves it with a given single-thread codec speed, and the minimum
+// feasible interval between checkpoints to global I/O.
+type NDPConfig struct {
+	Utility string
+	// RequiredSpeed is the §4.4 bound:
+	// (uncompressed/compressed) × per-node I/O bandwidth. Compressing
+	// faster than this is wasted — the I/O link is already saturated.
+	RequiredSpeed units.Bandwidth
+	// Cores is ceil(RequiredSpeed / single-thread speed).
+	Cores int
+	// MinIOInterval is the time to drain one compressed checkpoint at the
+	// per-node I/O bandwidth — the fastest possible I/O checkpoint cadence.
+	MinIOInterval units.Seconds
+}
+
+// ConfigureNDP computes Table 3's row for a codec given its average
+// compression factor and single-thread speed, the per-node I/O bandwidth,
+// and the per-node checkpoint size.
+func ConfigureNDP(utility string, factor float64, singleThread units.Bandwidth,
+	perNodeIO units.Bandwidth, ckptSize units.Bytes) (NDPConfig, error) {
+	if factor < 0 || factor >= 1 {
+		return NDPConfig{}, fmt.Errorf("study: compression factor %v out of [0,1)", factor)
+	}
+	if singleThread <= 0 || perNodeIO <= 0 || ckptSize <= 0 {
+		return NDPConfig{}, fmt.Errorf("study: non-positive NDP configuration inputs")
+	}
+	ratio := 1 / (1 - factor)
+	required := units.Bandwidth(ratio * float64(perNodeIO))
+	cores := int(math.Ceil(float64(required) / float64(singleThread)))
+	compressedSize := units.Bytes(float64(ckptSize) * (1 - factor))
+	return NDPConfig{
+		Utility:       utility,
+		RequiredSpeed: required,
+		Cores:         cores,
+		MinIOInterval: perNodeIO.TimeToMove(compressedSize),
+	}, nil
+}
+
+// Table3 computes an NDP configuration row per codec from study results.
+func (r *Results) Table3(perNodeIO units.Bandwidth, ckptSize units.Bytes) ([]NDPConfig, error) {
+	var out []NDPConfig
+	for _, codec := range r.Codecs() {
+		cfg, err := ConfigureNDP(codec, r.AverageFactor(codec), r.AverageSpeed(codec),
+			perNodeIO, ckptSize)
+		if err != nil {
+			return nil, fmt.Errorf("study: %s: %w", codec, err)
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// ChooseUtility applies the paper's §5.3 selection logic: prefer the codec
+// that minimizes the I/O checkpoint interval subject to a core budget.
+// The paper picks gzip(1): 4 cores, 305 s — much more frequent than lz4's
+// 395 s at 1 core, and nearly as frequent as gzip(6)'s 283 s at 8 cores.
+func ChooseUtility(configs []NDPConfig, maxCores int) (NDPConfig, error) {
+	best := NDPConfig{}
+	found := false
+	for _, c := range configs {
+		if c.Cores > maxCores {
+			continue
+		}
+		if !found || c.MinIOInterval < best.MinIOInterval {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return NDPConfig{}, fmt.Errorf("study: no codec fits within %d NDP cores", maxCores)
+	}
+	return best, nil
+}

@@ -1,0 +1,158 @@
+package study
+
+import "ndpcr/internal/units"
+
+// PaperCell is one published cell of the paper's Table 2.
+type PaperCell struct {
+	Factor float64         // compression factor, 0..1
+	Speed  units.Bandwidth // single-thread compression speed
+}
+
+// PaperTable2 is the paper's published Table 2: per mini-app compression
+// factor and single-thread speed for each utility(level). Utility keys use
+// this repo's codec names where the stdlib cannot produce the original
+// format: "bwz" rows carry the paper's bzip2 numbers and "lzr" rows the
+// paper's xz numbers (same algorithm family; see DESIGN.md §2).
+//
+// These published values parameterize the performance model exactly as in
+// the paper; the live study (Run) measures our own codecs for comparison.
+var PaperTable2 = map[string]map[string]PaperCell{
+	"gzip(1)": {
+		"CoMD":     {0.842, 153.7 * units.MBps},
+		"HPCCG":    {0.884, 150.7 * units.MBps},
+		"miniFE":   {0.715, 84.5 * units.MBps},
+		"miniMD":   {0.570, 52.2 * units.MBps},
+		"miniSmac": {0.350, 37.3 * units.MBps},
+		"miniAero": {0.843, 138.5 * units.MBps},
+		"pHPCCG":   {0.891, 154.0 * units.MBps},
+	},
+	"gzip(6)": {
+		"CoMD":     {0.844, 92.3 * units.MBps},
+		"HPCCG":    {0.923, 61.6 * units.MBps},
+		"miniFE":   {0.776, 24.1 * units.MBps},
+		"miniMD":   {0.584, 27.7 * units.MBps},
+		"miniSmac": {0.355, 24.4 * units.MBps},
+		"miniAero": {0.857, 61.2 * units.MBps},
+		"pHPCCG":   {0.891, 63.2 * units.MBps},
+	},
+	"bwz(1)": {
+		"CoMD":     {0.851, 32.5 * units.MBps},
+		"HPCCG":    {0.924, 5.9 * units.MBps},
+		"miniFE":   {0.807, 10.7 * units.MBps},
+		"miniMD":   {0.591, 10.0 * units.MBps},
+		"miniSmac": {0.314, 6.9 * units.MBps},
+		"miniAero": {0.866, 12.0 * units.MBps},
+		"pHPCCG":   {0.931, 6.8 * units.MBps},
+	},
+	"bwz(9)": {
+		"CoMD":     {0.850, 30.4 * units.MBps},
+		"HPCCG":    {0.936, 4.6 * units.MBps},
+		"miniFE":   {0.823, 10.1 * units.MBps},
+		"miniMD":   {0.595, 9.2 * units.MBps},
+		"miniSmac": {0.324, 6.0 * units.MBps},
+		"miniAero": {0.871, 8.2 * units.MBps},
+		"pHPCCG":   {0.940, 4.8 * units.MBps},
+	},
+	"lzr(1)": {
+		"CoMD":     {0.860, 23.5 * units.MBps},
+		"HPCCG":    {0.969, 47.5 * units.MBps},
+		"miniFE":   {0.876, 18.3 * units.MBps},
+		"miniMD":   {0.634, 8.0 * units.MBps},
+		"miniSmac": {0.475, 5.1 * units.MBps},
+		"miniAero": {0.881, 28.4 * units.MBps},
+		"pHPCCG":   {0.947, 45.9 * units.MBps},
+	},
+	"lzr(6)": {
+		"CoMD":     {0.862, 8.2 * units.MBps},
+		"HPCCG":    {0.987, 7.4 * units.MBps},
+		"miniFE":   {0.911, 1.6 * units.MBps},
+		"miniMD":   {0.679, 2.5 * units.MBps},
+		"miniSmac": {0.488, 2.6 * units.MBps},
+		"miniAero": {0.928, 4.3 * units.MBps},
+		"pHPCCG":   {0.973, 7.0 * units.MBps},
+	},
+	"lz4(1)": {
+		"CoMD":     {0.828, 658.3 * units.MBps},
+		"HPCCG":    {0.816, 447.8 * units.MBps},
+		"miniFE":   {0.548, 253.9 * units.MBps},
+		"miniMD":   {0.470, 345.3 * units.MBps},
+		"miniSmac": {0.241, 342.7 * units.MBps},
+		"miniAero": {0.805, 567.9 * units.MBps},
+		"pHPCCG":   {0.824, 477.7 * units.MBps},
+	},
+}
+
+// PaperCheckpointSizes is Table 2's per-app total checkpoint data size.
+var PaperCheckpointSizes = map[string]units.Bytes{
+	"CoMD":     25_070 * units.MB, // 25.07 GB
+	"HPCCG":    45_920 * units.MB,
+	"miniFE":   52_310 * units.MB,
+	"miniMD":   23_940 * units.MB,
+	"miniSmac": 28_110 * units.MB,
+	"miniAero": 780 * units.MB,
+	"pHPCCG":   46_180 * units.MB,
+}
+
+// PaperAppNames lists the mini-apps in Table 2 row order.
+var PaperAppNames = []string{
+	"CoMD", "HPCCG", "miniFE", "miniMD", "miniSmac", "miniAero", "pHPCCG",
+}
+
+// PaperUtilityOrder lists the utilities in Table 2/3 column order.
+var PaperUtilityOrder = []string{
+	"gzip(1)", "gzip(6)", "bwz(1)", "bwz(9)", "lzr(1)", "lzr(6)", "lz4(1)",
+}
+
+// PaperAverageFactor returns the across-app mean factor for a utility from
+// the published table (the paper's "Average" row).
+func PaperAverageFactor(utility string) float64 {
+	cells, ok := PaperTable2[utility]
+	if !ok {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cells {
+		sum += c.Factor
+	}
+	return sum / float64(len(cells))
+}
+
+// PaperAverageSpeed returns the across-app mean single-thread speed for a
+// utility from the published table.
+func PaperAverageSpeed(utility string) units.Bandwidth {
+	cells, ok := PaperTable2[utility]
+	if !ok {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cells {
+		sum += float64(c.Speed)
+	}
+	return units.Bandwidth(sum / float64(len(cells)))
+}
+
+// PaperResults packages the published Table 2 as a Results value so the
+// Table 3 pipeline can run on paper data as well as live measurements.
+// Sizes are scaled to per-checkpoint bytes; speeds are encoded by deriving
+// a synthetic duration.
+func PaperResults() *Results {
+	r := &Results{}
+	for _, utility := range PaperUtilityOrder {
+		for _, app := range PaperAppNames {
+			cell := PaperTable2[utility][app]
+			size := int64(PaperCheckpointSizes[app])
+			comp := int64(float64(size) * (1 - cell.Factor))
+			r.Measurements = append(r.Measurements, Measurement{
+				App:               app,
+				Codec:             utility,
+				UncompressedBytes: size,
+				CompressedBytes:   comp,
+				CompressSeconds:   float64(size) / float64(cell.Speed),
+				// Decompression speeds were not published per cell; the
+				// paper reports a 350 MB/s gzip(1) average (§6.1.3).
+				DecompressSeconds: float64(size) / float64(350*units.MBps),
+			})
+		}
+	}
+	return r
+}

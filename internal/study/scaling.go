@@ -1,0 +1,82 @@
+package study
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ndpcr/internal/compress"
+	"ndpcr/internal/miniapps"
+	"ndpcr/internal/units"
+)
+
+// Table 3's core-count arithmetic assumes compression throughput scales
+// linearly with cores (the paper: "Four such drives in parallel", "four
+// cores can reach..."). This file measures that assumption on the real
+// codecs via the block-parallel wrapper — the pbzip2-style parallelism the
+// paper cites.
+
+// ScalingPoint is the measured throughput at one worker count.
+type ScalingPoint struct {
+	Workers int
+	Speed   units.Bandwidth
+	// Speedup is Speed relative to the 1-worker measurement of the same
+	// sweep.
+	Speedup float64
+}
+
+// MeasureScaling compresses checkpoint data from the given app with the
+// codec at each worker count and reports throughput. Repeats picks the
+// fastest of N runs to damp scheduler noise.
+func MeasureScaling(app string, size miniapps.Size, codec compress.Codec,
+	workers []int, repeats int, seed uint64) ([]ScalingPoint, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("study: no worker counts given")
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	a, err := miniapps.New(app, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.Step(); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+
+	out := make([]ScalingPoint, 0, len(workers))
+	base := units.Bandwidth(0)
+	for _, w := range workers {
+		if w < 1 {
+			return nil, fmt.Errorf("study: worker count %d < 1", w)
+		}
+		p := compress.NewParallel(codec, w, 1<<20)
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			if _, err := p.Compress(nil, data); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		speed := units.Bandwidth(float64(len(data)) / best.Seconds())
+		pt := ScalingPoint{Workers: w, Speed: speed}
+		if base == 0 {
+			base = speed
+		}
+		if base > 0 {
+			pt.Speedup = float64(speed) / float64(base)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

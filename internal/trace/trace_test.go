@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	good := Config{MTTI: 100, Horizon: 1000, Ranks: 4, PLocal: 0.85, Seed: 1}
+	if _, err := Generate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MTTI: 0, Horizon: 1, Ranks: 1},
+		{MTTI: 1, Horizon: 0, Ranks: 1},
+		{MTTI: 1, Horizon: 1, Ranks: 0},
+		{MTTI: 1, Horizon: 1, Ranks: 1, PLocal: 2},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	cfg := Config{MTTI: 100, Horizon: 100000, Ranks: 8, PLocal: 0.85, Seed: 7}
+	events, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~1000 events.
+	if len(events) < 850 || len(events) > 1150 {
+		t.Errorf("got %d events, want ~1000", len(events))
+	}
+	local := 0
+	rankCounts := make([]int, 8)
+	prev := units.Seconds(0)
+	for _, e := range events {
+		if e.At <= prev || e.At >= cfg.Horizon {
+			t.Fatalf("event time %v out of order or range", e.At)
+		}
+		prev = e.At
+		if e.Rank < 0 || e.Rank >= 8 {
+			t.Fatalf("rank %d out of range", e.Rank)
+		}
+		rankCounts[e.Rank]++
+		if e.Local {
+			local++
+		}
+	}
+	if frac := float64(local) / float64(len(events)); math.Abs(frac-0.85) > 0.05 {
+		t.Errorf("local fraction %v, want ~0.85", frac)
+	}
+	for r, n := range rankCounts {
+		if n < len(events)/8/2 {
+			t.Errorf("rank %d got only %d failures", r, n)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Config{MTTI: 50, Horizon: 5000, Ranks: 2, PLocal: 0.5, Seed: 3}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestReplayer(t *testing.T) {
+	events := []Event{{At: 30, Rank: 1}, {At: 10, Rank: 0}, {At: 20, Rank: 2}}
+	r := NewReplayer(events) // sorts defensively
+	if got := r.Advance(5); len(got) != 0 {
+		t.Errorf("Advance(5) = %v", got)
+	}
+	got := r.Advance(20)
+	if len(got) != 2 || got[0].Rank != 0 || got[1].Rank != 2 {
+		t.Errorf("Advance(20) = %v", got)
+	}
+	if r.Remaining() != 1 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+	if got := r.Advance(100); len(got) != 1 || got[0].Rank != 1 {
+		t.Errorf("Advance(100) = %v", got)
+	}
+	if got := r.Advance(1000); len(got) != 0 {
+		t.Errorf("exhausted replayer returned %v", got)
+	}
+}
