@@ -16,6 +16,7 @@ import (
 
 	"ndpcr/internal/compress"
 	"ndpcr/internal/daly"
+	"ndpcr/internal/erasure"
 	"ndpcr/internal/miniapps"
 	"ndpcr/internal/model"
 	"ndpcr/internal/node"
@@ -367,5 +368,61 @@ func BenchmarkMiniAppCheckpoint(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// erasureShards builds an encoded shard set at 112 MB/rank — the paper's
+// 112 GB per-node checkpoint scaled by 1024 for benchmark turnaround,
+// large enough to be table-lookup-bound like the real hot path.
+func erasureShards(b *testing.B, code *erasure.Code, size int) ([]byte, [][]byte) {
+	b.Helper()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 2654435761)
+	}
+	shards, err := erasure.Split(data, code.K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards = append(shards, make([][]byte, code.M())...)
+	if err := code.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	return data, shards
+}
+
+func BenchmarkErasureEncode(b *testing.B) {
+	code, err := erasure.New(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 112 << 20
+	_, shards := erasureShards(b, code, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureReconstruct(b *testing.B) {
+	code, err := erasure.New(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 112 << 20
+	_, shards := erasureShards(b, code, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Lose one data and one parity shard each round — the worst case
+		// that still requires a matrix solve.
+		shards[0] = nil
+		shards[8] = nil
+		if err := code.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

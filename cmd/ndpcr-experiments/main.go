@@ -42,7 +42,9 @@ experiments:
   fig7     overhead breakdown at 4%% I/O recovery
   fig8     sensitivity to checkpoint size
   fig9     sensitivity to MTTI
-  ext      ablations + incremental-drain extension (beyond the paper)
+  ext      ablations + extensions beyond the paper; optional section arg:
+           "ext ablations" (drain/restore/dedup studies) or
+           "ext erasure" (redundancy-set level sweep)
   all      everything above
 
 flags:
@@ -66,11 +68,15 @@ func params() model.Params {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	exp := flag.Arg(0)
+	extSection := ""
+	switch {
+	case flag.NArg() == 2 && exp == "ext":
+		extSection = flag.Arg(1)
+	case flag.NArg() != 1:
 		usage()
 		os.Exit(2)
 	}
-	exp := flag.Arg(0)
 	runners := map[string]func() error{
 		"fig1":   runFig1,
 		"table1": runTable1,
@@ -83,7 +89,7 @@ func main() {
 		"fig7":   runFig7,
 		"fig8":   runFig8,
 		"fig9":   runFig9,
-		"ext":    runExt,
+		"ext":    func() error { return runExt(extSection) },
 	}
 	if exp == "all" {
 		order := []string{"fig1", "table1", "table2", "table3", "table4",

@@ -141,9 +141,10 @@ func (r *rank) heat() float64 {
 // run executes `steps` diffusion steps, checkpointing every `every`, with
 // one-shot failures injected at the given steps (rank chosen by the RNG).
 // With partner enabled, checkpoints also replicate to the buddy node
-// (§3.4's partner level), letting recoveries avoid the slow I/O path.
-// It returns the final total heat.
-func run(steps, every int, failAt map[int]bool, seed uint64, partner bool) float64 {
+// (§3.4's partner level), letting recoveries avoid the slow I/O path;
+// with erasure enabled they are XOR-coded into redundancy sets held
+// outside each rank's group instead. It returns the final total heat.
+func run(steps, every int, failAt map[int]bool, seed uint64, partner, erasure bool) float64 {
 	// Copy: each failure fires once, or the rollback would re-trigger it
 	// on re-execution forever.
 	failures := make(map[int]bool, len(failAt))
@@ -169,6 +170,9 @@ func run(steps, every int, failAt map[int]bool, seed uint64, partner bool) float
 	var opts []cluster.Option
 	if partner {
 		opts = append(opts, cluster.WithPartnerReplication())
+	}
+	if erasure {
+		opts = append(opts, cluster.WithErasureSets(2, 1))
 	}
 	c, err := cluster.New("heat", store, nodes, rankIfaces, opts...)
 	if err != nil {
@@ -220,13 +224,14 @@ func main() {
 	steps := flag.Int("steps", 60, "diffusion steps")
 	every := flag.Int("checkpoint-every", 5, "steps between coordinated checkpoints")
 	partner := flag.Bool("partner", false, "replicate checkpoints to the buddy node (partner level)")
+	erasure := flag.Bool("erasure", false, "XOR-code checkpoints into redundancy sets (erasure level)")
 	flag.Parse()
 
 	fmt.Println("reference run (no failures):")
-	ref := run(*steps, *every, nil, 1, *partner)
+	ref := run(*steps, *every, nil, 1, *partner, *erasure)
 
 	fmt.Println("faulty run (failures at steps 17 and 41):")
-	got := run(*steps, *every, map[int]bool{17: true, 41: true}, 1, *partner)
+	got := run(*steps, *every, map[int]bool{17: true, 41: true}, 1, *partner, *erasure)
 
 	fmt.Printf("\nfinal heat: reference %.6f, with failures %.6f\n", ref, got)
 	if math.Abs(ref-got) > 1e-9*math.Abs(ref) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ndpcr/internal/erasure"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
 )
@@ -31,6 +32,12 @@ type Cluster struct {
 	nodes   []*node.Node
 	ranks   []Rank
 	partner bool
+
+	// Erasure-set level configuration (see erasure.go). eraCode is nil
+	// when the level is disabled.
+	eraGroup  int
+	eraParity int
+	eraCode   *erasure.Code
 
 	mu     sync.Mutex
 	nextID uint64
@@ -73,6 +80,11 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 			n.SetPartner(nodes[(i+1)%len(nodes)])
 		}
 	}
+	if c.eraGroup != 0 || c.eraParity != 0 {
+		if err := c.setupErasure(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -104,6 +116,7 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	c.mu.Unlock()
 
 	errs := make([]error, len(c.ranks))
+	snaps := make([][]byte, len(c.ranks))
 	var wg sync.WaitGroup
 	for i := range c.ranks {
 		wg.Add(1)
@@ -114,6 +127,7 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 				errs[i] = fmt.Errorf("cluster: rank %d snapshot: %w", i, err)
 				return
 			}
+			snaps[i] = snap
 			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
 			id, err := c.nodes[i].Commit(snap, meta)
 			if err != nil {
@@ -139,11 +153,20 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 			return 0, err
 		}
 	}
+	// Erasure encode runs after every local commit succeeded, so the
+	// coordinated checkpoint is never visible at the erasure level in a
+	// half-committed state (shards of ID n imply all ranks committed n).
+	if c.eraCode != nil {
+		if err := c.encodeErasure(want, step, snaps); err != nil {
+			return 0, err
+		}
+	}
 	return want, nil
 }
 
 // available reports the checkpoint IDs rank i can restore from any level:
-// its own NVM, its buddy's partner region, or the global store.
+// its own NVM, its buddy's partner region, the erasure set, or the global
+// store.
 func (c *Cluster) available(i int) map[uint64]bool {
 	out := make(map[uint64]bool)
 	for _, id := range c.nodes[i].Device().IDs() {
@@ -152,6 +175,12 @@ func (c *Cluster) available(i int) map[uint64]bool {
 	if c.partner {
 		buddy := c.nodes[(i+1)%len(c.nodes)]
 		for _, id := range buddy.PartnerCopyIDs(i) {
+			out[id] = true
+		}
+	}
+	if c.eraCode != nil {
+		router := &erasureRouter{c: c}
+		for _, id := range router.ShardIDs(i) {
 			out[id] = true
 		}
 	}

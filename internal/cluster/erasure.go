@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ndpcr/internal/erasure"
+	"ndpcr/internal/node"
+)
+
+// Erasure-set level (§3.4): each coordinated checkpoint is additionally
+// Reed-Solomon encoded — every rank's snapshot splits into k = groupSize
+// data shards plus m = parity shards — and ALL k+m shards are striped
+// round-robin across the nodes *outside* the rank's own group, starting at
+// the next group. Losing an entire node group therefore leaves every one
+// of its ranks' shards intact, and up to m additional shard-holder losses
+// per rank are still recoverable. Storage cost is (k+m)/k of a checkpoint
+// per rank, spread across the remote erasure regions — near the partner
+// level's 2x, far below full replication on every group.
+
+// WithErasureSets enables the erasure-set level with k = groupSize data
+// shards and m = parity shards per rank checkpoint. The rank count must be
+// a multiple of groupSize with at least two groups (shards must land
+// outside the owner's group). groupSize must be at least 2 and parity at
+// least 1; parity 1 uses the XOR fast path.
+func WithErasureSets(groupSize, parity int) Option {
+	return func(c *Cluster) {
+		c.eraGroup = groupSize
+		c.eraParity = parity
+	}
+}
+
+// setupErasure validates the erasure geometry against the cluster size and
+// installs the shard router on every node. Called by New after options.
+func (c *Cluster) setupErasure() error {
+	n := len(c.nodes)
+	k, m := c.eraGroup, c.eraParity
+	switch {
+	case k < 2:
+		return fmt.Errorf("cluster: erasure group size %d, need at least 2", k)
+	case m < 1:
+		return fmt.Errorf("cluster: erasure parity %d, need at least 1", m)
+	case n%k != 0:
+		return fmt.Errorf("cluster: %d ranks not a multiple of erasure group size %d", n, k)
+	case n/k < 2:
+		return fmt.Errorf("cluster: erasure sets need at least 2 groups, have %d ranks in groups of %d", n, k)
+	}
+	code, err := erasure.New(k, m)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.eraCode = code
+	router := &erasureRouter{c: c}
+	for _, nd := range c.nodes {
+		nd.SetErasureSet(router)
+	}
+	return nil
+}
+
+// shardHolders returns the nodes storing rank's shards: every node outside
+// rank's own group, ordered round-robin starting at the next group. Shard
+// s of a checkpoint lives on holders[s % len(holders)].
+func (c *Cluster) shardHolders(rank int) []int {
+	n := len(c.nodes)
+	gs := c.eraGroup
+	g := rank / gs
+	start := ((g + 1) * gs) % n
+	holders := make([]int, 0, n-gs)
+	for j := 0; j < n-gs; j++ {
+		holders = append(holders, (start+j)%n)
+	}
+	return holders
+}
+
+// encodeErasure encodes every rank's snapshot of one coordinated
+// checkpoint into wire shards and stores them on the holders, one goroutine
+// per rank (the per-shard parity computation inside Encode is itself
+// parallel).
+func (c *Cluster) encodeErasure(id uint64, step int, snaps [][]byte) error {
+	k, m := c.eraGroup, c.eraParity
+	errs := make([]error, len(snaps))
+	var wg sync.WaitGroup
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap := snaps[i]
+			data, err := erasure.Split(snap, k)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d erasure split: %w", i, err)
+				return
+			}
+			shards := append(data, make([][]byte, m)...)
+			if err := c.eraCode.Encode(shards); err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d erasure encode: %w", i, err)
+				return
+			}
+			crc := erasure.ChecksumData(snap)
+			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
+			holders := c.shardHolders(i)
+			for s := range shards {
+				wire := erasure.AppendShard(nil, erasure.Shard{
+					K: k, M: m, Index: s,
+					CkptID:   id,
+					Step:     step,
+					OrigSize: int64(len(snap)),
+					DataCRC:  crc,
+					Payload:  shards[s],
+				})
+				holder := holders[s%len(holders)]
+				if err := c.nodes[holder].StoreErasureShard(i, s, id, wire, meta); err != nil {
+					errs[i] = fmt.Errorf("cluster: rank %d shard %d on node %d: %w", i, s, holder, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// erasureRouter is the node.ErasureSet the cluster installs on every node:
+// it locates a rank's surviving shards across the holders and reconstructs
+// checkpoints on demand.
+type erasureRouter struct {
+	c *Cluster
+}
+
+// ShardIDs lists checkpoint IDs for which at least k of rank's shards
+// survive — the reconstructible set — ascending.
+func (r *erasureRouter) ShardIDs(rank int) []uint64 {
+	c := r.c
+	count := make(map[uint64]int)
+	for _, h := range c.shardHolders(rank) {
+		for _, id := range c.nodes[h].ErasureShardIDs(rank) {
+			count[id]++
+		}
+	}
+	var out []uint64
+	for id, n := range count {
+		if n >= c.eraGroup {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reconstruct gathers rank's surviving shards of one checkpoint, decodes
+// and digest-verifies them, and returns the original snapshot.
+func (r *erasureRouter) Reconstruct(rank int, id uint64) ([]byte, node.Metadata, error) {
+	c := r.c
+	k, m := c.eraGroup, c.eraParity
+	holders := c.shardHolders(rank)
+	shards := make([][]byte, k+m)
+	var ref erasure.Shard
+	have := 0
+	for s := 0; s < k+m; s++ {
+		wire, ok := c.nodes[holders[s%len(holders)]].ErasureShard(rank, s, id)
+		if !ok {
+			continue
+		}
+		hdr, err := erasure.DecodeShard(wire)
+		if err != nil || hdr.K != k || hdr.M != m || hdr.Index != s || hdr.CkptID != id {
+			continue // torn or foreign shard: treat as missing
+		}
+		if have == 0 {
+			ref = hdr
+		} else if hdr.OrigSize != ref.OrigSize || hdr.DataCRC != ref.DataCRC || hdr.Step != ref.Step {
+			continue // disagrees with the quorum header: treat as missing
+		}
+		shards[s] = hdr.Payload
+		have++
+	}
+	if have < k {
+		return nil, node.Metadata{}, fmt.Errorf(
+			"cluster: rank %d ckpt %d: %d of %d shards survive, need %d: %w",
+			rank, id, have, k+m, k, erasure.ErrUnrecoverable)
+	}
+	if err := c.eraCode.Reconstruct(shards); err != nil {
+		return nil, node.Metadata{}, fmt.Errorf("cluster: rank %d ckpt %d: %w", rank, id, err)
+	}
+	data, err := erasure.Join(make([]byte, 0, ref.OrigSize), shards[:k], int(ref.OrigSize))
+	if err != nil {
+		return nil, node.Metadata{}, fmt.Errorf("cluster: rank %d ckpt %d: %w", rank, id, err)
+	}
+	if erasure.ChecksumData(data) != ref.DataCRC {
+		return nil, node.Metadata{}, fmt.Errorf(
+			"cluster: rank %d ckpt %d: reconstructed data fails digest verification", rank, id)
+	}
+	return data, node.Metadata{Job: c.job, Rank: rank, Step: ref.Step}, nil
+}

@@ -1,0 +1,279 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ndpcr/internal/stats"
+)
+
+// testPayload builds a deterministic checkpoint-like payload: smooth runs,
+// zero pages, and noise, in the spirit of real mini-app state.
+func testPayload(n int, seed uint64) []byte {
+	rng := stats.NewRNG(seed)
+	out := make([]byte, n)
+	i := 0
+	for i < n {
+		run := 16 + rng.Intn(200)
+		if run > n-i {
+			run = n - i
+		}
+		switch rng.Intn(3) {
+		case 0: // zero page
+			i += run
+		case 1: // smooth ramp
+			b := byte(rng.Intn(256))
+			for j := 0; j < run; j++ {
+				out[i+j] = b + byte(j/4)
+			}
+			i += run
+		default: // noise
+			for j := 0; j < run; j++ {
+				out[i+j] = byte(rng.Uint64())
+			}
+			i += run
+		}
+	}
+	return out
+}
+
+// combinations yields all ways to choose r elements from [0, n).
+func combinations(n, r int) [][]int {
+	var out [][]int
+	idx := make([]int, r)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == r {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// TestAnyMErasuresReconstruct is the acceptance property: for every
+// k∈{2,4,8}, m∈{1,2,3}, ANY m shard erasures reconstruct the original
+// checkpoint byte-identically (digest-verified), and m+1 erasures are
+// detected as unrecoverable with the typed error.
+func TestAnyMErasuresReconstruct(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		for _, m := range []int{1, 2, 3} {
+			t.Run(fmt.Sprintf("k%d_m%d", k, m), func(t *testing.T) {
+				code, err := New(k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// An odd size that does not divide evenly exercises padding.
+				orig := testPayload(k*1000+37, uint64(k*10+m))
+				crc := ChecksumData(orig)
+				data, err := Split(orig, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full := append(data, make([][]byte, m)...)
+				if err := code.Encode(full); err != nil {
+					t.Fatal(err)
+				}
+				if ok, err := code.Verify(full); err != nil || !ok {
+					t.Fatalf("Verify = %v, %v", ok, err)
+				}
+				// Every way to erase exactly m shards must reconstruct.
+				for _, lost := range combinations(k+m, m) {
+					shards := make([][]byte, k+m)
+					for i := range full {
+						shards[i] = full[i]
+					}
+					for _, i := range lost {
+						shards[i] = nil
+					}
+					if err := code.Reconstruct(shards); err != nil {
+						t.Fatalf("erasing %v: %v", lost, err)
+					}
+					for i := range full {
+						if !bytes.Equal(shards[i], full[i]) {
+							t.Fatalf("erasing %v: shard %d differs after reconstruct", lost, i)
+						}
+					}
+					got, err := Join(nil, shards[:k], len(orig))
+					if err != nil {
+						t.Fatalf("erasing %v: join: %v", lost, err)
+					}
+					if ChecksumData(got) != crc || !bytes.Equal(got, orig) {
+						t.Fatalf("erasing %v: reconstructed data differs", lost)
+					}
+				}
+				// m+1 erasures: typed unrecoverable error, shards untouched.
+				shards := make([][]byte, k+m)
+				for i := range full {
+					shards[i] = full[i]
+				}
+				for _, i := range combinations(k+m, m+1)[0] {
+					shards[i] = nil
+				}
+				if err := code.Reconstruct(shards); !errors.Is(err, ErrUnrecoverable) {
+					t.Fatalf("m+1 erasures: err = %v, want ErrUnrecoverable", err)
+				}
+			})
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {250, 10}} {
+		if _, err := New(tc[0], tc[1]); err == nil {
+			t.Errorf("New(%d, %d) accepted", tc[0], tc[1])
+		}
+	}
+	if c, err := New(253, 2); err != nil || c.K() != 253 || c.M() != 2 {
+		t.Errorf("New(253, 2) = %v, %v", c, err)
+	}
+}
+
+func TestEncodeGeometryErrors(t *testing.T) {
+	code, _ := New(2, 1)
+	if err := code.Encode(make([][]byte, 2)); !errors.Is(err, ErrShardGeometry) {
+		t.Errorf("short shard slice: %v", err)
+	}
+	if err := code.Encode([][]byte{{1, 2}, {3}, nil}); !errors.Is(err, ErrShardGeometry) {
+		t.Errorf("unequal data shards: %v", err)
+	}
+	if err := code.Encode([][]byte{{1, 2}, nil, nil}); !errors.Is(err, ErrShardGeometry) {
+		t.Errorf("nil data shard: %v", err)
+	}
+	if err := code.Reconstruct([][]byte{{1}, {2}, {3, 4}}); !errors.Is(err, ErrShardGeometry) {
+		t.Errorf("unequal survivor lengths: %v", err)
+	}
+}
+
+func TestXORParityMatchesManualXOR(t *testing.T) {
+	// The m=1 fast path must be plain XOR, byte for byte.
+	code, _ := New(3, 1)
+	shards := [][]byte{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, nil}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want := shards[0][i] ^ shards[1][i] ^ shards[2][i]
+		if shards[3][i] != want {
+			t.Fatalf("parity[%d] = %d, want XOR %d", i, shards[3][i], want)
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 1000} {
+		orig := testPayload(n, uint64(n+1))
+		shards, err := Split(orig, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Join(nil, shards, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, orig) {
+			t.Errorf("size %d: round trip mismatch", n)
+		}
+	}
+	if _, err := Split(nil, 0); err == nil {
+		t.Error("Split k=0 accepted")
+	}
+	if _, err := Join(nil, [][]byte{{1}}, 5); err == nil {
+		t.Error("Join beyond shard bytes accepted")
+	}
+	if _, err := Join(nil, [][]byte{nil}, 0); err == nil {
+		t.Error("Join with nil shard accepted")
+	}
+}
+
+func TestShardWireRoundTrip(t *testing.T) {
+	s := Shard{
+		K: 8, M: 2, Index: 9, CkptID: 42, Step: 17,
+		OrigSize: 100, DataCRC: 0xdeadbeef,
+		Payload: testPayload(13, 3),
+	}
+	wire := AppendShard(nil, s)
+	got, err := DecodeShard(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != s.K || got.M != s.M || got.Index != s.Index ||
+		got.CkptID != s.CkptID || got.Step != s.Step ||
+		got.OrigSize != s.OrigSize || got.DataCRC != s.DataCRC ||
+		!bytes.Equal(got.Payload, s.Payload) {
+		t.Errorf("round trip: got %+v want %+v", got, s)
+	}
+}
+
+func TestShardWireRejectsCorruption(t *testing.T) {
+	wire := AppendShard(nil, Shard{K: 2, M: 1, Index: 0, CkptID: 1, OrigSize: 4, Payload: []byte("abcd")})
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x40
+		if _, err := DecodeShard(bad); !errors.Is(err, ErrBadShard) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrBadShard", i, err)
+		}
+	}
+	for _, b := range [][]byte{nil, {1, 2, 3}, wire[:len(wire)-1]} {
+		if _, err := DecodeShard(b); !errors.Is(err, ErrBadShard) {
+			t.Errorf("truncated %d bytes: err = %v", len(b), err)
+		}
+	}
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check the tables: a·inv(a) = 1, distributivity, known products.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("a·a⁻¹ != 1 for a=%d", a)
+		}
+	}
+	rng := stats.NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Uint64()), byte(rng.Uint64()), byte(rng.Uint64())
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity fails: %d %d", a, b)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails: %d %d %d", a, b, c)
+		}
+		if b != 0 && gfDiv(gfMul(a, b), b) != a {
+			t.Fatalf("div inverse fails: %d %d", a, b)
+		}
+	}
+	if gfDiv(0, 7) != 0 {
+		t.Error("0/x != 0")
+	}
+}
+
+func TestReconstructIsDeterministicUnderConcurrency(t *testing.T) {
+	// Parallel goroutine-per-shard encode/reconstruct must be stable
+	// across runs (raced by `go test -race`).
+	code, _ := New(8, 3)
+	orig := testPayload(64<<10, 5)
+	data, _ := Split(orig, 8)
+	full := append(data, make([][]byte, 3)...)
+	if err := code.Encode(full); err != nil {
+		t.Fatal(err)
+	}
+	ref := AppendShard(nil, Shard{K: 8, M: 3, Index: 0, Payload: full[8]})
+	for round := 0; round < 10; round++ {
+		shards := make([][]byte, 11)
+		copy(shards, full)
+		shards[0], shards[5], shards[8] = nil, nil, nil
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		got := AppendShard(nil, Shard{K: 8, M: 3, Index: 0, Payload: shards[8]})
+		if !bytes.Equal(got, ref) {
+			t.Fatal("parity reconstruction unstable across rounds")
+		}
+	}
+}

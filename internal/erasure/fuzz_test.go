@@ -1,0 +1,37 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzShardDecode checks the wire decoder never panics on arbitrary input
+// and that accepted shards re-encode to the identical wire bytes.
+func FuzzShardDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("NDPE"))
+	f.Add(AppendShard(nil, Shard{K: 2, M: 1, Index: 0, CkptID: 1, OrigSize: 4, Payload: []byte("abcd")}))
+	f.Add(AppendShard(nil, Shard{K: 8, M: 3, Index: 10, CkptID: 1 << 39, Step: 1000, OrigSize: 0, DataCRC: 0xffffffff}))
+	big := AppendShard(nil, Shard{K: 4, M: 2, Index: 5, CkptID: 7, Step: 3, OrigSize: 100, DataCRC: 42, Payload: bytes.Repeat([]byte{0xA5}, 32)})
+	f.Add(big)
+	corrupt := append([]byte(nil), big...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeShard(data)
+		if err != nil {
+			return
+		}
+		// An accepted shard must satisfy the documented invariants and
+		// round-trip byte-identically.
+		if s.K < 1 || s.M < 1 || s.K+s.M > MaxShards || s.Index >= s.K+s.M {
+			t.Fatalf("accepted shard with bad geometry: %+v", s)
+		}
+		if s.OrigSize < 0 || s.OrigSize > int64(s.K)*int64(len(s.Payload)) {
+			t.Fatalf("accepted shard with impossible size: %+v", s)
+		}
+		if got := AppendShard(nil, s); !bytes.Equal(got, data) {
+			t.Fatalf("re-encode differs from accepted wire bytes")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// Package erasure implements the redundancy-set level of multilevel
+// checkpoint/restart: a systematic Reed-Solomon erasure code over GF(2^8)
+// (k data + m parity shards, tolerating any m shard losses), XOR as the
+// m=1 fast path, and a self-describing striped shard wire format. The
+// cluster layer encodes each coordinated checkpoint across node groups so
+// that "node group lost, I/O not needed" failures recover at near-partner
+// cost instead of falling back to the global I/O store.
+package erasure
+
+import "crypto/subtle"
+
+// gfPoly is the reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 — the
+// classic Rijndael-independent 0x11d used by most RS erasure coders.
+const gfPoly = 0x11d
+
+var (
+	// gfExp[i] = g^i for generator g=2, doubled so products of two logs
+	// (each < 255) index without a modulo.
+	gfExp [510]byte
+	// gfLog[x] = log_g(x); gfLog[0] is unused (log of zero is undefined).
+	gfLog [256]byte
+	// gfMulTable[a][b] = a·b. 64 KiB; turns the inner encode loop into a
+	// single table lookup per byte.
+	gfMulTable [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < len(gfExp); i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		la := int(gfLog[a])
+		for b := 1; b < 256; b++ {
+			gfMulTable[a][b] = gfExp[la+int(gfLog[b])]
+		}
+	}
+}
+
+func gfMul(a, b byte) byte { return gfMulTable[a][b] }
+
+// gfInv returns the multiplicative inverse; it panics on zero (a code bug:
+// the Cauchy construction guarantees nonzero pivots).
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("erasure: inverse of zero")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfMul(a, gfInv(b))
+}
+
+// mulXorSlice accumulates out[i] ^= c·in[i] — the GF(2^8) SAXPY at the
+// heart of both encode and reconstruct.
+func mulXorSlice(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		subtle.XORBytes(out, out, in)
+		return
+	}
+	mt := &gfMulTable[c]
+	for i, v := range in {
+		out[i] ^= mt[v]
+	}
+}
+
+// mulSlice sets out[i] = c·in[i].
+func mulSlice(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		for i := range out[:len(in)] {
+			out[i] = 0
+		}
+		return
+	case 1:
+		copy(out, in)
+		return
+	}
+	mt := &gfMulTable[c]
+	for i, v := range in {
+		out[i] = mt[v]
+	}
+}

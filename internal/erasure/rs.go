@@ -1,0 +1,338 @@
+package erasure
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common errors.
+var (
+	// ErrUnrecoverable reports more than m missing shards: the erasure set
+	// cannot reconstruct and recovery must fall back to the next level.
+	ErrUnrecoverable = errors.New("erasure: too many missing shards to reconstruct")
+	// ErrShardGeometry reports shard slices inconsistent with the code
+	// (wrong count, unequal lengths, missing data shards on encode).
+	ErrShardGeometry = errors.New("erasure: bad shard geometry")
+)
+
+// MaxShards bounds k+m: GF(2^8) Cauchy coordinates must be distinct bytes.
+const MaxShards = 255
+
+// Code is a systematic (k+m, k) Reed-Solomon erasure code over GF(2^8):
+// k equal-length data shards produce m parity shards such that any k of
+// the k+m shards reconstruct the data. m=1 degenerates to plain XOR
+// parity (the RAID-5 fast path); m>1 uses Cauchy generator rows, whose
+// every square submatrix is invertible, making the code MDS.
+//
+// A Code is immutable after New and safe for concurrent use.
+type Code struct {
+	k, m int
+	// gen holds the m parity generator rows (k coefficients each). For
+	// m=1 it is the all-ones row, so parity is the XOR of the data.
+	gen [][]byte
+}
+
+// New builds a code with k data and m parity shards. Requires k ≥ 1,
+// m ≥ 1, and k+m ≤ MaxShards.
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("erasure: need k >= 1 data and m >= 1 parity shards, got k=%d m=%d", k, m)
+	}
+	if k+m > MaxShards {
+		return nil, fmt.Errorf("erasure: k+m = %d exceeds %d", k+m, MaxShards)
+	}
+	c := &Code{k: k, m: m, gen: make([][]byte, m)}
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			if m == 1 {
+				row[j] = 1 // XOR parity
+			} else {
+				// Cauchy: 1/(x_i + y_j) with x_i = k+i, y_j = j. The
+				// coordinate sets are disjoint, so x_i ^ y_j != 0.
+				row[j] = gfInv(byte(k+i) ^ byte(j))
+			}
+		}
+		c.gen[i] = row
+	}
+	return c, nil
+}
+
+// K returns the data shard count.
+func (c *Code) K() int { return c.k }
+
+// M returns the parity shard count.
+func (c *Code) M() int { return c.m }
+
+// Encode computes the m parity shards from the k data shards. shards must
+// hold k+m entries whose first k are equal-length data shards; the final m
+// entries are (re)allocated as needed and overwritten. Parity shards are
+// computed concurrently, one goroutine per shard, in the spirit of the
+// block-parallel compressor.
+func (c *Code) Encode(shards [][]byte) error {
+	shardLen, err := c.checkData(shards)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < c.m; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := shards[c.k+r]
+			if cap(out) < shardLen {
+				out = make([]byte, shardLen)
+			}
+			out = out[:shardLen]
+			c.encodeRow(r, shards[:c.k], out)
+			shards[c.k+r] = out
+		}(r)
+	}
+	wg.Wait()
+	return nil
+}
+
+// encodeRow fills out with parity row r of the given data shards.
+func (c *Code) encodeRow(r int, data [][]byte, out []byte) {
+	mulSlice(c.gen[r][0], data[0], out)
+	for j := 1; j < c.k; j++ {
+		mulXorSlice(c.gen[r][j], data[j], out)
+	}
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards (all k+m present and equal length).
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	shardLen, err := c.checkData(shards)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, shardLen)
+	for r := 0; r < c.m; r++ {
+		p := shards[c.k+r]
+		if len(p) != shardLen {
+			return false, nil
+		}
+		c.encodeRow(r, shards[:c.k], buf)
+		for i := range buf {
+			if buf[i] != p[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct fills in missing (nil) shards in place from any k surviving
+// shards. Present shards must all have equal length. With more than m
+// shards missing it returns ErrUnrecoverable and leaves shards untouched.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	n := c.k + c.m
+	if len(shards) != n {
+		return fmt.Errorf("%w: got %d shards, code is (%d+%d)", ErrShardGeometry, len(shards), c.k, c.m)
+	}
+	avail := make([]int, 0, n)
+	shardLen := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardLen == -1 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return fmt.Errorf("%w: shard %d has %d bytes, others %d", ErrShardGeometry, i, len(s), shardLen)
+		}
+		avail = append(avail, i)
+	}
+	if len(avail) < c.k {
+		return fmt.Errorf("%w: %d of %d shards present, need %d", ErrUnrecoverable, len(avail), n, c.k)
+	}
+	var missingData []int
+	for j := 0; j < c.k; j++ {
+		if shards[j] == nil {
+			missingData = append(missingData, j)
+		}
+	}
+	if len(missingData) > 0 {
+		if err := c.reconstructData(shards, avail[:c.k], missingData, shardLen); err != nil {
+			return err
+		}
+	}
+	// Data is complete now; recompute any missing parity directly.
+	for r := 0; r < c.m; r++ {
+		if shards[c.k+r] != nil {
+			continue
+		}
+		out := make([]byte, shardLen)
+		c.encodeRow(r, shards[:c.k], out)
+		shards[c.k+r] = out
+	}
+	return nil
+}
+
+// reconstructData recovers the missing data shards from the k selected
+// surviving rows. rows is ascending, so data shards are preferred over
+// parity rows (identity rows make the decode matrix sparser).
+func (c *Code) reconstructData(shards [][]byte, rows, missingData []int, shardLen int) error {
+	// XOR fast path: single missing data shard in an m=1 (or any) code
+	// where the selected rows are the other k-1 data shards plus the XOR
+	// parity row.
+	if c.m == 1 && len(missingData) == 1 {
+		out := make([]byte, shardLen)
+		copy(out, shards[c.k])
+		for j := 0; j < c.k; j++ {
+			if j != missingData[0] {
+				subtle.XORBytes(out, out, shards[j])
+			}
+		}
+		shards[missingData[0]] = out
+		return nil
+	}
+	// General path: invert the k×k submatrix of the generator formed by
+	// the chosen surviving rows, then each missing data shard j is the
+	// j-th row of the inverse applied to those survivors.
+	a := make([][]byte, c.k)
+	for t, idx := range rows {
+		row := make([]byte, c.k)
+		if idx < c.k {
+			row[idx] = 1
+		} else {
+			copy(row, c.gen[idx-c.k])
+		}
+		a[t] = row
+	}
+	inv, err := invertMatrix(a)
+	if err != nil {
+		// Cannot happen for the Cauchy construction; surface loudly.
+		return fmt.Errorf("erasure: internal: decode matrix singular: %w", err)
+	}
+	var wg sync.WaitGroup
+	for _, j := range missingData {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			out := make([]byte, shardLen)
+			mulSlice(inv[j][0], shards[rows[0]], out)
+			for t := 1; t < c.k; t++ {
+				mulXorSlice(inv[j][t], shards[rows[t]], out)
+			}
+			shards[j] = out
+		}(j)
+	}
+	wg.Wait()
+	return nil
+}
+
+// checkData validates the data shards for encode/verify and returns the
+// shard length.
+func (c *Code) checkData(shards [][]byte) (int, error) {
+	if len(shards) != c.k+c.m {
+		return 0, fmt.Errorf("%w: got %d shards, code is (%d+%d)", ErrShardGeometry, len(shards), c.k, c.m)
+	}
+	if shards[0] == nil {
+		return 0, fmt.Errorf("%w: data shard 0 is nil", ErrShardGeometry)
+	}
+	shardLen := len(shards[0])
+	for j := 1; j < c.k; j++ {
+		if shards[j] == nil || len(shards[j]) != shardLen {
+			return 0, fmt.Errorf("%w: data shard %d missing or wrong length", ErrShardGeometry, j)
+		}
+	}
+	return shardLen, nil
+}
+
+// invertMatrix inverts a square GF(2^8) matrix via Gauss-Jordan. The input
+// rows are consumed.
+func invertMatrix(a [][]byte) ([][]byte, error) {
+	k := len(a)
+	inv := make([][]byte, k)
+	for i := range inv {
+		inv[i] = make([]byte, k)
+		inv[i][i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errors.New("erasure: singular matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := a[col][col]; p != 1 {
+			ip := gfInv(p)
+			for j := 0; j < k; j++ {
+				a[col][j] = gfMul(a[col][j], ip)
+				inv[col][j] = gfMul(inv[col][j], ip)
+			}
+		}
+		for r := 0; r < k; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < k; j++ {
+				a[r][j] ^= gfMul(f, a[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Split copies data into k equal-length shards, zero-padding the tail
+// shard. The original length must be carried alongside (the shard wire
+// header does) for Join to trim the padding.
+func Split(data []byte, k int) ([][]byte, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("erasure: split into %d shards", k)
+	}
+	shardLen := (len(data) + k - 1) / k
+	shards := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		s := make([]byte, shardLen)
+		lo := i * shardLen
+		if lo < len(data) {
+			copy(s, data[lo:])
+		}
+		shards[i] = s
+	}
+	return shards, nil
+}
+
+// Join appends the original data (trimmed to size) reassembled from the
+// data shards to dst.
+func Join(dst []byte, shards [][]byte, size int) ([]byte, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("erasure: join to negative size %d", size)
+	}
+	total := 0
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing", ErrShardGeometry, i)
+		}
+		total += len(s)
+	}
+	if total < size {
+		return nil, fmt.Errorf("%w: %d shard bytes cannot yield %d", ErrShardGeometry, total, size)
+	}
+	remaining := size
+	for _, s := range shards {
+		if remaining <= 0 {
+			break
+		}
+		n := len(s)
+		if n > remaining {
+			n = remaining
+		}
+		dst = append(dst, s[:n]...)
+		remaining -= n
+	}
+	return dst, nil
+}

@@ -1,0 +1,127 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The striped shard wire format. Each shard of an encoded checkpoint is
+// stored (and shipped) self-describing, so a surviving node can identify a
+// shard's geometry and position without any external metadata:
+//
+//	magic   "NDPE" (4 bytes)
+//	version 1      (1 byte)
+//	uvarint k, m, index, ckptID, step, origSize, dataCRC
+//	uvarint payloadLen, then payload bytes
+//	crc32c of everything above (4 bytes, little-endian)
+//
+// dataCRC is the CRC-32C of the ORIGINAL (unsplit) checkpoint; every shard
+// of the same checkpoint carries the same value, so a reconstruction can be
+// digest-verified end to end. The trailing CRC covers this one shard's
+// header+payload and detects torn or corrupted shard objects.
+
+// Shard is one decoded wire shard.
+type Shard struct {
+	// K and M are the code geometry; Index identifies this shard's row
+	// (0..K-1 data, K..K+M-1 parity).
+	K, M, Index int
+	// CkptID is the global checkpoint ID the shard belongs to.
+	CkptID uint64
+	// Step is the application step recorded at that checkpoint.
+	Step int
+	// OrigSize is the original checkpoint length before split padding.
+	OrigSize int64
+	// DataCRC is the CRC-32C of the original checkpoint payload.
+	DataCRC uint32
+	// Payload is this shard's stripe. On decode it aliases the wire
+	// buffer; treat it as read-only.
+	Payload []byte
+}
+
+// Wire format constants.
+var (
+	shardMagic = [4]byte{'N', 'D', 'P', 'E'}
+	// ErrBadShard reports a malformed or corrupted wire shard.
+	ErrBadShard = errors.New("erasure: malformed shard")
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+const shardVersion = 1
+
+// ChecksumData returns the CRC-32C carried as Shard.DataCRC.
+func ChecksumData(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// AppendShard appends the wire encoding of s to dst.
+func AppendShard(dst []byte, s Shard) []byte {
+	start := len(dst)
+	dst = append(dst, shardMagic[:]...)
+	dst = append(dst, shardVersion)
+	dst = binary.AppendUvarint(dst, uint64(s.K))
+	dst = binary.AppendUvarint(dst, uint64(s.M))
+	dst = binary.AppendUvarint(dst, uint64(s.Index))
+	dst = binary.AppendUvarint(dst, s.CkptID)
+	dst = binary.AppendUvarint(dst, uint64(s.Step))
+	dst = binary.AppendUvarint(dst, uint64(s.OrigSize))
+	dst = binary.AppendUvarint(dst, uint64(s.DataCRC))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Payload)))
+	dst = append(dst, s.Payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// DecodeShard parses and digest-verifies one wire shard. The returned
+// payload aliases b.
+func DecodeShard(b []byte) (Shard, error) {
+	var s Shard
+	if len(b) < len(shardMagic)+1+4 {
+		return s, fmt.Errorf("%w: %d bytes", ErrBadShard, len(b))
+	}
+	if [4]byte(b[:4]) != shardMagic {
+		return s, fmt.Errorf("%w: bad magic", ErrBadShard)
+	}
+	if b[4] != shardVersion {
+		return s, fmt.Errorf("%w: unknown version %d", ErrBadShard, b[4])
+	}
+	// Verify the trailing CRC before trusting any varint field.
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return s, fmt.Errorf("%w: digest mismatch", ErrBadShard)
+	}
+	rest := body[5:]
+	fields := make([]uint64, 8)
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return s, fmt.Errorf("%w: truncated header field %d", ErrBadShard, i)
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	k, m, index := fields[0], fields[1], fields[2]
+	if k < 1 || m < 1 || k+m > MaxShards {
+		return s, fmt.Errorf("%w: geometry k=%d m=%d", ErrBadShard, k, m)
+	}
+	if index >= k+m {
+		return s, fmt.Errorf("%w: shard index %d of %d", ErrBadShard, index, k+m)
+	}
+	payloadLen := fields[7]
+	if payloadLen != uint64(len(rest)) {
+		return s, fmt.Errorf("%w: payload length %d, have %d bytes", ErrBadShard, payloadLen, len(rest))
+	}
+	if fields[5] > k*payloadLen {
+		return s, fmt.Errorf("%w: original size %d exceeds %d shard bytes", ErrBadShard, fields[5], k*payloadLen)
+	}
+	if fields[4] > 1<<40 || fields[6] > 1<<32-1 {
+		return s, fmt.Errorf("%w: implausible header values", ErrBadShard)
+	}
+	s.K, s.M, s.Index = int(k), int(m), int(index)
+	s.CkptID = fields[3]
+	s.Step = int(fields[4])
+	s.OrigSize = int64(fields[5])
+	s.DataCRC = uint32(fields[6])
+	s.Payload = rest
+	return s, nil
+}

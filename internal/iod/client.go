@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ndpcr/internal/node/iostore"
 )
@@ -30,15 +31,49 @@ type Client struct {
 
 var _ iostore.API = (*Client)(nil)
 
-// Dial connects to an iod server.
+// Dial retry schedule: during a coordinated startup the I/O node may come
+// up seconds after the compute nodes, so a single failed connect must not
+// abort a drain. Attempts back off exponentially from dialBackoffBase,
+// capped at dialBackoffMax.
+const (
+	dialAttempts    = 6
+	dialBackoffBase = 25 * time.Millisecond
+	dialBackoffMax  = 800 * time.Millisecond
+)
+
+// Dial connects to an iod server, retrying transient connect failures with
+// capped exponential backoff.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialRetry(addr)
 	if err != nil {
 		return nil, fmt.Errorf("iod: dial %s: %w", addr, err)
 	}
 	c := NewClient(conn)
 	c.addr = addr
 	return c, nil
+}
+
+// dialRetry attempts the TCP connect up to dialAttempts times, sleeping
+// the backoff schedule between failures; it returns the last error if all
+// attempts fail.
+func dialRetry(addr string) (net.Conn, error) {
+	backoff := dialBackoffBase
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > dialBackoffMax {
+				backoff = dialBackoffMax
+			}
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w (after %d attempts)", lastErr, dialAttempts)
 }
 
 // NewClient wraps an established connection (tests use net.Pipe). Clients
@@ -55,7 +90,7 @@ func (c *Client) reconnectLocked() error {
 	if c.conn != nil {
 		c.conn.Close()
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := dialRetry(c.addr)
 	if err != nil {
 		return fmt.Errorf("iod: redial %s: %w", c.addr, err)
 	}

@@ -48,16 +48,25 @@ func AnalyticEfficiency(cfg Configuration, p Params, ratio int) (float64, error)
 		}
 		deltaL := float64(p.DeltaLocal())
 		deltaIO := float64(p.DeltaIOHost())
-		period = float64(tau) + deltaL + deltaIO/float64(ratio)
-		eRestore = p.PLocal*float64(p.RestoreLocal()) + (1-p.PLocal)*float64(p.RestoreIO())
+		period = float64(tau) + deltaL + deltaIO/float64(ratio) + amortizedErasure(p)
+		pIO := 1 - p.PLocal - p.PPartner - p.PErasure
+		eRestore = p.PLocal*float64(p.RestoreLocal()) +
+			p.PPartner*float64(p.RestorePartner()) +
+			p.PErasure*float64(p.RestoreErasure()) +
+			pIO*float64(p.RestoreIO())
 		lostLocal := period / 2
+		lostErasure := float64(erasureEvery(p)) * period / 2
 		lostIO := float64(ratio) * period / 2
-		eRework = p.PLocal*lostLocal + (1-p.PLocal)*lostIO
+		eRework = (p.PLocal+p.PPartner)*lostLocal + p.PErasure*lostErasure + pIO*lostIO
 
 	case ConfigLocalIONDP:
 		deltaL := float64(p.DeltaLocal())
-		period = float64(tau) + deltaL
-		eRestore = p.PLocal*float64(p.RestoreLocal()) + (1-p.PLocal)*float64(p.RestoreIO())
+		period = float64(tau) + deltaL + amortizedErasure(p)
+		pIO := 1 - p.PLocal - p.PPartner - p.PErasure
+		eRestore = p.PLocal*float64(p.RestoreLocal()) +
+			p.PPartner*float64(p.RestorePartner()) +
+			p.PErasure*float64(p.RestoreErasure()) +
+			pIO*float64(p.RestoreIO())
 		drain := float64(p.DrainTime())
 		if p.NVMExclusive {
 			busy := deltaL / period
@@ -66,10 +75,11 @@ func AnalyticEfficiency(cfg Configuration, p Params, ratio int) (float64, error)
 			}
 		}
 		lostLocal := period / 2
+		lostErasure := float64(erasureEvery(p)) * period / 2
 		// The newest I/O checkpoint lags the execution front by the drain
 		// time plus on average half a period of staleness.
 		lostIO := drain + period/2
-		eRework = p.PLocal*lostLocal + (1-p.PLocal)*lostIO
+		eRework = (p.PLocal+p.PPartner)*lostLocal + p.PErasure*lostErasure + pIO*lostIO
 
 	default:
 		return 0, errUnknownConfig(cfg)
@@ -89,6 +99,24 @@ func AnalyticEfficiency(cfg Configuration, p Params, ratio int) (float64, error)
 		eff = 1
 	}
 	return eff, nil
+}
+
+// erasureEvery resolves the erasure encode cadence (zero means every
+// local checkpoint).
+func erasureEvery(p Params) int {
+	if p.ErasureEveryK > 0 {
+		return p.ErasureEveryK
+	}
+	return 1
+}
+
+// amortizedErasure is the per-period share of the erasure encode stall.
+func amortizedErasure(p Params) float64 {
+	d := float64(p.DeltaErasure())
+	if d <= 0 {
+		return 0
+	}
+	return d / float64(erasureEvery(p))
 }
 
 // OptimalRatio finds the locally:I/O ratio maximizing the analytic

@@ -122,16 +122,22 @@ func SimConfig(cfg Configuration, p Params) (sim.Config, int, error) {
 			}
 		}
 		return sim.Config{
-			Work:          p.Work,
-			MTTI:          p.MTTI,
-			LocalInterval: tau,
-			DeltaLocal:    p.DeltaLocal(),
-			IOEveryK:      ratio,
-			DeltaIO:       p.DeltaIOHost(),
-			PLocal:        p.PLocal,
-			RestoreLocal:  p.RestoreLocal(),
-			RestoreIO:     p.RestoreIO(),
-			Seed:          p.Seed,
+			Work:           p.Work,
+			MTTI:           p.MTTI,
+			LocalInterval:  tau,
+			DeltaLocal:     p.DeltaLocal(),
+			DeltaErasure:   p.DeltaErasure(),
+			ErasureEveryK:  p.ErasureEveryK,
+			IOEveryK:       ratio,
+			DeltaIO:        p.DeltaIOHost(),
+			PLocal:         p.PLocal,
+			PPartner:       p.PPartner,
+			PErasure:       p.PErasure,
+			RestoreLocal:   p.RestoreLocal(),
+			RestorePartner: p.RestorePartner(),
+			RestoreErasure: p.RestoreErasure(),
+			RestoreIO:      p.RestoreIO(),
+			Seed:           p.Seed,
 		}, ratio, nil
 
 	case ConfigLocalIONDP:
@@ -144,17 +150,23 @@ func SimConfig(cfg Configuration, p Params) (sim.Config, int, error) {
 			return sim.Config{}, 0, err
 		}
 		return sim.Config{
-			Work:          p.Work,
-			MTTI:          p.MTTI,
-			LocalInterval: tau,
-			DeltaLocal:    p.DeltaLocal(),
-			NDP:           true,
-			DrainTime:     p.DrainTime(),
-			NVMExclusive:  p.NVMExclusive,
-			PLocal:        p.PLocal,
-			RestoreLocal:  p.RestoreLocal(),
-			RestoreIO:     p.RestoreIO(),
-			Seed:          p.Seed,
+			Work:           p.Work,
+			MTTI:           p.MTTI,
+			LocalInterval:  tau,
+			DeltaLocal:     p.DeltaLocal(),
+			DeltaErasure:   p.DeltaErasure(),
+			ErasureEveryK:  p.ErasureEveryK,
+			NDP:            true,
+			DrainTime:      p.DrainTime(),
+			NVMExclusive:   p.NVMExclusive,
+			PLocal:         p.PLocal,
+			PPartner:       p.PPartner,
+			PErasure:       p.PErasure,
+			RestoreLocal:   p.RestoreLocal(),
+			RestorePartner: p.RestorePartner(),
+			RestoreErasure: p.RestoreErasure(),
+			RestoreIO:      p.RestoreIO(),
+			Seed:           p.Seed,
 		}, ratio, nil
 	}
 	return sim.Config{}, 0, errUnknownConfig(cfg)

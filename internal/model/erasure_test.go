@@ -1,0 +1,126 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f (±%.4f)", name, got, want, tol)
+	}
+}
+
+// TestErasureDerivedCosts pins the redundancy-set timing derivation at
+// Table 4 bandwidths: 112 GB checkpoints, 15 GB/s inter-node links,
+// 16 GB/s RS coding (XOR at 8×).
+func TestErasureDerivedCosts(t *testing.T) {
+	p := DefaultParams()
+	if p.DeltaErasure() != 0 || p.RestoreErasure() != 0 {
+		t.Fatal("erasure costs non-zero with the level disabled")
+	}
+
+	p.ErasureGroup, p.ErasureParity = 8, 1
+	// XOR coding: 112/(8·16) = 0.875 s; shipping (k+m)/k of the
+	// checkpoint: 112·9/8/15 = 8.4 s. The pipeline is ship-bound.
+	approx(t, "DeltaErasure k=8 m=1", float64(p.DeltaErasure()), 8.4, 0.01)
+	// Reconstruct fetches one checkpoint's worth of shards: link-bound at
+	// the local restore cost.
+	approx(t, "RestoreErasure k=8 m=1", float64(p.RestoreErasure()), float64(p.RestoreLocal()), 0.01)
+
+	// m=2 doubles the coding passes: 112·2/16 = 14 s, now compute-bound
+	// over shipping 112·10/8/15 = 9.33 s.
+	p.ErasureParity = 2
+	approx(t, "DeltaErasure k=8 m=2", float64(p.DeltaErasure()), 14, 0.01)
+	approx(t, "RestoreErasure k=8 m=2", float64(p.RestoreErasure()), 14, 0.01)
+}
+
+// TestAnalyticErasureOrdering places the erasure level's analytic
+// efficiency strictly between the I/O-fallback and partner-only
+// configurations, mirroring the acceptance criterion for the CLI sweep.
+func TestAnalyticErasureOrdering(t *testing.T) {
+	base := DefaultParams()
+	base = WithCompression(base, 0.73)
+	base = WithPLocal(base, 0.75)
+
+	lower := base // non-local slice falls straight to I/O
+
+	eras := base
+	eras.PErasure = 0.20
+	eras.ErasureGroup, eras.ErasureParity = 8, 1
+	eras.ErasureEveryK = 4
+
+	part := base
+	part.PPartner = 0.20
+
+	eff := func(p Params) float64 {
+		t.Helper()
+		e, err := AnalyticEfficiency(ConfigLocalIONDP, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	lo, mid, hi := eff(lower), eff(eras), eff(part)
+	if !(lo < mid && mid < hi) {
+		t.Errorf("want io-only %.4f < erasure %.4f < partner %.4f", lo, mid, hi)
+	}
+}
+
+// TestMonteCarloErasureOrdering repeats the ordering through the full
+// simulator path (SimConfig + MonteCarlo via Evaluate).
+func TestMonteCarloErasureOrdering(t *testing.T) {
+	base := DefaultParams()
+	base = WithCompression(base, 0.73)
+	base = WithPLocal(base, 0.75)
+	base.Work = 20 * 3600
+	base.Trials = 20
+
+	lower := base
+
+	eras := base
+	eras.PErasure = 0.20
+	eras.ErasureGroup, eras.ErasureParity = 8, 1
+	eras.ErasureEveryK = 4
+
+	part := base
+	part.PPartner = 0.20
+
+	eff := func(p Params) float64 {
+		t.Helper()
+		ev, err := Evaluate(ConfigLocalIONDP, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Efficiency()
+	}
+	lo, mid, hi := eff(lower), eff(eras), eff(part)
+	if !(lo < mid && mid < hi) {
+		t.Errorf("want io-only %.4f < erasure %.4f < partner %.4f", lo, mid, hi)
+	}
+}
+
+func TestErasureParamValidation(t *testing.T) {
+	for _, mod := range []func(*Params){
+		func(p *Params) { p.PPartner = -0.1 },
+		func(p *Params) { p.PErasure = 2 },
+		func(p *Params) { p.PLocal, p.PPartner, p.PErasure = 0.6, 0.3, 0.2 },
+		func(p *Params) { p.PErasure = 0.1 },    // no parity configured
+		func(p *Params) { p.ErasureParity = 1 }, // parity without a group
+		func(p *Params) { p.ErasureGroup, p.ErasureParity = 200, 60 },
+		func(p *Params) { p.ErasureEveryK = -1 },
+	} {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+	p := DefaultParams()
+	p.PErasure = 0.1
+	p.ErasureGroup, p.ErasureParity, p.ErasureEveryK = 8, 2, 4
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid erasure params rejected: %v", err)
+	}
+}

@@ -32,6 +32,28 @@ type Params struct {
 
 	// PLocal is the probability a failure recovers from the local level.
 	PLocal float64
+	// PPartner is the probability a failure recovers from the partner
+	// copy; PErasure the probability it recovers from the erasure set
+	// (§3.4). PLocal+PPartner+PErasure must not exceed 1; the remainder
+	// falls back to global I/O.
+	PPartner float64
+	PErasure float64
+
+	// PartnerBW is the inter-node link bandwidth for partner copies and
+	// erasure shard traffic; zero selects LocalBW (NVM-limited fabric).
+	PartnerBW units.Bandwidth
+	// ErasureGroup and ErasureParity are the redundancy-set geometry
+	// (k data + m parity shards per checkpoint); ErasureParity zero
+	// disables the level's costs. Parity 1 uses the XOR fast path.
+	ErasureGroup  int
+	ErasureParity int
+	// ErasureEveryK erasure-encodes every k-th local checkpoint; zero
+	// means every one.
+	ErasureEveryK int
+	// ErasureRate is the Reed-Solomon coding throughput per parity shard;
+	// zero selects 16 GB/s (table-driven GF(2^8) on host cores). XOR
+	// parity runs at 8× this rate.
+	ErasureRate units.Bandwidth
 
 	// CompressionFactor is 1 − compressed/uncompressed; zero disables
 	// compression.
@@ -113,6 +135,20 @@ func (p Params) Validate() error {
 		return errors.New("model: IOBW must be positive")
 	case p.PLocal < 0 || p.PLocal > 1:
 		return errors.New("model: PLocal out of [0,1]")
+	case p.PPartner < 0 || p.PPartner > 1:
+		return errors.New("model: PPartner out of [0,1]")
+	case p.PErasure < 0 || p.PErasure > 1:
+		return errors.New("model: PErasure out of [0,1]")
+	case p.PLocal+p.PPartner+p.PErasure > 1+1e-9:
+		return errors.New("model: PLocal+PPartner+PErasure exceeds 1")
+	case p.ErasureGroup < 0 || p.ErasureParity < 0 || p.ErasureEveryK < 0:
+		return errors.New("model: negative erasure geometry")
+	case p.ErasureParity > 0 && p.ErasureGroup < 2:
+		return errors.New("model: erasure parity needs a group size of at least 2")
+	case p.ErasureGroup+p.ErasureParity > 255:
+		return errors.New("model: erasure group+parity exceeds 255 shards")
+	case p.PErasure > 0 && p.ErasureParity < 1:
+		return errors.New("model: PErasure set with no erasure parity")
 	case p.CompressionFactor < 0 || p.CompressionFactor >= 1:
 		return errors.New("model: CompressionFactor out of [0,1)")
 	case p.CompressionFactor > 0 && p.HostCompressionRate <= 0:
@@ -187,6 +223,67 @@ func (p Params) DrainTime() units.Seconds {
 // RestoreLocal is the stall to restore from the local level.
 func (p Params) RestoreLocal() units.Seconds {
 	return p.LocalBW.TimeToMove(p.CheckpointSize)
+}
+
+// partnerBW resolves the inter-node link bandwidth.
+func (p Params) partnerBW() units.Bandwidth {
+	if p.PartnerBW > 0 {
+		return p.PartnerBW
+	}
+	return p.LocalBW
+}
+
+// eraRate resolves the Reed-Solomon coding throughput.
+func (p Params) eraRate() units.Bandwidth {
+	if p.ErasureRate > 0 {
+		return p.ErasureRate
+	}
+	return 16 * units.GBps
+}
+
+// erasureCodeTime is the coding cost for one checkpoint: m passes over the
+// data for m parity shards, or a single XOR pass at 8× the table-driven
+// rate when m = 1. Local checkpoints are never compressed (§3.5), so the
+// code runs over the full size.
+func (p Params) erasureCodeTime() units.Seconds {
+	m := p.ErasureParity
+	if m <= 0 {
+		return 0
+	}
+	if m == 1 {
+		return (8 * p.eraRate()).TimeToMove(p.CheckpointSize)
+	}
+	return p.eraRate().TimeToMove(units.Bytes(float64(p.CheckpointSize) * float64(m)))
+}
+
+// DeltaErasure is the host stall to erasure-encode one checkpoint and ship
+// its k+m shards to the redundancy set: coding pipelines with the shard
+// transfer, so the stall is the slower of the two. Zero when the level is
+// disabled.
+func (p Params) DeltaErasure() units.Seconds {
+	if p.ErasureParity <= 0 {
+		return 0
+	}
+	k, m := p.ErasureGroup, p.ErasureParity
+	shipped := units.Bytes(float64(p.CheckpointSize) * float64(k+m) / float64(k))
+	return maxSeconds(p.erasureCodeTime(), p.partnerBW().TimeToMove(shipped))
+}
+
+// RestorePartner is the stall to restore from the buddy's partner copy:
+// one checkpoint over the inter-node link.
+func (p Params) RestorePartner() units.Seconds {
+	return p.partnerBW().TimeToMove(p.CheckpointSize)
+}
+
+// RestoreErasure is the stall to reconstruct from the erasure set: k
+// shards (one checkpoint's worth of bytes) fetched over the inter-node
+// link, pipelined with the decode.
+func (p Params) RestoreErasure() units.Seconds {
+	if p.ErasureParity <= 0 {
+		return 0
+	}
+	fetch := p.partnerBW().TimeToMove(p.CheckpointSize)
+	return maxSeconds(fetch, p.erasureCodeTime())
 }
 
 // RestoreIO is the stall to restore from global I/O. With compression the

@@ -115,6 +115,12 @@ type Node struct {
 	partner partnerRegion
 	buddy   *Node
 
+	// erasure is this node's region for other ranks' erasure shards;
+	// eraSet is the cluster's shard router serving *this* rank's
+	// reconstructions (§3.4 erasure-set level).
+	erasure erasureRegion
+	eraSet  ErasureSet
+
 	mu     sync.Mutex
 	nextID uint64
 	closed bool
@@ -234,8 +240,8 @@ var ErrNoCheckpoint = errors.New("node: no checkpoint available at any level")
 
 // Restore returns the newest restorable snapshot, walking the §4.2.3
 // recovery hierarchy: local NVM, then the buddy node's partner copy
-// (§3.4), then global I/O with pipelined host decompression (§4.3). It
-// reports which level served the restore.
+// (§3.4), then the erasure set, then global I/O with pipelined host
+// decompression (§4.3). It reports which level served the restore.
 func (n *Node) Restore() ([]byte, Metadata, Level, error) {
 	if ckpt, ok := n.device.Latest(); ok {
 		// Local path: one paced NVM read.
@@ -244,8 +250,8 @@ func (n *Node) Restore() ([]byte, Metadata, Level, error) {
 			return data.Data, metadataFrom(data.Meta), LevelLocal, nil
 		}
 	}
-	// Pick the newest checkpoint across the partner and I/O levels,
-	// preferring the (faster) partner on ties.
+	// Pick the newest checkpoint across the partner, erasure, and I/O
+	// levels; on ties prefer the cheaper level (partner, then erasure).
 	var pLatest uint64
 	pOK := false
 	n.mu.Lock()
@@ -256,10 +262,16 @@ func (n *Node) Restore() ([]byte, Metadata, Level, error) {
 			pLatest, pOK = ids[len(ids)-1], true
 		}
 	}
+	eLatest, eOK := n.erasureLatest()
 	ioLatest, ioOK := n.cfg.Store.Latest(n.cfg.Job, n.cfg.Rank)
-	if pOK && (!ioOK || pLatest >= ioLatest) {
+	if pOK && (!eOK || pLatest >= eLatest) && (!ioOK || pLatest >= ioLatest) {
 		if data, meta, ok := n.restoreFromPartner(pLatest); ok {
 			return data, meta, LevelPartner, nil
+		}
+	}
+	if eOK && (!ioOK || eLatest >= ioLatest) {
+		if data, meta, ok := n.restoreFromErasure(eLatest); ok {
+			return data, meta, LevelErasure, nil
 		}
 	}
 	if !ioOK {
@@ -273,13 +285,16 @@ func (n *Node) Restore() ([]byte, Metadata, Level, error) {
 }
 
 // RestoreID restores a specific checkpoint ID: local, then partner, then
-// global I/O.
+// the erasure set, then global I/O.
 func (n *Node) RestoreID(id uint64) ([]byte, Metadata, Level, error) {
 	if data, err := n.device.Get(id); err == nil {
 		return data.Data, metadataFrom(data.Meta), LevelLocal, nil
 	}
 	if data, meta, ok := n.restoreFromPartner(id); ok {
 		return data, meta, LevelPartner, nil
+	}
+	if data, meta, ok := n.restoreFromErasure(id); ok {
+		return data, meta, LevelErasure, nil
 	}
 	data, meta, err := n.fetchFromIO(id)
 	if err != nil {
@@ -296,6 +311,7 @@ const (
 	LevelNone Level = iota
 	LevelLocal
 	LevelPartner
+	LevelErasure
 	LevelIO
 )
 
@@ -305,6 +321,8 @@ func (l Level) String() string {
 		return "local"
 	case LevelPartner:
 		return "partner"
+	case LevelErasure:
+		return "erasure"
 	case LevelIO:
 		return "io"
 	}
@@ -413,13 +431,16 @@ func (n *Node) fetchObject(id uint64) ([]byte, Metadata, uint64, error) {
 }
 
 // FailLocal simulates a node failure that destroys local state: the NVM is
-// wiped — including any partner copies this node held for other ranks,
-// since they live on the same physical device — and an in-flight drain
-// aborts. The node keeps running (a replacement node reattaches to the
-// same job/rank).
+// wiped — including any partner copies and erasure shards this node held
+// for other ranks, since they live on the same physical device — and an
+// in-flight drain aborts. The node keeps running (a replacement node
+// reattaches to the same job/rank).
 func (n *Node) FailLocal() {
 	n.device.Wipe()
 	if dev, err := n.partnerDevice(); err == nil {
+		dev.Wipe()
+	}
+	if dev, err := n.erasureDevice(); err == nil {
 		dev.Wipe()
 	}
 }

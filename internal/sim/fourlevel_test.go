@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+// fourLevelBase is a host-multilevel configuration with an expensive I/O
+// fallback, the backdrop against which the partner and erasure levels pay
+// off.
+func fourLevelBase() Config {
+	return Config{
+		Work:          20000,
+		MTTI:          1800,
+		LocalInterval: 150,
+		DeltaLocal:    7.5,
+		IOEveryK:      4,
+		DeltaIO:       120,
+		PLocal:        0.75,
+		RestoreLocal:  7.5,
+		RestoreIO:     800,
+		Seed:          42,
+	}
+}
+
+// TestFourLevelOrdering checks the hierarchy's economics: recovering the
+// non-local slice from the erasure set beats falling back to I/O, and the
+// (cheaper, fresher) partner level beats both.
+func TestFourLevelOrdering(t *testing.T) {
+	const trials = 60
+
+	ioOnly := fourLevelBase()
+
+	eras := fourLevelBase()
+	eras.PErasure = 0.2
+	eras.DeltaErasure = 8
+	eras.ErasureEveryK = 4
+	eras.RestoreErasure = 8
+
+	part := fourLevelBase()
+	part.PPartner = 0.2
+	part.RestorePartner = 8
+
+	effOf := func(c Config) float64 {
+		t.Helper()
+		res, err := MonteCarlo(c, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Efficiency()
+	}
+	effIO, effE, effP := effOf(ioOnly), effOf(eras), effOf(part)
+	if !(effIO < effE) {
+		t.Errorf("erasure level should beat the I/O fallback: io=%.4f erasure=%.4f", effIO, effE)
+	}
+	if !(effE <= effP) {
+		t.Errorf("partner level should be at least as good as erasure: erasure=%.4f partner=%.4f", effE, effP)
+	}
+}
+
+// TestErasureBucketsAccounted pins the new buckets with a scheduled
+// failure: a PErasure=1 config must restore exactly once from the erasure
+// level, never touch the I/O restore path, and keep Total consistent.
+func TestErasureBucketsAccounted(t *testing.T) {
+	cfg := Config{
+		Work:           1000,
+		MTTI:           1e9, // failures only from the schedule
+		LocalInterval:  100,
+		DeltaLocal:     5,
+		DeltaErasure:   10,
+		ErasureEveryK:  2,
+		IOEveryK:       4,
+		DeltaIO:        20,
+		PErasure:       1,
+		RestoreErasure: 7,
+		RestoreIO:      500,
+		FailureTimes:   []units.Seconds{500},
+		Seed:           7,
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Failures != 1 || b.IOFailures != 0 {
+		t.Fatalf("failures=%d ioFailures=%d, want 1/0", b.Failures, b.IOFailures)
+	}
+	if b.RestoreErasure != 7 {
+		t.Errorf("RestoreErasure = %v, want 7", b.RestoreErasure)
+	}
+	if b.RestoreIO != 0 || b.RestoreLocal != 0 || b.RestorePartner != 0 {
+		t.Errorf("other restore buckets non-zero: %+v", b)
+	}
+	if b.CheckpointErasure <= 0 {
+		t.Errorf("CheckpointErasure = %v, want > 0", b.CheckpointErasure)
+	}
+	if b.Compute != cfg.Work {
+		t.Errorf("Compute = %v, want %v", b.Compute, cfg.Work)
+	}
+	sum := b.Compute + b.CheckpointLocal + b.CheckpointErasure + b.CheckpointIO +
+		b.RestoreLocal + b.RestorePartner + b.RestoreErasure + b.RestoreIO +
+		b.RerunLocal + b.RerunIO
+	if b.Total() != sum {
+		t.Errorf("Total() = %v, field sum = %v", b.Total(), sum)
+	}
+	s := b.String()
+	if !strings.Contains(s, "ckptE=") || !strings.Contains(s, "restE=") {
+		t.Errorf("String() omits erasure buckets: %q", s)
+	}
+}
+
+// TestPartnerRecoveryTargetsLastLocal: the partner copy mirrors the newest
+// local checkpoint, so a PPartner=1 run loses at most one interval per
+// failure and never rolls to zero.
+func TestPartnerRecoveryTargetsLastLocal(t *testing.T) {
+	cfg := Config{
+		Work:           1000,
+		MTTI:           1e9,
+		LocalInterval:  100,
+		DeltaLocal:     5,
+		PPartner:       1,
+		RestorePartner: 9,
+		FailureTimes:   []units.Seconds{450},
+		Seed:           3,
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RestorePartner != 9 {
+		t.Errorf("RestorePartner = %v, want 9", b.RestorePartner)
+	}
+	// Failure at wall 450 lands in the fifth segment with 4 local
+	// checkpoints behind it (last at work position 400): at most one
+	// interval of rerun, charged locally.
+	if b.RerunLocal <= 0 || b.RerunLocal > 100 {
+		t.Errorf("RerunLocal = %v, want in (0, 100]", b.RerunLocal)
+	}
+	if b.RerunIO != 0 || b.IOFailures != 0 {
+		t.Errorf("I/O buckets touched: %+v", b)
+	}
+}
+
+func TestFourLevelValidation(t *testing.T) {
+	base := fourLevelBase()
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.PPartner = -0.1 },
+		func(c *Config) { c.PErasure = 1.1 },
+		func(c *Config) { c.PLocal, c.PPartner, c.PErasure = 0.5, 0.4, 0.2 },
+		func(c *Config) { c.RestorePartner = -1 },
+		func(c *Config) { c.RestoreErasure = -1 },
+		func(c *Config) { c.DeltaErasure = -1 },
+		func(c *Config) { c.ErasureEveryK = -1 },
+	} {
+		c := base
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+	c := base
+	c.PPartner, c.PErasure = 0.1, 0.1
+	c.DeltaErasure, c.RestorePartner, c.RestoreErasure = 8, 8, 8
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid four-level config rejected: %v", err)
+	}
+}

@@ -94,8 +94,11 @@ func MonteCarlo(cfg Config, trials int) (Result, error) {
 		res.Eff.Add(o.b.Efficiency())
 		sum.Compute += o.b.Compute
 		sum.CheckpointLocal += o.b.CheckpointLocal
+		sum.CheckpointErasure += o.b.CheckpointErasure
 		sum.CheckpointIO += o.b.CheckpointIO
 		sum.RestoreLocal += o.b.RestoreLocal
+		sum.RestorePartner += o.b.RestorePartner
+		sum.RestoreErasure += o.b.RestoreErasure
 		sum.RestoreIO += o.b.RestoreIO
 		sum.RerunLocal += o.b.RerunLocal
 		sum.RerunIO += o.b.RerunIO
@@ -105,15 +108,18 @@ func MonteCarlo(cfg Config, trials int) (Result, error) {
 	if res.Trials > 0 {
 		n := units.Seconds(res.Trials)
 		res.Mean = Breakdown{
-			Compute:         sum.Compute / n,
-			CheckpointLocal: sum.CheckpointLocal / n,
-			CheckpointIO:    sum.CheckpointIO / n,
-			RestoreLocal:    sum.RestoreLocal / n,
-			RestoreIO:       sum.RestoreIO / n,
-			RerunLocal:      sum.RerunLocal / n,
-			RerunIO:         sum.RerunIO / n,
-			Failures:        sum.Failures / res.Trials,
-			IOFailures:      sum.IOFailures / res.Trials,
+			Compute:           sum.Compute / n,
+			CheckpointLocal:   sum.CheckpointLocal / n,
+			CheckpointErasure: sum.CheckpointErasure / n,
+			CheckpointIO:      sum.CheckpointIO / n,
+			RestoreLocal:      sum.RestoreLocal / n,
+			RestorePartner:    sum.RestorePartner / n,
+			RestoreErasure:    sum.RestoreErasure / n,
+			RestoreIO:         sum.RestoreIO / n,
+			RerunLocal:        sum.RerunLocal / n,
+			RerunIO:           sum.RerunIO / n,
+			Failures:          sum.Failures / res.Trials,
+			IOFailures:        sum.IOFailures / res.Trials,
 		}
 	}
 	return res, nil

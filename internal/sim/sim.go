@@ -41,6 +41,14 @@ type Config struct {
 	// checkpoint (zero when the NDP handles I/O).
 	DeltaIO units.Seconds
 
+	// DeltaErasure is the host stall to erasure-encode a checkpoint and
+	// ship its shards to the redundancy set (zero disables the level's
+	// encode cadence).
+	DeltaErasure units.Seconds
+	// ErasureEveryK erasure-encodes every k-th local checkpoint (the
+	// encode cadence). Zero means every checkpoint when the level is on.
+	ErasureEveryK int
+
 	// NDP enables background draining of local checkpoints to I/O.
 	NDP bool
 	// DrainTime is the NDP wall time to move one checkpoint to I/O
@@ -50,12 +58,20 @@ type Config struct {
 	// mirroring §4.2.1 (all NVM bandwidth given to the host).
 	NVMExclusive bool
 
-	// PLocal is the probability a failure can recover from the local
-	// level; otherwise recovery uses the last I/O checkpoint.
-	PLocal float64
-	// RestoreLocal and RestoreIO are the restore stalls per level.
-	RestoreLocal units.Seconds
-	RestoreIO    units.Seconds
+	// PLocal, PPartner, and PErasure slice the recovery probability across
+	// the multilevel hierarchy (§3.4): a failure recovers from the local
+	// level with probability PLocal, else from the partner copy with
+	// PPartner, else from the erasure set with PErasure, else from the
+	// last I/O checkpoint. Their sum must not exceed 1.
+	PLocal   float64
+	PPartner float64
+	PErasure float64
+	// RestoreLocal, RestorePartner, RestoreErasure, and RestoreIO are the
+	// restore stalls per level.
+	RestoreLocal   units.Seconds
+	RestorePartner units.Seconds
+	RestoreErasure units.Seconds
+	RestoreIO      units.Seconds
 
 	// Seed makes the trial deterministic.
 	Seed uint64
@@ -80,14 +96,22 @@ func (c Config) Validate() error {
 		return errors.New("sim: MTTI must be positive")
 	case c.LocalInterval <= 0:
 		return errors.New("sim: LocalInterval must be positive")
-	case c.DeltaLocal < 0 || c.DeltaIO < 0 || c.DrainTime < 0:
+	case c.DeltaLocal < 0 || c.DeltaIO < 0 || c.DeltaErasure < 0 || c.DrainTime < 0:
 		return errors.New("sim: negative checkpoint cost")
-	case c.RestoreLocal < 0 || c.RestoreIO < 0:
+	case c.RestoreLocal < 0 || c.RestorePartner < 0 || c.RestoreErasure < 0 || c.RestoreIO < 0:
 		return errors.New("sim: negative restore cost")
 	case c.PLocal < 0 || c.PLocal > 1:
 		return errors.New("sim: PLocal out of [0,1]")
+	case c.PPartner < 0 || c.PPartner > 1:
+		return errors.New("sim: PPartner out of [0,1]")
+	case c.PErasure < 0 || c.PErasure > 1:
+		return errors.New("sim: PErasure out of [0,1]")
+	case c.PLocal+c.PPartner+c.PErasure > 1+1e-9:
+		return errors.New("sim: PLocal+PPartner+PErasure exceeds 1")
 	case c.IOEveryK < 0:
 		return errors.New("sim: IOEveryK must be >= 0")
+	case c.ErasureEveryK < 0:
+		return errors.New("sim: ErasureEveryK must be >= 0")
 	case c.NDP && c.DrainTime <= 0:
 		return errors.New("sim: NDP requires positive DrainTime")
 	}
@@ -99,13 +123,16 @@ func (c Config) Validate() error {
 // work lands in the Rerun buckets, split by which recovery level caused the
 // rollback.
 type Breakdown struct {
-	Compute         units.Seconds
-	CheckpointLocal units.Seconds
-	CheckpointIO    units.Seconds
-	RestoreLocal    units.Seconds
-	RestoreIO       units.Seconds
-	RerunLocal      units.Seconds
-	RerunIO         units.Seconds
+	Compute           units.Seconds
+	CheckpointLocal   units.Seconds
+	CheckpointErasure units.Seconds
+	CheckpointIO      units.Seconds
+	RestoreLocal      units.Seconds
+	RestorePartner    units.Seconds
+	RestoreErasure    units.Seconds
+	RestoreIO         units.Seconds
+	RerunLocal        units.Seconds
+	RerunIO           units.Seconds
 
 	// Failures counts interrupts; IOFailures those recovered from I/O.
 	Failures   int
@@ -114,8 +141,9 @@ type Breakdown struct {
 
 // Total returns the wall-clock sum of all buckets.
 func (b Breakdown) Total() units.Seconds {
-	return b.Compute + b.CheckpointLocal + b.CheckpointIO +
-		b.RestoreLocal + b.RestoreIO + b.RerunLocal + b.RerunIO
+	return b.Compute + b.CheckpointLocal + b.CheckpointErasure + b.CheckpointIO +
+		b.RestoreLocal + b.RestorePartner + b.RestoreErasure + b.RestoreIO +
+		b.RerunLocal + b.RerunIO
 }
 
 // Efficiency returns Compute/Total, the paper's progress rate.
@@ -131,11 +159,19 @@ func (b Breakdown) Efficiency() float64 {
 func (b Breakdown) Overhead() float64 { return 1 - b.Efficiency() }
 
 func (b Breakdown) String() string {
-	return fmt.Sprintf(
-		"compute=%v ckptL=%v ckptIO=%v restL=%v restIO=%v rerunL=%v rerunIO=%v eff=%.1f%%",
-		b.Compute, b.CheckpointLocal, b.CheckpointIO,
-		b.RestoreLocal, b.RestoreIO, b.RerunLocal, b.RerunIO,
-		b.Efficiency()*100)
+	s := fmt.Sprintf("compute=%v ckptL=%v", b.Compute, b.CheckpointLocal)
+	if b.CheckpointErasure != 0 {
+		s += fmt.Sprintf(" ckptE=%v", b.CheckpointErasure)
+	}
+	s += fmt.Sprintf(" ckptIO=%v restL=%v", b.CheckpointIO, b.RestoreLocal)
+	if b.RestorePartner != 0 {
+		s += fmt.Sprintf(" restP=%v", b.RestorePartner)
+	}
+	if b.RestoreErasure != 0 {
+		s += fmt.Sprintf(" restE=%v", b.RestoreErasure)
+	}
+	return s + fmt.Sprintf(" restIO=%v rerunL=%v rerunIO=%v eff=%.1f%%",
+		b.RestoreIO, b.RerunLocal, b.RerunIO, b.Efficiency()*100)
 }
 
 // ErrStalled reports a run that exceeded MaxWallTime without completing.
@@ -147,8 +183,11 @@ type actKind int
 const (
 	actCompute actKind = iota
 	actCkptLocal
+	actCkptErasure
 	actCkptIO
 	actRestoreLocal
+	actRestorePartner
+	actRestoreErasure
 	actRestoreIO
 )
 
@@ -164,8 +203,9 @@ type state struct {
 	pos      float64 // completed work in this attempt lineage
 	furthest float64 // high-water mark of work ever completed
 
-	lastLocal float64 // work position of newest durable local checkpoint
-	lastIO    float64 // work position of newest checkpoint on global I/O
+	lastLocal   float64 // work position of newest durable local checkpoint
+	lastErasure float64 // work position of newest erasure-encoded checkpoint
+	lastIO      float64 // work position of newest checkpoint on global I/O
 
 	ckptCount int
 
@@ -223,6 +263,22 @@ func Run(cfg Config) (Breakdown, error) {
 		s.nvmLatest = s.pos
 		if cfg.NDP {
 			s.maybeStartDrain()
+		}
+		// Erasure-set encode on its own cadence (§3.4): the host stalls
+		// while shards are computed and shipped to the redundancy set.
+		if cfg.PErasure > 0 || cfg.DeltaErasure > 0 {
+			e := cfg.ErasureEveryK
+			if e < 1 {
+				e = 1
+			}
+			if s.ckptCount%e == 0 {
+				if failed := s.advance(float64(cfg.DeltaErasure), actCkptErasure, false); failed {
+					// The in-progress erasure set is invalid; prior sets stand.
+					s.recover()
+					continue
+				}
+				s.lastErasure = s.pos
+			}
 		}
 		// Host-written I/O checkpoint on the k-th cadence.
 		if !cfg.NDP && cfg.IOEveryK > 0 && s.ckptCount%cfg.IOEveryK == 0 {
@@ -299,10 +355,16 @@ func (s *state) advance(d float64, kind actKind, pauseDrain bool) bool {
 	switch kind {
 	case actCkptLocal:
 		s.b.CheckpointLocal += units.Seconds(elapsed)
+	case actCkptErasure:
+		s.b.CheckpointErasure += units.Seconds(elapsed)
 	case actCkptIO:
 		s.b.CheckpointIO += units.Seconds(elapsed)
 	case actRestoreLocal:
 		s.b.RestoreLocal += units.Seconds(elapsed)
+	case actRestorePartner:
+		s.b.RestorePartner += units.Seconds(elapsed)
+	case actRestoreErasure:
+		s.b.RestoreErasure += units.Seconds(elapsed)
 	case actRestoreIO:
 		s.b.RestoreIO += units.Seconds(elapsed)
 	default:
@@ -380,13 +442,18 @@ func (s *state) recover() {
 	s.drainActive = false
 
 	for {
-		fromLocal := s.rng.Bernoulli(s.cfg.PLocal)
-		var kind actKind
+		kind := s.drawLevel()
 		var cost, target float64
-		if fromLocal {
-			kind, cost, target = actRestoreLocal, float64(s.cfg.RestoreLocal), s.lastLocal
-		} else {
-			kind, cost, target = actRestoreIO, float64(s.cfg.RestoreIO), s.lastIO
+		switch kind {
+		case actRestoreLocal:
+			cost, target = float64(s.cfg.RestoreLocal), s.lastLocal
+		case actRestorePartner:
+			// The partner copy mirrors the newest local checkpoint (§3.4).
+			cost, target = float64(s.cfg.RestorePartner), s.lastLocal
+		case actRestoreErasure:
+			cost, target = float64(s.cfg.RestoreErasure), s.lastErasure
+		default:
+			cost, target = float64(s.cfg.RestoreIO), s.lastIO
 			s.b.IOFailures++
 		}
 		failed := s.advance(cost, kind, false)
@@ -398,10 +465,19 @@ func (s *state) recover() {
 		// Roll back. Checkpoints newer than the restored state belong to
 		// the abandoned lineage and are discarded.
 		s.pos = target
-		if !fromLocal {
+		if kind == actRestoreLocal {
+			if s.lastLocal > target {
+				s.lastLocal = target
+			}
+			if s.nvmLatest > target {
+				s.nvmLatest = target
+			}
+		} else {
 			// Everything between the restored point and the execution
-			// front was lost to an I/O-level recovery.
-			if s.furthest > s.ioHigh {
+			// front was lost to an I/O-level recovery. Partner and
+			// erasure recoveries charge their rerun to the local bucket:
+			// both serve from NVM-speed levels (§3.4).
+			if kind == actRestoreIO && s.furthest > s.ioHigh {
 				s.ioHigh = s.furthest
 			}
 			// Local NVM contents were lost; the restored state is
@@ -409,13 +485,9 @@ func (s *state) recover() {
 			// local level now holds exactly the restored checkpoint.
 			s.lastLocal = target
 			s.nvmLatest = target
-		} else {
-			if s.lastLocal > target {
-				s.lastLocal = target
-			}
-			if s.nvmLatest > target {
-				s.nvmLatest = target
-			}
+		}
+		if s.lastErasure > target {
+			s.lastErasure = target
 		}
 		if s.lastIO > target {
 			s.lastIO = target
@@ -425,4 +497,28 @@ func (s *state) recover() {
 		}
 		return
 	}
+}
+
+// drawLevel picks the recovery level for one failure. With the partner and
+// erasure levels disabled it consumes the RNG stream exactly as the
+// original two-level Bernoulli draw, keeping historical trial results
+// bit-identical.
+func (s *state) drawLevel() actKind {
+	pl, pp, pe := s.cfg.PLocal, s.cfg.PPartner, s.cfg.PErasure
+	if pp == 0 && pe == 0 {
+		if s.rng.Bernoulli(pl) {
+			return actRestoreLocal
+		}
+		return actRestoreIO
+	}
+	u := s.rng.Float64()
+	switch {
+	case u < pl:
+		return actRestoreLocal
+	case u < pl+pp:
+		return actRestorePartner
+	case u < pl+pp+pe:
+		return actRestoreErasure
+	}
+	return actRestoreIO
 }

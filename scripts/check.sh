@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, vet, and race-stressed tests for the packages
+# with the most concurrency (cluster coordination, node runtime, erasure
+# coding). Run from the repo root before sending a PR; the full suite is
+# still `go test ./...`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+
+go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/...
+
+echo "check.sh: all green"
