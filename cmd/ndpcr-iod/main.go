@@ -10,10 +10,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"ndpcr/internal/iod"
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/nvm"
 	"ndpcr/internal/units"
@@ -21,8 +23,9 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9400", "address to listen on")
-		bwMBps = flag.Float64("bw", 0, "simulated per-node I/O bandwidth in MB/s (0 = unthrottled); "+
+		listen      = flag.String("listen", "127.0.0.1:9400", "address to listen on")
+		metricsAddr = flag.String("metrics-listen", "", "serve Prometheus metrics over HTTP on this address (\"\" = disabled)")
+		bwMBps      = flag.Float64("bw", 0, "simulated per-node I/O bandwidth in MB/s (0 = unthrottled); "+
 			"the paper's projected share is 100")
 	)
 	flag.Parse()
@@ -41,6 +44,17 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(srv.Metrics()))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "ndpcr-iod: metrics endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("ndpcr-iod: Prometheus metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "app seed")
 		incr    = flag.Bool("incremental", false, "drain incrementally (changed blocks only)")
 		iodAddr = flag.String("iod", "", "drain to a remote ndpcr-iod store at this address instead of in-process")
+		dumpMet = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
 	)
 	flag.Parse()
 
@@ -121,6 +122,17 @@ func main() {
 	} else {
 		fmt.Println("\nMISMATCH: restored trajectory diverged from the twin")
 		os.Exit(1)
+	}
+
+	if *dumpMet {
+		fmt.Println("\n--- checkpoint pipeline timelines (commit -> pause -> compress -> xmit -> ack) ---")
+		if err := n.Timelines().Dump(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n--- pipeline metrics ---")
+		if err := n.Metrics().Dump(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ndpcr/internal/erasure"
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
 )
@@ -42,6 +44,15 @@ type Cluster struct {
 	mu     sync.Mutex
 	nextID uint64
 	closed bool
+
+	reg          *metrics.Registry
+	mCkpts       *metrics.Counter
+	mCkptErrors  *metrics.Counter
+	mRecoveries  *metrics.Counter
+	mBarrierSecs *metrics.Histogram
+	mEncodeSecs  *metrics.Histogram
+	mPlaceSecs   *metrics.Histogram
+	mRecoverSecs *metrics.Histogram
 }
 
 // Option configures a cluster at assembly time.
@@ -68,6 +79,18 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 		return nil, fmt.Errorf("cluster: %d nodes vs %d ranks", len(nodes), len(ranks))
 	}
 	c := &Cluster{job: job, store: store, nodes: nodes, ranks: ranks, nextID: 1}
+	c.reg = metrics.NewRegistry()
+	c.mCkpts = c.reg.Counter("ndpcr_cluster_checkpoints_total", "coordinated checkpoints completed")
+	c.mCkptErrors = c.reg.Counter("ndpcr_cluster_checkpoint_errors_total", "coordinated checkpoints aborted")
+	c.mRecoveries = c.reg.Counter("ndpcr_cluster_recoveries_total", "cluster-wide recoveries completed")
+	c.mBarrierSecs = c.reg.Histogram("ndpcr_cluster_barrier_seconds",
+		"coordination barrier: slowest rank's snapshot+commit wall time", metrics.UnitSeconds)
+	c.mEncodeSecs = c.reg.Histogram("ndpcr_cluster_erasure_encode_seconds",
+		"Reed-Solomon split+encode wall time per rank", metrics.UnitSeconds)
+	c.mPlaceSecs = c.reg.Histogram("ndpcr_cluster_erasure_place_seconds",
+		"shard placement wall time per rank", metrics.UnitSeconds)
+	c.mRecoverSecs = c.reg.Histogram("ndpcr_cluster_recover_seconds",
+		"wall time per cluster-wide recovery", metrics.UnitSeconds)
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -90,6 +113,11 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 
 // Size returns the rank count.
 func (c *Cluster) Size() int { return len(c.ranks) }
+
+// Metrics exposes the cluster's coordination metrics (barrier, erasure
+// encode/placement, recovery timings). Per-node pipeline metrics live on
+// each node's own registry (Node(i).Metrics()).
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
 // Node returns the runtime backing rank i (metrics, drain observation),
 // or nil for an out-of-range rank.
@@ -115,6 +143,7 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	c.nextID++
 	c.mu.Unlock()
 
+	barrierStart := time.Now()
 	errs := make([]error, len(c.ranks))
 	snaps := make([][]byte, len(c.ranks))
 	var wg sync.WaitGroup
@@ -148,8 +177,12 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 		}(i)
 	}
 	wg.Wait()
+	// The barrier is the slowest rank's snapshot+commit: every rank stays
+	// paused until all have committed (Fig. 3's coordinated timeline).
+	c.mBarrierSecs.ObserveSince(barrierStart)
 	for _, err := range errs {
 		if err != nil {
+			c.mCkptErrors.Inc()
 			return 0, err
 		}
 	}
@@ -158,9 +191,11 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	// half-committed state (shards of ID n imply all ranks committed n).
 	if c.eraCode != nil {
 		if err := c.encodeErasure(want, step, snaps); err != nil {
+			c.mCkptErrors.Inc()
 			return 0, err
 		}
 	}
+	c.mCkpts.Inc()
 	return want, nil
 }
 
@@ -230,6 +265,8 @@ type RecoverOutcome struct {
 
 // Recover rolls every rank back to the restart line in parallel.
 func (c *Cluster) Recover() (RecoverOutcome, error) {
+	recoverStart := time.Now()
+	defer c.mRecoverSecs.ObserveSince(recoverStart)
 	line, err := c.RestartLine()
 	if err != nil {
 		return RecoverOutcome{}, err
@@ -270,6 +307,7 @@ func (c *Cluster) Recover() (RecoverOutcome, error) {
 				out.Step, i, s)
 		}
 	}
+	c.mRecoveries.Inc()
 	return out, nil
 }
 

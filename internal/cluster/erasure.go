@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ndpcr/internal/erasure"
 	"ndpcr/internal/node"
@@ -86,6 +87,7 @@ func (c *Cluster) encodeErasure(id uint64, step int, snaps [][]byte) error {
 		go func(i int) {
 			defer wg.Done()
 			snap := snaps[i]
+			encodeStart := time.Now()
 			data, err := erasure.Split(snap, k)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: rank %d erasure split: %w", i, err)
@@ -96,6 +98,9 @@ func (c *Cluster) encodeErasure(id uint64, step int, snaps [][]byte) error {
 				errs[i] = fmt.Errorf("cluster: rank %d erasure encode: %w", i, err)
 				return
 			}
+			c.mEncodeSecs.ObserveSince(encodeStart)
+			placeStart := time.Now()
+			defer c.mPlaceSecs.ObserveSince(placeStart)
 			crc := erasure.ChecksumData(snap)
 			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
 			holders := c.shardHolders(i)

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 )
 
@@ -18,8 +20,12 @@ import (
 // as real compute nodes would.
 //
 // Clients created with Dial reconnect automatically: if a call fails on a
-// broken connection, the client redials once and retries, so a transient
-// network blip does not permanently wedge a node's drain engine.
+// broken connection, the client runs capped-backoff reconnect+retry cycles
+// until the exchange succeeds, the retry budget is exhausted, or Close is
+// called. Every iostore.API operation is an idempotent request/response
+// (PutBlock writes by index), so retrying a failed exchange resumes an
+// in-flight drain stream instead of abandoning it — an I/O node restart
+// mid-drain costs only the retry window, not the checkpoint.
 type Client struct {
 	mu     sync.Mutex
 	addr   string // "" disables reconnection (NewClient-wrapped conns)
@@ -27,6 +33,30 @@ type Client struct {
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	closed bool
+
+	// closing is set before Close takes mu, so retry loops sleeping under
+	// the mutex can notice the shutdown and abort instead of serving out
+	// their whole backoff schedule.
+	closing atomic.Bool
+
+	// Metrics (nil until Instrument is called).
+	mDialRetries *metrics.Counter
+	mReconnects  *metrics.Counter
+	mRetries     *metrics.Counter
+	mCallErrs    *metrics.Counter
+	mInFlight    *metrics.Gauge
+	mCallSecs    *metrics.Histogram
+}
+
+// Instrument registers the client's metrics (dial retries, reconnect+retry
+// cycles, in-flight drain calls, call latency) with r.
+func (c *Client) Instrument(r *metrics.Registry) {
+	c.mDialRetries = r.Counter("ndpcr_iod_dial_retries_total", "TCP connect attempts beyond the first")
+	c.mReconnects = r.Counter("ndpcr_iod_reconnects_total", "connections re-established after a broken exchange")
+	c.mRetries = r.Counter("ndpcr_iod_call_retries_total", "exchanges retried after reconnecting")
+	c.mCallErrs = r.Counter("ndpcr_iod_call_errors_total", "calls that failed after exhausting retries")
+	c.mInFlight = r.Gauge("ndpcr_iod_inflight_calls", "calls currently on the wire (drain streams in flight)")
+	c.mCallSecs = r.Histogram("ndpcr_iod_call_seconds", "round-trip time per call", metrics.UnitSeconds)
 }
 
 var _ iostore.API = (*Client)(nil)
@@ -41,33 +71,52 @@ const (
 	dialBackoffMax  = 800 * time.Millisecond
 )
 
+// Call retry schedule: a broken exchange triggers reconnect+retry cycles
+// (each cycle itself runs the dial schedule above), backing off between
+// cycles. The combined window (~4.5 s of inter-cycle backoff plus up to
+// ~0.8 s of dial backoff per cycle) rides out an I/O node restart, which
+// the single-reconnect policy it replaces could not.
+const (
+	callAttempts    = 5
+	callBackoffBase = 50 * time.Millisecond
+	callBackoffMax  = 2 * time.Second
+)
+
 // Dial connects to an iod server, retrying transient connect failures with
 // capped exponential backoff.
 func Dial(addr string) (*Client, error) {
-	conn, err := dialRetry(addr)
+	c := &Client{addr: addr}
+	conn, err := c.dialRetry()
 	if err != nil {
 		return nil, fmt.Errorf("iod: dial %s: %w", addr, err)
 	}
-	c := NewClient(conn)
-	c.addr = addr
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
 	return c, nil
 }
 
 // dialRetry attempts the TCP connect up to dialAttempts times, sleeping
 // the backoff schedule between failures; it returns the last error if all
-// attempts fail.
-func dialRetry(addr string) (net.Conn, error) {
+// attempts fail or the client is closing.
+func (c *Client) dialRetry() (net.Conn, error) {
 	backoff := dialBackoffBase
 	var lastErr error
 	for attempt := 0; attempt < dialAttempts; attempt++ {
 		if attempt > 0 {
+			if c.mDialRetries != nil {
+				c.mDialRetries.Inc()
+			}
 			time.Sleep(backoff)
 			backoff *= 2
 			if backoff > dialBackoffMax {
 				backoff = dialBackoffMax
 			}
 		}
-		conn, err := net.Dial("tcp", addr)
+		if c.closing.Load() {
+			return nil, errors.New("client closed")
+		}
+		conn, err := net.Dial("tcp", c.addr)
 		if err == nil {
 			return conn, nil
 		}
@@ -90,18 +139,24 @@ func (c *Client) reconnectLocked() error {
 	if c.conn != nil {
 		c.conn.Close()
 	}
-	conn, err := dialRetry(c.addr)
+	conn, err := c.dialRetry()
 	if err != nil {
 		return fmt.Errorf("iod: redial %s: %w", c.addr, err)
 	}
 	c.conn = conn
 	c.enc = gob.NewEncoder(conn)
 	c.dec = gob.NewDecoder(conn)
+	if c.mReconnects != nil {
+		c.mReconnects.Inc()
+	}
 	return nil
 }
 
-// Close shuts the connection down; in-flight calls fail.
+// Close shuts the connection down; in-flight calls fail. A call sleeping
+// in a retry backoff holds c.mu, so Close flags the shutdown first (the
+// retry loop aborts at its next check) and then waits for the mutex.
 func (c *Client) Close() error {
+	c.closing.Store(true)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -111,9 +166,17 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// call performs one request/response exchange, redialing once if the
-// connection has gone bad.
+// call performs one request/response exchange. A failed exchange triggers
+// reconnect+retry cycles with capped backoff: the protocol is strictly
+// request/response and every operation idempotent, so a retried exchange
+// after an I/O node restart resumes exactly where the drain stream broke.
 func (c *Client) call(req *request) (*response, error) {
+	if c.mInFlight != nil {
+		c.mInFlight.Inc()
+		defer c.mInFlight.Dec()
+		start := time.Now()
+		defer func() { c.mCallSecs.ObserveSince(start) }()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -123,12 +186,39 @@ func (c *Client) call(req *request) (*response, error) {
 	if err == nil {
 		return resp, nil
 	}
-	// One reconnect attempt. The protocol is strictly request/response,
-	// so a failed exchange leaves no half-consumed stream to resync.
-	if rerr := c.reconnectLocked(); rerr != nil {
-		return nil, fmt.Errorf("iod: %v (reconnect failed: %w)", err, rerr)
+	if c.addr == "" {
+		// NewClient-wrapped connections cannot redial.
+		return nil, err
 	}
-	return c.exchangeLocked(req)
+	backoff := callBackoffBase
+	for attempt := 0; attempt < callAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > callBackoffMax {
+				backoff = callBackoffMax
+			}
+		}
+		if c.closing.Load() {
+			break
+		}
+		if rerr := c.reconnectLocked(); rerr != nil {
+			err = fmt.Errorf("iod: %v (reconnect failed: %w)", err, rerr)
+			continue
+		}
+		if c.mRetries != nil {
+			c.mRetries.Inc()
+		}
+		resp, rerr := c.exchangeLocked(req)
+		if rerr == nil {
+			return resp, nil
+		}
+		err = rerr
+	}
+	if c.mCallErrs != nil {
+		c.mCallErrs.Inc()
+	}
+	return nil, err
 }
 
 func (c *Client) exchangeLocked(req *request) (*response, error) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ndpcr/internal/compress"
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/nvm"
@@ -227,6 +228,83 @@ func TestClientReconnects(t *testing.T) {
 	}
 	if !bytes.Equal(got.Blocks[0], []byte("data")) {
 		t.Error("reconnected read returned wrong data")
+	}
+}
+
+func TestClientRidesOutServerRestartMidDrain(t *testing.T) {
+	// Regression: the retry policy used to cover only the initial connect —
+	// a call that broke mid-exchange got exactly one immediate reconnect
+	// attempt (~0.8 s of dial backoff) and then failed, so an I/O node
+	// restart abandoned the in-flight drain. The fix runs capped-backoff
+	// reconnect+retry cycles (~4.5 s window), and PutBlock is idempotent by
+	// index, so the drain stream resumes where it broke.
+	backing := iostore.New(nvm.Pacer{})
+	srv, err := NewServer(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ListenAndServe("127.0.0.1:0")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr().String()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+
+	key := iostore.Key{Job: "restart", Rank: 0, ID: 1}
+	meta := iostore.Object{OrigSize: 12}
+	if err := client.PutBlock(key, meta, 0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the I/O node mid-drain, with two blocks still to ship.
+	srv.Close()
+	rest := make(chan error, 1)
+	go func() {
+		if err := client.PutBlock(key, meta, 1, []byte("efgh")); err != nil {
+			rest <- err
+			return
+		}
+		rest <- client.PutBlock(key, meta, 2, []byte("ijkl"))
+	}()
+
+	// Stay down past the old single-reconnect window (~0.8 s) but inside
+	// the new retry window, then restart on the same address and store — an
+	// I/O node reboot that preserves its file system.
+	time.Sleep(1200 * time.Millisecond)
+	srv2, err := NewServer(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.ListenAndServe(addr)
+	defer srv2.Close()
+
+	select {
+	case err := <-rest:
+		if err != nil {
+			t.Fatalf("drain did not resume across server restart: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain still blocked after server restart")
+	}
+	obj, err := backing.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Blocks) != 3 || !bytes.Equal(obj.Blocks[2], []byte("ijkl")) {
+		t.Errorf("resumed stream incomplete: %d blocks", len(obj.Blocks))
+	}
+	if reg.Counter("ndpcr_iod_reconnects_total", "").Value() == 0 {
+		t.Error("no reconnect counted across the restart")
 	}
 }
 

@@ -29,6 +29,27 @@ const (
 	opLatest
 )
 
+// opName labels operations in metric series.
+func opName(o op) string {
+	switch o {
+	case opPut:
+		return "put"
+	case opPutBlock:
+		return "put_block"
+	case opDelete:
+		return "delete"
+	case opGet:
+		return "get"
+	case opStat:
+		return "stat"
+	case opIDs:
+		return "ids"
+	case opLatest:
+		return "latest"
+	}
+	return "unknown"
+}
+
 // request is the wire form of one call. Only the fields relevant to Op are
 // populated; gob omits zero values efficiently.
 type request struct {

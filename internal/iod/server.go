@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 )
 
@@ -21,6 +23,12 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	reg        *metrics.Registry
+	mRequests  [opLatest + 1]*metrics.Counter
+	mInFlight  *metrics.Gauge
+	mReqSecs   *metrics.Histogram
+	mReqErrors *metrics.Counter
 }
 
 // NewServer wraps a backing store (usually *iostore.Store, possibly paced
@@ -29,8 +37,30 @@ func NewServer(backing iostore.API) (*Server, error) {
 	if backing == nil {
 		return nil, errors.New("iod: backing store is required")
 	}
-	return &Server{backing: backing, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{backing: backing, conns: make(map[net.Conn]struct{})}
+	s.reg = metrics.NewRegistry()
+	for op := opPut; op <= opLatest; op++ {
+		s.mRequests[op] = s.reg.Counter(
+			fmt.Sprintf("ndpcr_iod_requests_total{op=%q}", opName(op)),
+			"requests served, by operation")
+	}
+	s.mInFlight = s.reg.Gauge("ndpcr_iod_inflight_requests", "requests being handled right now (active drain streams)")
+	s.mReqSecs = s.reg.Histogram("ndpcr_iod_request_seconds", "handling time per request", metrics.UnitSeconds)
+	s.mReqErrors = s.reg.Counter("ndpcr_iod_request_errors_total", "requests answered with an error")
+	s.reg.GaugeFunc("ndpcr_iod_connections", "compute-node connections currently open", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	if b, ok := backing.(interface{ Instrument(*metrics.Registry) }); ok {
+		b.Instrument(s.reg)
+	}
+	return s, nil
 }
+
+// Metrics exposes the server's registry; cmd/ndpcr-iod mounts it as a
+// Prometheus scrape endpoint via metrics.Handler.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Serve accepts connections on l until Close. It returns after the
 // listener fails (net.ErrClosed after Close).
@@ -113,6 +143,15 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *request) *response {
+	start := time.Now()
+	s.mInFlight.Inc()
+	defer func() {
+		s.mInFlight.Dec()
+		s.mReqSecs.ObserveSince(start)
+	}()
+	if req.Op >= opPut && req.Op <= opLatest {
+		s.mRequests[req.Op].Inc()
+	}
 	resp := &response{}
 	switch req.Op {
 	case opPut:
@@ -145,6 +184,9 @@ func (s *Server) handle(req *request) *response {
 		resp.Latest, resp.OK = s.backing.Latest(req.Job, req.Rank)
 	default:
 		resp.Err = fmt.Sprintf("iod: unknown op %d", req.Op)
+	}
+	if resp.Err != "" {
+		s.mReqErrors.Inc()
 	}
 	return resp
 }

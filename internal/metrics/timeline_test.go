@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func at(ms int) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestTimelineSerialSumEqualsTotal(t *testing.T) {
+	ts := NewTimelineSet(0)
+	ts.Observe(KindCheckpoint, 1, PhaseCommit, at(0), at(10))
+	ts.Observe(KindCheckpoint, 1, PhaseRead, at(15), at(20)) // 5ms gap → wait span
+	ts.Observe(KindCheckpoint, 1, PhaseCompress, at(20), at(40))
+	ts.Observe(KindCheckpoint, 1, PhaseXmit, at(40), at(70))
+	ts.Finish(KindCheckpoint, 1)
+	tl, ok := ts.Timeline(KindCheckpoint, 1)
+	if !ok {
+		t.Fatal("timeline not found")
+	}
+	if tl.Total() != 70*time.Millisecond {
+		t.Errorf("total = %v, want 70ms", tl.Total())
+	}
+	if tl.Sum() != tl.Total() {
+		t.Errorf("serial timeline: sum %v != total %v", tl.Sum(), tl.Total())
+	}
+	if d := tl.PhaseDuration(PhaseWait); d != 5*time.Millisecond {
+		t.Errorf("wait = %v, want 5ms", d)
+	}
+	if d := tl.PhaseDuration(PhaseCompress); d != 20*time.Millisecond {
+		t.Errorf("compress = %v, want 20ms", d)
+	}
+}
+
+func TestTimelineOverlapSumExceedsTotal(t *testing.T) {
+	ts := NewTimelineSet(0)
+	// Pipelined compress and xmit overlap by 10ms.
+	ts.Observe(KindCheckpoint, 2, PhaseCompress, at(0), at(30))
+	ts.Observe(KindCheckpoint, 2, PhaseXmit, at(20), at(50))
+	ts.Finish(KindCheckpoint, 2)
+	tl, _ := ts.Timeline(KindCheckpoint, 2)
+	if tl.Total() != 50*time.Millisecond {
+		t.Errorf("total = %v, want 50ms", tl.Total())
+	}
+	if tl.Sum() != 60*time.Millisecond {
+		t.Errorf("sum = %v, want 60ms (overlap counted twice)", tl.Sum())
+	}
+	if tl.PhaseDuration(PhaseWait) != 0 {
+		t.Error("no wait span expected for overlapping spans")
+	}
+}
+
+func TestTimelineRingCapacity(t *testing.T) {
+	ts := NewTimelineSet(3)
+	for id := uint64(1); id <= 5; id++ {
+		ts.Observe(KindCheckpoint, id, PhaseCommit, at(0), at(1))
+		ts.Finish(KindCheckpoint, id)
+	}
+	done := ts.Completed()
+	if len(done) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(done))
+	}
+	if done[0].ID != 3 || done[2].ID != 5 {
+		t.Errorf("ring evicted wrong entries: %v..%v", done[0].ID, done[2].ID)
+	}
+	if _, ok := ts.Timeline(KindCheckpoint, 1); ok {
+		t.Error("evicted timeline still found")
+	}
+}
+
+func TestTimelineKindsIndependent(t *testing.T) {
+	ts := NewTimelineSet(0)
+	ts.Observe(KindCheckpoint, 7, PhaseCommit, at(0), at(5))
+	ts.Observe(KindRestore, 7, PhaseFetch, at(0), at(9))
+	ts.Finish(KindCheckpoint, 7)
+	ts.Finish(KindRestore, 7)
+	ck, ok1 := ts.Timeline(KindCheckpoint, 7)
+	rs, ok2 := ts.Timeline(KindRestore, 7)
+	if !ok1 || !ok2 {
+		t.Fatal("kinds not tracked independently")
+	}
+	if len(ck.Spans) != 1 || ck.Spans[0].Phase != PhaseCommit {
+		t.Errorf("checkpoint spans: %+v", ck.Spans)
+	}
+	if len(rs.Spans) != 1 || rs.Spans[0].Phase != PhaseFetch {
+		t.Errorf("restore spans: %+v", rs.Spans)
+	}
+}
+
+func TestTimelineFinishUnknownNoop(t *testing.T) {
+	ts := NewTimelineSet(0)
+	ts.Finish(KindCheckpoint, 99)
+	if len(ts.Completed()) != 0 {
+		t.Error("finishing an unknown timeline produced an entry")
+	}
+}
+
+func TestTimelineConcurrentObservers(t *testing.T) {
+	ts := NewTimelineSet(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := uint64(g*100 + i)
+				ts.Observe(KindCheckpoint, id, PhaseCommit, at(i), at(i+1))
+				ts.Observe(KindCheckpoint, id, PhaseXmit, at(i+1), at(i+2))
+				ts.Finish(KindCheckpoint, id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// default capacity 64
+	if n := len(ts.Completed()); n != 64 {
+		t.Errorf("completed = %d, want 64", n)
+	}
+}
+
+func TestTimelineDumpAndPhaseTotals(t *testing.T) {
+	ts := NewTimelineSet(0)
+	ts.Observe(KindCheckpoint, 3, PhaseCommit, at(0), at(2))
+	ts.Observe(KindCheckpoint, 3, PhaseCompress, at(2), at(12))
+	ts.Finish(KindCheckpoint, 3)
+	var buf bytes.Buffer
+	if err := ts.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "checkpoint 3") || !strings.Contains(out, "compress=") {
+		t.Errorf("dump output:\n%s", out)
+	}
+	totals := ts.PhaseTotals(KindCheckpoint)
+	if len(totals) != 2 {
+		t.Fatalf("phase totals: %+v", totals)
+	}
+	if totals[0].Phase != PhaseCompress || totals[0].Duration != 10*time.Millisecond {
+		t.Errorf("top phase = %+v, want compress 10ms", totals[0])
+	}
+	if len(ts.PhaseTotals(KindRestore)) != 0 {
+		t.Error("restore totals should be empty")
+	}
+}
+
+func TestTimelineClampsBackwardSpan(t *testing.T) {
+	ts := NewTimelineSet(0)
+	ts.Observe(KindCheckpoint, 4, PhaseCommit, at(10), at(5)) // end before start
+	ts.Finish(KindCheckpoint, 4)
+	tl, _ := ts.Timeline(KindCheckpoint, 4)
+	if tl.Spans[0].Duration() != 0 {
+		t.Errorf("backward span not clamped: %v", tl.Spans[0].Duration())
+	}
+}

@@ -107,6 +107,7 @@ func SimConfig(cfg Configuration, p Params) (sim.Config, int, error) {
 			RestoreLocal:  p.RestoreIO(),
 			RestoreIO:     p.RestoreIO(),
 			Seed:          p.Seed,
+			Observer:      p.SimObserver,
 		}, 1, nil
 
 	case ConfigLocalIOHost:
@@ -138,6 +139,7 @@ func SimConfig(cfg Configuration, p Params) (sim.Config, int, error) {
 			RestoreErasure: p.RestoreErasure(),
 			RestoreIO:      p.RestoreIO(),
 			Seed:           p.Seed,
+			Observer:       p.SimObserver,
 		}, ratio, nil
 
 	case ConfigLocalIONDP:
@@ -167,6 +169,7 @@ func SimConfig(cfg Configuration, p Params) (sim.Config, int, error) {
 			RestoreErasure: p.RestoreErasure(),
 			RestoreIO:      p.RestoreIO(),
 			Seed:           p.Seed,
+			Observer:       p.SimObserver,
 		}, ratio, nil
 	}
 	return sim.Config{}, 0, errUnknownConfig(cfg)

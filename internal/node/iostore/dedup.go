@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/nvm"
 )
 
@@ -28,6 +29,24 @@ type DedupStore struct {
 
 	logicalBytes  int64 // as if every block were stored
 	physicalBytes int64 // actually resident
+
+	// Metrics (nil until Instrument is called).
+	mHits   *metrics.Counter
+	mMisses *metrics.Counter
+}
+
+// Instrument registers the dedup store's metrics with r. The dedup hit
+// rate is hits / (hits + misses); the byte-level saving is sampled from the
+// logical/physical accounting.
+func (s *DedupStore) Instrument(r *metrics.Registry) {
+	s.mHits = r.Counter("ndpcr_iostore_dedup_hits_total", "block writes whose content was already resident")
+	s.mMisses = r.Counter("ndpcr_iostore_dedup_misses_total", "block writes that stored fresh content")
+	r.GaugeFunc("ndpcr_iostore_dedup_logical_bytes", "bytes as if every block were stored",
+		func() float64 { return float64(s.Stats().LogicalBytes) })
+	r.GaugeFunc("ndpcr_iostore_dedup_physical_bytes", "bytes actually resident after dedup",
+		func() float64 { return float64(s.Stats().PhysicalBytes) })
+	r.GaugeFunc("ndpcr_iostore_dedup_factor", "1 - physical/logical storage ratio",
+		func() float64 { return s.Stats().Factor() })
 }
 
 type dedupObject struct {
@@ -121,6 +140,11 @@ func (s *DedupStore) PutBlock(key Key, meta Object, index int, block []byte) err
 
 	if fresh {
 		s.pacer.Move(len(block))
+		if s.mMisses != nil {
+			s.mMisses.Inc()
+		}
+	} else if s.mHits != nil {
+		s.mHits.Inc()
 	}
 	return nil
 }

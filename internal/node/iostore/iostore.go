@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/nvm"
 )
 
@@ -76,6 +77,33 @@ type Store struct {
 	mu      sync.Mutex
 	objects map[Key]Object
 	pacer   nvm.Pacer // per-node share pacing applied to each transfer
+
+	// Metrics (nil until Instrument is called).
+	mWriteBytes *metrics.Histogram
+	mReadBytes  *metrics.Histogram
+}
+
+// Instrument registers the store's metrics (object count, resident bytes,
+// transfer sizes) with r.
+func (s *Store) Instrument(r *metrics.Registry) {
+	r.GaugeFunc("ndpcr_iostore_objects", "checkpoint objects resident in the global store",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.objects))
+		})
+	r.GaugeFunc("ndpcr_iostore_stored_bytes", "bytes resident in the global store",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var n int64
+			for _, o := range s.objects {
+				n += o.StoredSize()
+			}
+			return float64(n)
+		})
+	s.mWriteBytes = r.Histogram("ndpcr_iostore_write_bytes", "bytes per store write", metrics.UnitBytes)
+	s.mReadBytes = r.Histogram("ndpcr_iostore_read_bytes", "bytes per store read", metrics.UnitBytes)
 }
 
 // New creates a store whose transfers are paced at the given per-node
@@ -104,6 +132,9 @@ func (s *Store) Put(o Object) error {
 	s.objects[o.Key] = cp
 	s.mu.Unlock()
 	s.pacer.Move(int(cp.StoredSize()))
+	if s.mWriteBytes != nil {
+		s.mWriteBytes.Observe(cp.StoredSize())
+	}
 	return nil
 }
 
@@ -128,6 +159,9 @@ func (s *Store) PutBlock(key Key, meta Object, index int, block []byte) error {
 	s.objects[key] = o
 	s.mu.Unlock()
 	s.pacer.Move(len(block))
+	if s.mWriteBytes != nil {
+		s.mWriteBytes.Observe(int64(len(block)))
+	}
 	return nil
 }
 
@@ -148,6 +182,9 @@ func (s *Store) Get(key Key) (Object, error) {
 		return Object{}, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	s.pacer.Move(int(o.StoredSize()))
+	if s.mReadBytes != nil {
+		s.mReadBytes.Observe(o.StoredSize())
+	}
 	return o, nil
 }
 

@@ -1,0 +1,87 @@
+package node
+
+import (
+	"errors"
+	"testing"
+
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// Regression tests for the metadataFrom bug: strconv.Atoi errors were
+// discarded, so corrupt metadata silently decoded as rank 0 / step 0 and a
+// restore could resurrect the wrong rank's state at the wrong step.
+
+func TestMetadataFromRejectsCorrupt(t *testing.T) {
+	cases := []map[string]string{
+		{"job": "j", "rank": "banana", "step": "3"},
+		{"job": "j", "rank": "0", "step": ""},
+		{"job": "j"}, // both fields missing entirely
+	}
+	for _, mm := range cases {
+		if _, err := metadataFrom(mm); !errors.Is(err, ErrBadMetadata) {
+			t.Errorf("metadataFrom(%v) err = %v, want ErrBadMetadata", mm, err)
+		}
+	}
+	m, err := metadataFrom(map[string]string{"job": "j", "rank": "2", "step": "41"})
+	if err != nil || m.Rank != 2 || m.Step != 41 || m.Job != "j" {
+		t.Errorf("metadataFrom(valid) = %+v, %v", m, err)
+	}
+}
+
+func TestRestoreRejectsCorruptIOMetadata(t *testing.T) {
+	n, store := newNode(t, nil)
+	// An I/O object whose step field fails to parse — a torn metadata write
+	// on the global store.
+	err := store.Put(iostore.Object{
+		Key:      iostore.Key{Job: "job", Rank: 0, ID: 1},
+		OrigSize: 4,
+		Blocks:   [][]byte{[]byte("data")},
+		Meta:     map[string]string{"job": "job", "rank": "0", "step": "4x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := n.Restore(); !errors.Is(err, ErrBadMetadata) {
+		t.Errorf("Restore() err = %v, want ErrBadMetadata (pre-fix: succeeded as step 0)", err)
+	}
+	errs := n.Metrics().Counter("ndpcr_node_metadata_errors_total", "")
+	if errs.Value() == 0 {
+		t.Error("metadata error not counted")
+	}
+}
+
+func TestRestoreCorruptLocalMetadataFallsThrough(t *testing.T) {
+	n, store := newNode(t, func(c *Config) { c.DisableNDP = true })
+	// A readable local checkpoint whose metadata is torn: the restore must
+	// treat it as a level miss and fall through to global I/O, not return
+	// rank-0/step-0 state.
+	err := n.Device().Put(nvm.Checkpoint{
+		ID:   7,
+		Data: []byte("torn"),
+		Meta: map[string]string{"job": "job", "rank": "?", "step": "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := snapshot(1000, 9)
+	if err := store.Put(iostore.Object{
+		Key:      iostore.Key{Job: "job", Rank: 0, ID: 6},
+		OrigSize: int64(len(good)),
+		Blocks:   [][]byte{good},
+		Meta:     Metadata{Job: "job", Rank: 0, Step: 12}.toMap(6),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, level, err := n.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != LevelIO || meta.Step != 12 || string(data) != string(good) {
+		t.Errorf("restore served level=%v step=%d, want io/12", level, meta.Step)
+	}
+	errs := n.Metrics().Counter("ndpcr_node_metadata_errors_total", "")
+	if errs.Value() != 1 {
+		t.Errorf("metadata errors = %d, want 1", errs.Value())
+	}
+}

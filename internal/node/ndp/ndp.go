@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ndpcr/internal/compress"
 	"ndpcr/internal/delta"
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/nic"
 	"ndpcr/internal/node/nvm"
@@ -59,6 +61,15 @@ type Config struct {
 
 	// OnError receives asynchronous drain errors; nil discards them.
 	OnError func(error)
+
+	// Metrics, when non-nil, receives drain counters and per-phase
+	// latency/byte histograms.
+	Metrics *metrics.Registry
+	// Timelines, when non-nil, receives per-checkpoint phase spans
+	// (pause → read → diff → compress → xmit → ack); the host records the
+	// commit span into the same set, so a drained checkpoint's timeline
+	// covers its whole trip through the pipeline.
+	Timelines *metrics.TimelineSet
 }
 
 // Engine drains checkpoints in the background. Create with New, feed with
@@ -86,6 +97,19 @@ type Engine struct {
 	// Only the run goroutine touches these.
 	tbl       *delta.Table
 	sinceFull int
+
+	// Metrics (nil when Config.Metrics is nil).
+	mDrains       *metrics.Counter
+	mDrainErrors  *metrics.Counter
+	mSkipped      *metrics.Counter
+	mInFlight     *metrics.Gauge
+	mDrainSecs    *metrics.Histogram
+	mPauseWait    *metrics.Histogram
+	mCompressSecs *metrics.Histogram
+	mNICSendSecs  *metrics.Histogram
+	mStoreSecs    *metrics.Histogram
+	mInBytes      *metrics.Histogram
+	mOutBytes     *metrics.Histogram
 }
 
 // New creates and starts an engine.
@@ -114,6 +138,19 @@ func New(cfg Config) (*Engine, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		drained: make(chan uint64, 64),
+	}
+	if r := cfg.Metrics; r != nil {
+		e.mDrains = r.Counter("ndpcr_ndp_drains_total", "checkpoints fully drained to global I/O")
+		e.mDrainErrors = r.Counter("ndpcr_ndp_drain_errors_total", "drains aborted by an error")
+		e.mSkipped = r.Counter("ndpcr_ndp_skipped_total", "stale checkpoints skipped by the newest-first policy")
+		e.mInFlight = r.Gauge("ndpcr_ndp_inflight_drains", "drains currently in progress")
+		e.mDrainSecs = r.Histogram("ndpcr_ndp_drain_seconds", "wall time per drain", metrics.UnitSeconds)
+		e.mPauseWait = r.Histogram("ndpcr_ndp_pause_wait_seconds", "time excluded from NVM by host commits", metrics.UnitSeconds)
+		e.mCompressSecs = r.Histogram("ndpcr_ndp_compress_seconds", "busy time per compressed block", metrics.UnitSeconds)
+		e.mNICSendSecs = r.Histogram("ndpcr_ndp_nic_send_seconds", "busy time per block on the NIC", metrics.UnitSeconds)
+		e.mStoreSecs = r.Histogram("ndpcr_ndp_store_write_seconds", "busy time per block written to the store", metrics.UnitSeconds)
+		e.mInBytes = r.Histogram("ndpcr_ndp_drain_in_bytes", "payload bytes entering a drain", metrics.UnitBytes)
+		e.mOutBytes = r.Histogram("ndpcr_ndp_drain_out_bytes", "bytes shipped to global I/O per drain", metrics.UnitBytes)
 	}
 	go e.run()
 	return e, nil
@@ -165,7 +202,7 @@ func (e *Engine) run() {
 		// a checkpoint committed mid-drain is picked up without another
 		// doorbell edge.
 		for {
-			id, ok := e.nextUndrained()
+			id, ok := e.nextUndrained() // holds an eviction lock on id
 			if !ok {
 				break
 			}
@@ -190,39 +227,52 @@ func (e *Engine) run() {
 
 // nextUndrained picks the newest NVM checkpoint not yet on I/O — the
 // "as frequently as possible" policy that skips stale intermediates when
-// the drain is slower than the commit cadence (§6.2).
+// the drain is slower than the commit cadence (§6.2). On success the
+// checkpoint is already pinned against eviction: a separate Latest-then-
+// Lock sequence races with Put-driven circular-buffer eviction, which can
+// reclaim the chosen checkpoint in the window between the two calls. The
+// caller (drain) owns the lock and must release it.
 func (e *Engine) nextUndrained() (uint64, bool) {
-	latest, ok := e.cfg.Device.Latest()
+	latest, ok := e.cfg.Device.LatestLocked()
 	if !ok {
 		return 0, false
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.hasDrained && latest.ID <= e.lastDrained {
+	stale := e.hasDrained && latest.ID <= e.lastDrained
+	e.mu.Unlock()
+	if stale {
+		if err := e.cfg.Device.Unlock(latest.ID); err != nil {
+			e.reportError(fmt.Errorf("ndp: unlock stale %d: %w", latest.ID, err))
+		}
 		return 0, false
 	}
 	return latest.ID, true
 }
 
-// drain moves one checkpoint to global I/O.
+// drain moves one checkpoint to global I/O. The caller has already locked
+// id in NVM; drain releases the lock.
 func (e *Engine) drain(id uint64) error {
 	dev := e.cfg.Device
-	if err := dev.Lock(id); err != nil {
-		if errors.Is(err, nvm.ErrNotFound) {
-			return nil // evicted or wiped before we got to it; not an error
-		}
-		return err
-	}
 	defer func() {
 		if err := dev.Unlock(id); err != nil && !errors.Is(err, nvm.ErrNotFound) {
 			e.reportError(fmt.Errorf("ndp: unlock %d: %w", id, err))
 		}
 	}()
+	if e.mInFlight != nil {
+		e.mInFlight.Inc()
+		defer e.mInFlight.Dec()
+	}
+	drainStart := time.Now()
 
 	// Read the checkpoint under the NVM gate so host commits exclude us.
+	// The wait for the gate is the paper's §4.2.1 pause; the read itself is
+	// the NDP's paced NVM access.
 	e.gate.RLock()
+	gateHeld := time.Now()
+	e.span(id, metrics.PhasePause, drainStart, gateHeld)
 	ckpt, err := dev.Get(id)
 	e.gate.RUnlock()
+	e.span(id, metrics.PhaseRead, gateHeld, time.Now())
 	if err != nil {
 		if errors.Is(err, nvm.ErrNotFound) {
 			return nil
@@ -245,6 +295,7 @@ func (e *Engine) drain(id uint64) error {
 	payload := ckpt.Data
 	var nextTbl *delta.Table
 	if e.cfg.Incremental && e.tbl != nil && e.sinceFull < e.cfg.FullEvery {
+		diffStart := time.Now()
 		patch, t2, derr := delta.Diff(e.tbl, id, ckpt.Data)
 		if derr != nil {
 			return fmt.Errorf("ndp: diff %d: %w", id, derr)
@@ -253,8 +304,15 @@ func (e *Engine) drain(id uint64) error {
 		meta.DeltaBase = e.tbl.BaseID
 		meta.OrigSize = int64(len(payload))
 		nextTbl = t2
+		e.span(id, metrics.PhaseDiff, diffStart, time.Now())
 	} else if e.cfg.Incremental {
+		diffStart := time.Now()
 		nextTbl = delta.Snapshot(id, ckpt.Data, e.cfg.DeltaBlockSize)
+		e.span(id, metrics.PhaseDiff, diffStart, time.Now())
+	}
+	if e.mPauseWait != nil {
+		e.mPauseWait.ObserveDuration(gateHeld.Sub(drainStart))
+		e.mInBytes.Observe(int64(len(payload)))
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -269,18 +327,28 @@ func (e *Engine) drain(id uint64) error {
 
 	var blocks [][]byte
 	if e.cfg.Serialize {
+		compressStart := time.Now()
 		blocks, err = e.compressAll(payload)
+		if e.cfg.Codec != nil {
+			e.span(id, metrics.PhaseCompress, compressStart, time.Now())
+		}
 		if err == nil {
+			xmitStart := time.Now()
 			err = e.sendBlocks(ctx, key, meta, blocks, 0)
+			e.span(id, metrics.PhaseXmit, xmitStart, time.Now())
 		}
 	} else {
-		err = e.pipeline(ctx, key, meta, payload)
+		err = e.pipeline(ctx, id, key, meta, payload)
 	}
 	if err != nil {
 		// A torn object must not be restorable.
 		e.cfg.Store.Delete(key)
+		if e.mDrainErrors != nil {
+			e.mDrainErrors.Inc()
+		}
 		return fmt.Errorf("ndp: drain %d: %w", id, err)
 	}
+	ackStart := time.Now()
 	if e.cfg.Incremental {
 		if meta.DeltaBase != 0 {
 			e.sinceFull++
@@ -291,6 +359,10 @@ func (e *Engine) drain(id uint64) error {
 	}
 
 	e.mu.Lock()
+	skipped := uint64(0)
+	if e.hasDrained && id > e.lastDrained+1 {
+		skipped = id - e.lastDrained - 1
+	}
 	if !e.hasDrained || id > e.lastDrained {
 		e.lastDrained = id
 		e.hasDrained = true
@@ -300,7 +372,31 @@ func (e *Engine) drain(id uint64) error {
 	case e.drained <- id:
 	default:
 	}
+	e.span(id, metrics.PhaseAck, ackStart, time.Now())
+	if ts := e.cfg.Timelines; ts != nil {
+		ts.Finish(metrics.KindCheckpoint, id)
+		ts.DiscardOlder(metrics.KindCheckpoint, id)
+	}
+	if e.mDrains != nil {
+		e.mDrains.Inc()
+		e.mSkipped.Add(skipped)
+		e.mDrainSecs.ObserveSince(drainStart)
+		var out int64
+		for _, b := range blocks {
+			out += int64(len(b))
+		}
+		if e.cfg.Serialize {
+			e.mOutBytes.Observe(out)
+		}
+	}
 	return nil
+}
+
+// span records one timeline phase when timelines are enabled.
+func (e *Engine) span(id uint64, phase metrics.Phase, start, end time.Time) {
+	if ts := e.cfg.Timelines; ts != nil {
+		ts.Observe(metrics.KindCheckpoint, id, phase, start, end)
+	}
 }
 
 // splitBlocks cuts data into BlockSize units (the last may be short).
@@ -337,7 +433,11 @@ func (e *Engine) compressAll(data []byte) ([][]byte, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				t0 := time.Now()
 				out[i], errs[i] = e.cfg.Codec.Compress(nil, raw[i])
+				if e.mCompressSecs != nil {
+					e.mCompressSecs.ObserveSince(t0)
+				}
 			}
 		}()
 	}
@@ -362,24 +462,77 @@ func (e *Engine) sendBlocks(ctx context.Context, key iostore.Key, meta iostore.O
 			return err
 		}
 		if e.cfg.Link != nil {
+			t0 := time.Now()
 			if err := e.cfg.Link.Send(ctx, b); err != nil {
 				return err
 			}
+			if e.mNICSendSecs != nil {
+				e.mNICSendSecs.ObserveSince(t0)
+			}
 		}
+		t1 := time.Now()
 		if err := e.cfg.Store.PutBlock(key, meta, startIdx+i, b); err != nil {
 			return err
+		}
+		if e.mStoreSecs != nil {
+			e.mStoreSecs.ObserveSince(t1)
 		}
 	}
 	return nil
 }
 
+// spanClock tracks the wall-clock envelope of a set of overlapping
+// operations (the pipeline's compression workers, or its in-order sender):
+// the earliest mark start and the latest mark end.
+type spanClock struct {
+	mu     sync.Mutex
+	marked bool
+	start  time.Time
+	end    time.Time
+}
+
+func (c *spanClock) mark(start, end time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.marked || start.Before(c.start) {
+		c.start = start
+	}
+	if !c.marked || end.After(c.end) {
+		c.end = end
+	}
+	c.marked = true
+}
+
 // pipeline overlaps block compression (Workers cores) with in-order
-// transmission: block i+1 compresses while block i is on the wire.
-func (e *Engine) pipeline(ctx context.Context, key iostore.Key, meta iostore.Object, data []byte) error {
+// transmission: block i+1 compresses while block i is on the wire. The
+// compress and xmit timeline spans are wall-clock envelopes across workers,
+// so on an overlapped drain the timeline's Sum exceeds its Total by exactly
+// the realized overlap.
+func (e *Engine) pipeline(ctx context.Context, id uint64, key iostore.Key, meta iostore.Object, data []byte) error {
 	raw := e.splitBlocks(data)
 	if e.cfg.Codec == nil {
-		return e.sendBlocks(ctx, key, meta, raw, 0)
+		xmitStart := time.Now()
+		err := e.sendBlocks(ctx, key, meta, raw, 0)
+		e.span(id, metrics.PhaseXmit, xmitStart, time.Now())
+		if err == nil && e.mOutBytes != nil {
+			var out int64
+			for _, b := range raw {
+				out += int64(len(b))
+			}
+			e.mOutBytes.Observe(out)
+		}
+		return err
 	}
+
+	var compressClock, xmitClock spanClock
+	defer func() {
+		if compressClock.marked {
+			e.span(id, metrics.PhaseCompress, compressClock.start, compressClock.end)
+		}
+		if xmitClock.marked {
+			e.span(id, metrics.PhaseXmit, xmitClock.start, xmitClock.end)
+		}
+	}()
 
 	type result struct {
 		idx  int
@@ -394,7 +547,12 @@ func (e *Engine) pipeline(ctx context.Context, key iostore.Key, meta iostore.Obj
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				t0 := time.Now()
 				c, err := e.cfg.Codec.Compress(nil, raw[i])
+				compressClock.mark(t0, time.Now())
+				if e.mCompressSecs != nil {
+					e.mCompressSecs.ObserveSince(t0)
+				}
 				select {
 				case results <- result{i, c, err}:
 				case <-ctx.Done():
@@ -421,6 +579,7 @@ func (e *Engine) pipeline(ctx context.Context, key iostore.Key, meta iostore.Obj
 	// Reorder and transmit as blocks complete.
 	pending := make(map[int][]byte, e.cfg.Workers)
 	next := 0
+	var out int64
 	for next < len(raw) {
 		var r result
 		var ok bool
@@ -442,11 +601,17 @@ func (e *Engine) pipeline(ctx context.Context, key iostore.Key, meta iostore.Obj
 				break
 			}
 			delete(pending, next)
+			t0 := time.Now()
 			if err := e.sendBlocks(ctx, key, meta, [][]byte{b}, next); err != nil {
 				return err
 			}
+			xmitClock.mark(t0, time.Now())
+			out += int64(len(b))
 			next++
 		}
+	}
+	if e.mOutBytes != nil {
+		e.mOutBytes.Observe(out)
 	}
 	return nil
 }

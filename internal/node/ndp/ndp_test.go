@@ -241,3 +241,52 @@ func TestCloseIsIdempotent(t *testing.T) {
 	eng.Close()
 	eng.Close()
 }
+
+func TestDrainUnderEvictionPressure(t *testing.T) {
+	// The device holds only a few checkpoints, so the host's commit stream
+	// constantly evicts while the engine drains. Every candidate the engine
+	// picks is pinned atomically (nvm.LatestLocked), so no drain may fail
+	// with a not-found error no matter how the eviction interleaves.
+	dev, err := nvm.NewDevice(8<<10, nvm.Pacer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := iostore.New(nvm.Pacer{})
+	link, err := nic.NewLink(1<<20, nvm.Pacer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var asyncErrs []error
+	eng, err := New(Config{
+		Job: "job", Rank: 0,
+		Device: dev, Store: store, Link: link,
+		BlockSize: 1024,
+		OnError: func(err error) {
+			mu.Lock()
+			asyncErrs = append(asyncErrs, err)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+
+	const last = 200
+	for id := uint64(1); id <= last; id++ {
+		eng.PauseNVM()
+		err := dev.Put(nvm.Checkpoint{ID: id, Data: ckptData(2048)})
+		eng.ResumeNVM()
+		if err != nil {
+			t.Fatalf("put %d: %v", id, err)
+		}
+		eng.Notify()
+	}
+	waitDrain(t, eng, last)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(asyncErrs) != 0 {
+		t.Errorf("drain errors under eviction pressure: %v", asyncErrs)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/nvm"
 )
 
@@ -27,6 +29,23 @@ type Link struct {
 	queued int // bytes in the transmit buffer
 	limit  int
 	closed bool
+
+	// Metrics (nil until Instrument is called).
+	mSentBytes *metrics.Histogram
+	mSendWait  *metrics.Histogram
+	mSends     *metrics.Counter
+}
+
+// Instrument registers the link's metrics (queue depth, send sizes, buffer
+// backpressure wait time) with r.
+func (l *Link) Instrument(r *metrics.Registry) {
+	r.GaugeFunc("ndpcr_nic_queued_bytes", "bytes in the transmit buffer",
+		func() float64 { return float64(l.Queued()) })
+	r.GaugeFunc("ndpcr_nic_buffer_bytes", "transmit buffer capacity",
+		func() float64 { return float64(l.limit) })
+	l.mSends = r.Counter("ndpcr_nic_sends_total", "blocks handed to the link")
+	l.mSentBytes = r.Histogram("ndpcr_nic_sent_bytes", "block sizes transmitted", metrics.UnitBytes)
+	l.mSendWait = r.Histogram("ndpcr_nic_send_wait_seconds", "time blocked on a full transmit buffer", metrics.UnitSeconds)
 }
 
 // NewLink creates a link with the given transmit-buffer size in bytes and
@@ -48,11 +67,19 @@ func (l *Link) Send(ctx context.Context, block []byte) error {
 		// as a full-buffer occupancy.
 		return l.sendChunked(ctx, block)
 	}
+	start := time.Now()
 	if err := l.reserve(ctx, len(block)); err != nil {
 		return err
 	}
+	if l.mSendWait != nil {
+		l.mSendWait.ObserveSince(start)
+	}
 	l.pacer.Move(len(block))
 	l.release(len(block))
+	if l.mSends != nil {
+		l.mSends.Inc()
+		l.mSentBytes.Observe(int64(len(block)))
+	}
 	return nil
 }
 

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"ndpcr/internal/compress"
 	"ndpcr/internal/delta"
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/ndp"
 	"ndpcr/internal/node/nic"
@@ -40,12 +42,22 @@ func (m Metadata) toMap(id uint64) map[string]string {
 	}
 }
 
-func metadataFrom(mm map[string]string) Metadata {
+// ErrBadMetadata reports checkpoint metadata that fails to decode. Corrupt
+// metadata must never silently decode as rank 0 / step 0: a restore acting
+// on it could resurrect the wrong rank's state.
+var ErrBadMetadata = errors.New("node: corrupt checkpoint metadata")
+
+func metadataFrom(mm map[string]string) (Metadata, error) {
 	var m Metadata
+	var err error
 	m.Job = mm["job"]
-	m.Rank, _ = strconv.Atoi(mm["rank"])
-	m.Step, _ = strconv.Atoi(mm["step"])
-	return m
+	if m.Rank, err = strconv.Atoi(mm["rank"]); err != nil {
+		return Metadata{}, fmt.Errorf("%w: rank %q: %v", ErrBadMetadata, mm["rank"], err)
+	}
+	if m.Step, err = strconv.Atoi(mm["step"]); err != nil {
+		return Metadata{}, fmt.Errorf("%w: step %q: %v", ErrBadMetadata, mm["step"], err)
+	}
+	return m, nil
 }
 
 // Config assembles a node.
@@ -99,6 +111,15 @@ type Config struct {
 
 	// OnError receives asynchronous NDP errors.
 	OnError func(error)
+
+	// Metrics, when non-nil, is the registry every layer of this node
+	// (NVM, NIC, NDP, restores) reports into; cluster passes one registry
+	// to all its nodes so per-node series aggregate. Nil creates a private
+	// registry, exposed via Node.Metrics.
+	Metrics *metrics.Registry
+	// Timelines, when non-nil, collects per-checkpoint phase timelines.
+	// Nil creates a private set, exposed via Node.Timelines.
+	Timelines *metrics.TimelineSet
 }
 
 // Node is one compute node's C/R runtime. All methods are safe for
@@ -124,6 +145,17 @@ type Node struct {
 	mu     sync.Mutex
 	nextID uint64
 	closed bool
+
+	reg       *metrics.Registry
+	timelines *metrics.TimelineSet
+
+	mCommits        *metrics.Counter
+	mCommitSecs     *metrics.Histogram
+	mCommitBytes    *metrics.Histogram
+	mMetaErrs       *metrics.Counter
+	mRestoreSecs    *metrics.Histogram
+	mDecompressSecs *metrics.Histogram
+	mRestores       [LevelIO + 1]*metrics.Counter
 }
 
 // New assembles and starts a node runtime.
@@ -156,6 +188,30 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{cfg: cfg, device: device, link: link, nextID: 1}
+	n.reg = cfg.Metrics
+	if n.reg == nil {
+		n.reg = metrics.NewRegistry()
+	}
+	n.timelines = cfg.Timelines
+	if n.timelines == nil {
+		n.timelines = metrics.NewTimelineSet(0)
+	}
+	device.Instrument(n.reg)
+	link.Instrument(n.reg)
+	if s, ok := cfg.Store.(interface{ Instrument(*metrics.Registry) }); ok {
+		s.Instrument(n.reg)
+	}
+	n.mCommits = n.reg.Counter("ndpcr_node_commits_total", "snapshots committed to local NVM")
+	n.mCommitSecs = n.reg.Histogram("ndpcr_node_commit_seconds", "host pause per NVM commit", metrics.UnitSeconds)
+	n.mCommitBytes = n.reg.Histogram("ndpcr_node_commit_bytes", "snapshot sizes committed", metrics.UnitBytes)
+	n.mMetaErrs = n.reg.Counter("ndpcr_node_metadata_errors_total", "checkpoints rejected for corrupt metadata")
+	n.mRestoreSecs = n.reg.Histogram("ndpcr_node_restore_seconds", "wall time per restore", metrics.UnitSeconds)
+	n.mDecompressSecs = n.reg.Histogram("ndpcr_node_decompress_seconds", "busy time per restored block decompression", metrics.UnitSeconds)
+	for l := LevelNone; l <= LevelIO; l++ {
+		n.mRestores[l] = n.reg.Counter(
+			fmt.Sprintf("ndpcr_node_restores_total{level=%q}", l),
+			"restores served, by storage level (none = failed)")
+	}
 	if !cfg.DisableNDP {
 		n.engine, err = ndp.New(ndp.Config{
 			Job:            cfg.Job,
@@ -171,6 +227,8 @@ func New(cfg Config) (*Node, error) {
 			FullEvery:      cfg.FullEvery,
 			DeltaBlockSize: cfg.DeltaBlockSize,
 			OnError:        cfg.OnError,
+			Metrics:        n.reg,
+			Timelines:      n.timelines,
 		})
 		if err != nil {
 			return nil, err
@@ -184,6 +242,12 @@ func (n *Node) Device() *nvm.Device { return n.device }
 
 // Engine exposes the NDP engine, nil when disabled.
 func (n *Node) Engine() *ndp.Engine { return n.engine }
+
+// Metrics exposes the node's metric registry.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Timelines exposes the node's per-checkpoint phase timelines.
+func (n *Node) Timelines() *metrics.TimelineSet { return n.timelines }
 
 // Commit writes one application snapshot to local NVM and notifies the
 // NDP. The host "pauses" for the NVM write — any concurrent NDP NVM access
@@ -202,6 +266,7 @@ func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
 		meta.Job = n.cfg.Job
 		meta.Rank = n.cfg.Rank
 	}
+	start := time.Now()
 	if n.engine != nil {
 		n.engine.PauseNVM()
 	}
@@ -212,6 +277,10 @@ func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("node: commit %d: %w", id, err)
 	}
+	n.timelines.Observe(metrics.KindCheckpoint, id, metrics.PhaseCommit, start, time.Now())
+	n.mCommits.Inc()
+	n.mCommitSecs.ObserveSince(start)
+	n.mCommitBytes.Observe(int64(len(snapshot)))
 	if n.engine != nil {
 		n.engine.Notify()
 	}
@@ -243,11 +312,27 @@ var ErrNoCheckpoint = errors.New("node: no checkpoint available at any level")
 // (§3.4), then the erasure set, then global I/O with pipelined host
 // decompression (§4.3). It reports which level served the restore.
 func (n *Node) Restore() ([]byte, Metadata, Level, error) {
+	start := time.Now()
+	data, meta, level, err := n.restore()
+	n.recordRestore(level, start, err)
+	return data, meta, level, err
+}
+
+func (n *Node) restore() ([]byte, Metadata, Level, error) {
 	if ckpt, ok := n.device.Latest(); ok {
 		// Local path: one paced NVM read.
+		t0 := time.Now()
 		data, err := n.device.Get(ckpt.ID)
 		if err == nil {
-			return data.Data, metadataFrom(data.Meta), LevelLocal, nil
+			meta, merr := metadataFrom(data.Meta)
+			if merr == nil {
+				n.restoreSpan(ckpt.ID, metrics.PhaseFetch, t0)
+				n.timelines.Finish(metrics.KindRestore, ckpt.ID)
+				return data.Data, meta, LevelLocal, nil
+			}
+			// Corrupt local metadata is a level miss, not a wrong-rank
+			// restore: fall through the hierarchy.
+			n.mMetaErrs.Inc()
 		}
 	}
 	// Pick the newest checkpoint across the partner, erasure, and I/O
@@ -265,12 +350,18 @@ func (n *Node) Restore() ([]byte, Metadata, Level, error) {
 	eLatest, eOK := n.erasureLatest()
 	ioLatest, ioOK := n.cfg.Store.Latest(n.cfg.Job, n.cfg.Rank)
 	if pOK && (!eOK || pLatest >= eLatest) && (!ioOK || pLatest >= ioLatest) {
+		t0 := time.Now()
 		if data, meta, ok := n.restoreFromPartner(pLatest); ok {
+			n.restoreSpan(pLatest, metrics.PhaseFetch, t0)
+			n.timelines.Finish(metrics.KindRestore, pLatest)
 			return data, meta, LevelPartner, nil
 		}
 	}
 	if eOK && (!ioOK || eLatest >= ioLatest) {
+		t0 := time.Now()
 		if data, meta, ok := n.restoreFromErasure(eLatest); ok {
+			n.restoreSpan(eLatest, metrics.PhaseFetch, t0)
+			n.timelines.Finish(metrics.KindRestore, eLatest)
 			return data, meta, LevelErasure, nil
 		}
 	}
@@ -281,26 +372,63 @@ func (n *Node) Restore() ([]byte, Metadata, Level, error) {
 	if err != nil {
 		return nil, Metadata{}, LevelNone, err
 	}
+	n.timelines.Finish(metrics.KindRestore, ioLatest)
 	return data, meta, LevelIO, nil
 }
 
 // RestoreID restores a specific checkpoint ID: local, then partner, then
 // the erasure set, then global I/O.
 func (n *Node) RestoreID(id uint64) ([]byte, Metadata, Level, error) {
+	start := time.Now()
+	data, meta, level, err := n.restoreByID(id)
+	n.recordRestore(level, start, err)
+	return data, meta, level, err
+}
+
+func (n *Node) restoreByID(id uint64) ([]byte, Metadata, Level, error) {
+	t0 := time.Now()
 	if data, err := n.device.Get(id); err == nil {
-		return data.Data, metadataFrom(data.Meta), LevelLocal, nil
+		meta, merr := metadataFrom(data.Meta)
+		if merr == nil {
+			n.restoreSpan(id, metrics.PhaseFetch, t0)
+			n.timelines.Finish(metrics.KindRestore, id)
+			return data.Data, meta, LevelLocal, nil
+		}
+		// Fall through: corrupt local metadata is a level miss.
+		n.mMetaErrs.Inc()
 	}
+	t0 = time.Now()
 	if data, meta, ok := n.restoreFromPartner(id); ok {
+		n.restoreSpan(id, metrics.PhaseFetch, t0)
+		n.timelines.Finish(metrics.KindRestore, id)
 		return data, meta, LevelPartner, nil
 	}
+	t0 = time.Now()
 	if data, meta, ok := n.restoreFromErasure(id); ok {
+		n.restoreSpan(id, metrics.PhaseFetch, t0)
+		n.timelines.Finish(metrics.KindRestore, id)
 		return data, meta, LevelErasure, nil
 	}
 	data, meta, err := n.fetchFromIO(id)
 	if err != nil {
 		return nil, Metadata{}, LevelNone, err
 	}
+	n.timelines.Finish(metrics.KindRestore, id)
 	return data, meta, LevelIO, nil
+}
+
+// restoreSpan records one restore-path phase span ending now.
+func (n *Node) restoreSpan(id uint64, phase metrics.Phase, start time.Time) {
+	n.timelines.Observe(metrics.KindRestore, id, phase, start, time.Now())
+}
+
+// recordRestore updates the restore counters and latency histogram.
+func (n *Node) recordRestore(level Level, start time.Time, err error) {
+	if err != nil {
+		level = LevelNone
+	}
+	n.mRestores[level].Inc()
+	n.mRestoreSecs.ObserveSince(start)
 }
 
 // Level identifies which storage level served a restore.
@@ -341,7 +469,7 @@ func (n *Node) fetchFromIO(id uint64) ([]byte, Metadata, error) {
 			return nil, Metadata{}, fmt.Errorf(
 				"node: restore %d: patch chain exceeds %d links", id, maxPatchChain)
 		}
-		payload, m, base, err := n.fetchObject(curID)
+		payload, m, base, err := n.fetchObject(id, curID)
 		if err != nil {
 			return nil, Metadata{}, err
 		}
@@ -351,6 +479,7 @@ func (n *Node) fetchFromIO(id uint64) ([]byte, Metadata, error) {
 		if base == 0 {
 			// Full checkpoint: replay the collected patches (newest was
 			// appended first, so walk backwards).
+			applyStart := time.Now()
 			data := payload
 			for i := len(patches) - 1; i >= 0; i-- {
 				data, err = delta.Apply(data, patches[i])
@@ -358,6 +487,7 @@ func (n *Node) fetchFromIO(id uint64) ([]byte, Metadata, error) {
 					return nil, Metadata{}, fmt.Errorf("node: restore %d: %w", id, err)
 				}
 			}
+			n.restoreSpan(id, metrics.PhaseApply, applyStart)
 			return data, meta, nil
 		}
 		p, err := delta.Decode(payload)
@@ -374,14 +504,22 @@ func (n *Node) fetchFromIO(id uint64) ([]byte, Metadata, error) {
 const maxPatchChain = 1024
 
 // fetchObject retrieves one object's decompressed payload plus its
-// metadata and delta base (0 for full checkpoints).
-func (n *Node) fetchObject(id uint64) ([]byte, Metadata, uint64, error) {
+// metadata and delta base (0 for full checkpoints). traceID keys the
+// restore timeline (the originally requested checkpoint), while id is the
+// patch-chain link being fetched.
+func (n *Node) fetchObject(traceID, id uint64) ([]byte, Metadata, uint64, error) {
+	fetchStart := time.Now()
 	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
 	obj, err := n.cfg.Store.Get(key)
 	if err != nil {
 		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d from I/O: %w", id, err)
 	}
-	meta := metadataFrom(obj.Meta)
+	n.restoreSpan(traceID, metrics.PhaseFetch, fetchStart)
+	meta, err := metadataFrom(obj.Meta)
+	if err != nil {
+		n.mMetaErrs.Inc()
+		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d: %w", id, err)
+	}
 	if obj.Codec == "" {
 		out := make([]byte, 0, obj.OrigSize)
 		for _, b := range obj.Blocks {
@@ -394,6 +532,7 @@ func (n *Node) fetchObject(id uint64) ([]byte, Metadata, uint64, error) {
 		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d: %w", id, err)
 	}
 	// Pipelined host decompression: each block to a different core (§4.3).
+	decompressStart := time.Now()
 	plain := make([][]byte, len(obj.Blocks))
 	errs := make([]error, len(obj.Blocks))
 	idx := make(chan int)
@@ -407,7 +546,9 @@ func (n *Node) fetchObject(id uint64) ([]byte, Metadata, uint64, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				t0 := time.Now()
 				plain[i], errs[i] = codec.Decompress(nil, obj.Blocks[i])
+				n.mDecompressSecs.ObserveSince(t0)
 			}
 		}()
 	}
@@ -416,6 +557,7 @@ func (n *Node) fetchObject(id uint64) ([]byte, Metadata, uint64, error) {
 	}
 	close(idx)
 	wg.Wait()
+	n.restoreSpan(traceID, metrics.PhaseDecompress, decompressStart)
 	out := make([]byte, 0, obj.OrigSize)
 	for i, p := range plain {
 		if errs[i] != nil {

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/units"
 )
 
@@ -68,6 +69,13 @@ type Device struct {
 	ckpts    map[uint64]*entry
 	order    []uint64 // FIFO eviction order (ascending insertion)
 	pacer    Pacer
+
+	// Metrics (nil until Instrument is called).
+	mEvictions     *metrics.Counter
+	mFull          *metrics.Counter
+	mLockConflicts *metrics.Counter
+	mWriteBytes    *metrics.Histogram
+	mReadBytes     *metrics.Histogram
 }
 
 type entry struct {
@@ -91,6 +99,39 @@ func NewDevice(capacity int64, pacer Pacer) (*Device, error) {
 // Capacity returns the device capacity in bytes.
 func (d *Device) Capacity() int64 { return d.capacity }
 
+// Instrument registers the device's metrics (occupancy, evictions, lock
+// conflicts, transfer sizes) with r. Occupancy-style values are sampled at
+// exposition time; the device stays allocation-free on the hot path.
+func (d *Device) Instrument(r *metrics.Registry) {
+	r.GaugeFunc("ndpcr_nvm_capacity_bytes", "checkpoint-region capacity",
+		func() float64 { return float64(d.capacity) })
+	r.GaugeFunc("ndpcr_nvm_used_bytes", "bytes resident in the checkpoint region",
+		func() float64 { return float64(d.Used()) })
+	r.GaugeFunc("ndpcr_nvm_resident_checkpoints", "checkpoints resident in NVM",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(len(d.ckpts))
+		})
+	r.GaugeFunc("ndpcr_nvm_locked_checkpoints", "resident checkpoints pinned by a drain lock",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			n := 0
+			for _, e := range d.ckpts {
+				if e.locks > 0 {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	d.mEvictions = r.Counter("ndpcr_nvm_evictions_total", "checkpoints evicted by circular-buffer pressure")
+	d.mFull = r.Counter("ndpcr_nvm_full_total", "writes rejected because every resident checkpoint was locked")
+	d.mLockConflicts = r.Counter("ndpcr_nvm_lock_conflicts_total", "writes that skipped or collided with a locked checkpoint")
+	d.mWriteBytes = r.Histogram("ndpcr_nvm_write_bytes", "checkpoint sizes written to NVM", metrics.UnitBytes)
+	d.mReadBytes = r.Histogram("ndpcr_nvm_read_bytes", "checkpoint sizes read from NVM", metrics.UnitBytes)
+}
+
 // Used returns the bytes currently resident.
 func (d *Device) Used() int64 {
 	d.mu.Lock()
@@ -111,6 +152,9 @@ func (d *Device) Put(ckpt Checkpoint) error {
 	if old, exists := d.ckpts[ckpt.ID]; exists {
 		if old.locks > 0 {
 			d.mu.Unlock()
+			if d.mLockConflicts != nil {
+				d.mLockConflicts.Inc()
+			}
 			return fmt.Errorf("nvm: checkpoint %d is locked and cannot be overwritten", ckpt.ID)
 		}
 		d.removeLocked(ckpt.ID)
@@ -119,6 +163,9 @@ func (d *Device) Put(ckpt Checkpoint) error {
 	for d.used+size > d.capacity {
 		if !d.evictOldestUnlocked() {
 			d.mu.Unlock()
+			if d.mFull != nil {
+				d.mFull.Inc()
+			}
 			return ErrFull
 		}
 	}
@@ -137,6 +184,9 @@ func (d *Device) Put(ckpt Checkpoint) error {
 	// Pace outside the lock: the simulated transfer time must not block
 	// metadata readers.
 	d.pacer.Move(len(ckpt.Data))
+	if d.mWriteBytes != nil {
+		d.mWriteBytes.Observe(size)
+	}
 	return nil
 }
 
@@ -147,7 +197,13 @@ func (d *Device) evictOldestUnlocked() bool {
 		e, ok := d.ckpts[id]
 		if ok && e.locks == 0 {
 			d.removeLocked(id)
+			if d.mEvictions != nil {
+				d.mEvictions.Inc()
+			}
 			return true
+		}
+		if ok && d.mLockConflicts != nil {
+			d.mLockConflicts.Inc()
 		}
 	}
 	return false
@@ -181,6 +237,9 @@ func (d *Device) Get(id uint64) (Checkpoint, error) {
 	ckpt := e.ckpt
 	d.mu.Unlock()
 	d.pacer.Move(len(ckpt.Data))
+	if d.mReadBytes != nil {
+		d.mReadBytes.Observe(int64(len(ckpt.Data)))
+	}
 	return ckpt, nil
 }
 
@@ -209,6 +268,28 @@ func (d *Device) Latest() (Checkpoint, bool) {
 	if best == nil {
 		return Checkpoint{}, false
 	}
+	return best.ckpt, true
+}
+
+// LatestLocked atomically finds the resident checkpoint with the highest
+// ID and takes an eviction lock on it before releasing the device mutex.
+// The separate Latest-then-Lock sequence leaves a window where circular-
+// buffer eviction can reclaim the chosen checkpoint; the NDP engine uses
+// this to pin its drain candidate race-free. The caller must Unlock the
+// returned ID.
+func (d *Device) LatestLocked() (Checkpoint, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *entry
+	for _, e := range d.ckpts {
+		if best == nil || e.ckpt.ID > best.ckpt.ID {
+			best = e
+		}
+	}
+	if best == nil {
+		return Checkpoint{}, false
+	}
+	best.locks++
 	return best.ckpt, true
 }
 

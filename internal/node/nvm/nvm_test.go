@@ -229,3 +229,67 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestLatestLockedPinsAgainstEviction(t *testing.T) {
+	// Regression for the drain-candidate race: the engine used to call
+	// Latest() and then Lock(id) as two separate device operations, leaving
+	// a window where circular-buffer eviction reclaimed the chosen
+	// checkpoint — the drain then failed spuriously or, worse, skipped a
+	// checkpoint that was never shipped. LatestLocked pins the candidate
+	// under the device mutex; under eviction pressure the pinned checkpoint
+	// must stay resident and intact until Unlock.
+	d := mk(t, 4096) // room for ~4 of the 1 KiB checkpoints below
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	// Producer: constant eviction pressure from ever-newer checkpoints.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := uint64(1); ; id++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			data := make([]byte, 1024)
+			for i := range data {
+				data[i] = byte(id)
+			}
+			if err := d.Put(Checkpoint{ID: id, Data: data}); err != nil &&
+				!errors.Is(err, ErrFull) {
+				t.Errorf("put %d: %v", id, err)
+				return
+			}
+		}
+	}()
+
+	// Consumer: pick-and-pin, then verify the pinned checkpoint survives.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for n := 0; n < 500; n++ {
+			ckpt, ok := d.LatestLocked()
+			if !ok {
+				continue
+			}
+			got, err := d.Get(ckpt.ID)
+			if err != nil {
+				t.Errorf("pinned checkpoint %d evicted: %v", ckpt.ID, err)
+				return
+			}
+			for i, b := range got.Data {
+				if b != byte(ckpt.ID) {
+					t.Errorf("pinned checkpoint %d corrupted at byte %d", ckpt.ID, i)
+					return
+				}
+			}
+			if err := d.Unlock(ckpt.ID); err != nil {
+				t.Errorf("unlock %d: %v", ckpt.ID, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -79,7 +79,15 @@ func (n *Node) PartnerCopy(fromRank int, id uint64) ([]byte, Metadata, error) {
 	if err != nil {
 		return nil, Metadata{}, err
 	}
-	return ckpt.Data, metadataFrom(ckpt.Meta), nil
+	meta, err := metadataFrom(ckpt.Meta)
+	if err != nil {
+		// restoreFromPartner treats any error as a level miss, so corrupt
+		// partner metadata falls through the hierarchy instead of
+		// restoring under a zero rank/step.
+		n.mMetaErrs.Inc()
+		return nil, Metadata{}, err
+	}
+	return ckpt.Data, meta, nil
 }
 
 // PartnerCopyIDs lists the checkpoint IDs this node's partner region holds

@@ -95,3 +95,84 @@ func TestReplayer(t *testing.T) {
 		t.Errorf("exhausted replayer returned %v", got)
 	}
 }
+
+func TestGenerateHorizonBoundaryExclusive(t *testing.T) {
+	// The schedule is the half-open interval [0, Horizon): an interrupt
+	// drawn exactly at the horizon must be excluded. Replaying the same
+	// seed reproduces the same arrival times, so shrinking the horizon to
+	// exactly an event's time must drop that event and keep the prefix.
+	cfg := Config{MTTI: 100, Horizon: 10000, Ranks: 4, PLocal: 0.5, Seed: 11}
+	events, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("need at least 2 events, got %d", len(events))
+	}
+	for _, e := range events {
+		if e.At >= cfg.Horizon {
+			t.Fatalf("event at %v not strictly before horizon %v", e.At, cfg.Horizon)
+		}
+	}
+	cut := len(events) / 2
+	cfg.Horizon = events[cut].At
+	truncated, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truncated) != cut {
+		t.Fatalf("horizon at event %d's time kept %d events, want %d (boundary must be exclusive)",
+			cut, len(truncated), cut)
+	}
+	for i := range truncated {
+		if truncated[i] != events[i] {
+			t.Errorf("event %d changed under shorter horizon", i)
+		}
+	}
+}
+
+func TestGenerateSingleRank(t *testing.T) {
+	events, err := Generate(Config{MTTI: 50, Horizon: 5000, Ranks: 1, PLocal: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range events {
+		if e.Rank != 0 {
+			t.Fatalf("single-rank schedule struck rank %d", e.Rank)
+		}
+	}
+}
+
+func TestGeneratePLocalExtremes(t *testing.T) {
+	for _, pl := range []float64{0, 1} {
+		events, err := Generate(Config{MTTI: 50, Horizon: 5000, Ranks: 2, PLocal: pl, Seed: 9})
+		if err != nil {
+			t.Fatalf("PLocal=%v rejected: %v", pl, err)
+		}
+		if len(events) == 0 {
+			t.Fatal("no events")
+		}
+		for _, e := range events {
+			if e.Local != (pl == 1) {
+				t.Fatalf("PLocal=%v drew Local=%v", pl, e.Local)
+			}
+		}
+	}
+}
+
+func TestGenerateEmptyWhenHorizonTiny(t *testing.T) {
+	// A horizon far below the MTTI usually produces no events; the schedule
+	// must be empty, not nil-deref or include a post-horizon event.
+	events, err := Generate(Config{MTTI: 1e12, Horizon: 1e-9, Ranks: 3, PLocal: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.At >= 1e-9 {
+			t.Fatalf("event at %v beyond tiny horizon", e.At)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Pre-PR gate: formatting, vet, and race-stressed tests for the packages
 # with the most concurrency (cluster coordination, node runtime, erasure
-# coding). Run from the repo root before sending a PR; the full suite is
-# still `go test ./...`.
+# coding, metrics collection, the iod network service). Run from the repo
+# root before sending a PR; the full suite is still `go test ./...`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +16,7 @@ fi
 
 go vet ./...
 
-go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/...
+go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... \
+    ./internal/metrics/... ./internal/iod/...
 
 echo "check.sh: all green"
