@@ -28,6 +28,7 @@ var (
 	flagLive    = flag.Bool("live", false, "table2/table3: run the live compression study instead of (in addition to) paper data only")
 	flagCSVDir  = flag.String("csv-dir", "", "also write each experiment's data as CSV into this directory")
 	flagMetrics = flag.Bool("metrics", false, "dump per-phase wall-time histograms accumulated across every simulated trial")
+	flagFaults  = flag.String("faults", "", "chaos: fault-injection schedule (rules 'site,key=value,...' joined by ';'; empty = a representative default)")
 
 	// simPhases accumulates phase observations from every Monte-Carlo run
 	// when -metrics is set; nil otherwise.
@@ -53,7 +54,10 @@ experiments:
   ext      ablations + extensions beyond the paper; optional section arg:
            "ext ablations" (drain/restore/dedup studies) or
            "ext erasure" (redundancy-set level sweep)
-  all      everything above
+  chaos    functional cluster under a deterministic fault-injection
+           schedule (-faults, -seed): aborted checkpoints roll back,
+           recovery falls back across restart lines
+  all      everything above (except chaos)
 
 flags:
 `)
@@ -124,6 +128,7 @@ func main() {
 		"fig8":   runFig8,
 		"fig9":   runFig9,
 		"ext":    func() error { return runExt(extSection) },
+		"chaos":  runChaos,
 	}
 	if exp == "all" {
 		order := []string{"fig1", "table1", "table2", "table3", "table4",

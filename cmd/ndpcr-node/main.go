@@ -140,16 +140,8 @@ func waitDrain(n *node.Node, want uint64) {
 	if n.Engine() == nil || want == 0 {
 		return
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if id, ok := n.Engine().LastDrained(); ok && id >= want {
-			return
-		}
-		if time.Now().After(deadline) {
-			fmt.Fprintln(os.Stderr, "warning: drain did not complete before the failure")
-			return
-		}
-		time.Sleep(time.Millisecond)
+	if !n.Engine().WaitDrained(want, 10*time.Second) {
+		fmt.Fprintln(os.Stderr, "warning: drain did not complete before the failure")
 	}
 }
 

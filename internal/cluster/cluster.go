@@ -9,6 +9,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,14 +46,17 @@ type Cluster struct {
 	nextID uint64
 	closed bool
 
-	reg          *metrics.Registry
-	mCkpts       *metrics.Counter
-	mCkptErrors  *metrics.Counter
-	mRecoveries  *metrics.Counter
-	mBarrierSecs *metrics.Histogram
-	mEncodeSecs  *metrics.Histogram
-	mPlaceSecs   *metrics.Histogram
-	mRecoverSecs *metrics.Histogram
+	reg           *metrics.Registry
+	mCkpts        *metrics.Counter
+	mCkptErrors   *metrics.Counter
+	mRollbacks    *metrics.Counter
+	mRecoveries   *metrics.Counter
+	mLineAttempts *metrics.Counter
+	mFallbacks    *metrics.Counter
+	mBarrierSecs  *metrics.Histogram
+	mEncodeSecs   *metrics.Histogram
+	mPlaceSecs    *metrics.Histogram
+	mRecoverSecs  *metrics.Histogram
 }
 
 // Option configures a cluster at assembly time.
@@ -82,7 +86,13 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 	c.reg = metrics.NewRegistry()
 	c.mCkpts = c.reg.Counter("ndpcr_cluster_checkpoints_total", "coordinated checkpoints completed")
 	c.mCkptErrors = c.reg.Counter("ndpcr_cluster_checkpoint_errors_total", "coordinated checkpoints aborted")
+	c.mRollbacks = c.reg.Counter("ndpcr_cluster_checkpoint_rollbacks_total",
+		"aborted coordinated checkpoints rolled back across all levels")
 	c.mRecoveries = c.reg.Counter("ndpcr_cluster_recoveries_total", "cluster-wide recoveries completed")
+	c.mLineAttempts = c.reg.Counter("ndpcr_cluster_recover_line_attempts_total",
+		"restart lines attempted during recoveries (successes and fallbacks)")
+	c.mFallbacks = c.reg.Counter("ndpcr_cluster_recover_fallbacks_total",
+		"restart lines abandoned for an older line during recoveries")
 	c.mBarrierSecs = c.reg.Histogram("ndpcr_cluster_barrier_seconds",
 		"coordination barrier: slowest rank's snapshot+commit wall time", metrics.UnitSeconds)
 	c.mEncodeSecs = c.reg.Histogram("ndpcr_cluster_erasure_encode_seconds",
@@ -131,8 +141,15 @@ func (c *Cluster) Node(i int) *node.Node {
 // Checkpoint performs one coordinated checkpoint: all ranks snapshot and
 // commit in parallel under the same global ID (the application is assumed
 // paused for the duration, as in Figure 3's timeline). It returns the
-// global checkpoint ID. If any rank fails to commit, the global checkpoint
-// is not considered valid and an error is returned.
+// global checkpoint ID.
+//
+// Checkpoint is failure-atomic: if any rank's snapshot, commit, partner
+// copy, or erasure encode fails, every trace of the aborted global ID is
+// rolled back — committed NVM entries, partner copies, erasure shards, and
+// any blocks an NDP drain already shipped to global I/O (best-effort
+// delete) — and all nodes' checkpoint counters are resynchronized past the
+// aborted ID, so the next Checkpoint succeeds with a strictly larger ID
+// instead of failing "nodes out of sync" forever.
 func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -146,6 +163,7 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	barrierStart := time.Now()
 	errs := make([]error, len(c.ranks))
 	snaps := make([][]byte, len(c.ranks))
+	committed := make([]uint64, len(c.ranks)) // 0 = this rank never committed
 	var wg sync.WaitGroup
 	for i := range c.ranks {
 		wg.Add(1)
@@ -163,6 +181,7 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 				errs[i] = fmt.Errorf("cluster: rank %d commit: %w", i, err)
 				return
 			}
+			committed[i] = id
 			if id != want {
 				errs[i] = fmt.Errorf("cluster: rank %d committed id %d, expected %d (nodes out of sync)",
 					i, id, want)
@@ -183,6 +202,7 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	for _, err := range errs {
 		if err != nil {
 			c.mCkptErrors.Inc()
+			c.rollback(want, committed)
 			return 0, err
 		}
 	}
@@ -192,11 +212,57 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 	if c.eraCode != nil {
 		if err := c.encodeErasure(want, step, snaps); err != nil {
 			c.mCkptErrors.Inc()
+			c.rollback(want, committed)
 			return 0, err
 		}
 	}
 	c.mCkpts.Inc()
 	return want, nil
+}
+
+// rollback erases every trace of an aborted coordinated checkpoint and
+// realigns the checkpoint counters. committed[i] is the ID rank i actually
+// committed (0 if it never did — discards there are no-ops). Each level's
+// removal is best-effort and idempotent, and the NDP's Discard guarantees a
+// drain still in flight deletes rather than acknowledges the dead ID.
+func (c *Cluster) rollback(id uint64, committed []uint64) {
+	for i, n := range c.nodes {
+		if cid := committed[i]; cid != 0 {
+			// Local NVM, the rank's in-flight drain, and its global object.
+			n.DiscardCommit(cid)
+			// The buddy's partner copy of rank i.
+			if c.partner {
+				c.nodes[(i+1)%len(c.nodes)].DiscardPartnerCopy(i, cid)
+			}
+		}
+		// Rank i's erasure shards on every holder (encode may have placed a
+		// partial stripe before failing).
+		if c.eraCode != nil {
+			holders := c.shardHolders(i)
+			for s := 0; s < c.eraGroup+c.eraParity; s++ {
+				c.nodes[holders[s%len(holders)]].DiscardErasureShard(i, s, id)
+			}
+		}
+	}
+	// Resynchronize forward: everyone — including the cluster's own counter
+	// — moves past both the aborted ID and the furthest node, so the next
+	// Checkpoint issues one common, strictly larger ID and never reuses a
+	// poisoned one.
+	next := id + 1
+	for _, n := range c.nodes {
+		if nid := n.NextID(); nid > next {
+			next = nid
+		}
+	}
+	for _, n := range c.nodes {
+		n.ResyncNextID(next)
+	}
+	c.mu.Lock()
+	if next > c.nextID {
+		c.nextID = next
+	}
+	c.mu.Unlock()
+	c.mRollbacks.Inc()
 }
 
 // available reports the checkpoint IDs rank i can restore from any level:
@@ -229,9 +295,12 @@ func (c *Cluster) available(i int) map[uint64]bool {
 // ranks.
 var ErrNoRestartLine = errors.New("cluster: no common restorable checkpoint")
 
-// RestartLine returns the newest checkpoint ID restorable by every rank —
-// the consistent rollback point of §4.2.3.
-func (c *Cluster) RestartLine() (uint64, error) {
+// RestartLines returns every checkpoint ID restorable by all ranks, newest
+// first — the full fallback ladder of consistent rollback points (§4.2.3).
+// Level inventories only prove presence, not readability: Recover walks
+// this list so a line that turns out unreadable (corrupt object, lost
+// shards) falls back to the next-older line instead of aborting.
+func (c *Cluster) RestartLines() []uint64 {
 	common := c.available(0)
 	for i := 1; i < len(c.ranks) && len(common) > 0; i++ {
 		avail := c.available(i)
@@ -241,16 +310,22 @@ func (c *Cluster) RestartLine() (uint64, error) {
 			}
 		}
 	}
-	best := uint64(0)
+	out := make([]uint64, 0, len(common))
 	for id := range common {
-		if id > best {
-			best = id
-		}
+		out = append(out, id)
 	}
-	if best == 0 {
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// RestartLine returns the newest checkpoint ID restorable by every rank —
+// the consistent rollback point of §4.2.3.
+func (c *Cluster) RestartLine() (uint64, error) {
+	lines := c.RestartLines()
+	if len(lines) == 0 {
 		return 0, ErrNoRestartLine
 	}
-	return best, nil
+	return lines[0], nil
 }
 
 // RecoverOutcome describes a completed recovery.
@@ -261,16 +336,49 @@ type RecoverOutcome struct {
 	Step int
 	// Levels records which storage level served each rank's restore.
 	Levels []node.Level
+	// FailedLines lists newer restart lines that were attempted and
+	// abandoned (unreadable on some rank) before ID succeeded, newest
+	// first; empty when the newest line restored cleanly.
+	FailedLines []uint64
 }
 
-// Recover rolls every rank back to the restart line in parallel.
+// Recover rolls every rank back to a common restart line in parallel,
+// walking the restart-line list newest to oldest: if any rank fails to
+// restore at a line (corrupt object, insufficient erasure shards, buddy
+// gone), the cluster falls back to the next-older common line instead of
+// aborting — the multilevel hierarchy keeps recovery progressing through
+// partial damage. Per-line attempts and fallbacks are recorded in metrics.
 func (c *Cluster) Recover() (RecoverOutcome, error) {
 	recoverStart := time.Now()
 	defer c.mRecoverSecs.ObserveSince(recoverStart)
-	line, err := c.RestartLine()
-	if err != nil {
-		return RecoverOutcome{}, err
+	lines := c.RestartLines()
+	if len(lines) == 0 {
+		return RecoverOutcome{}, ErrNoRestartLine
 	}
+	var failed []uint64
+	var lastErr error
+	for _, line := range lines {
+		c.mLineAttempts.Inc()
+		out, err := c.recoverAt(line)
+		if err == nil {
+			out.FailedLines = failed
+			c.mRecoveries.Inc()
+			return out, nil
+		}
+		lastErr = err
+		failed = append(failed, line)
+		c.mFallbacks.Inc()
+	}
+	return RecoverOutcome{}, fmt.Errorf(
+		"cluster: all %d restart lines failed (newest to oldest %v): %w",
+		len(lines), lines, lastErr)
+}
+
+// recoverAt rolls every rank back to one specific line. A rank whose state
+// was already replaced by a newer, partially-successful attempt is simply
+// re-restored: Rank.Restore replaces state wholesale, so the last
+// fully-successful line wins.
+func (c *Cluster) recoverAt(line uint64) (RecoverOutcome, error) {
 	out := RecoverOutcome{ID: line, Levels: make([]node.Level, len(c.ranks))}
 	errs := make([]error, len(c.ranks))
 	steps := make([]int, len(c.ranks))
@@ -307,7 +415,6 @@ func (c *Cluster) Recover() (RecoverOutcome, error) {
 				out.Step, i, s)
 		}
 	}
-	c.mRecoveries.Inc()
 	return out, nil
 }
 

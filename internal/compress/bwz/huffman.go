@@ -162,13 +162,12 @@ type huffDecoder struct {
 // inconsistent (non-Kraft) length sets.
 func newHuffDecoder(lengths []uint8) (*huffDecoder, bool) {
 	d := &huffDecoder{}
-	for sym, l := range lengths {
+	for _, l := range lengths {
 		if l > maxCodeLen {
 			return nil, false
 		}
 		if l > 0 {
 			d.countAt[l]++
-			_ = sym
 		}
 	}
 	// Kraft check and firstCode computation.

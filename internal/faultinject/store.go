@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"ndpcr/internal/metrics"
+	"ndpcr/internal/node/iostore"
+)
+
+// Store wraps an iostore.API with fault injection on the write and read
+// paths. The node runtime and NDP engine drain through the wrapper exactly
+// as they would through the real store, so injected failures exercise the
+// same abort/rollback/retry code paths a real device or network fault
+// would.
+//
+// Site behavior:
+//
+//   - store.put / store.putblock: ModeErr fails the write outright;
+//     ModeTorn writes a truncated prefix and then fails (a torn object the
+//     abort path must clean up); ModeCorrupt flips a payload byte and
+//     reports success (silent damage caught only by validation); ModeStall
+//     sleeps Delay first (an NDP drain stall), then writes normally.
+//   - store.get: ModeErr fails the read; ModeTorn drops the object's last
+//     block; ModeCorrupt flips a byte of the returned copy; ModeStall
+//     delays the read.
+//
+// Metadata operations (Stat, IDs, Latest, Delete) pass through untouched:
+// sabotaging the rollback path itself would make every chaos test
+// vacuously "pass" by leaking.
+type Store struct {
+	inner iostore.API
+	in    *Injector
+}
+
+// WrapStore wraps inner with the injector's store.* rules. A nil injector
+// returns a transparent wrapper.
+func WrapStore(inner iostore.API, in *Injector) *Store {
+	return &Store{inner: inner, in: in}
+}
+
+var _ iostore.API = (*Store)(nil)
+
+// Instrument forwards to the inner store when it is instrumentable, so
+// wrapping does not hide store metrics.
+func (s *Store) Instrument(r *metrics.Registry) {
+	if i, ok := s.inner.(interface{ Instrument(*metrics.Registry) }); ok {
+		i.Instrument(r)
+	}
+}
+
+// Put implements iostore.API.
+func (s *Store) Put(o iostore.Object) error {
+	d, ok := s.in.Decide(SiteStorePut, o.Key.Rank)
+	if !ok {
+		return s.inner.Put(o)
+	}
+	switch d.Mode {
+	case ModeStall:
+		s.in.Stall(d)
+		return s.inner.Put(o)
+	case ModeCorrupt:
+		return s.inner.Put(corruptObject(o))
+	case ModeTorn:
+		// Land a truncated prefix of the object, then fail: the store is
+		// left holding a torn write the caller must clean up.
+		for i := 0; i < len(o.Blocks)/2; i++ {
+			if err := s.inner.PutBlock(o.Key, o, i, o.Blocks[i]); err != nil {
+				return err
+			}
+		}
+		return d.Err
+	default:
+		return d.Err
+	}
+}
+
+// PutBlock implements iostore.API.
+func (s *Store) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	d, ok := s.in.Decide(SiteStorePutBlock, key.Rank)
+	if !ok {
+		return s.inner.PutBlock(key, meta, index, block)
+	}
+	switch d.Mode {
+	case ModeStall:
+		s.in.Stall(d)
+		return s.inner.PutBlock(key, meta, index, block)
+	case ModeCorrupt:
+		return s.inner.PutBlock(key, meta, index, flipByte(block))
+	case ModeTorn:
+		if len(block) > 1 {
+			if err := s.inner.PutBlock(key, meta, index, block[:len(block)/2]); err != nil {
+				return err
+			}
+		}
+		return d.Err
+	default:
+		return d.Err
+	}
+}
+
+// Get implements iostore.API.
+func (s *Store) Get(key iostore.Key) (iostore.Object, error) {
+	d, ok := s.in.Decide(SiteStoreGet, key.Rank)
+	if !ok {
+		return s.inner.Get(key)
+	}
+	switch d.Mode {
+	case ModeStall:
+		s.in.Stall(d)
+		return s.inner.Get(key)
+	case ModeCorrupt:
+		o, err := s.inner.Get(key)
+		if err != nil {
+			return o, err
+		}
+		return corruptObject(o), nil
+	case ModeTorn:
+		o, err := s.inner.Get(key)
+		if err != nil {
+			return o, err
+		}
+		if len(o.Blocks) > 0 {
+			o.Blocks = o.Blocks[:len(o.Blocks)-1]
+		}
+		return o, nil
+	default:
+		return iostore.Object{}, d.Err
+	}
+}
+
+// Delete implements iostore.API (pass-through).
+func (s *Store) Delete(key iostore.Key) { s.inner.Delete(key) }
+
+// Stat implements iostore.API (pass-through).
+func (s *Store) Stat(key iostore.Key) (iostore.Object, bool) { return s.inner.Stat(key) }
+
+// IDs implements iostore.API (pass-through).
+func (s *Store) IDs(job string, rank int) []uint64 { return s.inner.IDs(job, rank) }
+
+// Latest implements iostore.API (pass-through).
+func (s *Store) Latest(job string, rank int) (uint64, bool) { return s.inner.Latest(job, rank) }
+
+// corruptObject returns o with one payload byte flipped in a copied block;
+// the caller's and store's memory stay intact.
+func corruptObject(o iostore.Object) iostore.Object {
+	for i, b := range o.Blocks {
+		if len(b) > 0 {
+			blocks := append([][]byte(nil), o.Blocks...)
+			blocks[i] = flipByte(b)
+			o.Blocks = blocks
+			return o
+		}
+	}
+	return o
+}
+
+// flipByte returns a copy of b with its middle byte inverted.
+func flipByte(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	cp := append([]byte(nil), b...)
+	cp[len(cp)/2] ^= 0xff
+	return cp
+}

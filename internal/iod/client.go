@@ -44,6 +44,7 @@ type Client struct {
 	mReconnects  *metrics.Counter
 	mRetries     *metrics.Counter
 	mCallErrs    *metrics.Counter
+	mDeleteErrs  *metrics.Counter
 	mInFlight    *metrics.Gauge
 	mCallSecs    *metrics.Histogram
 }
@@ -55,6 +56,8 @@ func (c *Client) Instrument(r *metrics.Registry) {
 	c.mReconnects = r.Counter("ndpcr_iod_reconnects_total", "connections re-established after a broken exchange")
 	c.mRetries = r.Counter("ndpcr_iod_call_retries_total", "exchanges retried after reconnecting")
 	c.mCallErrs = r.Counter("ndpcr_iod_call_errors_total", "calls that failed after exhausting retries")
+	c.mDeleteErrs = r.Counter("ndpcr_iod_delete_errors_total",
+		"best-effort deletes that failed (global objects leaked by an abort cleanup)")
 	c.mInFlight = r.Gauge("ndpcr_iod_inflight_calls", "calls currently on the wire (drain streams in flight)")
 	c.mCallSecs = r.Histogram("ndpcr_iod_call_seconds", "round-trip time per call", metrics.UnitSeconds)
 }
@@ -250,10 +253,18 @@ func (c *Client) PutBlock(key iostore.Key, meta iostore.Object, index int, block
 	return respErr(resp)
 }
 
-// Delete implements iostore.API. Network failures are swallowed: Delete is
-// a best-effort cleanup in the drain-abort path.
+// Delete implements iostore.API. Delete is a best-effort cleanup in the
+// abort/rollback paths, so a failure cannot change the caller's control
+// flow — but a failed delete leaks a global object, so it is counted in
+// ndpcr_iod_delete_errors_total instead of vanishing silently.
 func (c *Client) Delete(key iostore.Key) {
-	_, _ = c.call(&request{Op: opDelete, Key: key})
+	resp, err := c.call(&request{Op: opDelete, Key: key})
+	if err == nil && resp.Err != "" {
+		err = errors.New(resp.Err)
+	}
+	if err != nil && c.mDeleteErrs != nil {
+		c.mDeleteErrs.Inc()
+	}
 }
 
 // Get implements iostore.API.

@@ -24,6 +24,11 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// connDrop, when set, is consulted before each request; returning true
+	// severs the connection without responding (fault injection: exercises
+	// the client's reconnect+retry path).
+	connDrop func() bool
+
 	reg        *metrics.Registry
 	mRequests  [opLatest + 1]*metrics.Counter
 	mInFlight  *metrics.Gauge
@@ -61,6 +66,16 @@ func NewServer(backing iostore.API) (*Server, error) {
 // Metrics exposes the server's registry; cmd/ndpcr-iod mounts it as a
 // Prometheus scrape endpoint via metrics.Handler.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// SetConnDropHook installs (or, with nil, removes) a fault-injection hook
+// consulted before each request; when it returns true the server drops the
+// connection mid-exchange instead of answering, as a crashing or
+// restarting I/O node would.
+func (s *Server) SetConnDropHook(h func() bool) {
+	s.mu.Lock()
+	s.connDrop = h
+	s.mu.Unlock()
+}
 
 // Serve accepts connections on l until Close. It returns after the
 // listener fails (net.ErrClosed after Close).
@@ -134,6 +149,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			// EOF and reset are normal client departures.
 			return
+		}
+		s.mu.Lock()
+		drop := s.connDrop
+		s.mu.Unlock()
+		if drop != nil && drop() {
+			return // sever without responding: the client must reconnect
 		}
 		resp := s.handle(&req)
 		if err := enc.Encode(resp); err != nil {

@@ -94,6 +94,21 @@ func (n *Node) ErasureShard(owner, index int, id uint64) ([]byte, bool) {
 	return ckpt.Data, true
 }
 
+// DiscardErasureShard removes one shard from this node's erasure region
+// (the abort path of a failed coordinated checkpoint). Discarding a shard
+// that was never stored is a no-op.
+func (n *Node) DiscardErasureShard(owner, index int, id uint64) {
+	dev, err := n.erasureDevice()
+	if err != nil {
+		return
+	}
+	key, err := erasureKey(owner, index, id)
+	if err != nil {
+		return
+	}
+	dev.Discard(key)
+}
+
 // ErasureShardIDs lists the checkpoint IDs of the shards this node holds
 // for a given owner rank, one entry per resident shard (a node holding two
 // shards of the same checkpoint reports its ID twice).

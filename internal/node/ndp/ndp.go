@@ -91,6 +91,14 @@ type Engine struct {
 	lastDrained uint64
 	hasDrained  bool
 	drained     chan uint64 // completion events (buffered; drop-on-full)
+	// waiters are WaitDrained callers parked until lastDrained reaches
+	// their ID.
+	waiters []drainWaiter
+	// discarded holds checkpoint IDs whose coordinated checkpoint aborted:
+	// they must never be marked drained, and any blocks already shipped are
+	// deleted. IDs are never reused after an abort (the cluster resyncs
+	// counters forward), so entries are permanent and the set stays tiny.
+	discarded map[uint64]bool
 
 	// Incremental-drain state: the digest table of the last drained
 	// checkpoint and the number of patches since the last full drain.
@@ -133,11 +141,12 @@ func New(cfg Config) (*Engine, error) {
 		cfg.DeltaBlockSize = delta.DefaultBlockSize
 	}
 	e := &Engine{
-		cfg:     cfg,
-		bell:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		drained: make(chan uint64, 64),
+		cfg:       cfg,
+		bell:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		drained:   make(chan uint64, 64),
+		discarded: make(map[uint64]bool),
 	}
 	if r := cfg.Metrics; r != nil {
 		e.mDrains = r.Counter("ndpcr_ndp_drains_total", "checkpoints fully drained to global I/O")
@@ -174,6 +183,70 @@ func (e *Engine) LastDrained() (uint64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.lastDrained, e.hasDrained
+}
+
+// drainWaiter parks one WaitDrained call: ch is closed once lastDrained
+// reaches id.
+type drainWaiter struct {
+	id uint64
+	ch chan struct{}
+}
+
+// WaitDrained blocks until checkpoint id (or anything newer) is fully on
+// global I/O, the timeout elapses, or the engine stops; it reports whether
+// the drain completed. Unlike polling LastDrained, the wait is woken by the
+// drain completion itself.
+func (e *Engine) WaitDrained(id uint64, timeout time.Duration) bool {
+	e.mu.Lock()
+	if e.hasDrained && e.lastDrained >= id {
+		e.mu.Unlock()
+		return true
+	}
+	w := drainWaiter{id: id, ch: make(chan struct{})}
+	e.waiters = append(e.waiters, w)
+	e.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return true
+	case <-e.stop:
+		return false
+	case <-timer.C:
+		return false
+	}
+}
+
+// wakeWaitersLocked releases waiters satisfied by the current lastDrained.
+// Caller holds e.mu.
+func (e *Engine) wakeWaitersLocked() {
+	kept := e.waiters[:0]
+	for _, w := range e.waiters {
+		if e.hasDrained && e.lastDrained >= w.id {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	e.waiters = kept
+}
+
+// Discard poisons a checkpoint ID whose coordinated checkpoint aborted: the
+// engine will not start draining it, and a drain already in flight deletes
+// whatever it shipped instead of acknowledging. The caller guarantees the
+// ID is never committed again (the cluster resynchronizes checkpoint
+// counters past it).
+func (e *Engine) Discard(id uint64) {
+	e.mu.Lock()
+	e.discarded[id] = true
+	e.mu.Unlock()
+}
+
+// isDiscarded reports whether id was poisoned by Discard.
+func (e *Engine) isDiscarded(id uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.discarded[id]
 }
 
 // PauseNVM blocks NDP reads of the NVM; the host calls it around its own
@@ -238,7 +311,7 @@ func (e *Engine) nextUndrained() (uint64, bool) {
 		return 0, false
 	}
 	e.mu.Lock()
-	stale := e.hasDrained && latest.ID <= e.lastDrained
+	stale := (e.hasDrained && latest.ID <= e.lastDrained) || e.discarded[latest.ID]
 	e.mu.Unlock()
 	if stale {
 		if err := e.cfg.Device.Unlock(latest.ID); err != nil {
@@ -258,6 +331,11 @@ func (e *Engine) drain(id uint64) error {
 			e.reportError(fmt.Errorf("ndp: unlock %d: %w", id, err))
 		}
 	}()
+	if e.isDiscarded(id) {
+		// Poisoned between pick and drain: clean any shipped blocks.
+		e.cfg.Store.Delete(iostore.Key{Job: e.cfg.Job, Rank: e.cfg.Rank, ID: id})
+		return nil
+	}
 	if e.mInFlight != nil {
 		e.mInFlight.Inc()
 		defer e.mInFlight.Dec()
@@ -349,6 +427,12 @@ func (e *Engine) drain(id uint64) error {
 		return fmt.Errorf("ndp: drain %d: %w", id, err)
 	}
 	ackStart := time.Now()
+	if e.isDiscarded(id) {
+		// The coordinated checkpoint for this ID aborted while the drain
+		// was in flight: the shipped object is poison, not progress.
+		e.cfg.Store.Delete(key)
+		return nil
+	}
 	if e.cfg.Incremental {
 		if meta.DeltaBase != 0 {
 			e.sinceFull++
@@ -367,6 +451,7 @@ func (e *Engine) drain(id uint64) error {
 		e.lastDrained = id
 		e.hasDrained = true
 	}
+	e.wakeWaitersLocked()
 	e.mu.Unlock()
 	select {
 	case e.drained <- id:

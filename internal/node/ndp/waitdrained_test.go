@@ -1,0 +1,98 @@
+package ndp
+
+import (
+	"testing"
+	"time"
+
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+func TestWaitDrainedCompletes(t *testing.T) {
+	dev, _, eng := testRig(t, nil, false)
+	if err := dev.Put(nvm.Checkpoint{ID: 1, Data: ckptData(5000)}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Notify()
+	if !eng.WaitDrained(1, 5*time.Second) {
+		t.Fatal("WaitDrained(1) reported timeout")
+	}
+	// Fast path: already drained, no waiter parked.
+	if !eng.WaitDrained(1, time.Millisecond) {
+		t.Error("WaitDrained(1) false after the drain completed")
+	}
+}
+
+func TestWaitDrainedSatisfiedByNewerDrain(t *testing.T) {
+	dev, _, eng := testRig(t, nil, false)
+	// Both checkpoints are resident before the bell rings, so the engine
+	// skips straight to 2; the waiter on 1 must still be released.
+	for id := uint64(1); id <= 2; id++ {
+		if err := dev.Put(nvm.Checkpoint{ID: id, Data: ckptData(1000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan bool, 1)
+	go func() { done <- eng.WaitDrained(1, 5*time.Second) }()
+	eng.Notify()
+	if ok := <-done; !ok {
+		t.Error("waiter on skipped checkpoint 1 not released by the drain of 2")
+	}
+}
+
+func TestWaitDrainedTimesOut(t *testing.T) {
+	_, _, eng := testRig(t, nil, false)
+	start := time.Now()
+	if eng.WaitDrained(1, 20*time.Millisecond) {
+		t.Fatal("WaitDrained succeeded with nothing committed")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout wait overshot")
+	}
+}
+
+func TestWaitDrainedUnblocksOnClose(t *testing.T) {
+	_, _, eng := testRig(t, nil, false)
+	done := make(chan bool, 1)
+	go func() { done <- eng.WaitDrained(42, time.Minute) }()
+	time.Sleep(5 * time.Millisecond) // let the waiter park
+	eng.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("WaitDrained reported success after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDrained still blocked after Close")
+	}
+}
+
+func TestDiscardedCheckpointNeverDrains(t *testing.T) {
+	dev, store, eng := testRig(t, nil, false)
+	if err := dev.Put(nvm.Checkpoint{ID: 1, Data: ckptData(1000)}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Discard(1)
+	eng.Notify()
+	if eng.WaitDrained(1, 50*time.Millisecond) {
+		t.Fatal("discarded checkpoint was acknowledged as drained")
+	}
+	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 1}); err == nil {
+		t.Error("discarded checkpoint reached global I/O")
+	}
+	// The poisoned ID must not wedge the drain: a later commit drains
+	// normally and wakes waiters on the dead ID too.
+	if err := dev.Put(nvm.Checkpoint{ID: 2, Data: ckptData(1000)}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Notify()
+	if !eng.WaitDrained(2, 5*time.Second) {
+		t.Fatal("drain after a discarded checkpoint never completed")
+	}
+	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 2}); err != nil {
+		t.Errorf("checkpoint 2 missing from global I/O: %v", err)
+	}
+	if !eng.WaitDrained(1, time.Millisecond) {
+		t.Error("waiter on discarded ID not satisfied by the newer drain")
+	}
+}

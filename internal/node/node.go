@@ -142,6 +142,11 @@ type Node struct {
 	erasure erasureRegion
 	eraSet  ErasureSet
 
+	// commitMu serializes Commit's reserve-ID → NVM-write → confirm
+	// sequence so a failed NVM Put never burns a checkpoint ID (the ID is
+	// only consumed once the write succeeded).
+	commitMu sync.Mutex
+
 	mu     sync.Mutex
 	nextID uint64
 	closed bool
@@ -252,14 +257,20 @@ func (n *Node) Timelines() *metrics.TimelineSet { return n.timelines }
 // Commit writes one application snapshot to local NVM and notifies the
 // NDP. The host "pauses" for the NVM write — any concurrent NDP NVM access
 // is excluded for the duration (§4.2.1). It returns the checkpoint ID.
+//
+// The ID is reserved only once the NVM write succeeds: a failed Commit
+// leaves nextID untouched, so the same ID is offered again on retry and a
+// single rank's NVM failure cannot desynchronize a coordinated checkpoint's
+// ID sequence.
 func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return 0, errors.New("node: closed")
 	}
 	id := n.nextID
-	n.nextID++
 	n.mu.Unlock()
 
 	if meta.Job == "" {
@@ -277,6 +288,9 @@ func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("node: commit %d: %w", id, err)
 	}
+	n.mu.Lock()
+	n.nextID = id + 1
+	n.mu.Unlock()
 	n.timelines.Observe(metrics.KindCheckpoint, id, metrics.PhaseCommit, start, time.Now())
 	n.mCommits.Inc()
 	n.mCommitSecs.ObserveSince(start)
@@ -285,6 +299,42 @@ func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
 		n.engine.Notify()
 	}
 	return id, nil
+}
+
+// NextID returns the checkpoint ID the next successful Commit will use.
+func (n *Node) NextID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nextID
+}
+
+// ResyncNextID raises the node's checkpoint counter to next (never lowers
+// it). The cluster calls it on every node after an aborted coordinated
+// checkpoint so the surviving ranks and the failed rank agree again on the
+// next global ID — the aborted ID is skipped, keeping IDs monotonic and
+// never reusing a poisoned one.
+func (n *Node) ResyncNextID(next uint64) {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if next > n.nextID {
+		n.nextID = next
+	}
+}
+
+// DiscardCommit rolls one committed checkpoint back out of this node: the
+// NDP is told never to acknowledge a drain of the ID (deleting anything it
+// already shipped), the NVM entry is force-removed, and the global object
+// is best-effort deleted. It is the per-node abort path of a failed
+// coordinated checkpoint; discarding an ID that was never committed here is
+// a no-op.
+func (n *Node) DiscardCommit(id uint64) {
+	if n.engine != nil {
+		n.engine.Discard(id)
+	}
+	n.device.Discard(id)
+	n.cfg.Store.Delete(iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id})
 }
 
 // WriteThrough writes a committed checkpoint to global I/O from the host —

@@ -70,6 +70,12 @@ type Device struct {
 	order    []uint64 // FIFO eviction order (ascending insertion)
 	pacer    Pacer
 
+	// faultHook, when set, is consulted at the top of Put and Get with the
+	// operation name ("put"/"get") and checkpoint ID; a non-nil return
+	// fails the operation. Fault-injection harnesses install it; the nil
+	// default costs one mutex-protected load per operation.
+	faultHook func(op string, id uint64) error
+
 	// Metrics (nil until Instrument is called).
 	mEvictions     *metrics.Counter
 	mFull          *metrics.Counter
@@ -132,6 +138,27 @@ func (d *Device) Instrument(r *metrics.Registry) {
 	d.mReadBytes = r.Histogram("ndpcr_nvm_read_bytes", "checkpoint sizes read from NVM", metrics.UnitBytes)
 }
 
+// SetFaultHook installs (or, with nil, removes) a failure-injection hook
+// called at the top of every Put and Get with the operation name and
+// checkpoint ID; a non-nil return aborts the operation with that error.
+func (d *Device) SetFaultHook(h func(op string, id uint64) error) {
+	d.mu.Lock()
+	d.faultHook = h
+	d.mu.Unlock()
+}
+
+// checkFault runs the fault hook, if any, outside d.mu (stall-mode hooks
+// sleep).
+func (d *Device) checkFault(op string, id uint64) error {
+	d.mu.Lock()
+	h := d.faultHook
+	d.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h(op, id)
+}
+
 // Used returns the bytes currently resident.
 func (d *Device) Used() int64 {
 	d.mu.Lock()
@@ -144,6 +171,9 @@ func (d *Device) Used() int64 {
 // checkpoints and ErrFull when locked residents block the space. The data
 // slice is copied; callers may reuse it.
 func (d *Device) Put(ckpt Checkpoint) error {
+	if err := d.checkFault("put", ckpt.ID); err != nil {
+		return fmt.Errorf("nvm: put %d: %w", ckpt.ID, err)
+	}
 	size := int64(len(ckpt.Data))
 	if size > d.capacity {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, d.capacity)
@@ -228,6 +258,9 @@ func (d *Device) removeLocked(id uint64) {
 // Get returns the checkpoint with the given ID. The returned data aliases
 // device memory and must be treated as read-only; the read is paced.
 func (d *Device) Get(id uint64) (Checkpoint, error) {
+	if err := d.checkFault("get", id); err != nil {
+		return Checkpoint{}, fmt.Errorf("nvm: get %d: %w", id, err)
+	}
 	d.mu.Lock()
 	e, ok := d.ckpts[id]
 	if !ok {
@@ -332,6 +365,20 @@ func (d *Device) Unlock(id uint64) error {
 	}
 	e.locks--
 	return nil
+}
+
+// Discard force-removes a checkpoint, locks and all, reporting whether it
+// was resident. It is the abort path of a failed coordinated checkpoint: a
+// poisoned ID must not stay restorable, even while an NDP drain still holds
+// its eviction lock (the drain tolerates the checkpoint vanishing).
+func (d *Device) Discard(id uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.ckpts[id]; !ok {
+		return false
+	}
+	d.removeLocked(id)
+	return true
 }
 
 // Wipe simulates node-local storage loss (a failure that the local level

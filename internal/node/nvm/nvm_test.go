@@ -293,3 +293,55 @@ func TestLatestLockedPinsAgainstEviction(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+func TestDiscardRemovesLockedCheckpoint(t *testing.T) {
+	d := mk(t, 1000)
+	if err := d.Put(Checkpoint{ID: 1, Data: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	// Discard is the abort path: it must win even against a drain lock.
+	if !d.Discard(1) {
+		t.Fatal("Discard reported checkpoint 1 absent")
+	}
+	if _, err := d.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("discarded checkpoint still readable: %v", err)
+	}
+	if d.Used() != 0 {
+		t.Errorf("used = %d after discard, want 0", d.Used())
+	}
+	if d.Discard(1) {
+		t.Error("second discard reported the checkpoint present")
+	}
+	// The space is genuinely reclaimed.
+	if err := d.Put(Checkpoint{ID: 2, Data: make([]byte, 1000)}); err != nil {
+		t.Errorf("full-size put after discard: %v", err)
+	}
+}
+
+func TestFaultHookFailsOperations(t *testing.T) {
+	d := mk(t, 1000)
+	var ops []string
+	d.SetFaultHook(func(op string, id uint64) error {
+		ops = append(ops, op)
+		if op == "get" {
+			return errors.New("injected")
+		}
+		return nil
+	})
+	if err := d.Put(Checkpoint{ID: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(1); err == nil {
+		t.Error("hooked get succeeded")
+	}
+	if len(ops) != 2 || ops[0] != "put" || ops[1] != "get" {
+		t.Errorf("hook saw ops %v", ops)
+	}
+	d.SetFaultHook(nil)
+	if _, err := d.Get(1); err != nil {
+		t.Errorf("get after hook removal: %v", err)
+	}
+}

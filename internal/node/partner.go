@@ -90,6 +90,21 @@ func (n *Node) PartnerCopy(fromRank int, id uint64) ([]byte, Metadata, error) {
 	return ckpt.Data, meta, nil
 }
 
+// DiscardPartnerCopy removes another rank's checkpoint from this node's
+// partner region (the abort path of a failed coordinated checkpoint).
+// Discarding a copy that was never stored is a no-op.
+func (n *Node) DiscardPartnerCopy(fromRank int, id uint64) {
+	dev, err := n.partnerDevice()
+	if err != nil {
+		return
+	}
+	key, err := partnerKey(fromRank, id)
+	if err != nil {
+		return
+	}
+	dev.Discard(key)
+}
+
 // PartnerCopyIDs lists the checkpoint IDs this node's partner region holds
 // for a given rank, ascending.
 func (n *Node) PartnerCopyIDs(fromRank int) []uint64 {

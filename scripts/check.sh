@@ -17,6 +17,6 @@ fi
 go vet ./...
 
 go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... \
-    ./internal/metrics/... ./internal/iod/...
+    ./internal/metrics/... ./internal/iod/... ./internal/faultinject/...
 
 echo "check.sh: all green"
