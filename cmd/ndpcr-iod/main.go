@@ -27,6 +27,8 @@ func main() {
 		metricsAddr = flag.String("metrics-listen", "", "serve Prometheus metrics over HTTP on this address (\"\" = disabled)")
 		bwMBps      = flag.Float64("bw", 0, "simulated per-node I/O bandwidth in MB/s (0 = unthrottled); "+
 			"the paper's projected share is 100")
+		maxConns = flag.Int("max-conns", 0, "maximum concurrent client connections/lanes (0 = unlimited); "+
+			"surplus dials are refused and counted in ndpcr_iod_conns_rejected_total")
 	)
 	flag.Parse()
 
@@ -40,6 +42,9 @@ func main() {
 	srv, err := iod.NewServer(iostore.New(pacer))
 	if err != nil {
 		fatal(err)
+	}
+	if *maxConns > 0 {
+		srv.SetMaxConns(*maxConns)
 	}
 
 	done := make(chan error, 1)

@@ -22,16 +22,18 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "HPCCG", "mini-app to run")
-		steps   = flag.Int("steps", 9, "total steps to run")
-		every   = flag.Int("checkpoint-every", 3, "steps between checkpoints")
-		codecID = flag.String("codec", "gzip", "drain compression codec name (empty = none)")
-		level   = flag.Int("level", 1, "codec level")
-		failAt  = flag.Int("fail-at", 7, "step at which the node failure strikes (0 = never)")
-		seed    = flag.Uint64("seed", 42, "app seed")
-		incr    = flag.Bool("incremental", false, "drain incrementally (changed blocks only)")
-		iodAddr = flag.String("iod", "", "drain to a remote ndpcr-iod store at this address instead of in-process")
-		dumpMet = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
+		appName  = flag.String("app", "HPCCG", "mini-app to run")
+		steps    = flag.Int("steps", 9, "total steps to run")
+		every    = flag.Int("checkpoint-every", 3, "steps between checkpoints")
+		codecID  = flag.String("codec", "gzip", "drain compression codec name (empty = none)")
+		level    = flag.Int("level", 1, "codec level")
+		failAt   = flag.Int("fail-at", 7, "step at which the node failure strikes (0 = never)")
+		seed     = flag.Uint64("seed", 42, "app seed")
+		incr     = flag.Bool("incremental", false, "drain incrementally (changed blocks only)")
+		iodAddr  = flag.String("iod", "", "drain to a remote ndpcr-iod store at this address instead of in-process")
+		iodLanes = flag.Int("iod-lanes", 2, "concurrent transport lanes to the remote I/O node (1 = serial legacy wire)")
+		drainWin = flag.Int("drain-window", 0, "NDP send window: blocks in flight to the store per drain (0 = default)")
+		dumpMet  = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
 	)
 	flag.Parse()
 
@@ -46,17 +48,18 @@ func main() {
 
 	var store iostore.API = iostore.New(nvm.Pacer{})
 	if *iodAddr != "" {
-		client, err := iod.Dial(*iodAddr)
+		client, err := iod.DialPool(*iodAddr, *iodLanes)
 		if err != nil {
 			fatal(err)
 		}
 		defer client.Close()
 		store = client
-		fmt.Printf("draining to remote I/O node at %s\n", *iodAddr)
+		fmt.Printf("draining to remote I/O node at %s over %d lane(s)\n", *iodAddr, client.Lanes())
 	}
 	n, err := node.New(node.Config{
 		Job: "demo", Rank: 0, Store: store, Codec: codec,
 		Incremental: *incr,
+		DrainWindow: *drainWin,
 		OnError:     func(err error) { fmt.Fprintf(os.Stderr, "ndp async error: %v\n", err) },
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"ndpcr/internal/compress"
 	"ndpcr/internal/faultinject"
+	"ndpcr/internal/metrics"
 	"ndpcr/internal/miniapps"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
@@ -222,6 +223,13 @@ func TestRecoverFallsBackAcrossLines(t *testing.T) {
 	}
 	if fired := in.Fired(); fired[faultinject.SiteStoreGet] != 1 {
 		t.Errorf("store.get fired %d times, want 1", fired[faultinject.SiteStoreGet])
+	}
+	// Zero residue: the failed restore attempts at line 4 must not leave
+	// open restore timelines behind on any rank (finish-or-discard).
+	for i := range apps {
+		if open := c.Node(i).Timelines().Open(metrics.KindRestore); open != 0 {
+			t.Errorf("rank %d: %d restore timeline(s) left open after fallback", i, open)
+		}
 	}
 
 	// The cluster keeps going: the next coordinated checkpoint commits with

@@ -53,6 +53,7 @@ type Cluster struct {
 	mRecoveries   *metrics.Counter
 	mLineAttempts *metrics.Counter
 	mFallbacks    *metrics.Counter
+	mInvErrors    *metrics.Counter
 	mBarrierSecs  *metrics.Histogram
 	mEncodeSecs   *metrics.Histogram
 	mPlaceSecs    *metrics.Histogram
@@ -93,6 +94,8 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 		"restart lines attempted during recoveries (successes and fallbacks)")
 	c.mFallbacks = c.reg.Counter("ndpcr_cluster_recover_fallbacks_total",
 		"restart lines abandoned for an older line during recoveries")
+	c.mInvErrors = c.reg.Counter("ndpcr_cluster_inventory_errors_total",
+		"restart-line inventories that found the global store unreachable")
 	c.mBarrierSecs = c.reg.Histogram("ndpcr_cluster_barrier_seconds",
 		"coordination barrier: slowest rank's snapshot+commit wall time", metrics.UnitSeconds)
 	c.mEncodeSecs = c.reg.Histogram("ndpcr_cluster_erasure_encode_seconds",
@@ -108,9 +111,13 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 		if len(nodes) < 2 {
 			return nil, errors.New("cluster: partner replication needs at least 2 ranks")
 		}
-		// Rank i's copies live on node (i+1) mod N.
+		// Rank i's copies live on node (i+1) mod N. SetPartner rejects
+		// self-buddying, so a misconfigured pairing can never count a
+		// same-device copy as redundancy.
 		for i, n := range nodes {
-			n.SetPartner(nodes[(i+1)%len(nodes)])
+			if err := n.SetPartner(nodes[(i+1)%len(nodes)]); err != nil {
+				return nil, fmt.Errorf("cluster: wire partner level: %w", err)
+			}
 		}
 	}
 	if c.eraGroup != 0 || c.eraParity != 0 {
@@ -267,8 +274,11 @@ func (c *Cluster) rollback(id uint64, committed []uint64) {
 
 // available reports the checkpoint IDs rank i can restore from any level:
 // its own NVM, its buddy's partner region, the erasure set, or the global
-// store.
-func (c *Cluster) available(i int) map[uint64]bool {
+// store. The returned error (which wraps ErrLevelUnavailable) means the
+// global store could not be *inventoried* — "level unreachable" — which is
+// a different fact from the store reporting no checkpoints: the IDs it
+// would have contributed are unknown, not absent.
+func (c *Cluster) available(i int) (map[uint64]bool, error) {
 	out := make(map[uint64]bool)
 	for _, id := range c.nodes[i].Device().IDs() {
 		out[id] = true
@@ -285,25 +295,49 @@ func (c *Cluster) available(i int) map[uint64]bool {
 			out[id] = true
 		}
 	}
-	for _, id := range c.store.IDs(c.job, i) {
-		out[id] = true
+	var invErr error
+	if inv, ok := c.store.(iostore.Inventory); ok {
+		ids, err := inv.IDsErr(c.job, i)
+		if err != nil {
+			// The legacy path would have masked this as "no checkpoints",
+			// silently deleting the I/O level from the restart-line
+			// intersection and reporting ErrNoRestartLine for what is
+			// really a transport outage.
+			c.mInvErrors.Inc()
+			invErr = fmt.Errorf("%w: rank %d global-store inventory: %v", ErrLevelUnavailable, i, err)
+		}
+		for _, id := range ids {
+			out[id] = true
+		}
+	} else {
+		for _, id := range c.store.IDs(c.job, i) {
+			out[id] = true
+		}
 	}
-	return out
+	return out, invErr
 }
 
 // ErrNoRestartLine reports that no checkpoint ID is restorable by all
 // ranks.
 var ErrNoRestartLine = errors.New("cluster: no common restorable checkpoint")
 
-// RestartLines returns every checkpoint ID restorable by all ranks, newest
-// first — the full fallback ladder of consistent rollback points (§4.2.3).
-// Level inventories only prove presence, not readability: Recover walks
-// this list so a line that turns out unreadable (corrupt object, lost
-// shards) falls back to the next-older line instead of aborting.
-func (c *Cluster) RestartLines() []uint64 {
-	common := c.available(0)
+// ErrLevelUnavailable reports that a storage level could not be
+// inventoried during restart-line computation: the level's checkpoints are
+// unknown, not absent. Callers should retry once the level is reachable
+// rather than conclude no restart line exists.
+var ErrLevelUnavailable = errors.New("cluster: storage level unreachable")
+
+// restartLines computes the common restorable IDs, newest first, plus the
+// first inventory failure encountered (nil when every level answered).
+// Lines found despite an inventory failure are genuinely restorable — the
+// surviving levels vouch for them — so recovery can still proceed on them.
+func (c *Cluster) restartLines() ([]uint64, error) {
+	common, invErr := c.available(0)
 	for i := 1; i < len(c.ranks) && len(common) > 0; i++ {
-		avail := c.available(i)
+		avail, err := c.available(i)
+		if err != nil && invErr == nil {
+			invErr = err
+		}
 		for id := range common {
 			if !avail[id] {
 				delete(common, id)
@@ -315,14 +349,30 @@ func (c *Cluster) RestartLines() []uint64 {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
-	return out
+	return out, invErr
+}
+
+// RestartLines returns every checkpoint ID restorable by all ranks, newest
+// first — the full fallback ladder of consistent rollback points (§4.2.3).
+// Level inventories only prove presence, not readability: Recover walks
+// this list so a line that turns out unreadable (corrupt object, lost
+// shards) falls back to the next-older line instead of aborting.
+func (c *Cluster) RestartLines() []uint64 {
+	lines, _ := c.restartLines()
+	return lines
 }
 
 // RestartLine returns the newest checkpoint ID restorable by every rank —
-// the consistent rollback point of §4.2.3.
+// the consistent rollback point of §4.2.3. When no line is found and a
+// level could not be inventoried, the error wraps ErrLevelUnavailable
+// (retry when the level returns) rather than ErrNoRestartLine (no
+// checkpoint exists anywhere).
 func (c *Cluster) RestartLine() (uint64, error) {
-	lines := c.RestartLines()
+	lines, invErr := c.restartLines()
 	if len(lines) == 0 {
+		if invErr != nil {
+			return 0, invErr
+		}
 		return 0, ErrNoRestartLine
 	}
 	return lines[0], nil
@@ -351,8 +401,14 @@ type RecoverOutcome struct {
 func (c *Cluster) Recover() (RecoverOutcome, error) {
 	recoverStart := time.Now()
 	defer c.mRecoverSecs.ObserveSince(recoverStart)
-	lines := c.RestartLines()
+	lines, invErr := c.restartLines()
 	if len(lines) == 0 {
+		if invErr != nil {
+			// "Unknown, not absent": with a level unreachable, an empty
+			// intersection proves nothing — report the outage, not a
+			// (possibly false) absence of restart lines.
+			return RecoverOutcome{}, invErr
+		}
 		return RecoverOutcome{}, ErrNoRestartLine
 	}
 	var failed []uint64

@@ -135,18 +135,16 @@ func TestRecoverFromIOAfterNodeLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wait for every rank's drain to complete.
-	deadline := time.Now().Add(5 * time.Second)
+	// Wait for every rank's drain ack: the store's Latest turns visible at
+	// the first landed block, but only the ack means every block landed
+	// (the windowed sender writes them out of order).
 	for rank := 0; rank < 3; rank++ {
-		for {
-			if latest, ok := store.Latest("job", rank); ok && latest >= id {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("rank %d never drained", rank)
-			}
-			time.Sleep(time.Millisecond)
+		if !c.Node(rank).Engine().WaitDrained(id, 5*time.Second) {
+			t.Fatalf("rank %d never drained", rank)
 		}
+	}
+	if latest, ok := store.Latest("job", 1); !ok || latest < id {
+		t.Fatalf("rank 1 drained but store.Latest = %d, %v", latest, ok)
 	}
 	// Rank 1 loses its node entirely.
 	if err := c.FailNode(1); err != nil {

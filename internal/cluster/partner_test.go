@@ -150,7 +150,9 @@ func TestPartnerPrefersNewestAcrossLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	a.SetPartner(b)
+	if err := a.SetPartner(b); err != nil {
+		t.Fatal(err)
+	}
 
 	id1, err := a.Commit([]byte("version-one"), node.Metadata{Step: 1})
 	if err != nil {

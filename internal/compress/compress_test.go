@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -221,6 +222,54 @@ func TestParallelCorrupt(t *testing.T) {
 	}
 	if _, err := p.Decompress(nil, nil); err == nil {
 		t.Error("empty frame accepted")
+	}
+}
+
+func TestParallelRejectsZeroBlockSize(t *testing.T) {
+	base, _ := Lookup("lz4", 1)
+	p := NewParallel(base, 2, 1<<12)
+	// Header claims block size 0 with one block following: no valid frame
+	// has a zero block size (Compress always writes >= 1).
+	frame := []byte{0 /* blockSize */, 1 /* numBlocks */, 0 /* compLen */}
+	if _, err := p.Decompress(nil, frame); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero block size: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestParallelBlockCountBoundIsTight(t *testing.T) {
+	base, _ := Lookup("lz4", 1)
+	p := NewParallel(base, 2, 1<<12)
+	// numBlocks == len(remaining)+1 used to slip past the implausibility
+	// guard (`> len+1`), even though each block costs at least one length
+	// byte. Here: 5 claimed blocks, 4 bytes of frame left.
+	frame := []byte{0x80, 0x20 /* blockSize 4096 */, 5 /* numBlocks */, 0, 0, 0, 0}
+	if _, err := p.Decompress(nil, frame); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("numBlocks == len+1: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestParallelEnforcesBlockSizeField(t *testing.T) {
+	// The decoder used to ignore the header's block size entirely; a
+	// tampered field must now be caught when decoded blocks disagree.
+	base, _ := Lookup("lz4", 1)
+	p := NewParallel(base, 2, 4096)
+	data := sampleData()[:6000] // two blocks: 4096 + 1904
+	comp, err := p.Compress(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := p.Decompress(nil, comp); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip broken before tamper: %v", err)
+	}
+	// uvarint(4096) = {0x80, 0x20}; swap in uvarint(8192) = {0x80, 0x40},
+	// same encoded length, so only the block-size claim changes.
+	tampered := append([]byte(nil), comp...)
+	if tampered[0] != 0x80 || tampered[1] != 0x20 {
+		t.Fatalf("unexpected header encoding % x", tampered[:2])
+	}
+	tampered[1] = 0x40
+	if _, err := p.Decompress(nil, tampered); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("tampered block size: err = %v, want ErrBadFrame", err)
 	}
 }
 

@@ -97,11 +97,18 @@ func (p *Parallel) Compress(dst, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// Decompress appends the decoded form of a parallel frame to dst.
+// Decompress appends the decoded form of a parallel frame to dst. The
+// header's block size is enforced, not merely informational: every block
+// except the last must decode to exactly blockSize bytes and the last to
+// 1..blockSize, which Compress guarantees — a frame violating it is corrupt
+// and must not reassemble into silently misaligned data.
 func (p *Parallel) Decompress(dst, src []byte) ([]byte, error) {
-	_, n := binary.Uvarint(src) // block size: informational
+	blockSize, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: missing block size", ErrBadFrame)
+	}
+	if blockSize == 0 {
+		return nil, fmt.Errorf("%w: zero block size", ErrBadFrame)
 	}
 	src = src[n:]
 	numBlocks, n := binary.Uvarint(src)
@@ -109,7 +116,9 @@ func (p *Parallel) Decompress(dst, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: missing block count", ErrBadFrame)
 	}
 	src = src[n:]
-	if numBlocks > uint64(len(src))+1 {
+	// Each block costs at least its one length byte, so even numBlocks ==
+	// len(src)+1 is impossible (the previous guard was off by one).
+	if numBlocks > uint64(len(src)) {
 		return nil, fmt.Errorf("%w: implausible block count %d", ErrBadFrame, numBlocks)
 	}
 
@@ -151,7 +160,15 @@ func (p *Parallel) Decompress(dst, src []byte) ([]byte, error) {
 			return nil, fmt.Errorf("compress: parallel block %d: %w", i, err)
 		}
 	}
-	for _, r := range results {
+	for i, r := range results {
+		switch {
+		case uint64(i) < numBlocks-1 && uint64(len(r)) != blockSize:
+			return nil, fmt.Errorf("%w: block %d decoded to %d bytes, header says %d",
+				ErrBadFrame, i, len(r), blockSize)
+		case uint64(i) == numBlocks-1 && (len(r) == 0 || uint64(len(r)) > blockSize):
+			return nil, fmt.Errorf("%w: last block decoded to %d bytes, header block size %d",
+				ErrBadFrame, len(r), blockSize)
+		}
 		dst = append(dst, r...)
 	}
 	return dst, nil

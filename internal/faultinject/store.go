@@ -126,6 +126,85 @@ func (s *Store) Get(key iostore.Key) (iostore.Object, error) {
 	}
 }
 
+// GetBlock implements iostore.BlockReader, sharing SiteStoreGet's rules so
+// the streamed restore path sees the same read faults as the monolithic
+// one. When the inner store cannot serve block reads, the wrapper reports
+// it via StatBlocks (ok == false), so GetBlock is only reached on stores
+// where the assertion succeeds.
+func (s *Store) GetBlock(key iostore.Key, index int) ([]byte, error) {
+	br, brOK := s.inner.(iostore.BlockReader)
+	if !brOK {
+		return nil, iostore.ErrNotFound
+	}
+	d, ok := s.in.Decide(SiteStoreGet, key.Rank)
+	if !ok {
+		return br.GetBlock(key, index)
+	}
+	switch d.Mode {
+	case ModeStall:
+		s.in.Stall(d)
+		return br.GetBlock(key, index)
+	case ModeCorrupt:
+		b, err := br.GetBlock(key, index)
+		if err != nil {
+			return nil, err
+		}
+		return flipByte(b), nil
+	case ModeTorn:
+		b, err := br.GetBlock(key, index)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) > 1 {
+			b = b[:len(b)/2]
+		}
+		return b, nil
+	default:
+		return nil, d.Err
+	}
+}
+
+// StatBlocks implements iostore.BlockReader (pass-through, like the other
+// metadata operations): ok == false when the inner store lacks block reads,
+// pushing callers to the monolithic Get where faults are injected anyway.
+func (s *Store) StatBlocks(key iostore.Key) (iostore.Object, int, bool) {
+	if br, ok := s.inner.(iostore.BlockReader); ok {
+		return br.StatBlocks(key)
+	}
+	return iostore.Object{}, 0, false
+}
+
+// StatErr implements iostore.Inventory (pass-through).
+func (s *Store) StatErr(key iostore.Key) (iostore.Object, bool, error) {
+	if inv, ok := s.inner.(iostore.Inventory); ok {
+		return inv.StatErr(key)
+	}
+	o, ok := s.inner.Stat(key)
+	return o, ok, nil
+}
+
+// IDsErr implements iostore.Inventory (pass-through).
+func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
+	if inv, ok := s.inner.(iostore.Inventory); ok {
+		return inv.IDsErr(job, rank)
+	}
+	return s.inner.IDs(job, rank), nil
+}
+
+// LatestErr implements iostore.Inventory (pass-through).
+func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
+	if inv, ok := s.inner.(iostore.Inventory); ok {
+		return inv.LatestErr(job, rank)
+	}
+	id, ok := s.inner.Latest(job, rank)
+	return id, ok, nil
+}
+
+var (
+	_ iostore.BlockReader = (*Store)(nil)
+	_ iostore.Inventory   = (*Store)(nil)
+)
+
 // Delete implements iostore.API (pass-through).
 func (s *Store) Delete(key iostore.Key) { s.inner.Delete(key) }
 

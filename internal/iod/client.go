@@ -13,30 +13,79 @@ import (
 	"ndpcr/internal/node/iostore"
 )
 
-// Client talks to an iod server and satisfies iostore.API, so a node
-// runtime can be pointed at a remote I/O node transparently. Requests on
-// one client serialize over a single TCP connection (the NDP's drain is a
-// single ordered stream anyway); use one client per node for parallelism,
-// as real compute nodes would.
-//
-// Clients created with Dial reconnect automatically: if a call fails on a
-// broken connection, the client runs capped-backoff reconnect+retry cycles
-// until the exchange succeeds, the retry budget is exhausted, or Close is
-// called. Every iostore.API operation is an idempotent request/response
-// (PutBlock writes by index), so retrying a failed exchange resumes an
-// in-flight drain stream instead of abandoning it — an I/O node restart
-// mid-drain costs only the retry window, not the checkpoint.
-type Client struct {
-	mu     sync.Mutex
-	addr   string // "" disables reconnection (NewClient-wrapped conns)
+// lane is one TCP connection in a client's pool, with its own gob
+// encoder/decoder pair. mu serializes exchanges on the lane (gob streams
+// are stateful, so a lane carries one request/response at a time); connMu
+// guards only the conn pointer so Close can sever an in-flight exchange
+// without waiting behind it.
+type lane struct {
+	mu sync.Mutex // held for the duration of an exchange or repair
+
+	connMu sync.Mutex
 	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
+
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	// broken marks the lane as needing a (re)dial before its next
+	// exchange. Lazily-dialed pool lanes start broken with no conn.
+	broken bool
+}
+
+// setConn installs a fresh connection, closing any previous one. Caller
+// holds ln.mu; connMu bounds the race with Close.
+func (ln *lane) setConn(conn net.Conn) {
+	ln.connMu.Lock()
+	if ln.conn != nil {
+		ln.conn.Close()
+	}
+	ln.conn = conn
+	ln.connMu.Unlock()
+	ln.enc = gob.NewEncoder(conn)
+	ln.dec = gob.NewDecoder(conn)
+}
+
+// exchange runs one request/response on the lane. Caller holds ln.mu.
+func (ln *lane) exchange(req *request) (*response, error) {
+	if err := ln.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("iod: send: %w", err)
+	}
+	var resp response
+	if err := ln.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("iod: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Client talks to an iod server and satisfies iostore.API, so a node
+// runtime can be pointed at a remote I/O node transparently. A client owns
+// a pool of lanes (TCP connections): each call claims a free lane, so
+// concurrent PutBlocks from a windowed drain — or block fetches from a
+// streamed restore — proceed in parallel instead of serializing behind one
+// in-flight exchange. Dial builds a single-lane client (the original wire
+// behavior); DialPool sizes the pool explicitly.
+//
+// Clients created with Dial/DialPool reconnect automatically: if a call
+// fails on a broken lane, the client runs capped-backoff redial+retry
+// cycles — rotating to other lanes, so a retried exchange can resume on a
+// healthy lane while the broken one repairs — until the exchange succeeds,
+// the retry budget is exhausted, or Close is called. Every iostore.API
+// operation is an idempotent request/response (PutBlock writes by index),
+// so retrying a failed exchange resumes an in-flight drain stream instead
+// of abandoning it — an I/O node restart mid-drain costs only the retry
+// window, not the checkpoint. All backoff sleeps happen with no lane held,
+// so one lane riding out a reconnect window never blocks calls on others.
+type Client struct {
+	addr  string // "" disables reconnection (NewClient-wrapped conns)
+	lanes []*lane
+	next  atomic.Uint64 // round-robin lane cursor
+
+	mu     sync.Mutex
 	closed bool
 
-	// closing is set before Close takes mu, so retry loops sleeping under
-	// the mutex can notice the shutdown and abort instead of serving out
-	// their whole backoff schedule.
+	// closing is set before Close takes any lock, so retry loops sleeping
+	// between redial cycles notice the shutdown and abort instead of
+	// serving out their whole backoff schedule.
 	closing atomic.Bool
 
 	// Metrics (nil until Instrument is called).
@@ -45,24 +94,37 @@ type Client struct {
 	mRetries     *metrics.Counter
 	mCallErrs    *metrics.Counter
 	mDeleteErrs  *metrics.Counter
+	mMaskedInv   *metrics.Counter
+	mLaneWaits   *metrics.Counter
 	mInFlight    *metrics.Gauge
 	mCallSecs    *metrics.Histogram
 }
 
 // Instrument registers the client's metrics (dial retries, reconnect+retry
-// cycles, in-flight drain calls, call latency) with r.
+// cycles, lane contention, in-flight drain calls, call latency) with r.
 func (c *Client) Instrument(r *metrics.Registry) {
 	c.mDialRetries = r.Counter("ndpcr_iod_dial_retries_total", "TCP connect attempts beyond the first")
-	c.mReconnects = r.Counter("ndpcr_iod_reconnects_total", "connections re-established after a broken exchange")
-	c.mRetries = r.Counter("ndpcr_iod_call_retries_total", "exchanges retried after reconnecting")
+	c.mReconnects = r.Counter("ndpcr_iod_reconnects_total", "lane connections (re)established after a break or lazy first use")
+	c.mRetries = r.Counter("ndpcr_iod_call_retries_total", "exchanges retried after a broken lane")
 	c.mCallErrs = r.Counter("ndpcr_iod_call_errors_total", "calls that failed after exhausting retries")
 	c.mDeleteErrs = r.Counter("ndpcr_iod_delete_errors_total",
 		"best-effort deletes that failed (global objects leaked by an abort cleanup)")
+	c.mMaskedInv = r.Counter("ndpcr_iod_masked_inventory_errors_total",
+		"transport errors masked as not-found/empty by the legacy Stat/IDs/Latest surface")
+	c.mLaneWaits = r.Counter("ndpcr_iod_lane_waits_total",
+		"calls that found every lane busy and had to queue")
 	c.mInFlight = r.Gauge("ndpcr_iod_inflight_calls", "calls currently on the wire (drain streams in flight)")
 	c.mCallSecs = r.Histogram("ndpcr_iod_call_seconds", "round-trip time per call", metrics.UnitSeconds)
+	r.GaugeFunc("ndpcr_iod_lanes", "TCP lanes in this client's pool", func() float64 {
+		return float64(len(c.lanes))
+	})
 }
 
-var _ iostore.API = (*Client)(nil)
+var (
+	_ iostore.API         = (*Client)(nil)
+	_ iostore.BlockReader = (*Client)(nil)
+	_ iostore.Inventory   = (*Client)(nil)
+)
 
 // Dial retry schedule: during a coordinated startup the I/O node may come
 // up seconds after the compute nodes, so a single failed connect must not
@@ -74,7 +136,7 @@ const (
 	dialBackoffMax  = 800 * time.Millisecond
 )
 
-// Call retry schedule: a broken exchange triggers reconnect+retry cycles
+// Call retry schedule: a broken exchange triggers redial+retry cycles
 // (each cycle itself runs the dial schedule above), backing off between
 // cycles. The combined window (~4.5 s of inter-cycle backoff plus up to
 // ~0.8 s of dial backoff per cycle) rides out an I/O node restart, which
@@ -85,23 +147,41 @@ const (
 	callBackoffMax  = 2 * time.Second
 )
 
-// Dial connects to an iod server, retrying transient connect failures with
-// capped exponential backoff.
+// Dial connects to an iod server with a single lane, retrying transient
+// connect failures with capped exponential backoff. Equivalent to
+// DialPool(addr, 1): one ordered stream, the original wire behavior.
 func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
+	return DialPool(addr, 1)
+}
+
+// DialPool connects to an iod server with a pool of n lanes. Lane 0 is
+// dialed eagerly (so a dead server fails fast, as Dial always has); the
+// rest dial lazily on first use, so idle lanes cost the server nothing.
+func DialPool(addr string, n int) (*Client, error) {
+	if n < 1 {
+		n = 1
+	}
+	c := &Client{addr: addr, lanes: make([]*lane, n)}
+	for i := range c.lanes {
+		c.lanes[i] = &lane{broken: true}
+	}
 	conn, err := c.dialRetry()
 	if err != nil {
 		return nil, fmt.Errorf("iod: dial %s: %w", addr, err)
 	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
+	c.lanes[0].setConn(conn)
+	c.lanes[0].broken = false
 	return c, nil
 }
 
+// Lanes reports the pool size.
+func (c *Client) Lanes() int { return len(c.lanes) }
+
 // dialRetry attempts the TCP connect up to dialAttempts times, sleeping
 // the backoff schedule between failures; it returns the last error if all
-// attempts fail or the client is closing.
+// attempts fail or the client is closing. Callers must not hold any lane
+// lock: the sleeps here are exactly the stalls that used to freeze every
+// caller when they ran under the client mutex.
 func (c *Client) dialRetry() (net.Conn, error) {
 	backoff := dialBackoffBase
 	var lastErr error
@@ -129,50 +209,137 @@ func (c *Client) dialRetry() (net.Conn, error) {
 }
 
 // NewClient wraps an established connection (tests use net.Pipe). Clients
-// built this way do not reconnect.
+// built this way have one lane and do not reconnect.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	ln := &lane{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return &Client{lanes: []*lane{ln}}
 }
 
-// reconnectLocked re-establishes the connection; caller holds c.mu.
-func (c *Client) reconnectLocked() error {
+// acquireLane claims a lane for one exchange, returning it locked. It
+// prefers a free healthy lane (scanning round-robin from a shared cursor),
+// then a free broken one (which the caller will repair — also how lazy
+// lanes get their first dial), and only queues behind an in-flight
+// exchange when every lane is busy. Preferring healthy lanes means a lane
+// stuck in a redial backoff does not capture new calls while an idle
+// healthy lane sits next to it.
+func (c *Client) acquireLane() *lane {
+	start := c.next.Add(1) - 1
+	n := uint64(len(c.lanes))
+	var brokenFree *lane
+	for i := uint64(0); i < n; i++ {
+		ln := c.lanes[(start+i)%n]
+		if !ln.mu.TryLock() {
+			continue
+		}
+		if !ln.broken {
+			if brokenFree != nil {
+				brokenFree.mu.Unlock()
+			}
+			return ln
+		}
+		if brokenFree == nil {
+			brokenFree = ln // hold it locked in case no healthy lane is free
+		} else {
+			ln.mu.Unlock()
+		}
+	}
+	if brokenFree != nil {
+		return brokenFree
+	}
+	if c.mLaneWaits != nil {
+		c.mLaneWaits.Inc()
+	}
+	ln := c.lanes[start%n]
+	ln.mu.Lock()
+	return ln
+}
+
+// repairLane (re)dials a broken lane. Called with ln.mu held; the dial —
+// and its backoff sleeps — run with the lane unlocked, so other callers
+// can claim and even repair this lane meanwhile (the post-relock broken
+// re-check discards the surplus connection in that case).
+func (c *Client) repairLane(ln *lane) error {
 	if c.addr == "" {
 		return errors.New("iod: connection broken (no address to redial)")
 	}
-	if c.conn != nil {
-		c.conn.Close()
-	}
+	ln.mu.Unlock()
 	conn, err := c.dialRetry()
+	ln.mu.Lock()
 	if err != nil {
 		return fmt.Errorf("iod: redial %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
+	if c.closing.Load() {
+		conn.Close()
+		return errors.New("iod: client closed")
+	}
+	if !ln.broken {
+		conn.Close() // a racing repairer beat us to it
+		return nil
+	}
+	ln.setConn(conn)
+	ln.broken = false
 	if c.mReconnects != nil {
 		c.mReconnects.Inc()
 	}
 	return nil
 }
 
-// Close shuts the connection down; in-flight calls fail. A call sleeping
-// in a retry backoff holds c.mu, so Close flags the shutdown first (the
-// retry loop aborts at its next check) and then waits for the mutex.
+// attempt runs one exchange on one lane, repairing the lane first if it is
+// broken (or was never dialed). A failed exchange marks the lane broken so
+// the next claimant redials it.
+func (c *Client) attempt(req *request) (*response, error) {
+	ln := c.acquireLane()
+	defer ln.mu.Unlock()
+	if ln.broken {
+		if err := c.repairLane(ln); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := ln.exchange(req)
+	if err != nil {
+		ln.broken = true
+	}
+	return resp, err
+}
+
+// Close shuts every lane down; in-flight calls fail. Lane locks are not
+// taken (an exchange or repair may hold them for a while): closing is
+// flagged first so retry loops abort at their next check, then each lane's
+// connection is severed under connMu, failing any blocked read.
 func (c *Client) Close() error {
 	c.closing.Store(true)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	c.mu.Unlock()
+	var first error
+	for _, ln := range c.lanes {
+		ln.connMu.Lock()
+		if ln.conn != nil {
+			if err := ln.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		ln.connMu.Unlock()
+	}
+	return first
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // call performs one request/response exchange. A failed exchange triggers
-// reconnect+retry cycles with capped backoff: the protocol is strictly
+// redial+retry cycles with capped backoff: the protocol is strictly
 // request/response and every operation idempotent, so a retried exchange
 // after an I/O node restart resumes exactly where the drain stream broke.
+// Each retry claims a lane afresh, so a stream broken on one lane resumes
+// on whichever lane is healthy first. Backoff sleeps hold no locks.
 func (c *Client) call(req *request) (*response, error) {
 	if c.mInFlight != nil {
 		c.mInFlight.Inc()
@@ -180,12 +347,10 @@ func (c *Client) call(req *request) (*response, error) {
 		start := time.Now()
 		defer func() { c.mCallSecs.ObserveSince(start) }()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.isClosed() {
 		return nil, errors.New("iod: client closed")
 	}
-	resp, err := c.exchangeLocked(req)
+	resp, err := c.attempt(req)
 	if err == nil {
 		return resp, nil
 	}
@@ -205,14 +370,10 @@ func (c *Client) call(req *request) (*response, error) {
 		if c.closing.Load() {
 			break
 		}
-		if rerr := c.reconnectLocked(); rerr != nil {
-			err = fmt.Errorf("iod: %v (reconnect failed: %w)", err, rerr)
-			continue
-		}
 		if c.mRetries != nil {
 			c.mRetries.Inc()
 		}
-		resp, rerr := c.exchangeLocked(req)
+		resp, rerr := c.attempt(req)
 		if rerr == nil {
 			return resp, nil
 		}
@@ -222,17 +383,6 @@ func (c *Client) call(req *request) (*response, error) {
 		c.mCallErrs.Inc()
 	}
 	return nil, err
-}
-
-func (c *Client) exchangeLocked(req *request) (*response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("iod: send: %w", err)
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("iod: receive: %w", err)
-	}
-	return &resp, nil
 }
 
 // Put implements iostore.API.
@@ -282,32 +432,106 @@ func (c *Client) Get(key iostore.Key) (iostore.Object, error) {
 	return resp.Object, nil
 }
 
-// Stat implements iostore.API. Network failures report "not found", which
-// the runtime treats as level-miss.
-func (c *Client) Stat(key iostore.Key) (iostore.Object, bool) {
+// GetBlock implements iostore.BlockReader: fetch one block of a stored
+// object, so a streamed restore can overlap fetching block i+1 with
+// decompressing block i.
+func (c *Client) GetBlock(key iostore.Key, index int) ([]byte, error) {
+	resp, err := c.call(&request{Op: opGetBlock, Key: key, Index: index})
+	if err != nil {
+		return nil, err
+	}
+	if resp.NotFound {
+		return nil, fmt.Errorf("%w: %s", iostore.ErrNotFound, key)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Block, nil
+}
+
+// StatBlocks implements iostore.BlockReader. ok == false covers object
+// absence, transport failure, and — via the unknown-op reply matched on
+// unknownOpPrefix — a pre-streaming server; in every case the caller falls
+// back to a whole-object Get, so old servers keep working unmodified.
+func (c *Client) StatBlocks(key iostore.Key) (iostore.Object, int, bool) {
+	resp, err := c.call(&request{Op: opStatBlocks, Key: key})
+	if err != nil || resp.Err != "" || !resp.OK {
+		return iostore.Object{}, 0, false
+	}
+	return resp.Object, resp.NumBlocks, true
+}
+
+// StatErr implements iostore.Inventory: Stat with transport errors kept
+// distinct from "no such checkpoint".
+func (c *Client) StatErr(key iostore.Key) (iostore.Object, bool, error) {
 	resp, err := c.call(&request{Op: opStat, Key: key})
 	if err != nil {
-		return iostore.Object{}, false
+		return iostore.Object{}, false, err
 	}
-	return resp.Object, resp.OK
+	return resp.Object, resp.OK, nil
 }
 
-// IDs implements iostore.API. Network failures report no checkpoints.
-func (c *Client) IDs(job string, rank int) []uint64 {
+// IDsErr implements iostore.Inventory: IDs with transport errors kept
+// distinct from "no checkpoints stored".
+func (c *Client) IDsErr(job string, rank int) ([]uint64, error) {
 	resp, err := c.call(&request{Op: opIDs, Job: job, Rank: rank})
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	return resp.IDs
+	return resp.IDs, nil
 }
 
-// Latest implements iostore.API. Network failures report no checkpoints.
-func (c *Client) Latest(job string, rank int) (uint64, bool) {
+// LatestErr implements iostore.Inventory: Latest with transport errors
+// kept distinct from "no checkpoints stored".
+func (c *Client) LatestErr(job string, rank int) (uint64, bool, error) {
 	resp, err := c.call(&request{Op: opLatest, Job: job, Rank: rank})
 	if err != nil {
+		return 0, false, err
+	}
+	return resp.Latest, resp.OK, nil
+}
+
+// maskInv records a transport error the legacy API surface is about to
+// swallow, so masked inventory failures at least show up in metrics.
+func (c *Client) maskInv() {
+	if c.mMaskedInv != nil {
+		c.mMaskedInv.Inc()
+	}
+}
+
+// Stat implements iostore.API. Network failures report "not found" (the
+// interface cannot say otherwise); Inventory-aware callers use StatErr,
+// and each masked failure is counted.
+func (c *Client) Stat(key iostore.Key) (iostore.Object, bool) {
+	o, ok, err := c.StatErr(key)
+	if err != nil {
+		c.maskInv()
+		return iostore.Object{}, false
+	}
+	return o, ok
+}
+
+// IDs implements iostore.API. Network failures report no checkpoints;
+// Inventory-aware callers use IDsErr, and each masked failure is counted.
+func (c *Client) IDs(job string, rank int) []uint64 {
+	ids, err := c.IDsErr(job, rank)
+	if err != nil {
+		c.maskInv()
+		return nil
+	}
+	return ids
+}
+
+// Latest implements iostore.API. Network failures report no checkpoints;
+// Inventory-aware callers use LatestErr, and each masked failure is
+// counted.
+func (c *Client) Latest(job string, rank int) (uint64, bool) {
+	id, ok, err := c.LatestErr(job, rank)
+	if err != nil {
+		c.maskInv()
 		return 0, false
 	}
-	return resp.Latest, resp.OK
+	return id, ok
 }
 
 func respErr(resp *response) error {

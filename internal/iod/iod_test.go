@@ -218,9 +218,10 @@ func TestClientReconnects(t *testing.T) {
 	// Break the connection out from under the client: the next call must
 	// redial transparently (the client was built with Dial, so it knows
 	// the address).
-	client.mu.Lock()
-	client.conn.Close()
-	client.mu.Unlock()
+	ln := client.lanes[0]
+	ln.connMu.Lock()
+	ln.conn.Close()
+	ln.connMu.Unlock()
 
 	got, err := client.Get(key)
 	if err != nil {

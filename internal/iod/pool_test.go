@@ -1,0 +1,491 @@
+package iod
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ndpcr/internal/metrics"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// startPool launches a server and returns a connected n-lane client.
+func startPool(t *testing.T, n int) (*Server, *Client, *iostore.Store) {
+	t.Helper()
+	backing := iostore.New(nvm.Pacer{})
+	srv, err := NewServer(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ListenAndServe("127.0.0.1:0")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	client, err := DialPool(srv.Addr().String(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+	})
+	return srv, client, backing
+}
+
+// warmLane forces the lazy dial of pool lane i by keeping every other lane
+// busy while one call runs.
+func warmLane(t *testing.T, c *Client, i int) {
+	t.Helper()
+	for j, ln := range c.lanes {
+		if j != i {
+			ln.mu.Lock()
+		}
+	}
+	c.Latest("warm", 0)
+	for j, ln := range c.lanes {
+		if j != i {
+			ln.mu.Unlock()
+		}
+	}
+	c.lanes[i].mu.Lock()
+	broken := c.lanes[i].broken
+	c.lanes[i].mu.Unlock()
+	if broken {
+		t.Fatalf("lane %d still broken after warm-up call", i)
+	}
+}
+
+// deadAddr returns a localhost address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestDialPoolLazyLanes(t *testing.T) {
+	_, client, _ := startPool(t, 4)
+	if client.Lanes() != 4 {
+		t.Fatalf("Lanes() = %d, want 4", client.Lanes())
+	}
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+	// Sequential calls have a free healthy lane 0 every time; the lazy
+	// lanes must stay undialed (no reconnects counted).
+	for i := 0; i < 10; i++ {
+		client.Latest("lazy", 0)
+	}
+	if v := reg.Counter("ndpcr_iod_reconnects_total", "").Value(); v != 0 {
+		t.Errorf("sequential calls dialed %v lazy lanes; want 0", v)
+	}
+	for i, ln := range client.lanes[1:] {
+		ln.mu.Lock()
+		if ln.conn != nil {
+			t.Errorf("lazy lane %d has a connection before any concurrent load", i+1)
+		}
+		ln.mu.Unlock()
+	}
+}
+
+func TestPoolConcurrentInterleavings(t *testing.T) {
+	// Concurrent drain (PutBlock) and inventory/fetch (Stat, Get, GetBlock)
+	// traffic on one pooled client: interleavings must neither corrupt
+	// per-lane gob streams nor cross-deliver responses. Run under -race.
+	_, client, _ := startPool(t, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := iostore.Key{Job: "pool", Rank: g, ID: 1}
+			meta := iostore.Object{OrigSize: 64}
+			for i := 0; i < 30; i++ {
+				block := bytes.Repeat([]byte{byte(g)}, 16)
+				if err := client.PutBlock(key, meta, i, block); err != nil {
+					errs <- fmt.Errorf("rank %d put %d: %w", g, i, err)
+					return
+				}
+				if i%5 == 4 {
+					obj, err := client.Get(key)
+					if err != nil {
+						errs <- fmt.Errorf("rank %d get: %w", g, err)
+						return
+					}
+					if len(obj.Blocks) < i+1 || !bytes.Equal(obj.Blocks[i], block) {
+						errs <- fmt.Errorf("rank %d read back wrong blocks", g)
+						return
+					}
+					if b, err := client.GetBlock(key, i); err != nil || !bytes.Equal(b, block) {
+						errs <- fmt.Errorf("rank %d GetBlock(%d): %v", g, i, err)
+						return
+					}
+				}
+				client.Stat(key)
+			}
+			if _, n, ok := client.StatBlocks(key); !ok || n != 30 {
+				errs <- fmt.Errorf("rank %d StatBlocks = %d, %v", g, n, ok)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLaneFailureMidStreamResumesOnAnotherLane(t *testing.T) {
+	_, client, backing := startPool(t, 2)
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+	warmLane(t, client, 1) // both lanes now connected
+
+	key := iostore.Key{Job: "failover", Rank: 0, ID: 1}
+	if err := backing.Put(iostore.Object{Key: key, OrigSize: 4, Blocks: [][]byte{[]byte("data")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever lane 0 out from under the client and aim the cursor at it: the
+	// first exchange fails mid-stream, and the retry must resume on healthy
+	// lane 1 instead of stalling to redial lane 0 first.
+	ln0 := client.lanes[0]
+	ln0.connMu.Lock()
+	ln0.conn.Close()
+	ln0.connMu.Unlock()
+	client.next.Store(0)
+
+	reconBefore := reg.Counter("ndpcr_iod_reconnects_total", "").Value()
+	obj, err := client.Get(key)
+	if err != nil {
+		t.Fatalf("Get across lane failure: %v", err)
+	}
+	if !bytes.Equal(obj.Blocks[0], []byte("data")) {
+		t.Error("failover read returned wrong data")
+	}
+	if v := reg.Counter("ndpcr_iod_call_retries_total", "").Value(); v == 0 {
+		t.Error("no retry counted; the severed lane was never hit")
+	}
+	if v := reg.Counter("ndpcr_iod_reconnects_total", "").Value(); v != reconBefore {
+		t.Errorf("retry redialed the broken lane (%v reconnects) instead of resuming on the healthy one", v-reconBefore)
+	}
+	ln0.mu.Lock()
+	broken := ln0.broken
+	ln0.mu.Unlock()
+	if !broken {
+		t.Error("severed lane not marked broken for later repair")
+	}
+}
+
+func TestBrokenLaneBackoffDoesNotBlockHealthyLane(t *testing.T) {
+	// Regression for the lock-hold bug: reconnect backoff used to sleep
+	// holding the client mutex, so one broken exchange froze every caller
+	// for the full ~4.5 s retry window. With per-lane state and unlocked
+	// sleeps, a call riding out a redial on one lane must not delay an
+	// inventory call on a healthy lane.
+	_, client, backing := startPool(t, 2)
+	warmLane(t, client, 1)
+
+	key := iostore.Key{Job: "nb", Rank: 0, ID: 1}
+	if err := backing.Put(iostore.Object{Key: key, OrigSize: 1, Blocks: [][]byte{{1}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break lane 0 and point redials at a dead address, so its repair runs
+	// the full dial backoff schedule (~0.8 s of sleeping).
+	ln0 := client.lanes[0]
+	ln0.connMu.Lock()
+	ln0.conn.Close()
+	ln0.connMu.Unlock()
+	ln0.mu.Lock()
+	ln0.broken = true
+	ln0.mu.Unlock()
+	client.addr = deadAddr(t)
+
+	// Force caller A onto broken lane 0 by keeping lane 1 busy, then let A
+	// sink into the repair backoff.
+	client.lanes[1].mu.Lock()
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := client.Get(key)
+		aDone <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	client.lanes[1].mu.Unlock()
+
+	// Caller B on the healthy lane must answer promptly while A is still
+	// inside its backoff window.
+	start := time.Now()
+	if _, ok := client.Stat(key); !ok {
+		t.Error("Stat on healthy lane failed")
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Errorf("healthy-lane Stat took %v; broken lane's backoff is blocking the pool", d)
+	}
+	select {
+	case err := <-aDone:
+		t.Fatalf("caller on broken lane finished before its dial backoff could run (err=%v)", err)
+	default:
+	}
+
+	// A's retry cycle must eventually succeed by resuming on the healthy
+	// lane (lane 0 stays unrepairable), not fail the call.
+	select {
+	case err := <-aDone:
+		if err != nil {
+			t.Fatalf("call on broken lane never recovered: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("call on broken lane still blocked")
+	}
+}
+
+func TestStreamedGetMatchesWholeGet(t *testing.T) {
+	_, client, backing := startPool(t, 2)
+	key := iostore.Key{Job: "eq", Rank: 1, ID: 9}
+	want := iostore.Object{
+		Key:      key,
+		Codec:    "gzip",
+		OrigSize: 48,
+		Blocks:   [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")},
+		Meta:     map[string]string{"step": "9"},
+	}
+	if err := backing.Put(want); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, n, ok := client.StatBlocks(key)
+	if !ok || n != 3 {
+		t.Fatalf("StatBlocks = %d blocks, ok=%v", n, ok)
+	}
+	if meta.Codec != "gzip" || meta.Meta["step"] != "9" || len(meta.Blocks) != 0 {
+		t.Errorf("StatBlocks metadata %+v", meta)
+	}
+	streamed := meta
+	for i := 0; i < n; i++ {
+		b, err := client.GetBlock(key, i)
+		if err != nil {
+			t.Fatalf("GetBlock(%d): %v", i, err)
+		}
+		streamed.Blocks = append(streamed.Blocks, b)
+	}
+	whole, err := client.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed.Blocks) != len(whole.Blocks) {
+		t.Fatalf("streamed %d blocks, whole %d", len(streamed.Blocks), len(whole.Blocks))
+	}
+	for i := range whole.Blocks {
+		if !bytes.Equal(streamed.Blocks[i], whole.Blocks[i]) {
+			t.Errorf("block %d diverges between streamed and whole fetch", i)
+		}
+	}
+
+	if _, err := client.GetBlock(key, 99); err == nil {
+		t.Error("out-of-range block index accepted")
+	}
+	missing := iostore.Key{Job: "eq", Rank: 1, ID: 404}
+	if _, err := client.GetBlock(missing, 0); !errors.Is(err, iostore.ErrNotFound) {
+		t.Errorf("missing object GetBlock err = %v, want ErrNotFound", err)
+	}
+	if _, _, ok := client.StatBlocks(missing); ok {
+		t.Error("StatBlocks found a missing object")
+	}
+}
+
+// startOldServer runs a wire-compatible stub of a pre-streaming iod server:
+// it answers the original seven ops against backing and replies with the
+// unknown-op error for anything newer, exactly as the seed server did.
+func startOldServer(t *testing.T, backing iostore.API) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					resp := &response{}
+					switch req.Op {
+					case opGet:
+						obj, err := backing.Get(req.Key)
+						switch {
+						case errors.Is(err, iostore.ErrNotFound):
+							resp.NotFound = true
+							resp.Err = err.Error()
+						case err != nil:
+							resp.Err = err.Error()
+						default:
+							resp.Object = obj
+						}
+					case opStat:
+						resp.Object, resp.OK = backing.Stat(req.Key)
+					case opLatest:
+						resp.Latest, resp.OK = backing.Latest(req.Job, req.Rank)
+					case opPutBlock:
+						if err := backing.PutBlock(req.Key, req.Meta, req.Index, req.Block); err != nil {
+							resp.Err = err.Error()
+						}
+					default:
+						resp.Err = fmt.Sprintf("iod: unknown op %d", req.Op)
+					}
+					if err := enc.Encode(resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestStatBlocksFallsBackOnOldServer(t *testing.T) {
+	// A client pointed at a pre-streaming server must detect the unknown-op
+	// reply and report "no block reads here" so restores fall back to the
+	// whole-object path — not error, not retry forever.
+	backing := iostore.New(nvm.Pacer{})
+	addr := startOldServer(t, backing)
+	client, err := DialPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	key := iostore.Key{Job: "old", Rank: 0, ID: 1}
+	if err := backing.Put(iostore.Object{Key: key, OrigSize: 4, Blocks: [][]byte{[]byte("data")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := client.StatBlocks(key); ok {
+		t.Fatal("StatBlocks claimed support against a pre-streaming server")
+	}
+	obj, err := client.Get(key)
+	if err != nil {
+		t.Fatalf("whole-object fallback Get: %v", err)
+	}
+	if !bytes.Equal(obj.Blocks[0], []byte("data")) {
+		t.Error("fallback Get returned wrong data")
+	}
+}
+
+func TestInventoryErrorsSurfacedAndMaskedCounted(t *testing.T) {
+	// Regression: Stat/IDs/Latest used to swallow transport errors as
+	// not-found/empty, silently deleting the I/O level from restart-line
+	// intersections. The Inventory surface must return the error, and the
+	// legacy surface must at least count each masked failure.
+	a, b := net.Pipe()
+	b.Close()
+	client := NewClient(a)
+	a.Close()
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+	masked := reg.Counter("ndpcr_iod_masked_inventory_errors_total", "")
+
+	key := iostore.Key{Job: "inv", Rank: 0, ID: 1}
+	if _, _, err := client.StatErr(key); err == nil {
+		t.Error("StatErr masked a dead transport")
+	}
+	if _, err := client.IDsErr("inv", 0); err == nil {
+		t.Error("IDsErr masked a dead transport")
+	}
+	if _, _, err := client.LatestErr("inv", 0); err == nil {
+		t.Error("LatestErr masked a dead transport")
+	}
+	if masked.Value() != 0 {
+		t.Errorf("error-surfacing calls counted as masked: %v", masked.Value())
+	}
+
+	if _, ok := client.Stat(key); ok {
+		t.Error("Stat succeeded on dead transport")
+	}
+	if ids := client.IDs("inv", 0); ids != nil {
+		t.Errorf("IDs = %v on dead transport", ids)
+	}
+	if _, ok := client.Latest("inv", 0); ok {
+		t.Error("Latest succeeded on dead transport")
+	}
+	if masked.Value() != 3 {
+		t.Errorf("masked-counter = %v, want 3", masked.Value())
+	}
+}
+
+func TestServerMaxConnsRejectsSurplus(t *testing.T) {
+	backing := iostore.New(nvm.Pacer{})
+	srv, err := NewServer(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMaxConns(1)
+	go srv.ListenAndServe("127.0.0.1:0")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Complete an exchange so the funded connection is registered before
+	// the surplus one arrives.
+	if err := client.PutBlock(iostore.Key{Job: "cap", Rank: 0, ID: 1}, iostore.Object{}, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(3 * time.Second))
+	enc := gob.NewEncoder(raw)
+	dec := gob.NewDecoder(raw)
+	_ = enc.Encode(&request{Op: opLatest, Job: "cap"})
+	var resp response
+	if err := dec.Decode(&resp); err == nil {
+		t.Error("surplus connection was served past the lane budget")
+	}
+	waitFor := time.Now().Add(3 * time.Second)
+	for srv.mRejected.Value() == 0 {
+		if time.Now().After(waitFor) {
+			t.Fatal("rejected connection never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The funded client keeps working.
+	if latest, ok := client.Latest("cap", 0); !ok || latest != 1 {
+		t.Errorf("funded client broken after rejection: %d, %v", latest, ok)
+	}
+}

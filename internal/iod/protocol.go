@@ -18,7 +18,11 @@ import (
 // op identifies a request type.
 type op uint8
 
-// Protocol operations, one per iostore.API method.
+// Protocol operations, one per iostore.API method plus the streaming
+// extension. opGetBlock/opStatBlocks were added after the first protocol
+// revision and MUST stay after opLatest: an old server answers them with an
+// unknown-op error, which the client maps to "streaming unsupported" and
+// the restore path falls back to a whole-object opGet.
 const (
 	opPut op = iota + 1
 	opPutBlock
@@ -27,6 +31,11 @@ const (
 	opStat
 	opIDs
 	opLatest
+	opGetBlock
+	opStatBlocks
+
+	// opMax is the highest valid op (metric array sizing).
+	opMax = opStatBlocks
 )
 
 // opName labels operations in metric series.
@@ -46,6 +55,10 @@ func opName(o op) string {
 		return "ids"
 	case opLatest:
 		return "latest"
+	case opGetBlock:
+		return "get_block"
+	case opStatBlocks:
+		return "stat_blocks"
 	}
 	return "unknown"
 }
@@ -56,7 +69,7 @@ type request struct {
 	Op   op
 	Key  iostore.Key
 	Meta iostore.Object // PutBlock metadata / Put object
-	// Index is PutBlock's block index.
+	// Index is PutBlock's block index (also GetBlock's).
 	Index int
 	// Block is PutBlock's payload.
 	Block []byte
@@ -75,4 +88,14 @@ type response struct {
 	OK       bool
 	IDs      []uint64
 	Latest   uint64
+	// Block is GetBlock's payload; NumBlocks is StatBlocks's block count.
+	// gob omits absent fields, so old servers' responses decode with these
+	// zero — harmless, since old servers also set Err for the unknown op.
+	Block     []byte
+	NumBlocks int
 }
+
+// unknownOpPrefix is how servers report an op they do not understand. The
+// client matches it to detect pre-streaming servers (the string is part of
+// the wire contract: old servers already emit it).
+const unknownOpPrefix = "iod: unknown op"

@@ -29,11 +29,18 @@ type Server struct {
 	// the client's reconnect+retry path).
 	connDrop func() bool
 
+	// maxConns, when > 0, caps concurrently served connections: a lane
+	// budget for the I/O node. Excess connections are closed at accept, so
+	// a pooled client dialing more lanes than the server will fund sees
+	// its surplus lanes break and retries on the funded ones.
+	maxConns int
+
 	reg        *metrics.Registry
-	mRequests  [opLatest + 1]*metrics.Counter
+	mRequests  [opMax + 1]*metrics.Counter
 	mInFlight  *metrics.Gauge
 	mReqSecs   *metrics.Histogram
 	mReqErrors *metrics.Counter
+	mRejected  *metrics.Counter
 }
 
 // NewServer wraps a backing store (usually *iostore.Store, possibly paced
@@ -44,7 +51,7 @@ func NewServer(backing iostore.API) (*Server, error) {
 	}
 	s := &Server{backing: backing, conns: make(map[net.Conn]struct{})}
 	s.reg = metrics.NewRegistry()
-	for op := opPut; op <= opLatest; op++ {
+	for op := opPut; op <= opMax; op++ {
 		s.mRequests[op] = s.reg.Counter(
 			fmt.Sprintf("ndpcr_iod_requests_total{op=%q}", opName(op)),
 			"requests served, by operation")
@@ -52,6 +59,7 @@ func NewServer(backing iostore.API) (*Server, error) {
 	s.mInFlight = s.reg.Gauge("ndpcr_iod_inflight_requests", "requests being handled right now (active drain streams)")
 	s.mReqSecs = s.reg.Histogram("ndpcr_iod_request_seconds", "handling time per request", metrics.UnitSeconds)
 	s.mReqErrors = s.reg.Counter("ndpcr_iod_request_errors_total", "requests answered with an error")
+	s.mRejected = s.reg.Counter("ndpcr_iod_conns_rejected_total", "connections refused by the -max-conns lane budget")
 	s.reg.GaugeFunc("ndpcr_iod_connections", "compute-node connections currently open", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -74,6 +82,14 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 func (s *Server) SetConnDropHook(h func() bool) {
 	s.mu.Lock()
 	s.connDrop = h
+	s.mu.Unlock()
+}
+
+// SetMaxConns caps the number of concurrently served connections (0 = no
+// cap). Call before Serve.
+func (s *Server) SetMaxConns(n int) {
+	s.mu.Lock()
+	s.maxConns = n
 	s.mu.Unlock()
 }
 
@@ -100,6 +116,12 @@ func (s *Server) Serve(l net.Listener) error {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
+		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			conn.Close()
+			s.mRejected.Inc()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
@@ -170,7 +192,7 @@ func (s *Server) handle(req *request) *response {
 		s.mInFlight.Dec()
 		s.mReqSecs.ObserveSince(start)
 	}()
-	if req.Op >= opPut && req.Op <= opLatest {
+	if req.Op >= opPut && req.Op <= opMax {
 		s.mRequests[req.Op].Inc()
 	}
 	resp := &response{}
@@ -203,13 +225,57 @@ func (s *Server) handle(req *request) *response {
 		resp.IDs = s.backing.IDs(req.Job, req.Rank)
 	case opLatest:
 		resp.Latest, resp.OK = s.backing.Latest(req.Job, req.Rank)
+	case opGetBlock:
+		block, err := s.getBlock(req.Key, req.Index)
+		switch {
+		case errors.Is(err, iostore.ErrNotFound):
+			resp.NotFound = true
+			resp.Err = err.Error()
+		case err != nil:
+			resp.Err = err.Error()
+		default:
+			resp.Block = block
+		}
+	case opStatBlocks:
+		resp.Object, resp.NumBlocks, resp.OK = s.statBlocks(req.Key)
 	default:
-		resp.Err = fmt.Sprintf("iod: unknown op %d", req.Op)
+		resp.Err = fmt.Sprintf("%s %d", unknownOpPrefix, req.Op)
 	}
 	if resp.Err != "" {
 		s.mReqErrors.Inc()
 	}
 	return resp
+}
+
+// getBlock serves one block. A BlockReader backing (the normal case) pays
+// pacing per block; otherwise the whole object is fetched and sliced, which
+// keeps old backings correct at the cost of re-reading per block.
+func (s *Server) getBlock(key iostore.Key, index int) ([]byte, error) {
+	if br, ok := s.backing.(iostore.BlockReader); ok {
+		return br.GetBlock(key, index)
+	}
+	obj, err := s.backing.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(obj.Blocks) {
+		return nil, fmt.Errorf("iod: %s block %d out of range (object has %d)", key, index, len(obj.Blocks))
+	}
+	return obj.Blocks[index], nil
+}
+
+// statBlocks serves metadata plus block count without block payloads.
+func (s *Server) statBlocks(key iostore.Key) (iostore.Object, int, bool) {
+	if br, ok := s.backing.(iostore.BlockReader); ok {
+		return br.StatBlocks(key)
+	}
+	obj, err := s.backing.Get(key)
+	if err != nil {
+		return iostore.Object{}, 0, false
+	}
+	n := len(obj.Blocks)
+	obj.Blocks = nil
+	return obj, n, true
 }
 
 // Close stops accepting, closes every connection, and waits for handlers.

@@ -171,6 +171,32 @@ func (ts *TimelineSet) Finish(kind string, id uint64) {
 	}
 }
 
+// Discard drops the open (kind, id) timeline without completing it. Restore
+// paths call it when an attempt fails after recording spans: an abandoned
+// restore must not leave a partially-filled timeline open forever (nor
+// pollute the completed ring with a half-measured attempt). Discarding an
+// unknown timeline is a no-op.
+func (ts *TimelineSet) Discard(kind string, id uint64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	delete(ts.open, timelineKey{kind, id})
+}
+
+// Open returns the number of open (started but neither finished nor
+// discarded) timelines of the given kind. Tests assert zero residue after
+// failure paths; a long-running daemon can watch it for leaks.
+func (ts *TimelineSet) Open(kind string) int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := 0
+	for key := range ts.open {
+		if key.kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
 // DiscardOlder drops open (unfinished) timelines of the given kind with
 // IDs below id. The NDP drains the *newest* checkpoint and skips stale
 // intermediates (§6.2); their timelines would otherwise accumulate forever

@@ -58,8 +58,10 @@ func TestPhaseTimingsSumToTotal(t *testing.T) {
 		t.Errorf("timeline total %v outside the observed wall time %v", tl.Total(), wall)
 	}
 
-	// The restore path's timeline must tile the same way: fetch, then
-	// host-parallel decompression, then apply, with waits filling gaps.
+	// The restore path streams: block fetch overlaps host-parallel
+	// decompression, so its fetch/decompress spans are wall-clock
+	// envelopes that may overlap — the summed phases can exceed the
+	// total (the realized overlap), but never undershoot it.
 	n.FailLocal()
 	if _, _, _, err := n.Restore(); err != nil {
 		t.Fatal(err)
@@ -71,8 +73,9 @@ func TestPhaseTimingsSumToTotal(t *testing.T) {
 	if rtl.PhaseDuration(metrics.PhaseFetch) <= 0 || rtl.PhaseDuration(metrics.PhaseDecompress) <= 0 {
 		t.Errorf("restore timeline missing fetch/decompress: %v", rtl.Spans)
 	}
-	if diff := (rtl.Sum() - rtl.Total()).Abs(); diff > eps {
-		t.Errorf("restore phases sum to %v but total is %v", rtl.Sum(), rtl.Total())
+	if rtl.Sum() < rtl.Total()-eps {
+		t.Errorf("restore phases sum to %v, below total %v (spans must cover the envelope)",
+			rtl.Sum(), rtl.Total())
 	}
 }
 

@@ -71,6 +71,34 @@ type API interface {
 	Latest(job string, rank int) (uint64, bool)
 }
 
+// BlockReader is the optional streaming extension of API: stores that
+// implement it let a restore fetch a checkpoint block by block — metadata
+// and block count first, then each block individually — so decompression of
+// block i can overlap the fetch of block i+1 the same way the NDP drain
+// overlaps compression with transmission (§4.3 mirrored onto §4.2.2).
+//
+// StatBlocks reports the object's metadata (no payload) and its block
+// count; ok == false means the store cannot serve block reads for this key
+// (object absent, transport failure, or — for the iod client — a server
+// that predates the streaming ops), and the caller falls back to a
+// whole-object Get.
+type BlockReader interface {
+	StatBlocks(key Key) (meta Object, blocks int, ok bool)
+	GetBlock(key Key, index int) ([]byte, error)
+}
+
+// Inventory is the optional error-surfacing extension of the read-only
+// inventory calls. API's Stat/IDs/Latest cannot distinguish "this level has
+// no checkpoint" from "this level is unreachable"; over a network transport
+// that conflation silently deletes the I/O level from restart-line
+// intersections. Stores that implement Inventory report transport failures
+// as errors so the cluster can tell the two apart.
+type Inventory interface {
+	StatErr(key Key) (Object, bool, error)
+	IDsErr(job string, rank int) ([]uint64, error)
+	LatestErr(job string, rank int) (uint64, bool, error)
+}
+
 // Store is the shared global store. All methods are safe for concurrent
 // use by many node goroutines.
 type Store struct {
@@ -223,5 +251,61 @@ func (s *Store) Latest(job string, rank int) (uint64, bool) {
 	return ids[len(ids)-1], true
 }
 
-// Store satisfies API.
-var _ API = (*Store)(nil)
+// StatBlocks implements BlockReader: metadata plus block count, no payload
+// and no pacing (pacing charges the blocks as they are fetched).
+func (s *Store) StatBlocks(key Key) (Object, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return Object{}, 0, false
+	}
+	n := len(o.Blocks)
+	o.Blocks = nil
+	return o, n, true
+}
+
+// GetBlock implements BlockReader: one block's payload, paced individually
+// so a streamed restore pays the same total transfer cost as a whole-object
+// Get.
+func (s *Store) GetBlock(key Key, index int) ([]byte, error) {
+	s.mu.Lock()
+	o, ok := s.objects[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if index < 0 || index >= len(o.Blocks) {
+		return nil, fmt.Errorf("iostore: %s block %d out of range (object has %d)", key, index, len(o.Blocks))
+	}
+	b := o.Blocks[index]
+	s.pacer.Move(len(b))
+	if s.mReadBytes != nil {
+		s.mReadBytes.Observe(int64(len(b)))
+	}
+	return b, nil
+}
+
+// StatErr implements Inventory; the in-process store is always reachable.
+func (s *Store) StatErr(key Key) (Object, bool, error) {
+	o, ok := s.Stat(key)
+	return o, ok, nil
+}
+
+// IDsErr implements Inventory; the in-process store is always reachable.
+func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
+	return s.IDs(job, rank), nil
+}
+
+// LatestErr implements Inventory; the in-process store is always reachable.
+func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
+	id, ok := s.Latest(job, rank)
+	return id, ok, nil
+}
+
+// Store satisfies API and its streaming/inventory extensions.
+var (
+	_ API         = (*Store)(nil)
+	_ BlockReader = (*Store)(nil)
+	_ Inventory   = (*Store)(nil)
+)

@@ -47,6 +47,15 @@ type Config struct {
 	// alternative, kept as an ablation).
 	Serialize bool
 
+	// SendWindow bounds how many store writes a drain keeps in flight at
+	// once (default 4). The NIC transmit stays serial and in order — the
+	// window overlaps the store's per-block write latency (a network round
+	// trip on an iod transport), not the wire — and a drain acks only after
+	// every outstanding write lands. 1 restores the fully serial sender.
+	// Pair a window of W with an iod client of ~W lanes so the writes do
+	// not re-serialize at the transport.
+	SendWindow int
+
 	// Incremental enables block-level incremental drains (the paper's
 	// conclusion's proposed NDP extension): after a full checkpoint
 	// reaches I/O, subsequent drains ship only the blocks that changed,
@@ -133,6 +142,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = 1 << 20
+	}
+	if cfg.SendWindow <= 0 {
+		cfg.SendWindow = 4
 	}
 	if cfg.FullEvery <= 0 {
 		cfg.FullEvery = 8
@@ -539,31 +551,111 @@ func (e *Engine) compressAll(data []byte) ([][]byte, error) {
 	return out, nil
 }
 
-// sendBlocks transmits blocks in order through the NIC to the store,
-// finalizing the object metadata on completion.
-func (e *Engine) sendBlocks(ctx context.Context, key iostore.Key, meta iostore.Object, blocks [][]byte, startIdx int) error {
-	for i, b := range blocks {
-		if err := ctx.Err(); err != nil {
+// sender ships one drain's blocks: NIC transmission is serial and in order
+// (one wire), while store writes run asynchronously behind it, bounded by
+// SendWindow. PutBlock writes by index, so out-of-order completion of the
+// windowed writes cannot tear the object; wait() is the ack barrier — no
+// drain acknowledges until every outstanding write has landed.
+type sender struct {
+	e     *Engine
+	key   iostore.Key
+	meta  iostore.Object
+	sem   chan struct{}
+	wg    sync.WaitGroup
+	clock *spanClock // optional xmit envelope across NIC + store spans
+
+	errMu sync.Mutex
+	err   error
+}
+
+func (e *Engine) newSender(key iostore.Key, meta iostore.Object, clock *spanClock) *sender {
+	return &sender{e: e, key: key, meta: meta, sem: make(chan struct{}, e.cfg.SendWindow), clock: clock}
+}
+
+func (s *sender) firstErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *sender) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// send transmits one block: the NIC send runs on the caller (serial, in
+// order), the store write in a windowed goroutine. A previously failed
+// write fails fast here so the drain aborts instead of streaming into a
+// broken store.
+func (s *sender) send(ctx context.Context, idx int, b []byte) error {
+	if err := s.firstErr(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e := s.e
+	if e.cfg.Link != nil {
+		t0 := time.Now()
+		if err := e.cfg.Link.Send(ctx, b); err != nil {
 			return err
 		}
-		if e.cfg.Link != nil {
-			t0 := time.Now()
-			if err := e.cfg.Link.Send(ctx, b); err != nil {
-				return err
-			}
-			if e.mNICSendSecs != nil {
-				e.mNICSendSecs.ObserveSince(t0)
-			}
+		if e.mNICSendSecs != nil {
+			e.mNICSendSecs.ObserveSince(t0)
 		}
+		if s.clock != nil {
+			s.clock.mark(t0, time.Now())
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer func() {
+			<-s.sem
+			s.wg.Done()
+		}()
 		t1 := time.Now()
-		if err := e.cfg.Store.PutBlock(key, meta, startIdx+i, b); err != nil {
-			return err
+		if err := e.cfg.Store.PutBlock(s.key, s.meta, idx, b); err != nil {
+			s.setErr(err)
+			return
 		}
 		if e.mStoreSecs != nil {
 			e.mStoreSecs.ObserveSince(t1)
 		}
-	}
+		if s.clock != nil {
+			s.clock.mark(t1, time.Now())
+		}
+	}()
 	return nil
+}
+
+// wait blocks until every in-flight store write finishes and returns the
+// first write error, if any.
+func (s *sender) wait() error {
+	s.wg.Wait()
+	return s.firstErr()
+}
+
+// sendBlocks transmits blocks in order through the NIC to the store,
+// finalizing the object metadata on completion. Store writes overlap up to
+// SendWindow deep; the call returns only once all of them have landed, so
+// callers keep the strict completed-means-durable semantics.
+func (e *Engine) sendBlocks(ctx context.Context, key iostore.Key, meta iostore.Object, blocks [][]byte, startIdx int) error {
+	s := e.newSender(key, meta, nil)
+	defer s.wg.Wait() // never return with writes still in flight
+	for i, b := range blocks {
+		if err := s.send(ctx, startIdx+i, b); err != nil {
+			return err
+		}
+	}
+	return s.wait()
 }
 
 // spanClock tracks the wall-clock envelope of a set of overlapping
@@ -661,7 +753,11 @@ func (e *Engine) pipeline(ctx context.Context, id uint64, key iostore.Key, meta 
 		close(results)
 	}()
 
-	// Reorder and transmit as blocks complete.
+	// Reorder and hand off to the windowed sender as blocks complete: the
+	// NIC sees blocks strictly in order, while up to SendWindow store
+	// writes ride behind it concurrently.
+	snd := e.newSender(key, meta, &xmitClock)
+	defer snd.wg.Wait() // never return with writes still in flight
 	pending := make(map[int][]byte, e.cfg.Workers)
 	next := 0
 	var out int64
@@ -686,14 +782,15 @@ func (e *Engine) pipeline(ctx context.Context, id uint64, key iostore.Key, meta 
 				break
 			}
 			delete(pending, next)
-			t0 := time.Now()
-			if err := e.sendBlocks(ctx, key, meta, [][]byte{b}, next); err != nil {
+			if err := snd.send(ctx, next, b); err != nil {
 				return err
 			}
-			xmitClock.mark(t0, time.Now())
 			out += int64(len(b))
 			next++
 		}
+	}
+	if err := snd.wait(); err != nil {
+		return err
 	}
 	if e.mOutBytes != nil {
 		e.mOutBytes.Observe(out)

@@ -89,6 +89,17 @@ type Config struct {
 	// RestoreWorkers sizes the host-side decompression pool on restore
 	// (default 8; the paper fans blocks out across host cores, §4.3).
 	RestoreWorkers int
+	// PrefetchBlocks bounds how many fetched-but-not-yet-consumed blocks a
+	// streamed restore keeps in flight (default 2×RestoreWorkers): it is
+	// both the block-fetch parallelism and the memory bound on the
+	// fetch→decompress pipeline. Meaningful only when Store supports
+	// block reads (iostore.BlockReader); otherwise restores fall back to a
+	// whole-object fetch.
+	PrefetchBlocks int
+	// DrainWindow bounds how many store writes an NDP drain keeps in
+	// flight at once (default 4; see ndp.Config.SendWindow). 1 restores
+	// the fully serial sender.
+	DrainWindow int
 	// SerializeDrain disables the compress/send overlap (ablation).
 	SerializeDrain bool
 	// Incremental enables block-level incremental drains: after a full
@@ -154,13 +165,14 @@ type Node struct {
 	reg       *metrics.Registry
 	timelines *metrics.TimelineSet
 
-	mCommits        *metrics.Counter
-	mCommitSecs     *metrics.Histogram
-	mCommitBytes    *metrics.Histogram
-	mMetaErrs       *metrics.Counter
-	mRestoreSecs    *metrics.Histogram
-	mDecompressSecs *metrics.Histogram
-	mRestores       [LevelIO + 1]*metrics.Counter
+	mCommits          *metrics.Counter
+	mCommitSecs       *metrics.Histogram
+	mCommitBytes      *metrics.Histogram
+	mMetaErrs         *metrics.Counter
+	mRestoreSecs      *metrics.Histogram
+	mDecompressSecs   *metrics.Histogram
+	mStreamedRestores *metrics.Counter
+	mRestores         [LevelIO + 1]*metrics.Counter
 }
 
 // New assembles and starts a node runtime.
@@ -179,6 +191,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.RestoreWorkers <= 0 {
 		cfg.RestoreWorkers = 8
+	}
+	if cfg.PrefetchBlocks <= 0 {
+		cfg.PrefetchBlocks = 2 * cfg.RestoreWorkers
 	}
 	if cfg.NICBuffer == 0 {
 		cfg.NICBuffer = 8 << 20
@@ -212,6 +227,8 @@ func New(cfg Config) (*Node, error) {
 	n.mMetaErrs = n.reg.Counter("ndpcr_node_metadata_errors_total", "checkpoints rejected for corrupt metadata")
 	n.mRestoreSecs = n.reg.Histogram("ndpcr_node_restore_seconds", "wall time per restore", metrics.UnitSeconds)
 	n.mDecompressSecs = n.reg.Histogram("ndpcr_node_decompress_seconds", "busy time per restored block decompression", metrics.UnitSeconds)
+	n.mStreamedRestores = n.reg.Counter("ndpcr_node_streamed_restores_total",
+		"I/O fetches served block-streamed (fetch overlapped with decompress)")
 	for l := LevelNone; l <= LevelIO; l++ {
 		n.mRestores[l] = n.reg.Counter(
 			fmt.Sprintf("ndpcr_node_restores_total{level=%q}", l),
@@ -228,6 +245,7 @@ func New(cfg Config) (*Node, error) {
 			Workers:        cfg.NDPWorkers,
 			BlockSize:      cfg.BlockSize,
 			Serialize:      cfg.SerializeDrain,
+			SendWindow:     cfg.DrainWindow,
 			Incremental:    cfg.Incremental,
 			FullEvery:      cfg.FullEvery,
 			DeltaBlockSize: cfg.DeltaBlockSize,
@@ -510,7 +528,18 @@ func (l Level) String() string {
 // fetchFromIO streams a checkpoint from the global store, decompressing
 // across a host worker pool and, for incremental objects, walking the
 // patch chain back to its full base and replaying it forward.
-func (n *Node) fetchFromIO(id uint64) ([]byte, Metadata, error) {
+//
+// Finish-or-discard: a failed fetch discards the restore timeline it
+// opened. The success paths Finish it (in the callers); without the
+// discard, every failed restore left an open timeline behind forever —
+// residue that DiscardOlder never collects, since failures don't advance
+// the finished-ID watermark.
+func (n *Node) fetchFromIO(id uint64) (_ []byte, _ Metadata, err error) {
+	defer func() {
+		if err != nil {
+			n.timelines.Discard(metrics.KindRestore, id)
+		}
+	}()
 	var patches []*delta.Patch
 	var meta Metadata
 	curID := id
@@ -556,8 +585,19 @@ const maxPatchChain = 1024
 // fetchObject retrieves one object's decompressed payload plus its
 // metadata and delta base (0 for full checkpoints). traceID keys the
 // restore timeline (the originally requested checkpoint), while id is the
-// patch-chain link being fetched.
+// patch-chain link being fetched. Stores that serve block reads get the
+// streamed path (fetch overlapped with decompression); everything else
+// takes the monolithic whole-object fetch.
 func (n *Node) fetchObject(traceID, id uint64) ([]byte, Metadata, uint64, error) {
+	if br, ok := n.cfg.Store.(iostore.BlockReader); ok {
+		out, meta, base, handled, err := n.fetchObjectStreamed(br, traceID, id)
+		if handled {
+			if err == nil {
+				n.mStreamedRestores.Inc()
+			}
+			return out, meta, base, err
+		}
+	}
 	fetchStart := time.Now()
 	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
 	obj, err := n.cfg.Store.Get(key)
@@ -620,6 +660,174 @@ func (n *Node) fetchObject(traceID, id uint64) ([]byte, Metadata, uint64, error)
 			id, len(out), obj.OrigSize)
 	}
 	return out, meta, obj.DeltaBase, nil
+}
+
+// envelope tracks the wall-clock envelope of overlapping operations (the
+// streamed restore's fetchers or decompress workers): earliest start,
+// latest end. On an overlapped restore the fetch and decompress spans
+// overlap, so the timeline's Sum exceeds its Total by the realized overlap
+// — the same signature the NDP drain pipeline leaves on the commit side.
+type envelope struct {
+	mu     sync.Mutex
+	marked bool
+	start  time.Time
+	end    time.Time
+}
+
+func (c *envelope) mark(start, end time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.marked || start.Before(c.start) {
+		c.start = start
+	}
+	if !c.marked || end.After(c.end) {
+		c.end = end
+	}
+	c.marked = true
+}
+
+// fetchObjectStreamed fetches an object block by block, feeding each block
+// into the decompression pool as it lands so decompressing block i
+// overlaps fetching block i+1 (§4.3 mirrored onto the restore path). The
+// in-flight window is bounded by PrefetchBlocks: that many fetchers run
+// concurrently (parallel GetBlocks spread across the iod client's lanes)
+// and at most that many fetched blocks wait un-decompressed.
+//
+// handled == false means the store declined block reads for this key
+// (pre-streaming iod server, absent object, transport failure) and the
+// caller must fall back to the monolithic fetch.
+func (n *Node) fetchObjectStreamed(br iostore.BlockReader, traceID, id uint64) (_ []byte, _ Metadata, _ uint64, handled bool, err error) {
+	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
+	obj, numBlocks, ok := br.StatBlocks(key)
+	if !ok {
+		return nil, Metadata{}, 0, false, nil
+	}
+	meta, err := metadataFrom(obj.Meta)
+	if err != nil {
+		n.mMetaErrs.Inc()
+		return nil, Metadata{}, 0, true, fmt.Errorf("node: restore %d: %w", id, err)
+	}
+	var codec compress.Codec
+	if obj.Codec != "" {
+		codec, err = compress.Lookup(obj.Codec, obj.CodecLevel)
+		if err != nil {
+			return nil, Metadata{}, 0, true, fmt.Errorf("node: restore %d: %w", id, err)
+		}
+	}
+
+	window := n.cfg.PrefetchBlocks
+	if window > numBlocks {
+		window = numBlocks
+	}
+	if window < 1 {
+		window = 1
+	}
+	workers := n.cfg.RestoreWorkers
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type block struct {
+		idx  int
+		data []byte
+	}
+	var (
+		fetchClock, decClock envelope
+		plain                = make([][]byte, numBlocks)
+		blockErrs            = make([]error, numBlocks)
+		indices              = make(chan int)
+		fetched              = make(chan block, window)
+		stop                 = make(chan struct{})
+		stopOnce             sync.Once
+	)
+	abort := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var fwg sync.WaitGroup
+	for f := 0; f < window; f++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			for i := range indices {
+				t0 := time.Now()
+				b, ferr := br.GetBlock(key, i)
+				fetchClock.mark(t0, time.Now())
+				if ferr != nil {
+					blockErrs[i] = ferr
+					abort()
+					return
+				}
+				select {
+				case fetched <- block{i, b}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(indices)
+		for i := 0; i < numBlocks; i++ {
+			select {
+			case indices <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		fwg.Wait()
+		close(fetched)
+	}()
+
+	var dwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for blk := range fetched {
+				if codec == nil {
+					plain[blk.idx] = blk.data
+					continue
+				}
+				t0 := time.Now()
+				p, derr := codec.Decompress(nil, blk.data)
+				decClock.mark(t0, time.Now())
+				n.mDecompressSecs.ObserveSince(t0)
+				if derr != nil {
+					blockErrs[blk.idx] = derr
+					abort()
+					return
+				}
+				plain[blk.idx] = p
+			}
+		}()
+	}
+	fwg.Wait()
+	dwg.Wait()
+
+	if fetchClock.marked {
+		n.timelines.Observe(metrics.KindRestore, traceID, metrics.PhaseFetch, fetchClock.start, fetchClock.end)
+	}
+	if decClock.marked {
+		n.timelines.Observe(metrics.KindRestore, traceID, metrics.PhaseDecompress, decClock.start, decClock.end)
+	}
+	for i, berr := range blockErrs {
+		if berr != nil {
+			return nil, Metadata{}, 0, true, fmt.Errorf("node: restore %d block %d: %w", id, i, berr)
+		}
+	}
+	out := make([]byte, 0, obj.OrigSize)
+	for _, p := range plain {
+		out = append(out, p...)
+	}
+	if int64(len(out)) != obj.OrigSize {
+		return nil, Metadata{}, 0, true, fmt.Errorf("node: restore %d: reassembled %d bytes, expected %d",
+			id, len(out), obj.OrigSize)
+	}
+	return out, meta, obj.DeltaBase, true, nil
 }
 
 // FailLocal simulates a node failure that destroys local state: the NVM is

@@ -124,11 +124,18 @@ func (n *Node) PartnerCopyIDs(fromRank int) []uint64 {
 }
 
 // SetPartner wires this node's restore path to the buddy holding its
-// partner copies. The cluster layer calls it during assembly.
-func (n *Node) SetPartner(buddy *Node) {
+// partner copies. The cluster layer calls it during assembly. A node can
+// never buddy with itself: a self-copy lives on the same physical NVM the
+// partner level exists to survive losing, so it would count as redundancy
+// while protecting nothing. Passing nil unwires the level.
+func (n *Node) SetPartner(buddy *Node) error {
+	if buddy == n {
+		return fmt.Errorf("node: rank %d cannot be its own partner (a self-copy shares the NVM it must outlive)", n.cfg.Rank)
+	}
 	n.mu.Lock()
 	n.buddy = buddy
 	n.mu.Unlock()
+	return nil
 }
 
 // restoreFromPartner tries the buddy's partner region for this rank's

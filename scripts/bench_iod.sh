@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs the iod transport benchmarks and emits BENCH_iod.json at the repo
+# root: drain throughput per lane count and streamed-vs-whole restore
+# latency. The JSON carries the two claims the multiplexed transport makes:
+#
+#   - drain throughput grows monotonically with the lane count (1 -> 4);
+#   - a streamed restore (block fetch overlapped with decompression)
+#     finishes faster than the serial fetch-everything-then-decompress sum.
+#
+# Usage: scripts/bench_iod.sh [benchtime]   (default 300ms)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-300ms}"
+out=$(go test ./internal/iod/ -run '^$' \
+    -bench 'BenchmarkDrainLanes|BenchmarkStreamedRestore' \
+    -benchtime "$benchtime" -count=1)
+
+echo "$out"
+
+echo "$out" | awk '
+/^BenchmarkDrainLanes\/lanes=/ {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])
+    lanes[n_lanes++] = parts[2]
+    lane_ns[parts[2]] = $3
+    lane_mbs[parts[2]] = $5
+}
+/^BenchmarkStreamedRestore\/mode=/ {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])
+    mode_ns[parts[2]] = $3
+    mode_mbs[parts[2]] = $5
+}
+END {
+    printf "{\n"
+    printf "  \"bench\": \"iod transport\",\n"
+    printf "  \"drain_lanes\": {\n"
+    for (i = 0; i < n_lanes; i++) {
+        l = lanes[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"mb_per_s\": %s}%s\n", \
+            l, lane_ns[l], lane_mbs[l], (i < n_lanes - 1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"restore\": {\n"
+    printf "    \"streamed\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", \
+        mode_ns["streamed"], mode_mbs["streamed"]
+    printf "    \"whole\": {\"ns_per_op\": %s, \"mb_per_s\": %s}\n", \
+        mode_ns["whole"], mode_mbs["whole"]
+    printf "  },\n"
+    mono = "true"
+    for (i = 1; i < n_lanes; i++)
+        if (lane_ns[lanes[i]] + 0 >= lane_ns[lanes[i-1]] + 0) mono = "false"
+    printf "  \"drain_monotonic\": %s,\n", mono
+    printf "  \"streamed_beats_whole\": %s\n", \
+        (mode_ns["streamed"] + 0 < mode_ns["whole"] + 0 ? "true" : "false")
+    printf "}\n"
+}' > BENCH_iod.json
+
+cat BENCH_iod.json
+
+if ! grep -q '"drain_monotonic": true' BENCH_iod.json; then
+    echo "bench_iod.sh: drain throughput is NOT monotonic in lane count" >&2
+    exit 1
+fi
+if ! grep -q '"streamed_beats_whole": true' BENCH_iod.json; then
+    echo "bench_iod.sh: streamed restore did NOT beat whole fetch+decompress" >&2
+    exit 1
+fi
+echo "bench_iod.sh: monotonic lanes + streamed win confirmed"

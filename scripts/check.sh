@@ -19,4 +19,8 @@ go vet ./...
 go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... \
     ./internal/metrics/... ./internal/iod/... ./internal/faultinject/...
 
+# Transport benchmarks: regenerates BENCH_iod.json and fails if lane
+# scaling or the streamed-restore win regressed.
+scripts/bench_iod.sh
+
 echo "check.sh: all green"
