@@ -10,6 +10,7 @@ package ndpcr_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -272,7 +273,7 @@ func BenchmarkNodeDrainAndRestore(b *testing.B) {
 			time.Sleep(50 * time.Microsecond)
 		}
 		n.FailLocal()
-		got, _, level, err := n.Restore()
+		got, _, level, err := n.Restore(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

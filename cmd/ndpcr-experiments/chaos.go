@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -103,7 +104,7 @@ func runChaos() error {
 			}
 		}
 		step := apps[0].app.StepCount()
-		id, err := c.Checkpoint(step)
+		id, err := c.Checkpoint(context.Background(), step)
 		outcome := "committed"
 		if err != nil {
 			outcome = "ABORTED + rolled back: " + firstLine(err.Error())
@@ -133,9 +134,9 @@ func runChaos() error {
 	if err := c.FailNode(2); err != nil {
 		return err
 	}
-	lines := c.RestartLines()
+	lines := c.RestartLines(context.Background())
 	fmt.Printf("restart lines (newest first): %v\n", lines)
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		return fmt.Errorf("recover: %w", err)
 	}
@@ -166,7 +167,7 @@ func runChaos() error {
 			return err
 		}
 	}
-	id, err := c.Checkpoint(apps[0].app.StepCount())
+	id, err := c.Checkpoint(context.Background(), apps[0].app.StepCount())
 	if err != nil {
 		return fmt.Errorf("post-chaos checkpoint: %w", err)
 	}

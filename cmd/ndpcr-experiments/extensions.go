@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 
@@ -231,7 +232,7 @@ func runDedupStudy() error {
 				if hi > len(data) {
 					hi = len(data)
 				}
-				if err := store.PutBlock(key, iostore.Object{OrigSize: int64(len(data))}, i, data[lo:hi]); err != nil {
+				if err := store.PutBlock(context.Background(), key, iostore.Object{OrigSize: int64(len(data))}, i, data[lo:hi]); err != nil {
 					return err
 				}
 			}

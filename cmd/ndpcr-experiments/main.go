@@ -57,7 +57,11 @@ experiments:
   chaos    functional cluster under a deterministic fault-injection
            schedule (-faults, -seed): aborted checkpoints roll back,
            recovery falls back across restart lines
-  all      everything above (except chaos)
+  shardchaos
+           sharded replicated store tier (3 live iod backends, R=2):
+           one backend is killed mid-drain; no committed restart line
+           may be lost, and re-replication restores 2 copies
+  all      everything above (except chaos and shardchaos)
 
 flags:
 `)
@@ -116,19 +120,20 @@ func main() {
 		os.Exit(2)
 	}
 	runners := map[string]func() error{
-		"fig1":   runFig1,
-		"table1": runTable1,
-		"table2": runTable2,
-		"table3": runTable3,
-		"table4": runTable4,
-		"fig4":   runFig4,
-		"fig5":   runFig5,
-		"fig6":   runFig6,
-		"fig7":   runFig7,
-		"fig8":   runFig8,
-		"fig9":   runFig9,
-		"ext":    func() error { return runExt(extSection) },
-		"chaos":  runChaos,
+		"fig1":       runFig1,
+		"table1":     runTable1,
+		"table2":     runTable2,
+		"table3":     runTable3,
+		"table4":     runTable4,
+		"fig4":       runFig4,
+		"fig5":       runFig5,
+		"fig6":       runFig6,
+		"fig7":       runFig7,
+		"fig8":       runFig8,
+		"fig9":       runFig9,
+		"ext":        func() error { return runExt(extSection) },
+		"chaos":      runChaos,
+		"shardchaos": runShardChaos,
 	}
 	if exp == "all" {
 		order := []string{"fig1", "table1", "table2", "table3", "table4",

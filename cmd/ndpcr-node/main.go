@@ -7,9 +7,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ndpcr/internal/compress"
@@ -18,6 +20,7 @@ import (
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/shardstore"
 )
 
 func main() {
@@ -31,7 +34,9 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "app seed")
 		incr     = flag.Bool("incremental", false, "drain incrementally (changed blocks only)")
 		iodAddr  = flag.String("iod", "", "drain to a remote ndpcr-iod store at this address instead of in-process")
-		iodLanes = flag.Int("iod-lanes", 2, "concurrent transport lanes to the remote I/O node (1 = serial legacy wire)")
+		iodAddrs = flag.String("iod-addrs", "", "comma-separated ndpcr-iod addresses: drain through the sharded, replicated store tier")
+		replicas = flag.Int("replicas", 2, "replica count R per checkpoint object across -iod-addrs backends")
+		iodLanes = flag.Int("iod-lanes", 2, "concurrent transport lanes to each remote I/O node (1 = serial legacy wire)")
 		drainWin = flag.Int("drain-window", 0, "NDP send window: blocks in flight to the store per drain (0 = default)")
 		dumpMet  = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
 	)
@@ -46,8 +51,19 @@ func main() {
 		}
 	}
 
-	var store iostore.API = iostore.New(nvm.Pacer{})
-	if *iodAddr != "" {
+	var store iostore.Backend = iostore.New(nvm.Pacer{})
+	switch {
+	case *iodAddrs != "":
+		addrs := strings.Split(*iodAddrs, ",")
+		shard, err := shardstore.Dial(addrs, *iodLanes, shardstore.Config{Replicas: *replicas})
+		if err != nil {
+			fatal(err)
+		}
+		defer shard.Close()
+		store = shard
+		fmt.Printf("draining through the shard tier: %d backend(s), %d replica(s) per object\n",
+			len(addrs), *replicas)
+	case *iodAddr != "":
 		client, err := iod.DialPool(*iodAddr, *iodLanes)
 		if err != nil {
 			fatal(err)
@@ -101,7 +117,7 @@ func main() {
 			waitDrain(n, lastCommitted)
 			fmt.Printf("  step %2d: NODE FAILURE — local NVM wiped\n", s)
 			n.FailLocal()
-			data, meta, lvl, err := n.Restore()
+			data, meta, lvl, err := n.Restore(context.Background())
 			if err != nil {
 				fatal(err)
 			}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -188,7 +189,7 @@ func run(steps, every int, failAt map[int]bool, seed uint64, partner, erasure bo
 			r.stepOnce()
 		}
 		if s%every == 0 {
-			if _, err := c.Checkpoint(s); err != nil {
+			if _, err := c.Checkpoint(context.Background(), s); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -198,7 +199,7 @@ func run(steps, every int, failAt map[int]bool, seed uint64, partner, erasure bo
 			if err := c.FailNode(victim); err != nil {
 				log.Fatal(err)
 			}
-			out, err := c.Recover()
+			out, err := c.Recover(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}

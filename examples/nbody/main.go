@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -148,11 +149,11 @@ func main() {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	obj, ok := store.Stat(iostore.Key{Job: "nbody", Rank: 0, ID: lastID})
+	obj, ok, _ := store.Stat(context.Background(), iostore.Key{Job: "nbody", Rank: 0, ID: lastID})
 	if !ok {
 		log.Fatal("drained object missing")
 	}
-	full, _ := store.Get(obj.Key)
+	full, _ := store.Get(context.Background(), obj.Key)
 	fmt.Printf("\nNDP drained checkpoint %d with %s: %d -> %d bytes (factor %.1f%%)\n",
 		lastID, obj.Codec, rawBytes, full.StoredSize(),
 		compress.Factor(int(rawBytes), int(full.StoredSize()))*100)
@@ -160,7 +161,7 @@ func main() {
 	// Total node loss; restart from the I/O level.
 	n.FailLocal()
 	twin := newSystem(*bodies, 7)
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

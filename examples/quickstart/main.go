@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"log"
@@ -69,7 +70,7 @@ func main() {
 
 	// 4. Restore — transparently served from the I/O level, with the
 	//    compressed checkpoint decompressed across host cores.
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

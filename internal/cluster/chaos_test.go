@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -59,7 +60,7 @@ func checkpointRound(t *testing.T, c *Cluster, apps []*appRank) (uint64, error) 
 			t.Fatal(err)
 		}
 	}
-	id, err := c.Checkpoint(apps[0].app.StepCount())
+	id, err := c.Checkpoint(context.Background(), apps[0].app.StepCount())
 	if err != nil {
 		return 0, err
 	}
@@ -131,7 +132,11 @@ func TestCheckpointAbortRollsBackAllLevels(t *testing.T) {
 				t.Errorf("rank %d erasure shard %d of aborted checkpoint %d survives", i, s, dead)
 			}
 		}
-		if contains(store.IDs("job", i), dead) {
+		ids, err := store.IDs(context.Background(), "job", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if contains(ids, dead) {
 			t.Errorf("rank %d global object for aborted checkpoint %d survives", i, dead)
 		}
 		// The good checkpoints are intact.
@@ -192,12 +197,12 @@ func TestRecoverFallsBackAcrossLines(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lines := c.RestartLines()
+	lines := c.RestartLines(context.Background())
 	if len(lines) != 3 || lines[0] != 4 || lines[1] != 3 || lines[2] != 1 {
 		t.Fatalf("restart lines = %v, want [4 3 1]", lines)
 	}
 
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatalf("recover: %v", err)
 	}

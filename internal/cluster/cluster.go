@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,7 +32,7 @@ type Rank interface {
 // node runtime writing into a shared global store.
 type Cluster struct {
 	job     string
-	store   iostore.API
+	store   iostore.Backend
 	nodes   []*node.Node
 	ranks   []Rank
 	partner bool
@@ -46,18 +47,19 @@ type Cluster struct {
 	nextID uint64
 	closed bool
 
-	reg           *metrics.Registry
-	mCkpts        *metrics.Counter
-	mCkptErrors   *metrics.Counter
-	mRollbacks    *metrics.Counter
-	mRecoveries   *metrics.Counter
-	mLineAttempts *metrics.Counter
-	mFallbacks    *metrics.Counter
-	mInvErrors    *metrics.Counter
-	mBarrierSecs  *metrics.Histogram
-	mEncodeSecs   *metrics.Histogram
-	mPlaceSecs    *metrics.Histogram
-	mRecoverSecs  *metrics.Histogram
+	reg            *metrics.Registry
+	mCkpts         *metrics.Counter
+	mCkptErrors    *metrics.Counter
+	mRollbacks     *metrics.Counter
+	mRecoveries    *metrics.Counter
+	mLineAttempts  *metrics.Counter
+	mFallbacks     *metrics.Counter
+	mInvErrors     *metrics.Counter
+	mLeakedDeletes *metrics.Counter
+	mBarrierSecs   *metrics.Histogram
+	mEncodeSecs    *metrics.Histogram
+	mPlaceSecs     *metrics.Histogram
+	mRecoverSecs   *metrics.Histogram
 }
 
 // Option configures a cluster at assembly time.
@@ -73,7 +75,7 @@ func WithPartnerReplication() Option {
 
 // New assembles a cluster. nodes[i] backs ranks[i]; the slices must be the
 // same non-zero length and every node must use the given job name.
-func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts ...Option) (*Cluster, error) {
+func New(job string, store iostore.Backend, nodes []*node.Node, ranks []Rank, opts ...Option) (*Cluster, error) {
 	if job == "" {
 		return nil, errors.New("cluster: empty job name")
 	}
@@ -96,6 +98,8 @@ func New(job string, store iostore.API, nodes []*node.Node, ranks []Rank, opts .
 		"restart lines abandoned for an older line during recoveries")
 	c.mInvErrors = c.reg.Counter("ndpcr_cluster_inventory_errors_total",
 		"restart-line inventories that found the global store unreachable")
+	c.mLeakedDeletes = c.reg.Counter("ndpcr_cluster_rollback_leaked_deletes_total",
+		"rollback deletes that failed, leaving a global object leaked")
 	c.mBarrierSecs = c.reg.Histogram("ndpcr_cluster_barrier_seconds",
 		"coordination barrier: slowest rank's snapshot+commit wall time", metrics.UnitSeconds)
 	c.mEncodeSecs = c.reg.Histogram("ndpcr_cluster_erasure_encode_seconds",
@@ -157,7 +161,10 @@ func (c *Cluster) Node(i int) *node.Node {
 // delete) — and all nodes' checkpoint counters are resynchronized past the
 // aborted ID, so the next Checkpoint succeeds with a strictly larger ID
 // instead of failing "nodes out of sync" forever.
-func (c *Cluster) Checkpoint(step int) (uint64, error) {
+//
+// The context bounds store-side work (rollback deletes on the abort path);
+// the snapshot/commit barrier itself is local and runs to completion.
+func (c *Cluster) Checkpoint(ctx context.Context, step int) (uint64, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -230,13 +237,20 @@ func (c *Cluster) Checkpoint(step int) (uint64, error) {
 // rollback erases every trace of an aborted coordinated checkpoint and
 // realigns the checkpoint counters. committed[i] is the ID rank i actually
 // committed (0 if it never did — discards there are no-ops). Each level's
-// removal is best-effort and idempotent, and the NDP's Discard guarantees a
-// drain still in flight deletes rather than acknowledges the dead ID.
+// removal is idempotent, and the NDP's Discard guarantees a drain still in
+// flight deletes rather than acknowledges the dead ID. A failed global
+// delete (a leaked object on an unreachable store) is now visible — counted
+// and surfaced through mInvErrors-adjacent accounting rather than silently
+// dropped.
+// Rollback deletes run on a background context internally: cleanup must be
+// attempted even when the checkpoint's own context is already canceled.
 func (c *Cluster) rollback(id uint64, committed []uint64) {
 	for i, n := range c.nodes {
 		if cid := committed[i]; cid != 0 {
 			// Local NVM, the rank's in-flight drain, and its global object.
-			n.DiscardCommit(cid)
+			if derr := n.DiscardCommit(cid); derr != nil {
+				c.mLeakedDeletes.Inc()
+			}
 			// The buddy's partner copy of rank i.
 			if c.partner {
 				c.nodes[(i+1)%len(c.nodes)].DiscardPartnerCopy(i, cid)
@@ -277,8 +291,12 @@ func (c *Cluster) rollback(id uint64, committed []uint64) {
 // store. The returned error (which wraps ErrLevelUnavailable) means the
 // global store could not be *inventoried* — "level unreachable" — which is
 // a different fact from the store reporting no checkpoints: the IDs it
-// would have contributed are unknown, not absent.
-func (c *Cluster) available(i int) (map[uint64]bool, error) {
+// would have contributed are unknown, not absent. A sharded store draws the
+// same line one level deeper: its IDs call succeeds (merging surviving
+// replicas) while fewer than R backends are unreachable, and only reports
+// an error — landing here — when enough backends are down that some
+// object's every replica may be unreachable.
+func (c *Cluster) available(ctx context.Context, i int) (map[uint64]bool, error) {
 	out := make(map[uint64]bool)
 	for _, id := range c.nodes[i].Device().IDs() {
 		out[id] = true
@@ -296,23 +314,16 @@ func (c *Cluster) available(i int) (map[uint64]bool, error) {
 		}
 	}
 	var invErr error
-	if inv, ok := c.store.(iostore.Inventory); ok {
-		ids, err := inv.IDsErr(c.job, i)
-		if err != nil {
-			// The legacy path would have masked this as "no checkpoints",
-			// silently deleting the I/O level from the restart-line
-			// intersection and reporting ErrNoRestartLine for what is
-			// really a transport outage.
-			c.mInvErrors.Inc()
-			invErr = fmt.Errorf("%w: rank %d global-store inventory: %v", ErrLevelUnavailable, i, err)
-		}
-		for _, id := range ids {
-			out[id] = true
-		}
-	} else {
-		for _, id := range c.store.IDs(c.job, i) {
-			out[id] = true
-		}
+	ids, err := c.store.IDs(ctx, c.job, i)
+	if err != nil {
+		// Masking this as "no checkpoints" would silently delete the I/O
+		// level from the restart-line intersection and report
+		// ErrNoRestartLine for what is really a transport outage.
+		c.mInvErrors.Inc()
+		invErr = fmt.Errorf("%w: rank %d global-store inventory: %v", ErrLevelUnavailable, i, err)
+	}
+	for _, id := range ids {
+		out[id] = true
 	}
 	return out, invErr
 }
@@ -331,10 +342,10 @@ var ErrLevelUnavailable = errors.New("cluster: storage level unreachable")
 // first inventory failure encountered (nil when every level answered).
 // Lines found despite an inventory failure are genuinely restorable — the
 // surviving levels vouch for them — so recovery can still proceed on them.
-func (c *Cluster) restartLines() ([]uint64, error) {
-	common, invErr := c.available(0)
+func (c *Cluster) restartLines(ctx context.Context) ([]uint64, error) {
+	common, invErr := c.available(ctx, 0)
 	for i := 1; i < len(c.ranks) && len(common) > 0; i++ {
-		avail, err := c.available(i)
+		avail, err := c.available(ctx, i)
 		if err != nil && invErr == nil {
 			invErr = err
 		}
@@ -357,8 +368,8 @@ func (c *Cluster) restartLines() ([]uint64, error) {
 // Level inventories only prove presence, not readability: Recover walks
 // this list so a line that turns out unreadable (corrupt object, lost
 // shards) falls back to the next-older line instead of aborting.
-func (c *Cluster) RestartLines() []uint64 {
-	lines, _ := c.restartLines()
+func (c *Cluster) RestartLines(ctx context.Context) []uint64 {
+	lines, _ := c.restartLines(ctx)
 	return lines
 }
 
@@ -367,8 +378,8 @@ func (c *Cluster) RestartLines() []uint64 {
 // level could not be inventoried, the error wraps ErrLevelUnavailable
 // (retry when the level returns) rather than ErrNoRestartLine (no
 // checkpoint exists anywhere).
-func (c *Cluster) RestartLine() (uint64, error) {
-	lines, invErr := c.restartLines()
+func (c *Cluster) RestartLine(ctx context.Context) (uint64, error) {
+	lines, invErr := c.restartLines(ctx)
 	if len(lines) == 0 {
 		if invErr != nil {
 			return 0, invErr
@@ -398,10 +409,13 @@ type RecoverOutcome struct {
 // gone), the cluster falls back to the next-older common line instead of
 // aborting — the multilevel hierarchy keeps recovery progressing through
 // partial damage. Per-line attempts and fallbacks are recorded in metrics.
-func (c *Cluster) Recover() (RecoverOutcome, error) {
+// The context bounds the global-I/O legs (inventories, fetches, shard
+// failover): a deadline aborts the whole recovery rather than letting a
+// retry schedule serve out.
+func (c *Cluster) Recover(ctx context.Context) (RecoverOutcome, error) {
 	recoverStart := time.Now()
 	defer c.mRecoverSecs.ObserveSince(recoverStart)
-	lines, invErr := c.restartLines()
+	lines, invErr := c.restartLines(ctx)
 	if len(lines) == 0 {
 		if invErr != nil {
 			// "Unknown, not absent": with a level unreachable, an empty
@@ -415,7 +429,7 @@ func (c *Cluster) Recover() (RecoverOutcome, error) {
 	var lastErr error
 	for _, line := range lines {
 		c.mLineAttempts.Inc()
-		out, err := c.recoverAt(line)
+		out, err := c.recoverAt(ctx, line)
 		if err == nil {
 			out.FailedLines = failed
 			c.mRecoveries.Inc()
@@ -434,7 +448,7 @@ func (c *Cluster) Recover() (RecoverOutcome, error) {
 // was already replaced by a newer, partially-successful attempt is simply
 // re-restored: Rank.Restore replaces state wholesale, so the last
 // fully-successful line wins.
-func (c *Cluster) recoverAt(line uint64) (RecoverOutcome, error) {
+func (c *Cluster) recoverAt(ctx context.Context, line uint64) (RecoverOutcome, error) {
 	out := RecoverOutcome{ID: line, Levels: make([]node.Level, len(c.ranks))}
 	errs := make([]error, len(c.ranks))
 	steps := make([]int, len(c.ranks))
@@ -443,7 +457,7 @@ func (c *Cluster) recoverAt(line uint64) (RecoverOutcome, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			data, meta, level, err := c.nodes[i].RestoreID(line)
+			data, meta, level, err := c.nodes[i].RestoreID(ctx, line)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: rank %d restore %d: %w", i, line, err)
 				return

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -79,7 +80,7 @@ func TestCoordinatedCheckpointIDs(t *testing.T) {
 		for _, a := range apps {
 			a.app.Step()
 		}
-		id, err := c.Checkpoint(apps[0].app.StepCount())
+		id, err := c.Checkpoint(context.Background(), apps[0].app.StepCount())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestRecoverFromLocal(t *testing.T) {
 		a.app.Step()
 		a.app.Step()
 	}
-	if _, err := c.Checkpoint(2); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	for i, a := range apps {
@@ -109,7 +110,7 @@ func TestRecoverFromLocal(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRecoverFromIOAfterNodeLoss(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	id, err := c.Checkpoint(1)
+	id, err := c.Checkpoint(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +144,14 @@ func TestRecoverFromIOAfterNodeLoss(t *testing.T) {
 			t.Fatalf("rank %d never drained", rank)
 		}
 	}
-	if latest, ok := store.Latest("job", 1); !ok || latest < id {
+	if latest, ok, err := store.Latest(context.Background(), "job", 1); err != nil || !ok || latest < id {
 		t.Fatalf("rank 1 drained but store.Latest = %d, %v", latest, ok)
 	}
 	// Rank 1 loses its node entirely.
 	if err := c.FailNode(1); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +178,14 @@ func TestRestartLineDropsPartiallyAvailable(t *testing.T) {
 	c, apps, _ := testCluster(t, 2, false)
 	apps[0].app.Step()
 	apps[1].app.Step()
-	if _, err := c.Checkpoint(1); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	c.FailNode(0)
-	if _, err := c.RestartLine(); !errors.Is(err, ErrNoRestartLine) {
+	if _, err := c.RestartLine(context.Background()); !errors.Is(err, ErrNoRestartLine) {
 		t.Errorf("err = %v, want ErrNoRestartLine", err)
 	}
-	if _, err := c.Recover(); err == nil {
+	if _, err := c.Recover(context.Background()); err == nil {
 		t.Error("recover succeeded with no restart line")
 	}
 }
@@ -196,7 +197,7 @@ func TestRestartLinePrefersNewestCommon(t *testing.T) {
 		for _, a := range apps {
 			a.app.Step()
 		}
-		id, err := c.Checkpoint(s)
+		id, err := c.Checkpoint(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func TestRestartLinePrefersNewestCommon(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for rank := 0; rank < 2; rank++ {
 		for {
-			if latest, ok := store.Latest("job", rank); ok && latest >= lastID {
+			if latest, ok, _ := store.Latest(context.Background(), "job", rank); ok && latest >= lastID {
 				break
 			}
 			if time.Now().After(deadline) {
@@ -215,7 +216,7 @@ func TestRestartLinePrefersNewestCommon(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}
-	line, err := c.RestartLine()
+	line, err := c.RestartLine(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestNodeAccessor(t *testing.T) {
 func TestCheckpointAfterClose(t *testing.T) {
 	c, _, _ := testCluster(t, 2, false)
 	c.Close()
-	if _, err := c.Checkpoint(1); err == nil {
+	if _, err := c.Checkpoint(context.Background(), 1); err == nil {
 		t.Error("checkpoint after close accepted")
 	}
 	c.Close() // idempotent

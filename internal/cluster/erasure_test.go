@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -45,7 +46,7 @@ func erasureCluster(t *testing.T, ranks, groupSize, parity int) (*Cluster, []*ap
 func assertStoreUntouched(t *testing.T, store *iostore.Store, ranks int) {
 	t.Helper()
 	for i := 0; i < ranks; i++ {
-		if ids := store.IDs("job", i); len(ids) != 0 {
+		if ids, _ := store.IDs(context.Background(), "job", i); len(ids) != 0 {
 			t.Fatalf("rank %d touched the I/O store: %v", i, ids)
 		}
 	}
@@ -59,7 +60,7 @@ func TestErasureRecoverySingleMemberLoss(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	if _, err := c.Checkpoint(1); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	want, err := apps[0].Snapshot()
@@ -69,7 +70,7 @@ func TestErasureRecoverySingleMemberLoss(t *testing.T) {
 	if err := c.FailNode(0); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestErasureWholeGroupLossDuringCheckpoint(t *testing.T) {
 		for _, a := range apps {
 			a.app.Step()
 		}
-		if _, err := c.Checkpoint(1); err != nil {
+		if _, err := c.Checkpoint(context.Background(), 1); err != nil {
 			t.Fatal(err)
 		}
 		for _, a := range apps {
@@ -113,7 +114,7 @@ func TestErasureWholeGroupLossDuringCheckpoint(t *testing.T) {
 		}
 		done := make(chan error, 1)
 		go func() {
-			_, err := c.Checkpoint(2)
+			_, err := c.Checkpoint(context.Background(), 2)
 			done <- err
 		}()
 		// Group 0 dies while the checkpoint is in flight...
@@ -127,7 +128,7 @@ func TestErasureWholeGroupLossDuringCheckpoint(t *testing.T) {
 		c.FailNode(0)
 		c.FailNode(1)
 
-		out, err := c.Recover()
+		out, err := c.Recover(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,13 +158,13 @@ func TestErasureShardHolderLoss(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	if _, err := c.Checkpoint(1); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	// Lose rank 0's NVM plus one shard holder: k=2 shards survive.
 	c.FailNode(0)
 	c.FailNode(2)
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestErasureShardHolderLoss(t *testing.T) {
 	// A second holder loss exceeds parity: rank 0 has one shard left and
 	// no restart line exists anywhere.
 	c.FailNode(3)
-	if _, err := c.RestartLine(); !errors.Is(err, ErrNoRestartLine) {
+	if _, err := c.RestartLine(context.Background()); !errors.Is(err, ErrNoRestartLine) {
 		t.Fatalf("RestartLine after m+1 holder losses: %v, want ErrNoRestartLine", err)
 	}
 }

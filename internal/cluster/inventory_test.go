@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -22,18 +23,18 @@ type flakyInventoryStore struct {
 
 var errIODown = errors.New("iod: connection refused")
 
-func (f *flakyInventoryStore) IDsErr(job string, rank int) ([]uint64, error) {
+func (f *flakyInventoryStore) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
 	if f.tripped.Load() {
 		return nil, errIODown
 	}
-	return f.Store.IDsErr(job, rank)
+	return f.Store.IDs(ctx, job, rank)
 }
 
-func (f *flakyInventoryStore) LatestErr(job string, rank int) (uint64, bool, error) {
+func (f *flakyInventoryStore) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
 	if f.tripped.Load() {
 		return 0, false, errIODown
 	}
-	return f.Store.LatestErr(job, rank)
+	return f.Store.Latest(ctx, job, rank)
 }
 
 func TestRecoverDistinguishesUnreachableIO(t *testing.T) {
@@ -69,17 +70,17 @@ func TestRecoverDistinguishesUnreachableIO(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	if _, err := c.Checkpoint(1); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 
 	// With local copies intact, an inventory outage must not block
 	// recovery: the surviving levels still form a restart line.
 	store.tripped.Store(true)
-	if _, err := c.RestartLine(); err != nil {
+	if _, err := c.RestartLine(context.Background()); err != nil {
 		t.Fatalf("restart line lost to an I/O-only outage: %v", err)
 	}
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatalf("recover during I/O outage: %v", err)
 	}
@@ -98,21 +99,21 @@ func TestRecoverDistinguishesUnreachableIO(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, err = c.RestartLine()
+	_, err = c.RestartLine(context.Background())
 	if !errors.Is(err, ErrLevelUnavailable) {
 		t.Errorf("RestartLine error = %v, want ErrLevelUnavailable", err)
 	}
 	if errors.Is(err, ErrNoRestartLine) {
 		t.Error("transport outage still reported as ErrNoRestartLine")
 	}
-	if _, err := c.Recover(); !errors.Is(err, ErrLevelUnavailable) {
+	if _, err := c.Recover(context.Background()); !errors.Is(err, ErrLevelUnavailable) {
 		t.Errorf("Recover error = %v, want ErrLevelUnavailable", err)
 	}
 
 	// Once the store is reachable again and really empty, the verdict
 	// flips back to the honest ErrNoRestartLine.
 	store.tripped.Store(false)
-	if _, err := c.RestartLine(); !errors.Is(err, ErrNoRestartLine) {
+	if _, err := c.RestartLine(context.Background()); !errors.Is(err, ErrNoRestartLine) {
 		t.Errorf("empty reachable store: error = %v, want ErrNoRestartLine", err)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"ndpcr/internal/miniapps"
@@ -62,7 +63,7 @@ func TestRecoverFromPartnerAfterNodeLoss(t *testing.T) {
 		a.app.Step()
 		a.app.Step()
 	}
-	if _, err := c.Checkpoint(2); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	sigs := make([]uint64, len(apps))
@@ -75,7 +76,7 @@ func TestRecoverFromPartnerAfterNodeLoss(t *testing.T) {
 	if err := c.FailNode(1); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Recover()
+	out, err := c.Recover(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,13 +103,13 @@ func TestPartnerLossOfBuddyFallsThrough(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	if _, err := c.Checkpoint(1); err != nil {
+	if _, err := c.Checkpoint(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	// Rank 1's copies live on node 2. Kill both.
 	c.FailNode(1)
 	c.FailNode(2)
-	if _, err := c.RestartLine(); err == nil {
+	if _, err := c.RestartLine(context.Background()); err == nil {
 		t.Error("restart line survived loss of a rank and its buddy")
 	}
 }
@@ -119,7 +120,7 @@ func TestPartnerCopiesTrackEveryCheckpoint(t *testing.T) {
 		for _, a := range apps {
 			a.app.Step()
 		}
-		if _, err := c.Checkpoint(s); err != nil {
+		if _, err := c.Checkpoint(context.Background(), s); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func TestPartnerPrefersNewestAcrossLevels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.WriteThrough(id1); err != nil {
+	if err := a.WriteThrough(context.Background(), id1); err != nil {
 		t.Fatal(err)
 	}
 	id2, err := a.Commit([]byte("version-two"), node.Metadata{Step: 2})
@@ -169,7 +170,7 @@ func TestPartnerPrefersNewestAcrossLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.FailLocal()
-	data, meta, level, err := a.Restore()
+	data, meta, level, err := a.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -126,7 +127,7 @@ type Injector struct {
 // own splitmix64 stream derived from seed, so schedules are reproducible
 // and independent of each other's draw order.
 func New(seed uint64, rules ...Rule) *Injector {
-	in := &Injector{sleep: time.Sleep}
+	in := &Injector{}
 	for i, r := range rules {
 		in.rules = append(in.rules, &ruleState{
 			Rule: r,
@@ -194,13 +195,30 @@ func (in *Injector) Fired() map[string]int {
 // Stall performs a decision's ModeStall sleep through the injector's sleep
 // function.
 func (in *Injector) Stall(d Decision) {
+	in.StallCtx(context.Background(), d)
+}
+
+// StallCtx is Stall bounded by ctx: a stalled call under a deadline (a
+// shardstore replica call, say) gives up when the deadline fires instead of
+// serving out the full injected delay. A substituted sleep function (test
+// recorders) always runs to completion — it records, it does not wait.
+func (in *Injector) StallCtx(ctx context.Context, d Decision) {
 	if d.Mode != ModeStall || d.Delay <= 0 {
 		return
 	}
 	in.mu.Lock()
 	sleep := in.sleep
 	in.mu.Unlock()
-	sleep(d.Delay)
+	if sleep != nil {
+		sleep(d.Delay)
+		return
+	}
+	t := time.NewTimer(d.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // NVMHook adapts the injector to nvm.Device.SetFaultHook for one rank's

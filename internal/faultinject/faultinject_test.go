@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -199,13 +200,13 @@ func testObject(blocks int) iostore.Object {
 func TestStoreWrapperErr(t *testing.T) {
 	in := New(1, Rule{Site: SiteStorePut, Rank: AnyRank, Count: 1})
 	s := WrapStore(iostore.New(nvm.Pacer{}), in)
-	if err := s.Put(testObject(4)); !errors.Is(err, ErrInjected) {
+	if err := s.Put(context.Background(), testObject(4)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("put error = %v", err)
 	}
-	if err := s.Put(testObject(4)); err != nil {
+	if err := s.Put(context.Background(), testObject(4)); err != nil {
 		t.Fatalf("second put: %v", err)
 	}
-	if _, err := s.Get(iostore.Key{Job: "j", Rank: 0, ID: 1}); err != nil {
+	if _, err := s.Get(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1}); err != nil {
 		t.Errorf("get after clean put: %v", err)
 	}
 }
@@ -214,12 +215,12 @@ func TestStoreWrapperTornPut(t *testing.T) {
 	in := New(1, Rule{Site: SiteStorePut, Rank: AnyRank, Mode: ModeTorn, Count: 1})
 	inner := iostore.New(nvm.Pacer{})
 	s := WrapStore(inner, in)
-	if err := s.Put(testObject(4)); !errors.Is(err, ErrInjected) {
+	if err := s.Put(context.Background(), testObject(4)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("torn put error = %v", err)
 	}
 	// The torn object is visible in the store with only a prefix of its
 	// blocks — exactly the damage an abort path must clean up.
-	obj, err := inner.Get(iostore.Key{Job: "j", Rank: 0, ID: 1})
+	obj, err := inner.Get(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1})
 	if err != nil {
 		t.Fatalf("torn put left nothing behind: %v", err)
 	}
@@ -239,10 +240,10 @@ func TestStoreWrapperCorruptGet(t *testing.T) {
 	inner := iostore.New(nvm.Pacer{})
 	s := WrapStore(inner, in)
 	want := testObject(2)
-	if err := s.Put(want); err != nil {
+	if err := s.Put(context.Background(), want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(want.Key)
+	got, err := s.Get(context.Background(), want.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestStoreWrapperCorruptGet(t *testing.T) {
 	}
 	// The store's own copy must be untouched; only the returned copy is
 	// damaged (silent read corruption, not store damage).
-	clean, err := s.Get(want.Key)
+	clean, err := s.Get(context.Background(), want.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,10 +274,10 @@ func TestStoreWrapperStall(t *testing.T) {
 	var slept time.Duration
 	in.SetSleep(func(d time.Duration) { slept += d })
 	s := WrapStore(iostore.New(nvm.Pacer{}), in)
-	if err := s.Put(testObject(1)); err != nil {
+	if err := s.Put(context.Background(), testObject(1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get(iostore.Key{Job: "j", Rank: 0, ID: 1}); err != nil {
+	if _, err := s.Get(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1}); err != nil {
 		t.Errorf("stalled get failed: %v", err)
 	}
 	if slept != 2*time.Millisecond {
@@ -292,20 +293,20 @@ func TestStoreWrapperPassThrough(t *testing.T) {
 	)
 	inner := iostore.New(nvm.Pacer{})
 	s := WrapStore(inner, in)
-	if err := inner.Put(testObject(1)); err != nil {
+	if err := inner.Put(context.Background(), testObject(1)); err != nil {
 		t.Fatal(err)
 	}
-	if ids := s.IDs("j", 0); len(ids) != 1 {
-		t.Errorf("IDs = %v", ids)
+	if ids, err := s.IDs(context.Background(), "j", 0); err != nil || len(ids) != 1 {
+		t.Errorf("IDs = %v, %v", ids, err)
 	}
-	if _, ok := s.Latest("j", 0); !ok {
+	if _, ok, err := s.Latest(context.Background(), "j", 0); err != nil || !ok {
 		t.Error("Latest missed")
 	}
-	if _, ok := s.Stat(iostore.Key{Job: "j", Rank: 0, ID: 1}); !ok {
+	if _, ok, err := s.Stat(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1}); err != nil || !ok {
 		t.Error("Stat missed")
 	}
-	s.Delete(iostore.Key{Job: "j", Rank: 0, ID: 1})
-	if ids := inner.IDs("j", 0); len(ids) != 0 {
+	s.Delete(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1})
+	if ids, _ := inner.IDs(context.Background(), "j", 0); len(ids) != 0 {
 		t.Errorf("Delete did not pass through: %v", ids)
 	}
 }

@@ -1,15 +1,19 @@
 package faultinject
 
 import (
+	"context"
+
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 )
 
-// Store wraps an iostore.API with fault injection on the write and read
-// paths. The node runtime and NDP engine drain through the wrapper exactly
-// as they would through the real store, so injected failures exercise the
-// same abort/rollback/retry code paths a real device or network fault
-// would.
+// Store wraps an iostore.Backend with fault injection on the write and
+// read paths. The node runtime and NDP engine drain through the wrapper
+// exactly as they would through the real store, so injected failures
+// exercise the same abort/rollback/retry code paths a real device or
+// network fault would. Wrapping a shardstore replica (rather than the
+// shardstore itself) lets a chaos run stall or fail exactly one replica
+// while the others stay healthy.
 //
 // Site behavior:
 //
@@ -18,25 +22,28 @@ import (
 //     abort path must clean up); ModeCorrupt flips a payload byte and
 //     reports success (silent damage caught only by validation); ModeStall
 //     sleeps Delay first (an NDP drain stall), then writes normally.
-//   - store.get: ModeErr fails the read; ModeTorn drops the object's last
-//     block; ModeCorrupt flips a byte of the returned copy; ModeStall
-//     delays the read.
+//   - store.get / store.getblock: ModeErr fails the read; ModeTorn drops
+//     the object's last block (or truncates the block); ModeCorrupt flips a
+//     byte of the returned copy; ModeStall delays the read.
 //
-// Metadata operations (Stat, IDs, Latest, Delete) pass through untouched:
-// sabotaging the rollback path itself would make every chaos test
-// vacuously "pass" by leaking.
+// Metadata operations (Stat, IDs, Latest, StatBlocks, Delete) pass through
+// untouched: sabotaging the rollback path itself would make every chaos
+// test vacuously "pass" by leaking.
 type Store struct {
-	inner iostore.API
+	inner iostore.Backend
 	in    *Injector
 }
 
 // WrapStore wraps inner with the injector's store.* rules. A nil injector
 // returns a transparent wrapper.
-func WrapStore(inner iostore.API, in *Injector) *Store {
+func WrapStore(inner iostore.Backend, in *Injector) *Store {
 	return &Store{inner: inner, in: in}
 }
 
-var _ iostore.API = (*Store)(nil)
+var (
+	_ iostore.Backend   = (*Store)(nil)
+	_ iostore.Inventory = (*Store)(nil)
+)
 
 // Instrument forwards to the inner store when it is instrumentable, so
 // wrapping does not hide store metrics.
@@ -46,23 +53,23 @@ func (s *Store) Instrument(r *metrics.Registry) {
 	}
 }
 
-// Put implements iostore.API.
-func (s *Store) Put(o iostore.Object) error {
+// Put implements iostore.Backend.
+func (s *Store) Put(ctx context.Context, o iostore.Object) error {
 	d, ok := s.in.Decide(SiteStorePut, o.Key.Rank)
 	if !ok {
-		return s.inner.Put(o)
+		return s.inner.Put(ctx, o)
 	}
 	switch d.Mode {
 	case ModeStall:
-		s.in.Stall(d)
-		return s.inner.Put(o)
+		s.in.StallCtx(ctx, d)
+		return s.inner.Put(ctx, o)
 	case ModeCorrupt:
-		return s.inner.Put(corruptObject(o))
+		return s.inner.Put(ctx, corruptObject(o))
 	case ModeTorn:
 		// Land a truncated prefix of the object, then fail: the store is
 		// left holding a torn write the caller must clean up.
 		for i := 0; i < len(o.Blocks)/2; i++ {
-			if err := s.inner.PutBlock(o.Key, o, i, o.Blocks[i]); err != nil {
+			if err := s.inner.PutBlock(ctx, o.Key, o, i, o.Blocks[i]); err != nil {
 				return err
 			}
 		}
@@ -72,21 +79,21 @@ func (s *Store) Put(o iostore.Object) error {
 	}
 }
 
-// PutBlock implements iostore.API.
-func (s *Store) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
+// PutBlock implements iostore.Backend.
+func (s *Store) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
 	d, ok := s.in.Decide(SiteStorePutBlock, key.Rank)
 	if !ok {
-		return s.inner.PutBlock(key, meta, index, block)
+		return s.inner.PutBlock(ctx, key, meta, index, block)
 	}
 	switch d.Mode {
 	case ModeStall:
-		s.in.Stall(d)
-		return s.inner.PutBlock(key, meta, index, block)
+		s.in.StallCtx(ctx, d)
+		return s.inner.PutBlock(ctx, key, meta, index, block)
 	case ModeCorrupt:
-		return s.inner.PutBlock(key, meta, index, flipByte(block))
+		return s.inner.PutBlock(ctx, key, meta, index, flipByte(block))
 	case ModeTorn:
 		if len(block) > 1 {
-			if err := s.inner.PutBlock(key, meta, index, block[:len(block)/2]); err != nil {
+			if err := s.inner.PutBlock(ctx, key, meta, index, block[:len(block)/2]); err != nil {
 				return err
 			}
 		}
@@ -96,24 +103,24 @@ func (s *Store) PutBlock(key iostore.Key, meta iostore.Object, index int, block 
 	}
 }
 
-// Get implements iostore.API.
-func (s *Store) Get(key iostore.Key) (iostore.Object, error) {
+// Get implements iostore.Backend.
+func (s *Store) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
 	d, ok := s.in.Decide(SiteStoreGet, key.Rank)
 	if !ok {
-		return s.inner.Get(key)
+		return s.inner.Get(ctx, key)
 	}
 	switch d.Mode {
 	case ModeStall:
-		s.in.Stall(d)
-		return s.inner.Get(key)
+		s.in.StallCtx(ctx, d)
+		return s.inner.Get(ctx, key)
 	case ModeCorrupt:
-		o, err := s.inner.Get(key)
+		o, err := s.inner.Get(ctx, key)
 		if err != nil {
 			return o, err
 		}
 		return corruptObject(o), nil
 	case ModeTorn:
-		o, err := s.inner.Get(key)
+		o, err := s.inner.Get(ctx, key)
 		if err != nil {
 			return o, err
 		}
@@ -126,32 +133,25 @@ func (s *Store) Get(key iostore.Key) (iostore.Object, error) {
 	}
 }
 
-// GetBlock implements iostore.BlockReader, sharing SiteStoreGet's rules so
-// the streamed restore path sees the same read faults as the monolithic
-// one. When the inner store cannot serve block reads, the wrapper reports
-// it via StatBlocks (ok == false), so GetBlock is only reached on stores
-// where the assertion succeeds.
-func (s *Store) GetBlock(key iostore.Key, index int) ([]byte, error) {
-	br, brOK := s.inner.(iostore.BlockReader)
-	if !brOK {
-		return nil, iostore.ErrNotFound
-	}
+// GetBlock implements iostore.Backend, sharing SiteStoreGet's rules so the
+// streamed restore path sees the same read faults as the monolithic one.
+func (s *Store) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
 	d, ok := s.in.Decide(SiteStoreGet, key.Rank)
 	if !ok {
-		return br.GetBlock(key, index)
+		return s.inner.GetBlock(ctx, key, index)
 	}
 	switch d.Mode {
 	case ModeStall:
-		s.in.Stall(d)
-		return br.GetBlock(key, index)
+		s.in.StallCtx(ctx, d)
+		return s.inner.GetBlock(ctx, key, index)
 	case ModeCorrupt:
-		b, err := br.GetBlock(key, index)
+		b, err := s.inner.GetBlock(ctx, key, index)
 		if err != nil {
 			return nil, err
 		}
 		return flipByte(b), nil
 	case ModeTorn:
-		b, err := br.GetBlock(key, index)
+		b, err := s.inner.GetBlock(ctx, key, index)
 		if err != nil {
 			return nil, err
 		}
@@ -164,58 +164,52 @@ func (s *Store) GetBlock(key iostore.Key, index int) ([]byte, error) {
 	}
 }
 
-// StatBlocks implements iostore.BlockReader (pass-through, like the other
-// metadata operations): ok == false when the inner store lacks block reads,
-// pushing callers to the monolithic Get where faults are injected anyway.
-func (s *Store) StatBlocks(key iostore.Key) (iostore.Object, int, bool) {
-	if br, ok := s.inner.(iostore.BlockReader); ok {
-		return br.StatBlocks(key)
-	}
-	return iostore.Object{}, 0, false
+// StatBlocks implements iostore.Backend (pass-through, like the other
+// metadata operations).
+func (s *Store) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	return s.inner.StatBlocks(ctx, key)
 }
 
-// StatErr implements iostore.Inventory (pass-through).
+// Delete implements iostore.Backend (pass-through).
+func (s *Store) Delete(ctx context.Context, key iostore.Key) error {
+	return s.inner.Delete(ctx, key)
+}
+
+// Stat implements iostore.Backend (pass-through).
+func (s *Store) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	return s.inner.Stat(ctx, key)
+}
+
+// IDs implements iostore.Backend (pass-through).
+func (s *Store) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	return s.inner.IDs(ctx, job, rank)
+}
+
+// Latest implements iostore.Backend (pass-through).
+func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	return s.inner.Latest(ctx, job, rank)
+}
+
+// StatErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Stat, which is error-first now.
 func (s *Store) StatErr(key iostore.Key) (iostore.Object, bool, error) {
-	if inv, ok := s.inner.(iostore.Inventory); ok {
-		return inv.StatErr(key)
-	}
-	o, ok := s.inner.Stat(key)
-	return o, ok, nil
+	return s.Stat(context.Background(), key)
 }
 
-// IDsErr implements iostore.Inventory (pass-through).
+// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call IDs, which is error-first now.
 func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
-	if inv, ok := s.inner.(iostore.Inventory); ok {
-		return inv.IDsErr(job, rank)
-	}
-	return s.inner.IDs(job, rank), nil
+	return s.IDs(context.Background(), job, rank)
 }
 
-// LatestErr implements iostore.Inventory (pass-through).
+// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Latest, which is error-first now.
 func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
-	if inv, ok := s.inner.(iostore.Inventory); ok {
-		return inv.LatestErr(job, rank)
-	}
-	id, ok := s.inner.Latest(job, rank)
-	return id, ok, nil
+	return s.Latest(context.Background(), job, rank)
 }
-
-var (
-	_ iostore.BlockReader = (*Store)(nil)
-	_ iostore.Inventory   = (*Store)(nil)
-)
-
-// Delete implements iostore.API (pass-through).
-func (s *Store) Delete(key iostore.Key) { s.inner.Delete(key) }
-
-// Stat implements iostore.API (pass-through).
-func (s *Store) Stat(key iostore.Key) (iostore.Object, bool) { return s.inner.Stat(key) }
-
-// IDs implements iostore.API (pass-through).
-func (s *Store) IDs(job string, rank int) []uint64 { return s.inner.IDs(job, rank) }
-
-// Latest implements iostore.API (pass-through).
-func (s *Store) Latest(job string, rank int) (uint64, bool) { return s.inner.Latest(job, rank) }
 
 // corruptObject returns o with one payload byte flipped in a copied block;
 // the caller's and store's memory stay intact.

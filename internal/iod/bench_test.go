@@ -2,6 +2,7 @@ package iod
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -24,18 +25,18 @@ type latencyStore struct {
 	perBlock time.Duration
 }
 
-func (s *latencyStore) Put(o iostore.Object) error {
+func (s *latencyStore) Put(ctx context.Context, o iostore.Object) error {
 	time.Sleep(time.Duration(len(o.Blocks)) * s.perBlock)
-	return s.Store.Put(o)
+	return s.Store.Put(ctx, o)
 }
 
-func (s *latencyStore) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
+func (s *latencyStore) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
 	time.Sleep(s.perBlock)
-	return s.Store.PutBlock(key, meta, index, block)
+	return s.Store.PutBlock(ctx, key, meta, index, block)
 }
 
-func (s *latencyStore) Get(key iostore.Key) (iostore.Object, error) {
-	o, err := s.Store.Get(key)
+func (s *latencyStore) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
+	o, err := s.Store.Get(ctx, key)
 	if err != nil {
 		return o, err
 	}
@@ -43,9 +44,9 @@ func (s *latencyStore) Get(key iostore.Key) (iostore.Object, error) {
 	return o, nil
 }
 
-func (s *latencyStore) GetBlock(key iostore.Key, index int) ([]byte, error) {
+func (s *latencyStore) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
 	time.Sleep(s.perBlock)
-	return s.Store.GetBlock(key, index)
+	return s.Store.GetBlock(ctx, key, index)
 }
 
 // benchServer starts an iod server over a latency-shaped store and a lane
@@ -102,7 +103,7 @@ func BenchmarkDrainLanes(b *testing.B) {
 					// Cycle 64 indices so the backing object stays bounded
 					// while every send still crosses the wire and pays the
 					// device's per-block cost.
-					if err := client.PutBlock(key, meta, i%64, block); err != nil {
+					if err := client.PutBlock(context.Background(), key, meta, i%64, block); err != nil {
 						b.Error(err)
 						return
 					}
@@ -124,19 +125,35 @@ func benchSnapshot(size int) []byte {
 	return snap
 }
 
-// plainAPI hides the client's BlockReader/Inventory extensions so a node
-// restoring through it takes the monolithic whole-object path.
-type plainAPI struct{ inner iostore.API }
+// plainAPI hides the block-read path of the wrapped store: StatBlocks
+// declines every key, so a restore through it takes the monolithic
+// whole-object fallback — what a store predating block streaming looked
+// like.
+type plainAPI struct{ inner iostore.Backend }
 
-func (p plainAPI) Put(o iostore.Object) error { return p.inner.Put(o) }
-func (p plainAPI) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
-	return p.inner.PutBlock(key, meta, index, block)
+func (p plainAPI) Put(ctx context.Context, o iostore.Object) error { return p.inner.Put(ctx, o) }
+func (p plainAPI) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	return p.inner.PutBlock(ctx, key, meta, index, block)
 }
-func (p plainAPI) Delete(key iostore.Key)                      { p.inner.Delete(key) }
-func (p plainAPI) Get(key iostore.Key) (iostore.Object, error) { return p.inner.Get(key) }
-func (p plainAPI) Stat(key iostore.Key) (iostore.Object, bool) { return p.inner.Stat(key) }
-func (p plainAPI) IDs(job string, rank int) []uint64           { return p.inner.IDs(job, rank) }
-func (p plainAPI) Latest(job string, rank int) (uint64, bool)  { return p.inner.Latest(job, rank) }
+func (p plainAPI) Delete(ctx context.Context, key iostore.Key) error { return p.inner.Delete(ctx, key) }
+func (p plainAPI) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
+	return p.inner.Get(ctx, key)
+}
+func (p plainAPI) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	return p.inner.Stat(ctx, key)
+}
+func (p plainAPI) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	return p.inner.IDs(ctx, job, rank)
+}
+func (p plainAPI) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	return p.inner.Latest(ctx, job, rank)
+}
+func (p plainAPI) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	return iostore.Object{}, 0, false, nil
+}
+func (p plainAPI) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
+	return nil, iostore.ErrNotFound
+}
 
 // BenchmarkStreamedRestore compares a full node restore through the iod
 // transport in both shapes: mode=streamed fetches blocks individually and
@@ -154,7 +171,7 @@ func BenchmarkStreamedRestore(b *testing.B) {
 	for _, mode := range []string{"streamed", "whole"} {
 		b.Run("mode="+mode, func(b *testing.B) {
 			client := benchServer(b, 4, 500*time.Microsecond)
-			var store iostore.API = client
+			var store iostore.Backend = client
 			if mode == "whole" {
 				store = plainAPI{inner: client}
 			}
@@ -188,7 +205,7 @@ func BenchmarkStreamedRestore(b *testing.B) {
 			b.SetBytes(int64(len(snap)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				got, _, _, err := n.Restore()
+				got, _, _, err := n.Restore(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

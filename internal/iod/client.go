@@ -1,6 +1,7 @@
 package iod
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -45,8 +46,25 @@ func (ln *lane) setConn(conn net.Conn) {
 	ln.dec = gob.NewDecoder(conn)
 }
 
-// exchange runs one request/response on the lane. Caller holds ln.mu.
-func (ln *lane) exchange(req *request) (*response, error) {
+// setDeadline applies (or clears) an I/O deadline on the lane's current
+// connection. Caller holds ln.mu; connMu bounds the race with Close.
+func (ln *lane) setDeadline(t time.Time) {
+	ln.connMu.Lock()
+	if ln.conn != nil {
+		ln.conn.SetDeadline(t)
+	}
+	ln.connMu.Unlock()
+}
+
+// exchange runs one request/response on the lane. Caller holds ln.mu. A
+// context deadline is projected onto the connection so a blocked read
+// cannot outlive the caller's budget (the failed read marks the lane
+// broken; the next claimant redials it).
+func (ln *lane) exchange(ctx context.Context, req *request) (*response, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		ln.setDeadline(dl)
+		defer ln.setDeadline(time.Time{})
+	}
 	if err := ln.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("iod: send: %w", err)
 	}
@@ -57,7 +75,7 @@ func (ln *lane) exchange(req *request) (*response, error) {
 	return &resp, nil
 }
 
-// Client talks to an iod server and satisfies iostore.API, so a node
+// Client talks to an iod server and satisfies iostore.Backend, so a node
 // runtime can be pointed at a remote I/O node transparently. A client owns
 // a pool of lanes (TCP connections): each call claims a free lane, so
 // concurrent PutBlocks from a windowed drain — or block fetches from a
@@ -69,12 +87,14 @@ func (ln *lane) exchange(req *request) (*response, error) {
 // fails on a broken lane, the client runs capped-backoff redial+retry
 // cycles — rotating to other lanes, so a retried exchange can resume on a
 // healthy lane while the broken one repairs — until the exchange succeeds,
-// the retry budget is exhausted, or Close is called. Every iostore.API
-// operation is an idempotent request/response (PutBlock writes by index),
-// so retrying a failed exchange resumes an in-flight drain stream instead
-// of abandoning it — an I/O node restart mid-drain costs only the retry
-// window, not the checkpoint. All backoff sleeps happen with no lane held,
-// so one lane riding out a reconnect window never blocks calls on others.
+// the retry budget is exhausted, the call's context is canceled, or Close
+// is called. Every operation is an idempotent request/response (PutBlock
+// writes by index), so retrying a failed exchange resumes an in-flight
+// drain stream instead of abandoning it — an I/O node restart mid-drain
+// costs only the retry window, not the checkpoint. All backoff sleeps
+// happen with no lane held and select on the context, so a deadline cuts
+// the whole retry schedule short — which is what lets a sharded store fail
+// over to a replica in milliseconds instead of serving out the schedule.
 type Client struct {
 	addr  string // "" disables reconnection (NewClient-wrapped conns)
 	lanes []*lane
@@ -94,7 +114,6 @@ type Client struct {
 	mRetries     *metrics.Counter
 	mCallErrs    *metrics.Counter
 	mDeleteErrs  *metrics.Counter
-	mMaskedInv   *metrics.Counter
 	mLaneWaits   *metrics.Counter
 	mInFlight    *metrics.Gauge
 	mCallSecs    *metrics.Histogram
@@ -108,9 +127,7 @@ func (c *Client) Instrument(r *metrics.Registry) {
 	c.mRetries = r.Counter("ndpcr_iod_call_retries_total", "exchanges retried after a broken lane")
 	c.mCallErrs = r.Counter("ndpcr_iod_call_errors_total", "calls that failed after exhausting retries")
 	c.mDeleteErrs = r.Counter("ndpcr_iod_delete_errors_total",
-		"best-effort deletes that failed (global objects leaked by an abort cleanup)")
-	c.mMaskedInv = r.Counter("ndpcr_iod_masked_inventory_errors_total",
-		"transport errors masked as not-found/empty by the legacy Stat/IDs/Latest surface")
+		"deletes that failed (global objects possibly leaked by an abort cleanup)")
 	c.mLaneWaits = r.Counter("ndpcr_iod_lane_waits_total",
 		"calls that found every lane busy and had to queue")
 	c.mInFlight = r.Gauge("ndpcr_iod_inflight_calls", "calls currently on the wire (drain streams in flight)")
@@ -121,9 +138,8 @@ func (c *Client) Instrument(r *metrics.Registry) {
 }
 
 var (
-	_ iostore.API         = (*Client)(nil)
-	_ iostore.BlockReader = (*Client)(nil)
-	_ iostore.Inventory   = (*Client)(nil)
+	_ iostore.Backend   = (*Client)(nil)
+	_ iostore.Inventory = (*Client)(nil)
 )
 
 // Dial retry schedule: during a coordinated startup the I/O node may come
@@ -140,7 +156,8 @@ const (
 // (each cycle itself runs the dial schedule above), backing off between
 // cycles. The combined window (~4.5 s of inter-cycle backoff plus up to
 // ~0.8 s of dial backoff per cycle) rides out an I/O node restart, which
-// the single-reconnect policy it replaces could not.
+// the single-reconnect policy it replaces could not. A caller that cannot
+// afford the window bounds it with a context deadline.
 const (
 	callAttempts    = 5
 	callBackoffBase = 50 * time.Millisecond
@@ -165,7 +182,7 @@ func DialPool(addr string, n int) (*Client, error) {
 	for i := range c.lanes {
 		c.lanes[i] = &lane{broken: true}
 	}
-	conn, err := c.dialRetry()
+	conn, err := c.dialRetry(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("iod: dial %s: %w", addr, err)
 	}
@@ -177,12 +194,29 @@ func DialPool(addr string, n int) (*Client, error) {
 // Lanes reports the pool size.
 func (c *Client) Lanes() int { return len(c.lanes) }
 
+// Addr reports the server address the client dials ("" for
+// NewClient-wrapped connections).
+func (c *Client) Addr() string { return c.addr }
+
+// sleepCtx sleeps for d or until ctx is done / the client starts closing,
+// reporting false when interrupted.
+func (c *Client) sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return !c.closing.Load()
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // dialRetry attempts the TCP connect up to dialAttempts times, sleeping
 // the backoff schedule between failures; it returns the last error if all
-// attempts fail or the client is closing. Callers must not hold any lane
-// lock: the sleeps here are exactly the stalls that used to freeze every
-// caller when they ran under the client mutex.
-func (c *Client) dialRetry() (net.Conn, error) {
+// attempts fail, the context ends, or the client is closing. Callers must
+// not hold any lane lock: the sleeps here are exactly the stalls that used
+// to freeze every caller when they ran under the client mutex.
+func (c *Client) dialRetry(ctx context.Context) (net.Conn, error) {
 	backoff := dialBackoffBase
 	var lastErr error
 	for attempt := 0; attempt < dialAttempts; attempt++ {
@@ -190,7 +224,9 @@ func (c *Client) dialRetry() (net.Conn, error) {
 			if c.mDialRetries != nil {
 				c.mDialRetries.Inc()
 			}
-			time.Sleep(backoff)
+			if !c.sleepCtx(ctx, backoff) {
+				break
+			}
 			backoff *= 2
 			if backoff > dialBackoffMax {
 				backoff = dialBackoffMax
@@ -199,13 +235,20 @@ func (c *Client) dialRetry() (net.Conn, error) {
 		if c.closing.Load() {
 			return nil, errors.New("client closed")
 		}
-		conn, err := net.Dial("tcp", c.addr)
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("%w (after %d attempts)", lastErr, dialAttempts)
+	return nil, fmt.Errorf("%w (after retries)", lastErr)
 }
 
 // NewClient wraps an established connection (tests use net.Pipe). Clients
@@ -258,12 +301,12 @@ func (c *Client) acquireLane() *lane {
 // and its backoff sleeps — run with the lane unlocked, so other callers
 // can claim and even repair this lane meanwhile (the post-relock broken
 // re-check discards the surplus connection in that case).
-func (c *Client) repairLane(ln *lane) error {
+func (c *Client) repairLane(ctx context.Context, ln *lane) error {
 	if c.addr == "" {
 		return errors.New("iod: connection broken (no address to redial)")
 	}
 	ln.mu.Unlock()
-	conn, err := c.dialRetry()
+	conn, err := c.dialRetry(ctx)
 	ln.mu.Lock()
 	if err != nil {
 		return fmt.Errorf("iod: redial %s: %w", c.addr, err)
@@ -287,15 +330,15 @@ func (c *Client) repairLane(ln *lane) error {
 // attempt runs one exchange on one lane, repairing the lane first if it is
 // broken (or was never dialed). A failed exchange marks the lane broken so
 // the next claimant redials it.
-func (c *Client) attempt(req *request) (*response, error) {
+func (c *Client) attempt(ctx context.Context, req *request) (*response, error) {
 	ln := c.acquireLane()
 	defer ln.mu.Unlock()
 	if ln.broken {
-		if err := c.repairLane(ln); err != nil {
+		if err := c.repairLane(ctx, ln); err != nil {
 			return nil, err
 		}
 	}
-	resp, err := ln.exchange(req)
+	resp, err := ln.exchange(ctx, req)
 	if err != nil {
 		ln.broken = true
 	}
@@ -339,8 +382,10 @@ func (c *Client) isClosed() bool {
 // request/response and every operation idempotent, so a retried exchange
 // after an I/O node restart resumes exactly where the drain stream broke.
 // Each retry claims a lane afresh, so a stream broken on one lane resumes
-// on whichever lane is healthy first. Backoff sleeps hold no locks.
-func (c *Client) call(req *request) (*response, error) {
+// on whichever lane is healthy first. Backoff sleeps hold no locks and
+// select on ctx, so cancelation or a deadline aborts the schedule
+// immediately.
+func (c *Client) call(ctx context.Context, req *request) (*response, error) {
 	if c.mInFlight != nil {
 		c.mInFlight.Inc()
 		defer c.mInFlight.Dec()
@@ -350,7 +395,10 @@ func (c *Client) call(req *request) (*response, error) {
 	if c.isClosed() {
 		return nil, errors.New("iod: client closed")
 	}
-	resp, err := c.attempt(req)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := c.attempt(ctx, req)
 	if err == nil {
 		return resp, nil
 	}
@@ -361,23 +409,28 @@ func (c *Client) call(req *request) (*response, error) {
 	backoff := callBackoffBase
 	for attempt := 0; attempt < callAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			if !c.sleepCtx(ctx, backoff) {
+				break
+			}
 			backoff *= 2
 			if backoff > callBackoffMax {
 				backoff = callBackoffMax
 			}
 		}
-		if c.closing.Load() {
+		if c.closing.Load() || ctx.Err() != nil {
 			break
 		}
 		if c.mRetries != nil {
 			c.mRetries.Inc()
 		}
-		resp, rerr := c.attempt(req)
+		resp, rerr := c.attempt(ctx, req)
 		if rerr == nil {
 			return resp, nil
 		}
 		err = rerr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		err = fmt.Errorf("%w (last transport error: %v)", cerr, err)
 	}
 	if c.mCallErrs != nil {
 		c.mCallErrs.Inc()
@@ -385,41 +438,43 @@ func (c *Client) call(req *request) (*response, error) {
 	return nil, err
 }
 
-// Put implements iostore.API.
-func (c *Client) Put(o iostore.Object) error {
-	resp, err := c.call(&request{Op: opPut, Meta: o})
+// Put implements iostore.Backend.
+func (c *Client) Put(ctx context.Context, o iostore.Object) error {
+	resp, err := c.call(ctx, &request{Op: opPut, Meta: o})
 	if err != nil {
 		return err
 	}
 	return respErr(resp)
 }
 
-// PutBlock implements iostore.API.
-func (c *Client) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
-	resp, err := c.call(&request{Op: opPutBlock, Key: key, Meta: meta, Index: index, Block: block})
+// PutBlock implements iostore.Backend.
+func (c *Client) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	resp, err := c.call(ctx, &request{Op: opPutBlock, Key: key, Meta: meta, Index: index, Block: block})
 	if err != nil {
 		return err
 	}
 	return respErr(resp)
 }
 
-// Delete implements iostore.API. Delete is a best-effort cleanup in the
-// abort/rollback paths, so a failure cannot change the caller's control
-// flow — but a failed delete leaks a global object, so it is counted in
-// ndpcr_iod_delete_errors_total instead of vanishing silently.
-func (c *Client) Delete(key iostore.Key) {
-	resp, err := c.call(&request{Op: opDelete, Key: key})
+// Delete implements iostore.Backend. A failed delete leaks a global
+// object, so it is both returned to the caller (abort/rollback paths can
+// now tell a leaked object from a cleaned one) and counted in
+// ndpcr_iod_delete_errors_total. Servers predating the error-carrying
+// delete response simply report success, as they always did.
+func (c *Client) Delete(ctx context.Context, key iostore.Key) error {
+	resp, err := c.call(ctx, &request{Op: opDelete, Key: key})
 	if err == nil && resp.Err != "" {
 		err = errors.New(resp.Err)
 	}
 	if err != nil && c.mDeleteErrs != nil {
 		c.mDeleteErrs.Inc()
 	}
+	return err
 }
 
-// Get implements iostore.API.
-func (c *Client) Get(key iostore.Key) (iostore.Object, error) {
-	resp, err := c.call(&request{Op: opGet, Key: key})
+// Get implements iostore.Backend.
+func (c *Client) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
+	resp, err := c.call(ctx, &request{Op: opGet, Key: key})
 	if err != nil {
 		return iostore.Object{}, err
 	}
@@ -432,11 +487,11 @@ func (c *Client) Get(key iostore.Key) (iostore.Object, error) {
 	return resp.Object, nil
 }
 
-// GetBlock implements iostore.BlockReader: fetch one block of a stored
+// GetBlock implements iostore.Backend: fetch one block of a stored
 // object, so a streamed restore can overlap fetching block i+1 with
 // decompressing block i.
-func (c *Client) GetBlock(key iostore.Key, index int) ([]byte, error) {
-	resp, err := c.call(&request{Op: opGetBlock, Key: key, Index: index})
+func (c *Client) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
+	resp, err := c.call(ctx, &request{Op: opGetBlock, Key: key, Index: index})
 	if err != nil {
 		return nil, err
 	}
@@ -449,89 +504,71 @@ func (c *Client) GetBlock(key iostore.Key, index int) ([]byte, error) {
 	return resp.Block, nil
 }
 
-// StatBlocks implements iostore.BlockReader. ok == false covers object
-// absence, transport failure, and — via the unknown-op reply matched on
-// unknownOpPrefix — a pre-streaming server; in every case the caller falls
+// StatBlocks implements iostore.Backend. ok == false with a nil error
+// covers object absence and — via the unknown-op reply matched on
+// unknownOpPrefix — a pre-streaming server; in both cases the caller falls
 // back to a whole-object Get, so old servers keep working unmodified.
-func (c *Client) StatBlocks(key iostore.Key) (iostore.Object, int, bool) {
-	resp, err := c.call(&request{Op: opStatBlocks, Key: key})
-	if err != nil || resp.Err != "" || !resp.OK {
-		return iostore.Object{}, 0, false
+// Transport failures surface as errors.
+func (c *Client) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	resp, err := c.call(ctx, &request{Op: opStatBlocks, Key: key})
+	if err != nil {
+		return iostore.Object{}, 0, false, err
 	}
-	return resp.Object, resp.NumBlocks, true
+	if resp.Err != "" || !resp.OK {
+		return iostore.Object{}, 0, false, nil
+	}
+	return resp.Object, resp.NumBlocks, true, nil
 }
 
-// StatErr implements iostore.Inventory: Stat with transport errors kept
-// distinct from "no such checkpoint".
-func (c *Client) StatErr(key iostore.Key) (iostore.Object, bool, error) {
-	resp, err := c.call(&request{Op: opStat, Key: key})
+// Stat implements iostore.Backend: transport errors kept distinct from
+// "no such checkpoint".
+func (c *Client) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	resp, err := c.call(ctx, &request{Op: opStat, Key: key})
 	if err != nil {
 		return iostore.Object{}, false, err
 	}
 	return resp.Object, resp.OK, nil
 }
 
-// IDsErr implements iostore.Inventory: IDs with transport errors kept
-// distinct from "no checkpoints stored".
-func (c *Client) IDsErr(job string, rank int) ([]uint64, error) {
-	resp, err := c.call(&request{Op: opIDs, Job: job, Rank: rank})
+// IDs implements iostore.Backend: transport errors kept distinct from "no
+// checkpoints stored".
+func (c *Client) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	resp, err := c.call(ctx, &request{Op: opIDs, Job: job, Rank: rank})
 	if err != nil {
 		return nil, err
 	}
 	return resp.IDs, nil
 }
 
-// LatestErr implements iostore.Inventory: Latest with transport errors
-// kept distinct from "no checkpoints stored".
-func (c *Client) LatestErr(job string, rank int) (uint64, bool, error) {
-	resp, err := c.call(&request{Op: opLatest, Job: job, Rank: rank})
+// Latest implements iostore.Backend: transport errors kept distinct from
+// "no checkpoints stored".
+func (c *Client) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	resp, err := c.call(ctx, &request{Op: opLatest, Job: job, Rank: rank})
 	if err != nil {
 		return 0, false, err
 	}
 	return resp.Latest, resp.OK, nil
 }
 
-// maskInv records a transport error the legacy API surface is about to
-// swallow, so masked inventory failures at least show up in metrics.
-func (c *Client) maskInv() {
-	if c.mMaskedInv != nil {
-		c.mMaskedInv.Inc()
-	}
+// StatErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Stat, which is error-first now.
+func (c *Client) StatErr(key iostore.Key) (iostore.Object, bool, error) {
+	return c.Stat(context.Background(), key)
 }
 
-// Stat implements iostore.API. Network failures report "not found" (the
-// interface cannot say otherwise); Inventory-aware callers use StatErr,
-// and each masked failure is counted.
-func (c *Client) Stat(key iostore.Key) (iostore.Object, bool) {
-	o, ok, err := c.StatErr(key)
-	if err != nil {
-		c.maskInv()
-		return iostore.Object{}, false
-	}
-	return o, ok
+// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call IDs, which is error-first now.
+func (c *Client) IDsErr(job string, rank int) ([]uint64, error) {
+	return c.IDs(context.Background(), job, rank)
 }
 
-// IDs implements iostore.API. Network failures report no checkpoints;
-// Inventory-aware callers use IDsErr, and each masked failure is counted.
-func (c *Client) IDs(job string, rank int) []uint64 {
-	ids, err := c.IDsErr(job, rank)
-	if err != nil {
-		c.maskInv()
-		return nil
-	}
-	return ids
-}
-
-// Latest implements iostore.API. Network failures report no checkpoints;
-// Inventory-aware callers use LatestErr, and each masked failure is
-// counted.
-func (c *Client) Latest(job string, rank int) (uint64, bool) {
-	id, ok, err := c.LatestErr(job, rank)
-	if err != nil {
-		c.maskInv()
-		return 0, false
-	}
-	return id, ok
+// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Latest, which is error-first now.
+func (c *Client) LatestErr(job string, rank int) (uint64, bool, error) {
+	return c.Latest(context.Background(), job, rank)
 }
 
 func respErr(resp *response) error {

@@ -1,6 +1,7 @@
 package iod
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestDeleteErrorCounted(t *testing.T) {
 	client.Instrument(reg)
 
 	deleteErrs := reg.Counter("ndpcr_iod_delete_errors_total", "")
-	client.Delete(iostore.Key{Job: "j", Rank: 0, ID: 1})
+	client.Delete(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1})
 	if got := deleteErrs.Value(); got != 1 {
 		t.Errorf("delete errors = %d, want 1", got)
 	}
@@ -37,13 +38,15 @@ func TestDeleteSuccessNotCounted(t *testing.T) {
 	_, client, backing := startServer(t)
 	reg := metrics.NewRegistry()
 	client.Instrument(reg)
-	if err := backing.Put(iostore.Object{
+	if err := backing.Put(context.Background(), iostore.Object{
 		Key: iostore.Key{Job: "j", Rank: 0, ID: 1}, Blocks: [][]byte{{1}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	client.Delete(iostore.Key{Job: "j", Rank: 0, ID: 1})
-	if ids := backing.IDs("j", 0); len(ids) != 0 {
+	if err := client.Delete(context.Background(), iostore.Key{Job: "j", Rank: 0, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := backing.IDs(context.Background(), "j", 0); len(ids) != 0 {
 		t.Errorf("object survived delete: %v", ids)
 	}
 	if got := reg.Counter("ndpcr_iod_delete_errors_total", "").Value(); got != 0 {
@@ -69,11 +72,11 @@ func TestConnDropHookRetried(t *testing.T) {
 		Blocks:   [][]byte{{1, 2, 3, 4}},
 	}
 	start := time.Now()
-	if err := client.Put(obj); err != nil {
+	if err := client.Put(context.Background(), obj); err != nil {
 		t.Fatalf("put across injected conn drop: %v", err)
 	}
 	t.Logf("put retried in %v", time.Since(start))
-	if _, err := backing.Get(obj.Key); err != nil {
+	if _, err := backing.Get(context.Background(), obj.Key); err != nil {
 		t.Errorf("object missing after retried put: %v", err)
 	}
 	if got := reg.Counter("ndpcr_iod_reconnects_total", "").Value(); got < 1 {

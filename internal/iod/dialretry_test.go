@@ -1,6 +1,7 @@
 package iod
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -50,10 +51,10 @@ func TestDialRetriesUntilServerUp(t *testing.T) {
 		OrigSize: 3,
 		Blocks:   [][]byte{{1, 2, 3}},
 	}
-	if err := client.Put(obj); err != nil {
+	if err := client.Put(context.Background(), obj); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(obj.Key); err != nil {
+	if _, err := client.Get(context.Background(), obj.Key); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package iod
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -63,10 +64,10 @@ func TestPutGetOverTCP(t *testing.T) {
 		Blocks:   [][]byte{[]byte("hello"), []byte("world")},
 		Meta:     map[string]string{"step": "5"},
 	}
-	if err := client.Put(obj); err != nil {
+	if err := client.Put(context.Background(), obj); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(obj.Key)
+	got, err := client.Get(context.Background(), obj.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,17 +79,17 @@ func TestPutGetOverTCP(t *testing.T) {
 
 func TestNotFoundCrossesWire(t *testing.T) {
 	_, client, _ := startServer(t)
-	_, err := client.Get(iostore.Key{Job: "x", Rank: 0, ID: 1})
+	_, err := client.Get(context.Background(), iostore.Key{Job: "x", Rank: 0, ID: 1})
 	if !errors.Is(err, iostore.ErrNotFound) {
 		t.Errorf("err = %v, want ErrNotFound sentinel", err)
 	}
-	if _, ok := client.Stat(iostore.Key{Job: "x"}); ok {
+	if _, ok, _ := client.Stat(context.Background(), iostore.Key{Job: "x"}); ok {
 		t.Error("Stat found missing object")
 	}
-	if _, ok := client.Latest("x", 0); ok {
+	if _, ok, _ := client.Latest(context.Background(), "x", 0); ok {
 		t.Error("Latest on empty store")
 	}
-	if ids := client.IDs("x", 0); len(ids) != 0 {
+	if ids, _ := client.IDs(context.Background(), "x", 0); len(ids) != 0 {
 		t.Errorf("IDs = %v", ids)
 	}
 }
@@ -97,31 +98,31 @@ func TestPutBlockStreamingOverTCP(t *testing.T) {
 	_, client, backing := startServer(t)
 	key := iostore.Key{Job: "j", Rank: 0, ID: 3}
 	meta := iostore.Object{Codec: "lz4", CodecLevel: 1, OrigSize: 6}
-	if err := client.PutBlock(key, meta, 0, []byte("abc")); err != nil {
+	if err := client.PutBlock(context.Background(), key, meta, 0, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.PutBlock(key, meta, 1, []byte("def")); err != nil {
+	if err := client.PutBlock(context.Background(), key, meta, 1, []byte("def")); err != nil {
 		t.Fatal(err)
 	}
-	obj, err := backing.Get(key)
+	obj, err := backing.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if obj.Codec != "lz4" || len(obj.Blocks) != 2 {
 		t.Errorf("backing object %+v", obj)
 	}
-	client.Delete(key)
-	if _, err := backing.Get(key); !errors.Is(err, iostore.ErrNotFound) {
+	client.Delete(context.Background(), key)
+	if _, err := backing.Get(context.Background(), key); !errors.Is(err, iostore.ErrNotFound) {
 		t.Error("delete did not propagate")
 	}
 }
 
 func TestValidationErrorsCrossWire(t *testing.T) {
 	_, client, _ := startServer(t)
-	if err := client.Put(iostore.Object{}); err == nil {
+	if err := client.Put(context.Background(), iostore.Object{}); err == nil {
 		t.Error("empty job accepted over wire")
 	}
-	if err := client.PutBlock(iostore.Key{}, iostore.Object{}, 0, nil); err == nil {
+	if err := client.PutBlock(context.Background(), iostore.Key{}, iostore.Object{}, 0, nil); err == nil {
 		t.Error("PutBlock with empty job accepted over wire")
 	}
 }
@@ -142,12 +143,12 @@ func TestManyClientsConcurrently(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 50; i++ {
 				key := iostore.Key{Job: "conc", Rank: g, ID: uint64(i + 1)}
-				if err := c.PutBlock(key, iostore.Object{OrigSize: 4}, 0, []byte("data")); err != nil {
+				if err := c.PutBlock(context.Background(), key, iostore.Object{OrigSize: 4}, 0, []byte("data")); err != nil {
 					t.Errorf("put: %v", err)
 					return
 				}
 			}
-			if latest, ok := c.Latest("conc", g); !ok || latest != 50 {
+			if latest, ok, _ := c.Latest(context.Background(), "conc", g); !ok || latest != 50 {
 				t.Errorf("rank %d latest = %d, %v", g, latest, ok)
 			}
 		}(g)
@@ -163,7 +164,7 @@ func TestClientAfterClose(t *testing.T) {
 	if err := client.Close(); err != nil {
 		t.Errorf("second close: %v", err)
 	}
-	if err := client.Put(iostore.Object{Key: iostore.Key{Job: "j"}}); err == nil {
+	if err := client.Put(context.Background(), iostore.Object{Key: iostore.Key{Job: "j"}}); err == nil {
 		t.Error("call after close succeeded")
 	}
 }
@@ -200,7 +201,7 @@ func TestNodeRuntimeDrainsOverTCP(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	n.FailLocal()
-	got, meta, level, err := n.Restore()
+	got, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestNodeRuntimeDrainsOverTCP(t *testing.T) {
 func TestClientReconnects(t *testing.T) {
 	_, client, _ := startServer(t)
 	key := iostore.Key{Job: "r", Rank: 0, ID: 1}
-	if err := client.PutBlock(key, iostore.Object{OrigSize: 4}, 0, []byte("data")); err != nil {
+	if err := client.PutBlock(context.Background(), key, iostore.Object{OrigSize: 4}, 0, []byte("data")); err != nil {
 		t.Fatal(err)
 	}
 	// Break the connection out from under the client: the next call must
@@ -223,7 +224,7 @@ func TestClientReconnects(t *testing.T) {
 	ln.conn.Close()
 	ln.connMu.Unlock()
 
-	got, err := client.Get(key)
+	got, err := client.Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("call after broken connection: %v", err)
 	}
@@ -263,7 +264,7 @@ func TestClientRidesOutServerRestartMidDrain(t *testing.T) {
 
 	key := iostore.Key{Job: "restart", Rank: 0, ID: 1}
 	meta := iostore.Object{OrigSize: 12}
-	if err := client.PutBlock(key, meta, 0, []byte("abcd")); err != nil {
+	if err := client.PutBlock(context.Background(), key, meta, 0, []byte("abcd")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -271,11 +272,11 @@ func TestClientRidesOutServerRestartMidDrain(t *testing.T) {
 	srv.Close()
 	rest := make(chan error, 1)
 	go func() {
-		if err := client.PutBlock(key, meta, 1, []byte("efgh")); err != nil {
+		if err := client.PutBlock(context.Background(), key, meta, 1, []byte("efgh")); err != nil {
 			rest <- err
 			return
 		}
-		rest <- client.PutBlock(key, meta, 2, []byte("ijkl"))
+		rest <- client.PutBlock(context.Background(), key, meta, 2, []byte("ijkl"))
 	}()
 
 	// Stay down past the old single-reconnect window (~0.8 s) but inside
@@ -297,7 +298,7 @@ func TestClientRidesOutServerRestartMidDrain(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("drain still blocked after server restart")
 	}
-	obj, err := backing.Get(key)
+	obj, err := backing.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestWrappedClientDoesNotReconnect(t *testing.T) {
 	defer b.Close()
 	c := NewClient(a)
 	a.Close()
-	if err := c.Put(iostore.Object{Key: iostore.Key{Job: "x"}}); err == nil {
+	if err := c.Put(context.Background(), iostore.Object{Key: iostore.Key{Job: "x"}}); err == nil {
 		t.Error("call on closed pipe succeeded")
 	}
 }

@@ -2,6 +2,7 @@ package iod
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -51,7 +52,7 @@ func warmLane(t *testing.T, c *Client, i int) {
 			ln.mu.Lock()
 		}
 	}
-	c.Latest("warm", 0)
+	c.Latest(context.Background(), "warm", 0)
 	for j, ln := range c.lanes {
 		if j != i {
 			ln.mu.Unlock()
@@ -87,7 +88,7 @@ func TestDialPoolLazyLanes(t *testing.T) {
 	// Sequential calls have a free healthy lane 0 every time; the lazy
 	// lanes must stay undialed (no reconnects counted).
 	for i := 0; i < 10; i++ {
-		client.Latest("lazy", 0)
+		client.Latest(context.Background(), "lazy", 0)
 	}
 	if v := reg.Counter("ndpcr_iod_reconnects_total", "").Value(); v != 0 {
 		t.Errorf("sequential calls dialed %v lazy lanes; want 0", v)
@@ -116,12 +117,12 @@ func TestPoolConcurrentInterleavings(t *testing.T) {
 			meta := iostore.Object{OrigSize: 64}
 			for i := 0; i < 30; i++ {
 				block := bytes.Repeat([]byte{byte(g)}, 16)
-				if err := client.PutBlock(key, meta, i, block); err != nil {
+				if err := client.PutBlock(context.Background(), key, meta, i, block); err != nil {
 					errs <- fmt.Errorf("rank %d put %d: %w", g, i, err)
 					return
 				}
 				if i%5 == 4 {
-					obj, err := client.Get(key)
+					obj, err := client.Get(context.Background(), key)
 					if err != nil {
 						errs <- fmt.Errorf("rank %d get: %w", g, err)
 						return
@@ -130,14 +131,14 @@ func TestPoolConcurrentInterleavings(t *testing.T) {
 						errs <- fmt.Errorf("rank %d read back wrong blocks", g)
 						return
 					}
-					if b, err := client.GetBlock(key, i); err != nil || !bytes.Equal(b, block) {
+					if b, err := client.GetBlock(context.Background(), key, i); err != nil || !bytes.Equal(b, block) {
 						errs <- fmt.Errorf("rank %d GetBlock(%d): %v", g, i, err)
 						return
 					}
 				}
-				client.Stat(key)
+				client.Stat(context.Background(), key)
 			}
-			if _, n, ok := client.StatBlocks(key); !ok || n != 30 {
+			if _, n, ok, _ := client.StatBlocks(context.Background(), key); !ok || n != 30 {
 				errs <- fmt.Errorf("rank %d StatBlocks = %d, %v", g, n, ok)
 			}
 		}(g)
@@ -156,7 +157,7 @@ func TestLaneFailureMidStreamResumesOnAnotherLane(t *testing.T) {
 	warmLane(t, client, 1) // both lanes now connected
 
 	key := iostore.Key{Job: "failover", Rank: 0, ID: 1}
-	if err := backing.Put(iostore.Object{Key: key, OrigSize: 4, Blocks: [][]byte{[]byte("data")}}); err != nil {
+	if err := backing.Put(context.Background(), iostore.Object{Key: key, OrigSize: 4, Blocks: [][]byte{[]byte("data")}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -170,7 +171,7 @@ func TestLaneFailureMidStreamResumesOnAnotherLane(t *testing.T) {
 	client.next.Store(0)
 
 	reconBefore := reg.Counter("ndpcr_iod_reconnects_total", "").Value()
-	obj, err := client.Get(key)
+	obj, err := client.Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Get across lane failure: %v", err)
 	}
@@ -201,7 +202,7 @@ func TestBrokenLaneBackoffDoesNotBlockHealthyLane(t *testing.T) {
 	warmLane(t, client, 1)
 
 	key := iostore.Key{Job: "nb", Rank: 0, ID: 1}
-	if err := backing.Put(iostore.Object{Key: key, OrigSize: 1, Blocks: [][]byte{{1}}}); err != nil {
+	if err := backing.Put(context.Background(), iostore.Object{Key: key, OrigSize: 1, Blocks: [][]byte{{1}}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -221,7 +222,7 @@ func TestBrokenLaneBackoffDoesNotBlockHealthyLane(t *testing.T) {
 	client.lanes[1].mu.Lock()
 	aDone := make(chan error, 1)
 	go func() {
-		_, err := client.Get(key)
+		_, err := client.Get(context.Background(), key)
 		aDone <- err
 	}()
 	time.Sleep(150 * time.Millisecond)
@@ -230,7 +231,7 @@ func TestBrokenLaneBackoffDoesNotBlockHealthyLane(t *testing.T) {
 	// Caller B on the healthy lane must answer promptly while A is still
 	// inside its backoff window.
 	start := time.Now()
-	if _, ok := client.Stat(key); !ok {
+	if _, ok, _ := client.Stat(context.Background(), key); !ok {
 		t.Error("Stat on healthy lane failed")
 	}
 	if d := time.Since(start); d > 500*time.Millisecond {
@@ -264,11 +265,11 @@ func TestStreamedGetMatchesWholeGet(t *testing.T) {
 		Blocks:   [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")},
 		Meta:     map[string]string{"step": "9"},
 	}
-	if err := backing.Put(want); err != nil {
+	if err := backing.Put(context.Background(), want); err != nil {
 		t.Fatal(err)
 	}
 
-	meta, n, ok := client.StatBlocks(key)
+	meta, n, ok, _ := client.StatBlocks(context.Background(), key)
 	if !ok || n != 3 {
 		t.Fatalf("StatBlocks = %d blocks, ok=%v", n, ok)
 	}
@@ -277,13 +278,13 @@ func TestStreamedGetMatchesWholeGet(t *testing.T) {
 	}
 	streamed := meta
 	for i := 0; i < n; i++ {
-		b, err := client.GetBlock(key, i)
+		b, err := client.GetBlock(context.Background(), key, i)
 		if err != nil {
 			t.Fatalf("GetBlock(%d): %v", i, err)
 		}
 		streamed.Blocks = append(streamed.Blocks, b)
 	}
-	whole, err := client.Get(key)
+	whole, err := client.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,14 +297,14 @@ func TestStreamedGetMatchesWholeGet(t *testing.T) {
 		}
 	}
 
-	if _, err := client.GetBlock(key, 99); err == nil {
+	if _, err := client.GetBlock(context.Background(), key, 99); err == nil {
 		t.Error("out-of-range block index accepted")
 	}
 	missing := iostore.Key{Job: "eq", Rank: 1, ID: 404}
-	if _, err := client.GetBlock(missing, 0); !errors.Is(err, iostore.ErrNotFound) {
+	if _, err := client.GetBlock(context.Background(), missing, 0); !errors.Is(err, iostore.ErrNotFound) {
 		t.Errorf("missing object GetBlock err = %v, want ErrNotFound", err)
 	}
-	if _, _, ok := client.StatBlocks(missing); ok {
+	if _, _, ok, _ := client.StatBlocks(context.Background(), missing); ok {
 		t.Error("StatBlocks found a missing object")
 	}
 }
@@ -311,7 +312,7 @@ func TestStreamedGetMatchesWholeGet(t *testing.T) {
 // startOldServer runs a wire-compatible stub of a pre-streaming iod server:
 // it answers the original seven ops against backing and replies with the
 // unknown-op error for anything newer, exactly as the seed server did.
-func startOldServer(t *testing.T, backing iostore.API) string {
+func startOldServer(t *testing.T, backing iostore.Backend) string {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -336,7 +337,7 @@ func startOldServer(t *testing.T, backing iostore.API) string {
 					resp := &response{}
 					switch req.Op {
 					case opGet:
-						obj, err := backing.Get(req.Key)
+						obj, err := backing.Get(context.Background(), req.Key)
 						switch {
 						case errors.Is(err, iostore.ErrNotFound):
 							resp.NotFound = true
@@ -347,11 +348,11 @@ func startOldServer(t *testing.T, backing iostore.API) string {
 							resp.Object = obj
 						}
 					case opStat:
-						resp.Object, resp.OK = backing.Stat(req.Key)
+						resp.Object, resp.OK, _ = backing.Stat(context.Background(), req.Key)
 					case opLatest:
-						resp.Latest, resp.OK = backing.Latest(req.Job, req.Rank)
+						resp.Latest, resp.OK, _ = backing.Latest(context.Background(), req.Job, req.Rank)
 					case opPutBlock:
-						if err := backing.PutBlock(req.Key, req.Meta, req.Index, req.Block); err != nil {
+						if err := backing.PutBlock(context.Background(), req.Key, req.Meta, req.Index, req.Block); err != nil {
 							resp.Err = err.Error()
 						}
 					default:
@@ -380,13 +381,13 @@ func TestStatBlocksFallsBackOnOldServer(t *testing.T) {
 	defer client.Close()
 
 	key := iostore.Key{Job: "old", Rank: 0, ID: 1}
-	if err := backing.Put(iostore.Object{Key: key, OrigSize: 4, Blocks: [][]byte{[]byte("data")}}); err != nil {
+	if err := backing.Put(context.Background(), iostore.Object{Key: key, OrigSize: 4, Blocks: [][]byte{[]byte("data")}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := client.StatBlocks(key); ok {
+	if _, _, ok, _ := client.StatBlocks(context.Background(), key); ok {
 		t.Fatal("StatBlocks claimed support against a pre-streaming server")
 	}
-	obj, err := client.Get(key)
+	obj, err := client.Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("whole-object fallback Get: %v", err)
 	}
@@ -406,33 +407,27 @@ func TestInventoryErrorsSurfacedAndMaskedCounted(t *testing.T) {
 	a.Close()
 	reg := metrics.NewRegistry()
 	client.Instrument(reg)
-	masked := reg.Counter("ndpcr_iod_masked_inventory_errors_total", "")
 
 	key := iostore.Key{Job: "inv", Rank: 0, ID: 1}
-	if _, _, err := client.StatErr(key); err == nil {
-		t.Error("StatErr masked a dead transport")
+	if _, _, err := client.Stat(context.Background(), key); err == nil {
+		t.Error("Stat masked a dead transport")
 	}
+	if _, err := client.IDs(context.Background(), "inv", 0); err == nil {
+		t.Error("IDs masked a dead transport")
+	}
+	if _, _, err := client.Latest(context.Background(), "inv", 0); err == nil {
+		t.Error("Latest masked a dead transport")
+	}
+	// The deprecated shims forward to the same error-first surface, so
+	// nothing can silently read a transport outage as "no checkpoints".
 	if _, err := client.IDsErr("inv", 0); err == nil {
-		t.Error("IDsErr masked a dead transport")
+		t.Error("IDsErr shim masked a dead transport")
 	}
 	if _, _, err := client.LatestErr("inv", 0); err == nil {
-		t.Error("LatestErr masked a dead transport")
+		t.Error("LatestErr shim masked a dead transport")
 	}
-	if masked.Value() != 0 {
-		t.Errorf("error-surfacing calls counted as masked: %v", masked.Value())
-	}
-
-	if _, ok := client.Stat(key); ok {
-		t.Error("Stat succeeded on dead transport")
-	}
-	if ids := client.IDs("inv", 0); ids != nil {
-		t.Errorf("IDs = %v on dead transport", ids)
-	}
-	if _, ok := client.Latest("inv", 0); ok {
-		t.Error("Latest succeeded on dead transport")
-	}
-	if masked.Value() != 3 {
-		t.Errorf("masked-counter = %v, want 3", masked.Value())
+	if _, _, err := client.StatErr(key); err == nil {
+		t.Error("StatErr shim masked a dead transport")
 	}
 }
 
@@ -460,7 +455,7 @@ func TestServerMaxConnsRejectsSurplus(t *testing.T) {
 	defer client.Close()
 	// Complete an exchange so the funded connection is registered before
 	// the surplus one arrives.
-	if err := client.PutBlock(iostore.Key{Job: "cap", Rank: 0, ID: 1}, iostore.Object{}, 0, []byte("x")); err != nil {
+	if err := client.PutBlock(context.Background(), iostore.Key{Job: "cap", Rank: 0, ID: 1}, iostore.Object{}, 0, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -485,7 +480,7 @@ func TestServerMaxConnsRejectsSurplus(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// The funded client keeps working.
-	if latest, ok := client.Latest("cap", 0); !ok || latest != 1 {
+	if latest, ok, _ := client.Latest(context.Background(), "cap", 0); !ok || latest != 1 {
 		t.Errorf("funded client broken after rejection: %d, %v", latest, ok)
 	}
 }

@@ -1,6 +1,7 @@
 package iod
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -16,7 +17,12 @@ import (
 // goroutine and processes requests sequentially; concurrency comes from
 // many connections (one per compute node, as on a real I/O node).
 type Server struct {
-	backing iostore.API
+	backing iostore.Backend
+
+	// ctx is the server-lifetime context passed to backing-store calls;
+	// cancel fires on Close so in-flight backing operations abort.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -45,11 +51,12 @@ type Server struct {
 
 // NewServer wraps a backing store (usually *iostore.Store, possibly paced
 // to the per-node I/O share).
-func NewServer(backing iostore.API) (*Server, error) {
+func NewServer(backing iostore.Backend) (*Server, error) {
 	if backing == nil {
 		return nil, errors.New("iod: backing store is required")
 	}
 	s := &Server{backing: backing, conns: make(map[net.Conn]struct{})}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.reg = metrics.NewRegistry()
 	for op := opPut; op <= opMax; op++ {
 		s.mRequests[op] = s.reg.Counter(
@@ -196,19 +203,24 @@ func (s *Server) handle(req *request) *response {
 		s.mRequests[req.Op].Inc()
 	}
 	resp := &response{}
+	ctx := s.ctx
 	switch req.Op {
 	case opPut:
-		if err := s.backing.Put(req.Meta); err != nil {
+		if err := s.backing.Put(ctx, req.Meta); err != nil {
 			resp.Err = err.Error()
 		}
 	case opPutBlock:
-		if err := s.backing.PutBlock(req.Key, req.Meta, req.Index, req.Block); err != nil {
+		if err := s.backing.PutBlock(ctx, req.Key, req.Meta, req.Index, req.Block); err != nil {
 			resp.Err = err.Error()
 		}
 	case opDelete:
-		s.backing.Delete(req.Key)
+		// Older clients ignore Err on delete responses, so reporting the
+		// failure is wire-compatible in both directions.
+		if err := s.backing.Delete(ctx, req.Key); err != nil {
+			resp.Err = err.Error()
+		}
 	case opGet:
-		obj, err := s.backing.Get(req.Key)
+		obj, err := s.backing.Get(ctx, req.Key)
 		switch {
 		case errors.Is(err, iostore.ErrNotFound):
 			resp.NotFound = true
@@ -219,14 +231,28 @@ func (s *Server) handle(req *request) *response {
 			resp.Object = obj
 		}
 	case opStat:
-		obj, ok := s.backing.Stat(req.Key)
-		resp.Object, resp.OK = obj, ok
+		obj, ok, err := s.backing.Stat(ctx, req.Key)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Object, resp.OK = obj, ok
+		}
 	case opIDs:
-		resp.IDs = s.backing.IDs(req.Job, req.Rank)
+		ids, err := s.backing.IDs(ctx, req.Job, req.Rank)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.IDs = ids
+		}
 	case opLatest:
-		resp.Latest, resp.OK = s.backing.Latest(req.Job, req.Rank)
+		latest, ok, err := s.backing.Latest(ctx, req.Job, req.Rank)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Latest, resp.OK = latest, ok
+		}
 	case opGetBlock:
-		block, err := s.getBlock(req.Key, req.Index)
+		block, err := s.backing.GetBlock(ctx, req.Key, req.Index)
 		switch {
 		case errors.Is(err, iostore.ErrNotFound):
 			resp.NotFound = true
@@ -237,7 +263,12 @@ func (s *Server) handle(req *request) *response {
 			resp.Block = block
 		}
 	case opStatBlocks:
-		resp.Object, resp.NumBlocks, resp.OK = s.statBlocks(req.Key)
+		obj, n, ok, err := s.backing.StatBlocks(ctx, req.Key)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Object, resp.NumBlocks, resp.OK = obj, n, ok
+		}
 	default:
 		resp.Err = fmt.Sprintf("%s %d", unknownOpPrefix, req.Op)
 	}
@@ -245,37 +276,6 @@ func (s *Server) handle(req *request) *response {
 		s.mReqErrors.Inc()
 	}
 	return resp
-}
-
-// getBlock serves one block. A BlockReader backing (the normal case) pays
-// pacing per block; otherwise the whole object is fetched and sliced, which
-// keeps old backings correct at the cost of re-reading per block.
-func (s *Server) getBlock(key iostore.Key, index int) ([]byte, error) {
-	if br, ok := s.backing.(iostore.BlockReader); ok {
-		return br.GetBlock(key, index)
-	}
-	obj, err := s.backing.Get(key)
-	if err != nil {
-		return nil, err
-	}
-	if index < 0 || index >= len(obj.Blocks) {
-		return nil, fmt.Errorf("iod: %s block %d out of range (object has %d)", key, index, len(obj.Blocks))
-	}
-	return obj.Blocks[index], nil
-}
-
-// statBlocks serves metadata plus block count without block payloads.
-func (s *Server) statBlocks(key iostore.Key) (iostore.Object, int, bool) {
-	if br, ok := s.backing.(iostore.BlockReader); ok {
-		return br.StatBlocks(key)
-	}
-	obj, err := s.backing.Get(key)
-	if err != nil {
-		return iostore.Object{}, 0, false
-	}
-	n := len(obj.Blocks)
-	obj.Blocks = nil
-	return obj, n, true
 }
 
 // Close stops accepting, closes every connection, and waits for handlers.
@@ -286,6 +286,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.cancel()
 	l := s.listener
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -85,7 +86,7 @@ func TestDiscardCommitErasesEveryLevel(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitDrained(t, n, id)
-	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: id}); err != nil {
+	if _, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: id}); err != nil {
 		t.Fatalf("drained object missing before discard: %v", err)
 	}
 	n.DiscardCommit(id)
@@ -94,7 +95,7 @@ func TestDiscardCommitErasesEveryLevel(t *testing.T) {
 			t.Errorf("NVM still holds discarded checkpoint %d", id)
 		}
 	}
-	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: id}); !errors.Is(err, iostore.ErrNotFound) {
+	if _, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: id}); !errors.Is(err, iostore.ErrNotFound) {
 		t.Errorf("global object survives discard: err = %v", err)
 	}
 	n.DiscardCommit(999) // never committed: must not panic or error

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -63,7 +64,7 @@ func TestPhaseTimingsSumToTotal(t *testing.T) {
 	// envelopes that may overlap — the summed phases can exceed the
 	// total (the realized overlap), but never undershoot it.
 	n.FailLocal()
-	if _, _, _, err := n.Restore(); err != nil {
+	if _, _, _, err := n.Restore(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rtl, ok := n.Timelines().Timeline(metrics.KindRestore, id)

@@ -1,6 +1,7 @@
 package node_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ func Example() {
 
 	n.FailLocal() // the node dies; NVM contents are gone
 
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		panic(err)
 	}

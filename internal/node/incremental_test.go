@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -63,12 +64,12 @@ func TestIncrementalDrainShipsLess(t *testing.T) {
 		drainAll(t, n, id) // serialize drains so each version ships
 	}
 	// First object is full; later ones are patches and much smaller.
-	full, _ := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 1})
+	full, _ := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: 1})
 	if full.DeltaBase != 0 {
 		t.Fatal("first drain was not a full checkpoint")
 	}
 	for id := uint64(2); id <= lastID; id++ {
-		obj, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: id})
+		obj, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: id})
 		if err != nil {
 			t.Fatalf("object %d: %v", id, err)
 		}
@@ -101,7 +102,7 @@ func TestIncrementalRestoreReconstructsChain(t *testing.T) {
 			drainAll(t, n, id)
 		}
 		n.FailLocal()
-		got, meta, level, err := n.Restore()
+		got, meta, level, err := n.Restore(context.Background())
 		if err != nil {
 			t.Fatalf("codec %q: %v", codecName, err)
 		}
@@ -129,7 +130,7 @@ func TestIncrementalFullEveryBoundsChains(t *testing.T) {
 	// patch, full.
 	wantFull := map[uint64]bool{1: true, 4: true, 7: true}
 	for id := uint64(1); id <= 7; id++ {
-		obj, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: id})
+		obj, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: id})
 		if err != nil {
 			t.Fatalf("object %d: %v", id, err)
 		}
@@ -140,7 +141,7 @@ func TestIncrementalFullEveryBoundsChains(t *testing.T) {
 	}
 	// Restoring a mid-chain checkpoint works too.
 	n.FailLocal()
-	got, meta, _, err := n.RestoreID(5)
+	got, meta, _, err := n.RestoreID(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestIncrementalSkipsStillReconstruct(t *testing.T) {
 	}
 	drainAll(t, n, lastID)
 	n.FailLocal()
-	got, _, _, err := n.Restore()
+	got, _, _, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestIncrementalAfterIOLevelRecovery(t *testing.T) {
 	}
 	drainAll(t, n, id)
 	n.FailLocal()
-	if _, _, _, err := n.Restore(); err != nil {
+	if _, _, _, err := n.Restore(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// New lineage: different content evolution after restart.
@@ -196,7 +197,7 @@ func TestIncrementalAfterIOLevelRecovery(t *testing.T) {
 	}
 	drainAll(t, n, id2)
 	n.FailLocal()
-	got, meta, _, err := n.Restore()
+	got, meta, _, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package iostore
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -60,7 +61,10 @@ type refBlock struct {
 	refs int
 }
 
-var _ API = (*DedupStore)(nil)
+var (
+	_ Backend   = (*DedupStore)(nil)
+	_ Inventory = (*DedupStore)(nil)
+)
 
 // NewDedup creates a content-addressed store paced like New.
 func NewDedup(pacer nvm.Pacer) *DedupStore {
@@ -72,12 +76,12 @@ func NewDedup(pacer nvm.Pacer) *DedupStore {
 }
 
 // Put stores a whole object.
-func (s *DedupStore) Put(o Object) error {
+func (s *DedupStore) Put(ctx context.Context, o Object) error {
 	if o.Key.Job == "" {
 		return errors.New("iostore: empty job name")
 	}
 	for i, b := range o.Blocks {
-		if err := s.PutBlock(o.Key, o, i, b); err != nil {
+		if err := s.PutBlock(ctx, o.Key, o, i, b); err != nil {
 			return err
 		}
 	}
@@ -104,7 +108,10 @@ func metaOnly(meta Object, key Key) Object {
 
 // PutBlock stores one block, deduplicating by content. Only first-seen
 // content is paced (it is the only content that moves).
-func (s *DedupStore) PutBlock(key Key, meta Object, index int, block []byte) error {
+func (s *DedupStore) PutBlock(ctx context.Context, key Key, meta Object, index int, block []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if key.Job == "" {
 		return errors.New("iostore: empty job name")
 	}
@@ -163,13 +170,17 @@ func (s *DedupStore) releaseLocked(digest [sha256.Size]byte) {
 	}
 }
 
-// Delete removes an object and releases its content references.
-func (s *DedupStore) Delete(key Key) {
+// Delete removes an object and releases its content references. Deleting
+// an absent object is not an error.
+func (s *DedupStore) Delete(ctx context.Context, key Key) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok := s.objects[key]
 	if !ok {
-		return
+		return nil
 	}
 	for i, d := range o.digests {
 		if o.present[i] {
@@ -177,11 +188,15 @@ func (s *DedupStore) Delete(key Key) {
 		}
 	}
 	delete(s.objects, key)
+	return nil
 }
 
 // Get reconstructs an object, pacing the full logical transfer (the reader
 // still receives every byte).
-func (s *DedupStore) Get(key Key) (Object, error) {
+func (s *DedupStore) Get(ctx context.Context, key Key) (Object, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, err
+	}
 	s.mu.Lock()
 	o, ok := s.objects[key]
 	if !ok {
@@ -209,18 +224,24 @@ func (s *DedupStore) Get(key Key) (Object, error) {
 }
 
 // Stat returns metadata without a transfer.
-func (s *DedupStore) Stat(key Key) (Object, bool) {
+func (s *DedupStore) Stat(ctx context.Context, key Key) (Object, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok := s.objects[key]
 	if !ok {
-		return Object{}, false
+		return Object{}, false, nil
 	}
-	return o.meta, true
+	return o.meta, true, nil
 }
 
 // IDs lists checkpoint IDs for (job, rank), ascending.
-func (s *DedupStore) IDs(job string, rank int) []uint64 {
+func (s *DedupStore) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []uint64
@@ -230,16 +251,83 @@ func (s *DedupStore) IDs(job string, rank int) []uint64 {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // Latest returns the newest checkpoint ID for (job, rank).
-func (s *DedupStore) Latest(job string, rank int) (uint64, bool) {
-	ids := s.IDs(job, rank)
-	if len(ids) == 0 {
-		return 0, false
+func (s *DedupStore) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	ids, err := s.IDs(ctx, job, rank)
+	if err != nil || len(ids) == 0 {
+		return 0, false, err
 	}
-	return ids[len(ids)-1], true
+	return ids[len(ids)-1], true, nil
+}
+
+// StatBlocks reports metadata plus block count; DedupStore serves block
+// reads from its content table.
+func (s *DedupStore) StatBlocks(ctx context.Context, key Key) (Object, int, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, 0, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[key]
+	if !ok {
+		return Object{}, 0, false, nil
+	}
+	return o.meta, len(o.digests), true, nil
+}
+
+// GetBlock reconstructs one block from the content table, pacing its
+// logical size.
+func (s *DedupStore) GetBlock(ctx context.Context, key Key, index int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	o, ok := s.objects[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if index < 0 || index >= len(o.digests) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("iostore: %s block %d out of range (object has %d)", key, index, len(o.digests))
+	}
+	if !o.present[index] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("iostore: dedup block missing for %s[%d]", key, index)
+	}
+	rb, exists := s.blocks[o.digests[index]]
+	if !exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("iostore: dedup block missing for %s[%d]", key, index)
+	}
+	data := rb.data
+	s.mu.Unlock()
+	s.pacer.Move(len(data))
+	return data, nil
+}
+
+// StatErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Stat, which is error-first now.
+func (s *DedupStore) StatErr(key Key) (Object, bool, error) {
+	return s.Stat(context.Background(), key)
+}
+
+// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call IDs, which is error-first now.
+func (s *DedupStore) IDsErr(job string, rank int) ([]uint64, error) {
+	return s.IDs(context.Background(), job, rank)
+}
+
+// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Latest, which is error-first now.
+func (s *DedupStore) LatestErr(job string, rank int) (uint64, bool, error) {
+	return s.Latest(context.Background(), job, rank)
 }
 
 // DedupStats reports the storage savings.

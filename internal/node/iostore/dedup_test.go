@@ -2,6 +2,7 @@ package iostore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -18,10 +19,10 @@ func TestDedupRoundTrip(t *testing.T) {
 		Blocks:   [][]byte{[]byte("aaaa"), []byte("bbbb")},
 		Meta:     map[string]string{"step": "1"},
 	}
-	if err := s.Put(obj); err != nil {
+	if err := s.Put(context.Background(), obj); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(obj.Key)
+	got, err := s.Get(context.Background(), obj.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,10 +41,10 @@ func TestDedupSharesAcrossRanks(t *testing.T) {
 	uniqueB := bytes.Repeat([]byte("B"), 4000)
 	for rank, unique := range [][]byte{uniqueA, uniqueB} {
 		key := Key{Job: "j", Rank: rank, ID: 1}
-		if err := s.PutBlock(key, Object{OrigSize: 8000}, 0, shared); err != nil {
+		if err := s.PutBlock(context.Background(), key, Object{OrigSize: 8000}, 0, shared); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.PutBlock(key, Object{OrigSize: 8000}, 1, unique); err != nil {
+		if err := s.PutBlock(context.Background(), key, Object{OrigSize: 8000}, 1, unique); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -62,7 +63,7 @@ func TestDedupSharesAcrossRanks(t *testing.T) {
 	}
 	// Both ranks still read their own full data.
 	for rank := 0; rank < 2; rank++ {
-		got, err := s.Get(Key{Job: "j", Rank: rank, ID: 1})
+		got, err := s.Get(context.Background(), Key{Job: "j", Rank: rank, ID: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,8 +80,8 @@ func TestDedupConsecutiveCheckpoints(t *testing.T) {
 	for id := uint64(1); id <= 5; id++ {
 		key := Key{Job: "j", Rank: 0, ID: id}
 		changing := bytes.Repeat([]byte{byte(id)}, 8192)
-		s.PutBlock(key, Object{}, 0, stable)
-		s.PutBlock(key, Object{}, 1, changing)
+		s.PutBlock(context.Background(), key, Object{}, 0, stable)
+		s.PutBlock(context.Background(), key, Object{}, 1, changing)
 	}
 	st := s.Stats()
 	// 10 logical blocks, 6 unique (1 stable + 5 changing).
@@ -97,31 +98,31 @@ func TestDedupDeleteReleasesRefs(t *testing.T) {
 	shared := []byte("shared-block-content")
 	a := Key{Job: "j", Rank: 0, ID: 1}
 	b := Key{Job: "j", Rank: 1, ID: 1}
-	s.PutBlock(a, Object{}, 0, shared)
-	s.PutBlock(b, Object{}, 0, shared)
+	s.PutBlock(context.Background(), a, Object{}, 0, shared)
+	s.PutBlock(context.Background(), b, Object{}, 0, shared)
 
-	s.Delete(a)
+	s.Delete(context.Background(), a)
 	// Still readable through b.
-	if got, err := s.Get(b); err != nil || !bytes.Equal(got.Blocks[0], shared) {
+	if got, err := s.Get(context.Background(), b); err != nil || !bytes.Equal(got.Blocks[0], shared) {
 		t.Fatal("shared block lost after one deleter")
 	}
-	if _, err := s.Get(a); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(context.Background(), a); !errors.Is(err, ErrNotFound) {
 		t.Error("deleted object still present")
 	}
-	s.Delete(b)
+	s.Delete(context.Background(), b)
 	st := s.Stats()
 	if st.PhysicalBytes != 0 || st.LogicalBytes != 0 || st.UniqueBlocks != 0 {
 		t.Errorf("residual after full delete: %+v", st)
 	}
-	s.Delete(b) // idempotent
+	s.Delete(context.Background(), b) // idempotent
 }
 
 func TestDedupBlockReplacement(t *testing.T) {
 	s := NewDedup(nvm.Pacer{})
 	key := Key{Job: "j", Rank: 0, ID: 1}
-	s.PutBlock(key, Object{}, 0, []byte("old-content"))
-	s.PutBlock(key, Object{}, 0, []byte("new-content"))
-	got, err := s.Get(key)
+	s.PutBlock(context.Background(), key, Object{}, 0, []byte("old-content"))
+	s.PutBlock(context.Background(), key, Object{}, 0, []byte("new-content"))
+	got, err := s.Get(context.Background(), key)
 	if err != nil || !bytes.Equal(got.Blocks[0], []byte("new-content")) {
 		t.Fatal("replacement failed")
 	}
@@ -134,18 +135,18 @@ func TestDedupPacingOnlyNewContent(t *testing.T) {
 	var slept units.Seconds
 	s := NewDedup(nvm.Pacer{Bandwidth: 1 * units.MBps, Sleep: func(d units.Seconds) { slept += d }})
 	block := make([]byte, 500_000) // 0.5 s at 1 MB/s
-	s.PutBlock(Key{Job: "j", Rank: 0, ID: 1}, Object{}, 0, block)
+	s.PutBlock(context.Background(), Key{Job: "j", Rank: 0, ID: 1}, Object{}, 0, block)
 	first := slept
 	if first < 0.49 || first > 0.51 {
 		t.Fatalf("first write paced %v", first)
 	}
 	// The duplicate write moves no data.
-	s.PutBlock(Key{Job: "j", Rank: 1, ID: 1}, Object{}, 0, block)
+	s.PutBlock(context.Background(), Key{Job: "j", Rank: 1, ID: 1}, Object{}, 0, block)
 	if slept != first {
 		t.Errorf("duplicate write paced %v extra", slept-first)
 	}
 	// Reads always pace the logical size.
-	s.Get(Key{Job: "j", Rank: 1, ID: 1})
+	s.Get(context.Background(), Key{Job: "j", Rank: 1, ID: 1})
 	if slept-first < 0.49 {
 		t.Error("read did not pace logical transfer")
 	}
@@ -153,16 +154,16 @@ func TestDedupPacingOnlyNewContent(t *testing.T) {
 
 func TestDedupValidation(t *testing.T) {
 	s := NewDedup(nvm.Pacer{})
-	if err := s.Put(Object{}); err == nil {
+	if err := s.Put(context.Background(), Object{}); err == nil {
 		t.Error("empty job accepted")
 	}
-	if err := s.PutBlock(Key{}, Object{}, 0, nil); err == nil {
+	if err := s.PutBlock(context.Background(), Key{}, Object{}, 0, nil); err == nil {
 		t.Error("PutBlock empty job accepted")
 	}
-	if _, ok := s.Stat(Key{Job: "x"}); ok {
+	if _, ok, _ := s.Stat(context.Background(), Key{Job: "x"}); ok {
 		t.Error("missing Stat found")
 	}
-	if _, ok := s.Latest("x", 0); ok {
+	if _, ok, _ := s.Latest(context.Background(), "x", 0); ok {
 		t.Error("Latest on empty store")
 	}
 	if st := s.Stats(); st.Factor() != 0 {
@@ -173,30 +174,30 @@ func TestDedupValidation(t *testing.T) {
 func TestDedupMetadataOnlyObject(t *testing.T) {
 	s := NewDedup(nvm.Pacer{})
 	key := Key{Job: "j", Rank: 0, ID: 9}
-	if err := s.Put(Object{Key: key, Meta: map[string]string{"step": "3"}}); err != nil {
+	if err := s.Put(context.Background(), Object{Key: key, Meta: map[string]string{"step": "3"}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(key)
+	got, err := s.Get(context.Background(), key)
 	if err != nil || got.Meta["step"] != "3" {
 		t.Error("metadata-only object lost")
 	}
-	if latest, ok := s.Latest("j", 0); !ok || latest != 9 {
+	if latest, ok, _ := s.Latest(context.Background(), "j", 0); !ok || latest != 9 {
 		t.Errorf("latest = %d, %v", latest, ok)
 	}
-	if ids := s.IDs("j", 0); len(ids) != 1 || ids[0] != 9 {
+	if ids, _ := s.IDs(context.Background(), "j", 0); len(ids) != 1 || ids[0] != 9 {
 		t.Errorf("ids = %v", ids)
 	}
 }
 
 func TestDedupBehindNodeRuntime(t *testing.T) {
-	// DedupStore satisfies iostore.API; drains from two runtimes with
+	// DedupStore satisfies iostore.Backend; drains from two runtimes with
 	// overlapping content share storage. (Node runtimes are exercised via
 	// the iod test for TCP; here the in-process interface suffices.)
-	var api API = NewDedup(nvm.Pacer{})
+	var api Backend = NewDedup(nvm.Pacer{})
 	shared := bytes.Repeat([]byte("common"), 2048)
 	for rank := 0; rank < 2; rank++ {
 		key := Key{Job: "j", Rank: rank, ID: 1}
-		if err := api.PutBlock(key, Object{OrigSize: int64(len(shared))}, 0, shared); err != nil {
+		if err := api.PutBlock(context.Background(), key, Object{OrigSize: int64(len(shared))}, 0, shared); err != nil {
 			t.Fatal(err)
 		}
 	}

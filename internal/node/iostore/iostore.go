@@ -6,6 +6,7 @@
 package iostore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -56,43 +57,49 @@ func (o Object) StoredSize() int64 {
 	return n
 }
 
-// API is the global-store surface the node runtime drains to and restores
-// from. Store implements it in-process; internal/iod implements it over
-// TCP against a remote I/O node, which is how a real NDP would reach the
-// parallel file system (§4.2.2: "the NDP must be able to operate the
-// relevant system code for running the network stack").
-type API interface {
-	Put(o Object) error
-	PutBlock(key Key, meta Object, index int, block []byte) error
-	Delete(key Key)
-	Get(key Key) (Object, error)
-	Stat(key Key) (Object, bool)
-	IDs(job string, rank int) []uint64
-	Latest(job string, rank int) (uint64, bool)
-}
-
-// BlockReader is the optional streaming extension of API: stores that
-// implement it let a restore fetch a checkpoint block by block — metadata
-// and block count first, then each block individually — so decompression of
-// block i can overlap the fetch of block i+1 the same way the NDP drain
-// overlaps compression with transmission (§4.3 mirrored onto §4.2.2).
+// Backend is the global-store surface the node runtime drains to and
+// restores from — one unified, error-first, context-first interface.
+// Store implements it in-process; internal/iod implements it over TCP
+// against a remote I/O node (§4.2.2: "the NDP must be able to operate the
+// relevant system code for running the network stack"); internal/shardstore
+// implements it across many I/O nodes with replication.
 //
-// StatBlocks reports the object's metadata (no payload) and its block
-// count; ok == false means the store cannot serve block reads for this key
-// (object absent, transport failure, or — for the iod client — a server
-// that predates the streaming ops), and the caller falls back to a
-// whole-object Get.
-type BlockReader interface {
-	StatBlocks(key Key) (meta Object, blocks int, ok bool)
-	GetBlock(key Key, index int) ([]byte, error)
+// Design rules the surface obeys (learned the hard way — the prior API
+// masked transport failures behind bool "ok"s and hid the streaming and
+// error-surfacing extensions behind optional type assertions):
+//
+//   - Every method can report failure. Stat/IDs/Latest distinguish "this
+//     level has no checkpoint" (ok=false / empty, err=nil) from "this level
+//     is unreachable" (err != nil): over a network transport the conflation
+//     silently deletes the I/O level from restart-line intersections.
+//   - Delete returns an error, so an abort/rollback path can tell a leaked
+//     object from a cleaned one.
+//   - Every method takes a context: shard failover, lane-reconnect backoff
+//     and retry loops in remote implementations honor cancelation and
+//     deadlines.
+//   - Block streaming (StatBlocks/GetBlock) is part of the surface, not an
+//     optional assertion. StatBlocks ok=false with err=nil means "cannot
+//     serve block reads for this key" (absent object, or — for the iod
+//     client — a server predating the streaming ops) and the caller falls
+//     back to a whole-object Get.
+type Backend interface {
+	Put(ctx context.Context, o Object) error
+	PutBlock(ctx context.Context, key Key, meta Object, index int, block []byte) error
+	Get(ctx context.Context, key Key) (Object, error)
+	Delete(ctx context.Context, key Key) error
+	Stat(ctx context.Context, key Key) (Object, bool, error)
+	IDs(ctx context.Context, job string, rank int) ([]uint64, error)
+	Latest(ctx context.Context, job string, rank int) (uint64, bool, error)
+	StatBlocks(ctx context.Context, key Key) (meta Object, blocks int, ok bool, err error)
+	GetBlock(ctx context.Context, key Key, index int) ([]byte, error)
 }
 
-// Inventory is the optional error-surfacing extension of the read-only
-// inventory calls. API's Stat/IDs/Latest cannot distinguish "this level has
-// no checkpoint" from "this level is unreachable"; over a network transport
-// that conflation silently deletes the I/O level from restart-line
-// intersections. Stores that implement Inventory report transport failures
-// as errors so the cluster can tell the two apart.
+// Inventory is the deprecated error-surfacing extension of the old API
+// surface. Its methods survive as thin shims on every Backend
+// implementation so pre-redesign callers keep compiling, but new code calls
+// Stat/IDs/Latest on Backend directly — they are error-first now.
+//
+// Deprecated: use Backend.
 type Inventory interface {
 	StatErr(key Key) (Object, bool, error)
 	IDsErr(job string, rank int) ([]uint64, error)
@@ -141,7 +148,10 @@ func New(pacer nvm.Pacer) *Store {
 }
 
 // Put stores an object, replacing any previous version. Blocks are copied.
-func (s *Store) Put(o Object) error {
+func (s *Store) Put(ctx context.Context, o Object) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if o.Key.Job == "" {
 		return errors.New("iostore: empty job name")
 	}
@@ -169,7 +179,10 @@ func (s *Store) Put(o Object) error {
 // PutBlock appends one block to an object, creating it on first use. This
 // is the streaming path the NDP uses: blocks arrive as they are compressed
 // (§4.2.2), each paced individually.
-func (s *Store) PutBlock(key Key, meta Object, index int, block []byte) error {
+func (s *Store) PutBlock(ctx context.Context, key Key, meta Object, index int, block []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if key.Job == "" {
 		return errors.New("iostore: empty job name")
 	}
@@ -194,15 +207,22 @@ func (s *Store) PutBlock(key Key, meta Object, index int, block []byte) error {
 }
 
 // Delete removes an object (used when an aborted drain must not leave a
-// torn checkpoint behind).
-func (s *Store) Delete(key Key) {
+// torn checkpoint behind). Deleting an absent object is not an error.
+func (s *Store) Delete(ctx context.Context, key Key) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	delete(s.objects, key)
 	s.mu.Unlock()
+	return nil
 }
 
 // Get returns an object, pacing the full transfer.
-func (s *Store) Get(key Key) (Object, error) {
+func (s *Store) Get(ctx context.Context, key Key) (Object, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, err
+	}
 	s.mu.Lock()
 	o, ok := s.objects[key]
 	s.mu.Unlock()
@@ -216,20 +236,27 @@ func (s *Store) Get(key Key) (Object, error) {
 	return o, nil
 }
 
-// Stat returns an object's metadata without pacing a transfer.
-func (s *Store) Stat(key Key) (Object, bool) {
+// Stat returns an object's metadata without pacing a transfer. The
+// in-process store is always reachable, so err is always nil.
+func (s *Store) Stat(ctx context.Context, key Key) (Object, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok := s.objects[key]
 	if !ok {
-		return Object{}, false
+		return Object{}, false, nil
 	}
 	o.Blocks = nil
-	return o, true
+	return o, true, nil
 }
 
 // IDs returns the checkpoint IDs stored for (job, rank), ascending.
-func (s *Store) IDs(job string, rank int) []uint64 {
+func (s *Store) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []uint64
@@ -239,36 +266,41 @@ func (s *Store) IDs(job string, rank int) []uint64 {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // Latest returns the newest checkpoint ID for (job, rank).
-func (s *Store) Latest(job string, rank int) (uint64, bool) {
-	ids := s.IDs(job, rank)
-	if len(ids) == 0 {
-		return 0, false
+func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	ids, err := s.IDs(ctx, job, rank)
+	if err != nil || len(ids) == 0 {
+		return 0, false, err
 	}
-	return ids[len(ids)-1], true
+	return ids[len(ids)-1], true, nil
 }
 
-// StatBlocks implements BlockReader: metadata plus block count, no payload
-// and no pacing (pacing charges the blocks as they are fetched).
-func (s *Store) StatBlocks(key Key) (Object, int, bool) {
+// StatBlocks returns metadata plus block count, no payload and no pacing
+// (pacing charges the blocks as they are fetched).
+func (s *Store) StatBlocks(ctx context.Context, key Key) (Object, int, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Object{}, 0, false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok := s.objects[key]
 	if !ok {
-		return Object{}, 0, false
+		return Object{}, 0, false, nil
 	}
 	n := len(o.Blocks)
 	o.Blocks = nil
-	return o, n, true
+	return o, n, true, nil
 }
 
-// GetBlock implements BlockReader: one block's payload, paced individually
-// so a streamed restore pays the same total transfer cost as a whole-object
-// Get.
-func (s *Store) GetBlock(key Key, index int) ([]byte, error) {
+// GetBlock returns one block's payload, paced individually so a streamed
+// restore pays the same total transfer cost as a whole-object Get.
+func (s *Store) GetBlock(ctx context.Context, key Key, index int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	o, ok := s.objects[key]
 	s.mu.Unlock()
@@ -286,26 +318,30 @@ func (s *Store) GetBlock(key Key, index int) ([]byte, error) {
 	return b, nil
 }
 
-// StatErr implements Inventory; the in-process store is always reachable.
+// StatErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Stat, which is error-first now.
 func (s *Store) StatErr(key Key) (Object, bool, error) {
-	o, ok := s.Stat(key)
-	return o, ok, nil
+	return s.Stat(context.Background(), key)
 }
 
-// IDsErr implements Inventory; the in-process store is always reachable.
+// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call IDs, which is error-first now.
 func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
-	return s.IDs(job, rank), nil
+	return s.IDs(context.Background(), job, rank)
 }
 
-// LatestErr implements Inventory; the in-process store is always reachable.
+// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Latest, which is error-first now.
 func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
-	id, ok := s.Latest(job, rank)
-	return id, ok, nil
+	return s.Latest(context.Background(), job, rank)
 }
 
-// Store satisfies API and its streaming/inventory extensions.
+// Store satisfies the unified Backend surface (and the deprecated
+// Inventory shims).
 var (
-	_ API         = (*Store)(nil)
-	_ BlockReader = (*Store)(nil)
-	_ Inventory   = (*Store)(nil)
+	_ Backend   = (*Store)(nil)
+	_ Inventory = (*Store)(nil)
 )

@@ -2,6 +2,7 @@ package iostore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -19,10 +20,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 		Blocks:   [][]byte{[]byte("hello"), []byte(" world")},
 		Meta:     map[string]string{"step": "42"},
 	}
-	if err := s.Put(obj); err != nil {
+	if err := s.Put(context.Background(), obj); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(obj.Key)
+	got, err := s.Get(context.Background(), obj.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 	// Stored blocks must not alias the caller's.
 	obj.Blocks[0][0] = 'X'
-	got2, _ := s.Get(obj.Key)
+	got2, _ := s.Get(context.Background(), obj.Key)
 	if got2.Blocks[0][0] == 'X' {
 		t.Error("store aliases caller blocks")
 	}
@@ -42,23 +43,23 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestPutValidation(t *testing.T) {
 	s := New(nvm.Pacer{})
-	if err := s.Put(Object{}); err == nil {
+	if err := s.Put(context.Background(), Object{}); err == nil {
 		t.Error("empty job accepted")
 	}
-	if err := s.PutBlock(Key{}, Object{}, 0, nil); err == nil {
+	if err := s.PutBlock(context.Background(), Key{}, Object{}, 0, nil); err == nil {
 		t.Error("PutBlock with empty job accepted")
 	}
 }
 
 func TestGetMissing(t *testing.T) {
 	s := New(nvm.Pacer{})
-	if _, err := s.Get(Key{Job: "x", Rank: 0, ID: 1}); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(context.Background(), Key{Job: "x", Rank: 0, ID: 1}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v", err)
 	}
-	if _, ok := s.Stat(Key{Job: "x"}); ok {
+	if _, ok, _ := s.Stat(context.Background(), Key{Job: "x"}); ok {
 		t.Error("Stat found missing object")
 	}
-	if _, ok := s.Latest("x", 0); ok {
+	if _, ok, _ := s.Latest(context.Background(), "x", 0); ok {
 		t.Error("Latest on empty store")
 	}
 }
@@ -69,13 +70,13 @@ func TestPutBlockStreaming(t *testing.T) {
 	meta := Object{Codec: "lz4", CodecLevel: 1, OrigSize: 6}
 	// Blocks can arrive out of order (pipeline reordering is upstream,
 	// but the store tolerates sparse writes).
-	if err := s.PutBlock(key, meta, 1, []byte("def")); err != nil {
+	if err := s.PutBlock(context.Background(), key, meta, 1, []byte("def")); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutBlock(key, meta, 0, []byte("abc")); err != nil {
+	if err := s.PutBlock(context.Background(), key, meta, 0, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(key)
+	got, err := s.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,27 +92,27 @@ func TestPutBlockStreaming(t *testing.T) {
 func TestDelete(t *testing.T) {
 	s := New(nvm.Pacer{})
 	key := Key{Job: "j", Rank: 0, ID: 1}
-	s.Put(Object{Key: key, Blocks: [][]byte{[]byte("x")}})
-	s.Delete(key)
-	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+	s.Put(context.Background(), Object{Key: key, Blocks: [][]byte{[]byte("x")}})
+	s.Delete(context.Background(), key)
+	if _, err := s.Get(context.Background(), key); !errors.Is(err, ErrNotFound) {
 		t.Error("delete did not remove object")
 	}
-	s.Delete(key) // idempotent
+	s.Delete(context.Background(), key) // idempotent
 }
 
 func TestIDsAndLatest(t *testing.T) {
 	s := New(nvm.Pacer{})
 	for _, id := range []uint64{5, 1, 9} {
-		s.Put(Object{Key: Key{Job: "j", Rank: 2, ID: id}, Blocks: [][]byte{{1}}})
+		s.Put(context.Background(), Object{Key: Key{Job: "j", Rank: 2, ID: id}, Blocks: [][]byte{{1}}})
 	}
-	s.Put(Object{Key: Key{Job: "j", Rank: 3, ID: 100}, Blocks: [][]byte{{1}}})
-	s.Put(Object{Key: Key{Job: "other", Rank: 2, ID: 200}, Blocks: [][]byte{{1}}})
+	s.Put(context.Background(), Object{Key: Key{Job: "j", Rank: 3, ID: 100}, Blocks: [][]byte{{1}}})
+	s.Put(context.Background(), Object{Key: Key{Job: "other", Rank: 2, ID: 200}, Blocks: [][]byte{{1}}})
 
-	ids := s.IDs("j", 2)
+	ids, _ := s.IDs(context.Background(), "j", 2)
 	if len(ids) != 3 || ids[0] != 1 || ids[2] != 9 {
 		t.Errorf("ids = %v", ids)
 	}
-	if latest, ok := s.Latest("j", 2); !ok || latest != 9 {
+	if latest, ok, _ := s.Latest(context.Background(), "j", 2); !ok || latest != 9 {
 		t.Errorf("latest = %v, %v", latest, ok)
 	}
 }
@@ -120,14 +121,14 @@ func TestPacing(t *testing.T) {
 	var slept units.Seconds
 	s := New(nvm.Pacer{Bandwidth: 100 * units.MBps, Sleep: func(d units.Seconds) { slept += d }})
 	key := Key{Job: "j", Rank: 0, ID: 1}
-	s.Put(Object{Key: key, Blocks: [][]byte{make([]byte, 50_000_000)}}) // 0.5 s
-	s.Get(key)                                                          // 0.5 s
+	s.Put(context.Background(), Object{Key: key, Blocks: [][]byte{make([]byte, 50_000_000)}}) // 0.5 s
+	s.Get(context.Background(), key)                                                          // 0.5 s
 	if slept < 0.99 || slept > 1.01 {
 		t.Errorf("paced %v, want ~1 s", slept)
 	}
 	before := slept
-	s.Stat(key)
-	s.IDs("j", 0)
+	s.Stat(context.Background(), key)
+	s.IDs(context.Background(), "j", 0)
 	if slept != before {
 		t.Error("metadata operations paced")
 	}
@@ -149,18 +150,18 @@ func TestConcurrentUse(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				key := Key{Job: "j", Rank: g, ID: uint64(i)}
-				if err := s.PutBlock(key, Object{OrigSize: 4}, 0, []byte("data")); err != nil {
+				if err := s.PutBlock(context.Background(), key, Object{OrigSize: 4}, 0, []byte("data")); err != nil {
 					t.Errorf("PutBlock: %v", err)
 					return
 				}
-				s.Get(key)
-				s.Latest("j", g)
+				s.Get(context.Background(), key)
+				s.Latest(context.Background(), "j", g)
 			}
 		}(g)
 	}
 	wg.Wait()
 	for g := 0; g < 8; g++ {
-		if latest, ok := s.Latest("j", g); !ok || latest != 99 {
+		if latest, ok, _ := s.Latest(context.Background(), "j", g); !ok || latest != 99 {
 			t.Errorf("rank %d latest = %v, %v", g, latest, ok)
 		}
 	}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestRestoreRejectsCorruptIOMetadata(t *testing.T) {
 	n, store := newNode(t, nil)
 	// An I/O object whose step field fails to parse — a torn metadata write
 	// on the global store.
-	err := store.Put(iostore.Object{
+	err := store.Put(context.Background(), iostore.Object{
 		Key:      iostore.Key{Job: "job", Rank: 0, ID: 1},
 		OrigSize: 4,
 		Blocks:   [][]byte{[]byte("data")},
@@ -42,7 +43,7 @@ func TestRestoreRejectsCorruptIOMetadata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := n.Restore(); !errors.Is(err, ErrBadMetadata) {
+	if _, _, _, err := n.Restore(context.Background()); !errors.Is(err, ErrBadMetadata) {
 		t.Errorf("Restore() err = %v, want ErrBadMetadata (pre-fix: succeeded as step 0)", err)
 	}
 	errs := n.Metrics().Counter("ndpcr_node_metadata_errors_total", "")
@@ -65,7 +66,7 @@ func TestRestoreCorruptLocalMetadataFallsThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := snapshot(1000, 9)
-	if err := store.Put(iostore.Object{
+	if err := store.Put(context.Background(), iostore.Object{
 		Key:      iostore.Key{Job: "job", Rank: 0, ID: 6},
 		OrigSize: int64(len(good)),
 		Blocks:   [][]byte{good},
@@ -73,7 +74,7 @@ func TestRestoreCorruptLocalMetadataFallsThrough(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

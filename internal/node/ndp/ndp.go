@@ -29,7 +29,7 @@ type Config struct {
 	// Device is the node-local NVM holding committed checkpoints.
 	Device *nvm.Device
 	// Store is the global I/O store.
-	Store iostore.API
+	Store iostore.Backend
 	// Link is the NIC transmit path; nil sends directly to the store.
 	Link *nic.Link
 
@@ -344,8 +344,12 @@ func (e *Engine) drain(id uint64) error {
 		}
 	}()
 	if e.isDiscarded(id) {
-		// Poisoned between pick and drain: clean any shipped blocks.
-		e.cfg.Store.Delete(iostore.Key{Job: e.cfg.Job, Rank: e.cfg.Rank, ID: id})
+		// Poisoned between pick and drain: clean any shipped blocks. A
+		// failed cleanup leaks a torn object — surface it.
+		key := iostore.Key{Job: e.cfg.Job, Rank: e.cfg.Rank, ID: id}
+		if derr := e.cfg.Store.Delete(context.Background(), key); derr != nil {
+			e.reportError(fmt.Errorf("ndp: discard cleanup %d: %w", id, derr))
+		}
 		return nil
 	}
 	if e.mInFlight != nil {
@@ -431,8 +435,12 @@ func (e *Engine) drain(id uint64) error {
 		err = e.pipeline(ctx, id, key, meta, payload)
 	}
 	if err != nil {
-		// A torn object must not be restorable.
-		e.cfg.Store.Delete(key)
+		// A torn object must not be restorable. The delete runs on a fresh
+		// context: the drain ctx may already be canceled (engine shutdown),
+		// but the cleanup must still be attempted.
+		if derr := e.cfg.Store.Delete(context.Background(), key); derr != nil {
+			e.reportError(fmt.Errorf("ndp: abort cleanup %d: %w", id, derr))
+		}
 		if e.mDrainErrors != nil {
 			e.mDrainErrors.Inc()
 		}
@@ -442,7 +450,9 @@ func (e *Engine) drain(id uint64) error {
 	if e.isDiscarded(id) {
 		// The coordinated checkpoint for this ID aborted while the drain
 		// was in flight: the shipped object is poison, not progress.
-		e.cfg.Store.Delete(key)
+		if derr := e.cfg.Store.Delete(context.Background(), key); derr != nil {
+			e.reportError(fmt.Errorf("ndp: discard cleanup %d: %w", id, derr))
+		}
 		return nil
 	}
 	if e.cfg.Incremental {
@@ -622,7 +632,7 @@ func (s *sender) send(ctx context.Context, idx int, b []byte) error {
 			s.wg.Done()
 		}()
 		t1 := time.Now()
-		if err := e.cfg.Store.PutBlock(s.key, s.meta, idx, b); err != nil {
+		if err := e.cfg.Store.PutBlock(ctx, s.key, s.meta, idx, b); err != nil {
 			s.setErr(err)
 			return
 		}
@@ -680,6 +690,14 @@ func (c *spanClock) mark(start, end time.Time) {
 	c.marked = true
 }
 
+// snapshot reads the envelope under the lock: on an early pipeline return
+// (context cancel, send error) workers may still be marking concurrently.
+func (c *spanClock) snapshot() (start, end time.Time, marked bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.start, c.end, c.marked
+}
+
 // pipeline overlaps block compression (Workers cores) with in-order
 // transmission: block i+1 compresses while block i is on the wire. The
 // compress and xmit timeline spans are wall-clock envelopes across workers,
@@ -703,11 +721,11 @@ func (e *Engine) pipeline(ctx context.Context, id uint64, key iostore.Key, meta 
 
 	var compressClock, xmitClock spanClock
 	defer func() {
-		if compressClock.marked {
-			e.span(id, metrics.PhaseCompress, compressClock.start, compressClock.end)
+		if start, end, marked := compressClock.snapshot(); marked {
+			e.span(id, metrics.PhaseCompress, start, end)
 		}
-		if xmitClock.marked {
-			e.span(id, metrics.PhaseXmit, xmitClock.start, xmitClock.end)
+		if start, end, marked := xmitClock.snapshot(); marked {
+			e.span(id, metrics.PhaseXmit, start, end)
 		}
 	}()
 

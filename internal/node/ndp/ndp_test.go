@@ -2,6 +2,7 @@ package ndp
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -81,7 +82,7 @@ func TestDrainUncompressed(t *testing.T) {
 	eng.Notify()
 	waitDrain(t, eng, 1)
 
-	obj, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 1})
+	obj, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestDrainCompressedRoundTrip(t *testing.T) {
 		eng.Notify()
 		waitDrain(t, eng, 1)
 
-		obj, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 1})
+		obj, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,12 +147,12 @@ func TestDrainSkipsToLatest(t *testing.T) {
 	}
 	eng.Notify()
 	waitDrain(t, eng, 3)
-	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 3}); err != nil {
+	if _, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: 3}); err != nil {
 		t.Errorf("latest not drained: %v", err)
 	}
 	// IDs 1 and 2 were skipped entirely.
-	if ids := store.IDs("job", 0); len(ids) != 1 {
-		t.Errorf("drained ids = %v, want [3]", ids)
+	if ids, err := store.IDs(context.Background(), "job", 0); err != nil || len(ids) != 1 {
+		t.Errorf("drained ids = %v, %v, want [3]", ids, err)
 	}
 }
 
@@ -231,7 +232,7 @@ func TestConcurrentCommitsAllEventuallyDrainLatest(t *testing.T) {
 	}
 	wg.Wait()
 	waitDrain(t, eng, n)
-	if latest, ok := store.Latest("job", 0); !ok || latest != n {
+	if latest, ok, _ := store.Latest(context.Background(), "job", 0); !ok || latest != n {
 		t.Errorf("latest on I/O = %d, %v", latest, ok)
 	}
 }

@@ -1,6 +1,7 @@
 package ndp
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -77,7 +78,7 @@ func TestDiscardedCheckpointNeverDrains(t *testing.T) {
 	if eng.WaitDrained(1, 50*time.Millisecond) {
 		t.Fatal("discarded checkpoint was acknowledged as drained")
 	}
-	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 1}); err == nil {
+	if _, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: 1}); err == nil {
 		t.Error("discarded checkpoint reached global I/O")
 	}
 	// The poisoned ID must not wedge the drain: a later commit drains
@@ -89,7 +90,7 @@ func TestDiscardedCheckpointNeverDrains(t *testing.T) {
 	if !eng.WaitDrained(2, 5*time.Second) {
 		t.Fatal("drain after a discarded checkpoint never completed")
 	}
-	if _, err := store.Get(iostore.Key{Job: "job", Rank: 0, ID: 2}); err != nil {
+	if _, err := store.Get(context.Background(), iostore.Key{Job: "job", Rank: 0, ID: 2}); err != nil {
 		t.Errorf("checkpoint 2 missing from global I/O: %v", err)
 	}
 	if !eng.WaitDrained(1, time.Millisecond) {

@@ -7,6 +7,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -75,8 +76,10 @@ type Config struct {
 	// performs no real delay (durations are still modeled).
 	Sleep func(units.Seconds)
 
-	// Store is the shared global I/O store (required).
-	Store iostore.API
+	// Store is the shared global I/O store (required): in-process
+	// (iostore.Store), remote (iod.Client), or sharded+replicated
+	// (shardstore.Store).
+	Store iostore.Backend
 
 	// Codec enables NDP compression of drained checkpoints; nil drains
 	// raw.
@@ -92,8 +95,8 @@ type Config struct {
 	// PrefetchBlocks bounds how many fetched-but-not-yet-consumed blocks a
 	// streamed restore keeps in flight (default 2×RestoreWorkers): it is
 	// both the block-fetch parallelism and the memory bound on the
-	// fetch→decompress pipeline. Meaningful only when Store supports
-	// block reads (iostore.BlockReader); otherwise restores fall back to a
+	// fetch→decompress pipeline. When the store declines block reads for
+	// a key (StatBlocks ok == false), restores fall back to a
 	// whole-object fetch.
 	PrefetchBlocks int
 	// DrainWindow bounds how many store writes an NDP drain keeps in
@@ -344,21 +347,23 @@ func (n *Node) ResyncNextID(next uint64) {
 // DiscardCommit rolls one committed checkpoint back out of this node: the
 // NDP is told never to acknowledge a drain of the ID (deleting anything it
 // already shipped), the NVM entry is force-removed, and the global object
-// is best-effort deleted. It is the per-node abort path of a failed
-// coordinated checkpoint; discarding an ID that was never committed here is
-// a no-op.
-func (n *Node) DiscardCommit(id uint64) {
+// is deleted. It is the per-node abort path of a failed coordinated
+// checkpoint; discarding an ID that was never committed here is a no-op.
+// The returned error reports a failed global delete — a leaked object the
+// caller can now see (and a cluster rollback counts).
+func (n *Node) DiscardCommit(id uint64) error {
 	if n.engine != nil {
 		n.engine.Discard(id)
 	}
 	n.device.Discard(id)
-	n.cfg.Store.Delete(iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id})
+	return n.cfg.Store.Delete(context.Background(),
+		iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id})
 }
 
 // WriteThrough writes a committed checkpoint to global I/O from the host —
 // the conventional multilevel path used when the NDP is disabled. It
 // blocks for the full (uncompressed) transfer.
-func (n *Node) WriteThrough(id uint64) error {
+func (n *Node) WriteThrough(ctx context.Context, id uint64) error {
 	ckpt, err := n.device.Get(id)
 	if err != nil {
 		return fmt.Errorf("node: write-through %d: %w", id, err)
@@ -369,7 +374,7 @@ func (n *Node) WriteThrough(id uint64) error {
 		Blocks:   [][]byte{ckpt.Data},
 		Meta:     ckpt.Meta,
 	}
-	return n.cfg.Store.Put(obj)
+	return n.cfg.Store.Put(ctx, obj)
 }
 
 // ErrNoCheckpoint reports that neither level holds a restorable checkpoint.
@@ -378,15 +383,17 @@ var ErrNoCheckpoint = errors.New("node: no checkpoint available at any level")
 // Restore returns the newest restorable snapshot, walking the §4.2.3
 // recovery hierarchy: local NVM, then the buddy node's partner copy
 // (§3.4), then the erasure set, then global I/O with pipelined host
-// decompression (§4.3). It reports which level served the restore.
-func (n *Node) Restore() ([]byte, Metadata, Level, error) {
+// decompression (§4.3). It reports which level served the restore. The
+// context bounds the global-I/O leg (fetches, shard failover, reconnect
+// backoff).
+func (n *Node) Restore(ctx context.Context) ([]byte, Metadata, Level, error) {
 	start := time.Now()
-	data, meta, level, err := n.restore()
+	data, meta, level, err := n.restore(ctx)
 	n.recordRestore(level, start, err)
 	return data, meta, level, err
 }
 
-func (n *Node) restore() ([]byte, Metadata, Level, error) {
+func (n *Node) restore(ctx context.Context) ([]byte, Metadata, Level, error) {
 	if ckpt, ok := n.device.Latest(); ok {
 		// Local path: one paced NVM read.
 		t0 := time.Now()
@@ -416,7 +423,13 @@ func (n *Node) restore() ([]byte, Metadata, Level, error) {
 		}
 	}
 	eLatest, eOK := n.erasureLatest()
-	ioLatest, ioOK := n.cfg.Store.Latest(n.cfg.Job, n.cfg.Rank)
+	// A transport error is not "no checkpoint stored": remember it, try the
+	// cheaper levels, and only report the unreachable I/O level if nothing
+	// else serves.
+	ioLatest, ioOK, ioErr := n.cfg.Store.Latest(ctx, n.cfg.Job, n.cfg.Rank)
+	if ioErr != nil {
+		ioOK = false
+	}
 	if pOK && (!eOK || pLatest >= eLatest) && (!ioOK || pLatest >= ioLatest) {
 		t0 := time.Now()
 		if data, meta, ok := n.restoreFromPartner(pLatest); ok {
@@ -434,9 +447,12 @@ func (n *Node) restore() ([]byte, Metadata, Level, error) {
 		}
 	}
 	if !ioOK {
+		if ioErr != nil {
+			return nil, Metadata{}, LevelNone, fmt.Errorf("%w (I/O level unreachable: %v)", ErrNoCheckpoint, ioErr)
+		}
 		return nil, Metadata{}, LevelNone, ErrNoCheckpoint
 	}
-	data, meta, err := n.fetchFromIO(ioLatest)
+	data, meta, err := n.fetchFromIO(ctx, ioLatest)
 	if err != nil {
 		return nil, Metadata{}, LevelNone, err
 	}
@@ -446,14 +462,14 @@ func (n *Node) restore() ([]byte, Metadata, Level, error) {
 
 // RestoreID restores a specific checkpoint ID: local, then partner, then
 // the erasure set, then global I/O.
-func (n *Node) RestoreID(id uint64) ([]byte, Metadata, Level, error) {
+func (n *Node) RestoreID(ctx context.Context, id uint64) ([]byte, Metadata, Level, error) {
 	start := time.Now()
-	data, meta, level, err := n.restoreByID(id)
+	data, meta, level, err := n.restoreByID(ctx, id)
 	n.recordRestore(level, start, err)
 	return data, meta, level, err
 }
 
-func (n *Node) restoreByID(id uint64) ([]byte, Metadata, Level, error) {
+func (n *Node) restoreByID(ctx context.Context, id uint64) ([]byte, Metadata, Level, error) {
 	t0 := time.Now()
 	if data, err := n.device.Get(id); err == nil {
 		meta, merr := metadataFrom(data.Meta)
@@ -477,7 +493,7 @@ func (n *Node) restoreByID(id uint64) ([]byte, Metadata, Level, error) {
 		n.timelines.Finish(metrics.KindRestore, id)
 		return data, meta, LevelErasure, nil
 	}
-	data, meta, err := n.fetchFromIO(id)
+	data, meta, err := n.fetchFromIO(ctx, id)
 	if err != nil {
 		return nil, Metadata{}, LevelNone, err
 	}
@@ -534,7 +550,7 @@ func (l Level) String() string {
 // discard, every failed restore left an open timeline behind forever —
 // residue that DiscardOlder never collects, since failures don't advance
 // the finished-ID watermark.
-func (n *Node) fetchFromIO(id uint64) (_ []byte, _ Metadata, err error) {
+func (n *Node) fetchFromIO(ctx context.Context, id uint64) (_ []byte, _ Metadata, err error) {
 	defer func() {
 		if err != nil {
 			n.timelines.Discard(metrics.KindRestore, id)
@@ -548,7 +564,7 @@ func (n *Node) fetchFromIO(id uint64) (_ []byte, _ Metadata, err error) {
 			return nil, Metadata{}, fmt.Errorf(
 				"node: restore %d: patch chain exceeds %d links", id, maxPatchChain)
 		}
-		payload, m, base, err := n.fetchObject(id, curID)
+		payload, m, base, err := n.fetchObject(ctx, id, curID)
 		if err != nil {
 			return nil, Metadata{}, err
 		}
@@ -585,22 +601,19 @@ const maxPatchChain = 1024
 // fetchObject retrieves one object's decompressed payload plus its
 // metadata and delta base (0 for full checkpoints). traceID keys the
 // restore timeline (the originally requested checkpoint), while id is the
-// patch-chain link being fetched. Stores that serve block reads get the
-// streamed path (fetch overlapped with decompression); everything else
-// takes the monolithic whole-object fetch.
-func (n *Node) fetchObject(traceID, id uint64) ([]byte, Metadata, uint64, error) {
-	if br, ok := n.cfg.Store.(iostore.BlockReader); ok {
-		out, meta, base, handled, err := n.fetchObjectStreamed(br, traceID, id)
-		if handled {
-			if err == nil {
-				n.mStreamedRestores.Inc()
-			}
-			return out, meta, base, err
+// patch-chain link being fetched. The streamed path (fetch overlapped with
+// decompression) is tried first; a store that declines block reads for the
+// key (StatBlocks ok == false) gets the monolithic whole-object fetch.
+func (n *Node) fetchObject(ctx context.Context, traceID, id uint64) ([]byte, Metadata, uint64, error) {
+	if out, meta, base, handled, err := n.fetchObjectStreamed(ctx, traceID, id); handled {
+		if err == nil {
+			n.mStreamedRestores.Inc()
 		}
+		return out, meta, base, err
 	}
 	fetchStart := time.Now()
 	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
-	obj, err := n.cfg.Store.Get(key)
+	obj, err := n.cfg.Store.Get(ctx, key)
 	if err != nil {
 		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d from I/O: %w", id, err)
 	}
@@ -696,10 +709,10 @@ func (c *envelope) mark(start, end time.Time) {
 // handled == false means the store declined block reads for this key
 // (pre-streaming iod server, absent object, transport failure) and the
 // caller must fall back to the monolithic fetch.
-func (n *Node) fetchObjectStreamed(br iostore.BlockReader, traceID, id uint64) (_ []byte, _ Metadata, _ uint64, handled bool, err error) {
+func (n *Node) fetchObjectStreamed(ctx context.Context, traceID, id uint64) (_ []byte, _ Metadata, _ uint64, handled bool, err error) {
 	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
-	obj, numBlocks, ok := br.StatBlocks(key)
-	if !ok {
+	obj, numBlocks, ok, serr := n.cfg.Store.StatBlocks(ctx, key)
+	if serr != nil || !ok {
 		return nil, Metadata{}, 0, false, nil
 	}
 	meta, err := metadataFrom(obj.Meta)
@@ -752,7 +765,7 @@ func (n *Node) fetchObjectStreamed(br iostore.BlockReader, traceID, id uint64) (
 			defer fwg.Done()
 			for i := range indices {
 				t0 := time.Now()
-				b, ferr := br.GetBlock(key, i)
+				b, ferr := n.cfg.Store.GetBlock(ctx, key, i)
 				fetchClock.mark(t0, time.Now())
 				if ferr != nil {
 					blockErrs[i] = ferr

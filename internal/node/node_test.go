@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -74,7 +75,7 @@ func TestCommitRestoreLocal(t *testing.T) {
 	if id != 1 {
 		t.Errorf("first id = %d", id)
 	}
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRestorePrefersNewestLocal(t *testing.T) {
 	n, _ := newNode(t, nil)
 	n.Commit(snapshot(1000, 1), Metadata{Step: 1})
 	n.Commit(snapshot(1000, 2), Metadata{Step: 2})
-	data, meta, _, err := n.Restore()
+	data, meta, _, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestRestoreFromIOAfterLocalLoss(t *testing.T) {
 
 	// Node failure wipes NVM (§4.2.3's second recovery path).
 	n.FailLocal()
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestRestoreUncompressedFromIO(t *testing.T) {
 	id, _ := n.Commit(snap, Metadata{})
 	waitDrained(t, n, id)
 	n.FailLocal()
-	data, _, level, err := n.Restore()
+	data, _, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRestoreUncompressedFromIO(t *testing.T) {
 
 func TestRestoreNoCheckpoint(t *testing.T) {
 	n, _ := newNode(t, nil)
-	if _, _, _, err := n.Restore(); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, _, err := n.Restore(context.Background()); !errors.Is(err, ErrNoCheckpoint) {
 		t.Errorf("err = %v, want ErrNoCheckpoint", err)
 	}
 }
@@ -155,14 +156,14 @@ func TestRestoreID(t *testing.T) {
 	n, _ := newNode(t, nil)
 	id1, _ := n.Commit(snapshot(1000, 1), Metadata{Step: 1})
 	n.Commit(snapshot(1000, 2), Metadata{Step: 2})
-	data, meta, level, err := n.RestoreID(id1)
+	data, meta, level, err := n.RestoreID(context.Background(), id1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if level != LevelLocal || meta.Step != 1 || !bytes.Equal(data, snapshot(1000, 1)) {
 		t.Error("RestoreID returned wrong checkpoint")
 	}
-	if _, _, _, err := n.RestoreID(99); err == nil {
+	if _, _, _, err := n.RestoreID(context.Background(), 99); err == nil {
 		t.Error("missing id accepted")
 	}
 }
@@ -178,21 +179,21 @@ func TestWriteThroughWithoutNDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Nothing reaches I/O until the host writes it through.
-	if _, ok := store.Latest("job", 0); ok {
+	if _, ok, _ := store.Latest(context.Background(), "job", 0); ok {
 		t.Error("checkpoint reached I/O without host write")
 	}
-	if err := n.WriteThrough(id); err != nil {
+	if err := n.WriteThrough(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 	n.FailLocal()
-	data, meta, level, err := n.Restore()
+	data, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if level != LevelIO || meta.Step != 9 || !bytes.Equal(data, snap) {
 		t.Error("write-through restore failed")
 	}
-	if err := n.WriteThrough(99); err == nil {
+	if err := n.WriteThrough(context.Background(), 99); err == nil {
 		t.Error("write-through of missing id accepted")
 	}
 }
@@ -221,7 +222,7 @@ func TestRestoreThenStepEquivalence(t *testing.T) {
 	// Run the twin ahead, then fail the node AND lose the twin's memory.
 	appTwin.Step()
 	n.FailLocal()
-	data, _, level, err := n.Restore()
+	data, _, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"ndpcr/internal/compress"
@@ -10,21 +11,36 @@ import (
 	"ndpcr/internal/node/nvm"
 )
 
-// plainStore hides the optional BlockReader/Inventory extensions of the
-// wrapped store, presenting the bare iostore.API: what a restore sees when
-// the global store predates block streaming.
-type plainStore struct{ inner iostore.API }
+// plainStore hides the block-read path of the wrapped store: StatBlocks
+// declines every key, so a restore through it takes the monolithic
+// whole-object fallback — what a store predating block streaming looked
+// like.
+type plainStore struct{ inner iostore.Backend }
 
-func (p plainStore) Put(o iostore.Object) error { return p.inner.Put(o) }
-func (p plainStore) PutBlock(key iostore.Key, meta iostore.Object, index int, block []byte) error {
-	return p.inner.PutBlock(key, meta, index, block)
+func (p plainStore) Put(ctx context.Context, o iostore.Object) error { return p.inner.Put(ctx, o) }
+func (p plainStore) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	return p.inner.PutBlock(ctx, key, meta, index, block)
 }
-func (p plainStore) Delete(key iostore.Key)                      { p.inner.Delete(key) }
-func (p plainStore) Get(key iostore.Key) (iostore.Object, error) { return p.inner.Get(key) }
-func (p plainStore) Stat(key iostore.Key) (iostore.Object, bool) { return p.inner.Stat(key) }
-func (p plainStore) IDs(job string, rank int) []uint64           { return p.inner.IDs(job, rank) }
-func (p plainStore) Latest(job string, rank int) (uint64, bool) {
-	return p.inner.Latest(job, rank)
+func (p plainStore) Delete(ctx context.Context, key iostore.Key) error {
+	return p.inner.Delete(ctx, key)
+}
+func (p plainStore) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
+	return p.inner.Get(ctx, key)
+}
+func (p plainStore) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	return p.inner.Stat(ctx, key)
+}
+func (p plainStore) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	return p.inner.IDs(ctx, job, rank)
+}
+func (p plainStore) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	return p.inner.Latest(ctx, job, rank)
+}
+func (p plainStore) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	return iostore.Object{}, 0, false, nil
+}
+func (p plainStore) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
+	return nil, iostore.ErrNotFound
 }
 
 func TestStreamedRestoreMatchesWholeObject(t *testing.T) {
@@ -42,7 +58,7 @@ func TestStreamedRestoreMatchesWholeObject(t *testing.T) {
 	waitDrained(t, n, id)
 	n.FailLocal()
 
-	got, meta, level, err := n.Restore()
+	got, meta, level, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +76,7 @@ func TestStreamedRestoreMatchesWholeObject(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n2.Close()
-	got2, meta2, level2, err := n2.Restore()
+	got2, meta2, level2, err := n2.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +104,7 @@ func TestStreamedRestoreSmallPrefetchWindow(t *testing.T) {
 	}
 	waitDrained(t, n, id)
 	n.FailLocal()
-	got, _, _, err := n.Restore()
+	got, _, _, err := n.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,10 +128,10 @@ func TestFailedRestoreDiscardsTimeline(t *testing.T) {
 		Blocks:     [][]byte{[]byte("this is not a gzip stream")},
 		Meta:       Metadata{Job: "job", Rank: 0, Step: 2}.toMap(5),
 	}
-	if err := store.Put(obj); err != nil {
+	if err := store.Put(context.Background(), obj); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := n.RestoreID(5); err == nil {
+	if _, _, _, err := n.RestoreID(context.Background(), 5); err == nil {
 		t.Fatal("corrupt checkpoint restored successfully")
 	}
 	if open := n.Timelines().Open(metrics.KindRestore); open != 0 {
@@ -123,7 +139,7 @@ func TestFailedRestoreDiscardsTimeline(t *testing.T) {
 	}
 	// A later, successful restore of a good checkpoint must be unaffected.
 	good := iostore.Key{Job: "job", Rank: 0, ID: 6}
-	if err := store.Put(iostore.Object{
+	if err := store.Put(context.Background(), iostore.Object{
 		Key:      good,
 		OrigSize: 4,
 		Blocks:   [][]byte{[]byte("fine")},
@@ -131,7 +147,7 @@ func TestFailedRestoreDiscardsTimeline(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	data, _, _, err := n.RestoreID(6)
+	data, _, _, err := n.RestoreID(context.Background(), 6)
 	if err != nil || string(data) != "fine" {
 		t.Fatalf("good restore after failed one: %q, %v", data, err)
 	}

@@ -7,6 +7,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -148,7 +149,7 @@ func (m *Manager) Run(totalSteps int, failures []trace.Event) (Report, error) {
 		rep.VirtualTime += m.stepDuration
 
 		if step%m.every == 0 {
-			if _, err := m.cluster.Checkpoint(step); err != nil {
+			if _, err := m.cluster.Checkpoint(context.Background(), step); err != nil {
 				return rep, fmt.Errorf("sched: checkpoint at step %d: %w", step, err)
 			}
 			rep.Checkpoints++
@@ -167,7 +168,7 @@ func (m *Manager) Run(totalSteps int, failures []trace.Event) (Report, error) {
 				return rep, err
 			}
 		}
-		out, err := m.cluster.Recover()
+		out, err := m.cluster.Recover(context.Background())
 		if err != nil {
 			return rep, fmt.Errorf("sched: recovery at step %d: %w", step, err)
 		}

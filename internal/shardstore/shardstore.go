@@ -1,0 +1,1010 @@
+// Package shardstore implements the sharded, replicated global-store tier:
+// one iostore.Backend client that spreads checkpoint objects across N
+// ndpcr-iod backends and keeps R copies of each, so losing one I/O node
+// degrades aggregate bandwidth instead of availability (VELOC's multi-
+// backend async tier; JASS's flexible placement over NVM-backed stores).
+//
+// Placement is rendezvous (HRW) hashing: every backend is scored against
+// the object key and the top R healthy backends hold the replicas. HRW
+// gives minimal disruption — a dead backend reshuffles only the objects it
+// held, and a (re)joining backend claims only the keys it now wins —
+// without any central placement table.
+//
+// Replica sets are sticky per key: the first write pins the set, and every
+// subsequent block of that object lands on the same replicas, so a
+// multi-block drain never scatters an object. A replica that fails
+// mid-object is dropped from the set (the write continues on the
+// survivors) and the key is flagged under-replicated; background
+// re-replication copies the object back up to R replicas once a healthy
+// backend is available.
+//
+// Reads try the fastest healthy replica first (EWMA of observed call
+// latency) and fail over down the candidate list on transport errors;
+// "not found" is reported only when every reachable candidate agrees.
+package shardstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndpcr/internal/iod"
+	"ndpcr/internal/metrics"
+	"ndpcr/internal/node/iostore"
+)
+
+// Config parameterizes the shard client.
+type Config struct {
+	// Replicas is the copy count R per object (default 2, capped at the
+	// backend count).
+	Replicas int
+	// CallTimeout bounds every per-replica call (default 3s; zero keeps
+	// the default). Failover latency is one CallTimeout, not the backend
+	// client's full reconnect schedule — the retry loops inside iod.Client
+	// select on this deadline and abort early.
+	CallTimeout time.Duration
+	// Probe is the health-probe and re-replication interval of the
+	// background repair loop (default 2s; negative disables the loop —
+	// Rereplicate can still be driven explicitly).
+	Probe time.Duration
+}
+
+func (cfg *Config) fill(n int) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > n {
+		cfg.Replicas = n
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 3 * time.Second
+	}
+	if cfg.Probe == 0 {
+		cfg.Probe = 2 * time.Second
+	}
+}
+
+// Member is one backend of the shard set.
+type Member struct {
+	// Name must be unique and stable: it seeds the HRW score, so renaming
+	// a backend reshuffles its placement.
+	Name string
+	// Store is the backend's store surface (an iod.Client, an in-process
+	// iostore.Store in tests, or a faultinject wrapper for chaos runs).
+	Store iostore.Backend
+	// Close, when non-nil, is called by Store.Close (connection teardown
+	// for dialed backends).
+	Close func() error
+}
+
+// backend is one member plus its health/latency state.
+type backend struct {
+	name  string
+	store iostore.Backend
+	close func() error
+	hash  uint64 // fnv64a(name), mixed per-key for HRW scoring
+
+	healthy atomic.Bool
+	// ewmaNanos is the smoothed observed call latency (float64 bits);
+	// zero means "no observation yet" and sorts as fast.
+	ewmaNanos atomic.Uint64
+}
+
+func (b *backend) observeLatency(d time.Duration) {
+	const alpha = 0.25
+	for {
+		old := b.ewmaNanos.Load()
+		prev := math.Float64frombits(old)
+		next := float64(d.Nanoseconds())
+		if old != 0 {
+			next = alpha*next + (1-alpha)*prev
+		}
+		if b.ewmaNanos.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (b *backend) latency() float64 {
+	return math.Float64frombits(b.ewmaNanos.Load())
+}
+
+// objState is the sticky replica assignment of one object.
+type objState struct {
+	replicas []*backend
+	// under marks the object as holding fewer than R intact copies
+	// (a replica died mid-write, or placement found too few healthy
+	// backends); the repair loop re-replicates it.
+	under bool
+}
+
+// Store is the sharded, replicated store client. It satisfies
+// iostore.Backend, so the node runtime, NDP drain engine, and cluster
+// restart-line planner use it exactly like a single store.
+type Store struct {
+	backends []*backend
+	cfg      Config
+
+	mu   sync.Mutex
+	objs map[iostore.Key]*objState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	closed atomic.Bool
+
+	// Metrics (nil until Instrument is called).
+	mPuts         *metrics.Counter
+	mReads        *metrics.Counter
+	mFailovers    *metrics.Counter
+	mReplicaErrs  *metrics.Counter
+	mDropped      *metrics.Counter
+	mRereplicated *metrics.Counter
+	mRejoins      *metrics.Counter
+	mRepairErrs   *metrics.Counter
+	mInvDegraded  *metrics.Counter
+	mCallSecs     *metrics.Histogram
+}
+
+// New assembles a shard client over pre-built members (tests compose
+// in-process stores or faultinject wrappers; cmd/ndpcr-node composes
+// iod clients via Dial). Member names must be unique.
+func New(members []Member, cfg Config) (*Store, error) {
+	if len(members) == 0 {
+		return nil, errors.New("shardstore: at least one backend is required")
+	}
+	seen := make(map[string]bool, len(members))
+	cfg.fill(len(members))
+	s := &Store{
+		cfg:  cfg,
+		objs: make(map[iostore.Key]*objState),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, m := range members {
+		if m.Name == "" || m.Store == nil {
+			return nil, errors.New("shardstore: member needs a name and a store")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("shardstore: duplicate backend name %q", m.Name)
+		}
+		seen[m.Name] = true
+		h := fnv.New64a()
+		h.Write([]byte(m.Name))
+		b := &backend{name: m.Name, store: m.Store, close: m.Close, hash: h.Sum64()}
+		b.healthy.Store(true)
+		s.backends = append(s.backends, b)
+	}
+	if cfg.Probe > 0 {
+		go s.repairLoop()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Dial connects to every address with a pooled iod client and assembles a
+// shard client over them. The address string is each backend's name, so a
+// restarted process scores placement identically.
+func Dial(addrs []string, lanes int, cfg Config) (*Store, error) {
+	members := make([]Member, 0, len(addrs))
+	fail := func(err error) (*Store, error) {
+		for _, m := range members {
+			m.Close()
+		}
+		return nil, err
+	}
+	for _, addr := range addrs {
+		c, err := iod.DialPool(addr, lanes)
+		if err != nil {
+			return fail(fmt.Errorf("shardstore: backend %s: %w", addr, err))
+		}
+		members = append(members, Member{Name: addr, Store: c, Close: c.Close})
+	}
+	s, err := New(members, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	return s, nil
+}
+
+var (
+	_ iostore.Backend   = (*Store)(nil)
+	_ iostore.Inventory = (*Store)(nil)
+)
+
+// Instrument registers the shard tier's placement/failover/re-replication
+// metrics with r. Registration is idempotent, so every node of a cluster
+// can instrument the shared store into the same registry.
+func (s *Store) Instrument(r *metrics.Registry) {
+	r.GaugeFunc("ndpcr_shardstore_backends", "I/O backends in the shard set", func() float64 {
+		return float64(len(s.backends))
+	})
+	r.GaugeFunc("ndpcr_shardstore_healthy_backends", "backends currently believed healthy", func() float64 {
+		n := 0
+		for _, b := range s.backends {
+			if b.healthy.Load() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("ndpcr_shardstore_underreplicated_objects",
+		"tracked objects currently holding fewer than R replicas", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, st := range s.objs {
+				if st.under {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	s.mPuts = r.Counter("ndpcr_shardstore_writes_total", "object/block writes fanned to replicas")
+	s.mReads = r.Counter("ndpcr_shardstore_reads_total", "reads served by some replica")
+	s.mFailovers = r.Counter("ndpcr_shardstore_read_failovers_total",
+		"reads served only after failing over past an unhealthy or erroring replica")
+	s.mReplicaErrs = r.Counter("ndpcr_shardstore_replica_errors_total",
+		"per-replica calls that failed (transport errors, timeouts)")
+	s.mDropped = r.Counter("ndpcr_shardstore_replicas_dropped_total",
+		"replicas dropped from an object's set after a mid-write failure")
+	s.mRereplicated = r.Counter("ndpcr_shardstore_rereplications_total",
+		"objects copied back up to R replicas by the repair pass")
+	s.mRejoins = r.Counter("ndpcr_shardstore_backend_rejoins_total",
+		"backends probed back to healthy after an outage")
+	s.mRepairErrs = r.Counter("ndpcr_shardstore_repair_errors_total",
+		"re-replication attempts that failed (retried next pass)")
+	s.mInvDegraded = r.Counter("ndpcr_shardstore_degraded_inventories_total",
+		"inventory merges that ran with some backends unreachable (but < R, so the merge is complete)")
+	s.mCallSecs = r.Histogram("ndpcr_shardstore_call_seconds", "per-replica call latency", metrics.UnitSeconds)
+}
+
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// splitmix64 is the HRW mixing function: cheap, well-distributed, and
+// stable across runs (placement must not depend on process state).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func keyHash(key iostore.Key) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key.Job))
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(key.Rank) >> (8 * i))
+		buf[8+i] = byte(key.ID >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// ranking returns every backend ordered by descending HRW score for key:
+// index 0 is the key's primary home, and a dead backend's keys fall to
+// their next-ranked survivor without moving anyone else's.
+func (s *Store) ranking(key iostore.Key) []*backend {
+	kh := keyHash(key)
+	type scored struct {
+		b     *backend
+		score uint64
+	}
+	sc := make([]scored, len(s.backends))
+	for i, b := range s.backends {
+		sc[i] = scored{b, splitmix64(b.hash ^ kh)}
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].score > sc[j].score })
+	out := make([]*backend, len(sc))
+	for i, x := range sc {
+		out[i] = x.b
+	}
+	return out
+}
+
+// callCtx derives the per-replica call context: the caller's deadline
+// intersected with CallTimeout, so one slow or dead replica costs at most
+// CallTimeout before failover moves on.
+func (s *Store) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, s.cfg.CallTimeout)
+}
+
+// blame marks b unhealthy after a failed call — unless the caller's own
+// context ended, in which case the failure proves nothing about b.
+func (s *Store) blame(ctx context.Context, b *backend, err error) {
+	inc(s.mReplicaErrs)
+	if ctx.Err() != nil {
+		return
+	}
+	_ = err
+	b.healthy.Store(false)
+}
+
+// assignment returns the sticky replica set for key, creating it on first
+// write from the top R healthy backends in HRW order (falling back to
+// unhealthy ones only when fewer than R healthy backends exist, so a
+// degraded cluster still lands writes somewhere).
+func (s *Store) assignment(key iostore.Key) *objState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.objs[key]; ok {
+		return st
+	}
+	rank := s.ranking(key)
+	st := &objState{}
+	for _, b := range rank {
+		if len(st.replicas) >= s.cfg.Replicas {
+			break
+		}
+		if b.healthy.Load() {
+			st.replicas = append(st.replicas, b)
+		}
+	}
+	for _, b := range rank {
+		if len(st.replicas) >= s.cfg.Replicas {
+			break
+		}
+		if !b.healthy.Load() {
+			st.replicas = append(st.replicas, b)
+		}
+	}
+	if len(st.replicas) < s.cfg.Replicas {
+		st.under = true
+	}
+	s.objs[key] = st
+	return st
+}
+
+// dropReplica removes b from key's replica set after a mid-write failure
+// and flags the object under-replicated. It reports how many replicas
+// remain.
+func (s *Store) dropReplica(key iostore.Key, st *objState, b *backend) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := st.replicas[:0]
+	for _, r := range st.replicas {
+		if r != b {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) < len(st.replicas) {
+		inc(s.mDropped)
+	}
+	st.replicas = kept
+	st.under = true
+	return len(kept)
+}
+
+// replicasOf snapshots key's current replica set (nil when untracked).
+func (s *Store) replicasOf(key iostore.Key) []*backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objs[key]
+	if !ok {
+		return nil
+	}
+	return append([]*backend(nil), st.replicas...)
+}
+
+// fanOutWrite runs write against every replica of key's assignment in
+// parallel. Failed replicas are dropped from the set (and their backends
+// marked unhealthy); the write succeeds if at least one replica holds it.
+func (s *Store) fanOutWrite(ctx context.Context, key iostore.Key,
+	write func(ctx context.Context, b *backend) error) error {
+	if s.closed.Load() {
+		return errors.New("shardstore: closed")
+	}
+	inc(s.mPuts)
+	st := s.assignment(key)
+	replicas := s.replicasOf(key)
+	if len(replicas) == 0 {
+		// Every assigned replica was dropped earlier in this object's
+		// life; reassign from scratch (the healthy set may have changed).
+		s.mu.Lock()
+		delete(s.objs, key)
+		s.mu.Unlock()
+		st = s.assignment(key)
+		replicas = s.replicasOf(key)
+		if len(replicas) == 0 {
+			return errors.New("shardstore: no backends available")
+		}
+	}
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, b := range replicas {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			cctx, cancel := s.callCtx(ctx)
+			defer cancel()
+			t0 := time.Now()
+			err := write(cctx, b)
+			if err == nil {
+				b.observeLatency(time.Since(t0))
+				if s.mCallSecs != nil {
+					s.mCallSecs.ObserveSince(t0)
+				}
+				return
+			}
+			errs[i] = err
+			s.blame(ctx, b, err)
+		}(i, b)
+	}
+	wg.Wait()
+	survivors := 0
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			survivors++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		s.dropReplica(key, st, replicas[i])
+	}
+	if survivors == 0 {
+		return fmt.Errorf("shardstore: write %s lost on all %d replicas: %w", key, len(replicas), firstErr)
+	}
+	return nil
+}
+
+// Put implements iostore.Backend: the object lands on R replicas (or as
+// many as survive the write — the repair loop restores R later).
+func (s *Store) Put(ctx context.Context, o iostore.Object) error {
+	return s.fanOutWrite(ctx, o.Key, func(ctx context.Context, b *backend) error {
+		return b.store.Put(ctx, o)
+	})
+}
+
+// PutBlock implements iostore.Backend: every block of an object streams to
+// the same sticky replica set, so a windowed NDP drain builds R identical
+// copies block by block. A replica failing mid-stream is dropped — blocks
+// it already holds are torn, but the survivors hold the full object and
+// re-replication copies it back to R once the stream commits.
+func (s *Store) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	return s.fanOutWrite(ctx, key, func(ctx context.Context, b *backend) error {
+		return b.store.PutBlock(ctx, key, meta, index, block)
+	})
+}
+
+// readCandidates orders backends for a read of key: the sticky replica set
+// first (healthy before unhealthy, then by EWMA latency — the "fastest
+// healthy replica" order), then every other backend in HRW order as a last
+// resort (this client may not have written the object).
+func (s *Store) readCandidates(key iostore.Key) []*backend {
+	assigned := s.replicasOf(key)
+	inSet := make(map[*backend]bool, len(assigned))
+	for _, b := range assigned {
+		inSet[b] = true
+	}
+	sort.SliceStable(assigned, func(i, j int) bool {
+		hi, hj := assigned[i].healthy.Load(), assigned[j].healthy.Load()
+		if hi != hj {
+			return hi
+		}
+		return assigned[i].latency() < assigned[j].latency()
+	})
+	out := assigned
+	for _, b := range s.ranking(key) {
+		if !inSet[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// readFrom tries candidates in order until one serves the read. Transport
+// errors fail over to the next candidate; "not found" answers are
+// remembered and only reported when no candidate errored (a replica that
+// is missing the object while another is unreachable proves nothing).
+func (s *Store) readFrom(ctx context.Context, key iostore.Key,
+	read func(ctx context.Context, b *backend) error) error {
+	if s.closed.Load() {
+		return errors.New("shardstore: closed")
+	}
+	var lastErr error
+	notFound := false
+	for i, b := range s.readCandidates(key) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cctx, cancel := s.callCtx(ctx)
+		t0 := time.Now()
+		err := read(cctx, b)
+		cancel()
+		switch {
+		case err == nil:
+			b.observeLatency(time.Since(t0))
+			if s.mCallSecs != nil {
+				s.mCallSecs.ObserveSince(t0)
+			}
+			inc(s.mReads)
+			if i > 0 {
+				inc(s.mFailovers)
+			}
+			return nil
+		case errors.Is(err, iostore.ErrNotFound):
+			notFound = true
+		default:
+			s.blame(ctx, b, err)
+			lastErr = err
+		}
+	}
+	if notFound && lastErr == nil {
+		return fmt.Errorf("%w: %s", iostore.ErrNotFound, key)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("shardstore: no backends available")
+	}
+	return fmt.Errorf("shardstore: read %s: %w", key, lastErr)
+}
+
+// Get implements iostore.Backend.
+func (s *Store) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
+	var out iostore.Object
+	err := s.readFrom(ctx, key, func(ctx context.Context, b *backend) error {
+		o, err := b.store.Get(ctx, key)
+		if err == nil {
+			out = o
+		}
+		return err
+	})
+	return out, err
+}
+
+// GetBlock implements iostore.Backend (the streamed-restore fetch path;
+// each block fails over independently, so a backend dying mid-restore
+// costs one failover, not the restore).
+func (s *Store) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
+	var out []byte
+	err := s.readFrom(ctx, key, func(ctx context.Context, b *backend) error {
+		blk, err := b.store.GetBlock(ctx, key, index)
+		if err == nil {
+			out = blk
+		}
+		return err
+	})
+	return out, err
+}
+
+// errAbsent is an internal sentinel: a replica answered "no such object /
+// cannot serve block reads" (ok=false), which readFrom must treat like
+// not-found, not like a transport failure.
+var errAbsent = errors.New("shardstore: absent")
+
+// StatBlocks implements iostore.Backend. ok=false with nil error (the
+// fall-back-to-Get contract) is reported only when some replica answered;
+// transport failure of every candidate surfaces as ok=false too — the
+// monolithic Get fallback will produce the real error with its own
+// failover pass.
+func (s *Store) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	var (
+		meta   iostore.Object
+		blocks int
+	)
+	err := s.readFrom(ctx, key, func(ctx context.Context, b *backend) error {
+		o, n, ok, err := b.store.StatBlocks(ctx, key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errAbsent
+		}
+		meta, blocks = o, n
+		return nil
+	})
+	if err != nil {
+		return iostore.Object{}, 0, false, nil
+	}
+	return meta, blocks, true, nil
+}
+
+// Stat implements iostore.Backend.
+func (s *Store) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	var (
+		meta iostore.Object
+	)
+	err := s.readFrom(ctx, key, func(ctx context.Context, b *backend) error {
+		o, ok, err := b.store.Stat(ctx, key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errAbsent
+		}
+		meta = o
+		return nil
+	})
+	switch {
+	case err == nil:
+		return meta, true, nil
+	case errors.Is(err, errAbsent), errors.Is(err, iostore.ErrNotFound):
+		return iostore.Object{}, false, nil
+	default:
+		return iostore.Object{}, false, err
+	}
+}
+
+// Delete implements iostore.Backend: the delete fans to every backend (an
+// object may have lived on backends outside its current assignment after
+// re-replication), and the first failure is returned — a leaked replica is
+// a visible error now, not a silent best-effort.
+func (s *Store) Delete(ctx context.Context, key iostore.Key) error {
+	if s.closed.Load() {
+		return errors.New("shardstore: closed")
+	}
+	s.mu.Lock()
+	delete(s.objs, key)
+	s.mu.Unlock()
+	errs := make([]error, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			cctx, cancel := s.callCtx(ctx)
+			defer cancel()
+			if err := b.store.Delete(cctx, key); err != nil && !errors.Is(err, iostore.ErrNotFound) {
+				// A delete on an unreachable backend of an object that was
+				// never placed there is not a leak; one holding a replica
+				// is. Without an inventory we must assume the worst and
+				// report it.
+				errs[i] = fmt.Errorf("shardstore: delete %s on %s: %w", key, b.name, err)
+				s.blame(ctx, b, err)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// inventory merges a per-backend listing across the shard set. The merge
+// errors only when the unreachable-backend count reaches R: below that,
+// every object still has at least one reachable replica, so the union is
+// complete — "one replica unreachable" must not read as "level
+// unavailable" to the restart-line planner.
+func (s *Store) inventory(ctx context.Context, list func(ctx context.Context, b *backend) ([]uint64, error)) ([]uint64, error) {
+	if s.closed.Load() {
+		return nil, errors.New("shardstore: closed")
+	}
+	ids := make([][]uint64, len(s.backends))
+	errs := make([]error, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			cctx, cancel := s.callCtx(ctx)
+			defer cancel()
+			out, err := list(cctx, b)
+			if err != nil {
+				errs[i] = err
+				s.blame(ctx, b, err)
+				return
+			}
+			ids[i] = out
+		}(i, b)
+	}
+	wg.Wait()
+	unreachable := 0
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			unreachable++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if unreachable >= s.cfg.Replicas {
+		return nil, fmt.Errorf("shardstore: %d/%d backends unreachable (replication factor %d, inventory incomplete): %w",
+			unreachable, len(s.backends), s.cfg.Replicas, firstErr)
+	}
+	if unreachable > 0 {
+		inc(s.mInvDegraded)
+	}
+	seen := make(map[uint64]bool)
+	var union []uint64
+	for _, part := range ids {
+		for _, id := range part {
+			if !seen[id] {
+				seen[id] = true
+				union = append(union, id)
+			}
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	return union, nil
+}
+
+// IDs implements iostore.Backend: the union of every reachable backend's
+// listing, erroring only when ≥ R backends are unreachable (below that
+// every replica set still has a reachable member, so the union is
+// complete).
+func (s *Store) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	return s.inventory(ctx, func(ctx context.Context, b *backend) ([]uint64, error) {
+		return b.store.IDs(ctx, job, rank)
+	})
+}
+
+// Latest implements iostore.Backend with IDs' merge semantics.
+func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	ids, err := s.IDs(ctx, job, rank)
+	if err != nil || len(ids) == 0 {
+		return 0, false, err
+	}
+	return ids[len(ids)-1], true, nil
+}
+
+// StatErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Stat, which is error-first now.
+func (s *Store) StatErr(key iostore.Key) (iostore.Object, bool, error) {
+	return s.Stat(context.Background(), key)
+}
+
+// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call IDs, which is error-first now.
+func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
+	return s.IDs(context.Background(), job, rank)
+}
+
+// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
+//
+// Deprecated: call Latest, which is error-first now.
+func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
+	return s.Latest(context.Background(), job, rank)
+}
+
+// repairLoop probes unhealthy backends and re-replicates under-replicated
+// objects every Probe interval until Close.
+func (s *Store) repairLoop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Probe)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Probe)
+		_, _ = s.Rereplicate(ctx)
+		cancel()
+	}
+}
+
+// probe re-checks every unhealthy backend with a cheap inventory call and
+// reports how many rejoined.
+func (s *Store) probe(ctx context.Context) int {
+	rejoined := 0
+	for _, b := range s.backends {
+		if b.healthy.Load() {
+			continue
+		}
+		cctx, cancel := s.callCtx(ctx)
+		_, err := b.store.IDs(cctx, "shardstore-probe", 0)
+		cancel()
+		if err == nil {
+			b.healthy.Store(true)
+			rejoined++
+			inc(s.mRejoins)
+		}
+	}
+	return rejoined
+}
+
+// Rereplicate probes unhealthy backends, then copies every tracked
+// under-replicated object — and every object whose sticky set references a
+// now-unhealthy backend — back up to R reachable replicas. It returns the
+// number of objects restored to full replication. The background repair
+// loop calls it on every Probe tick; tests and operators can drive it
+// explicitly.
+func (s *Store) Rereplicate(ctx context.Context) (int, error) {
+	if s.closed.Load() {
+		return 0, errors.New("shardstore: closed")
+	}
+	s.probe(ctx)
+
+	// Snapshot the keys needing work; the per-object repair re-checks
+	// under the lock.
+	s.mu.Lock()
+	var todo []iostore.Key
+	for key, st := range s.objs {
+		needs := st.under
+		for _, b := range st.replicas {
+			if !b.healthy.Load() {
+				needs = true
+			}
+		}
+		if needs {
+			todo = append(todo, key)
+		}
+	}
+	s.mu.Unlock()
+
+	fixed := 0
+	var firstErr error
+	for _, key := range todo {
+		if err := ctx.Err(); err != nil {
+			return fixed, err
+		}
+		ok, err := s.repairObject(ctx, key)
+		if err != nil {
+			inc(s.mRepairErrs)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ok {
+			fixed++
+			inc(s.mRereplicated)
+		}
+	}
+	return fixed, firstErr
+}
+
+// repairObject restores one object to R healthy replicas: verify which
+// assigned replicas actually hold it, read it from one of them, and copy
+// it to the next-ranked healthy backends until R copies exist. It reports
+// whether the object transitioned back to fully replicated.
+func (s *Store) repairObject(ctx context.Context, key iostore.Key) (bool, error) {
+	holders := make(map[*backend]bool)
+	for _, b := range s.replicasOf(key) {
+		if !b.healthy.Load() {
+			continue
+		}
+		cctx, cancel := s.callCtx(ctx)
+		_, ok, err := b.store.Stat(cctx, key)
+		cancel()
+		if err == nil && ok {
+			holders[b] = true
+		}
+	}
+	if len(holders) == 0 {
+		// The tracked replicas lost it (or are all down): scan the whole
+		// set — re-replication by another client, or a rejoined backend,
+		// may hold a copy.
+		for _, b := range s.ranking(key) {
+			if holders[b] || !b.healthy.Load() {
+				continue
+			}
+			cctx, cancel := s.callCtx(ctx)
+			_, ok, err := b.store.Stat(cctx, key)
+			cancel()
+			if err == nil && ok {
+				holders[b] = true
+				break
+			}
+		}
+	}
+	if len(holders) == 0 {
+		return false, fmt.Errorf("shardstore: repair %s: no reachable replica holds the object", key)
+	}
+
+	// Copy to the best-ranked healthy non-holders until R copies exist.
+	var src *backend
+	for b := range holders {
+		src = b
+		break
+	}
+	var obj iostore.Object
+	loaded := false
+	for _, b := range s.ranking(key) {
+		if len(holders) >= s.cfg.Replicas {
+			break
+		}
+		if holders[b] || !b.healthy.Load() {
+			continue
+		}
+		if !loaded {
+			cctx, cancel := s.callCtx(ctx)
+			o, err := src.store.Get(cctx, key)
+			cancel()
+			if err != nil {
+				return false, fmt.Errorf("shardstore: repair %s: read from %s: %w", key, src.name, err)
+			}
+			obj, loaded = o, true
+			obj.Key = key
+		}
+		cctx, cancel := s.callCtx(ctx)
+		err := b.store.Put(cctx, obj)
+		cancel()
+		if err != nil {
+			s.blame(ctx, b, err)
+			continue
+		}
+		holders[b] = true
+	}
+
+	// Install the verified holder set as the new sticky assignment.
+	s.mu.Lock()
+	st, ok := s.objs[key]
+	if !ok {
+		st = &objState{}
+		s.objs[key] = st
+	}
+	st.replicas = st.replicas[:0]
+	for _, b := range s.ranking(key) { // deterministic order
+		if holders[b] {
+			st.replicas = append(st.replicas, b)
+		}
+	}
+	full := len(st.replicas) >= s.cfg.Replicas
+	st.under = !full
+	s.mu.Unlock()
+	if !full {
+		return false, fmt.Errorf("shardstore: repair %s: only %d/%d replicas placeable",
+			key, len(holders), s.cfg.Replicas)
+	}
+	return true, nil
+}
+
+// ReplicaCount reports how many backends currently hold an intact copy of
+// key (tests assert re-replication restored R).
+func (s *Store) ReplicaCount(ctx context.Context, key iostore.Key) int {
+	n := 0
+	for _, b := range s.backends {
+		cctx, cancel := s.callCtx(ctx)
+		_, ok, err := b.store.Stat(cctx, key)
+		cancel()
+		if err == nil && ok {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkUnhealthy force-marks a backend unhealthy by name (tests, operator
+// tooling); the probe loop re-admits it when it answers again.
+func (s *Store) MarkUnhealthy(name string) {
+	for _, b := range s.backends {
+		if b.name == name {
+			b.healthy.Store(false)
+		}
+	}
+}
+
+// Healthy reports backend health by name.
+func (s *Store) Healthy(name string) bool {
+	for _, b := range s.backends {
+		if b.name == name {
+			return b.healthy.Load()
+		}
+	}
+	return false
+}
+
+// Close stops the repair loop and tears down every backend connection.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	var first error
+	for _, b := range s.backends {
+		if b.close != nil {
+			if err := b.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,518 @@
+package shardstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpcr/internal/faultinject"
+	"ndpcr/internal/metrics"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// flakyBackend wraps an in-process store with a kill switch: while down,
+// every call fails with a transport-style error — the in-process stand-in
+// for an ndpcr-iod whose TCP connection died.
+type flakyBackend struct {
+	inner iostore.Backend
+	down  atomic.Bool
+}
+
+var errDown = errors.New("flaky: connection refused")
+
+func (f *flakyBackend) guard() error {
+	if f.down.Load() {
+		return errDown
+	}
+	return nil
+}
+
+func (f *flakyBackend) Put(ctx context.Context, o iostore.Object) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Put(ctx, o)
+}
+
+func (f *flakyBackend) PutBlock(ctx context.Context, key iostore.Key, meta iostore.Object, index int, block []byte) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.PutBlock(ctx, key, meta, index, block)
+}
+
+func (f *flakyBackend) Delete(ctx context.Context, key iostore.Key) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Delete(ctx, key)
+}
+
+func (f *flakyBackend) Get(ctx context.Context, key iostore.Key) (iostore.Object, error) {
+	if err := f.guard(); err != nil {
+		return iostore.Object{}, err
+	}
+	return f.inner.Get(ctx, key)
+}
+
+func (f *flakyBackend) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	if err := f.guard(); err != nil {
+		return iostore.Object{}, false, err
+	}
+	return f.inner.Stat(ctx, key)
+}
+
+func (f *flakyBackend) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.inner.IDs(ctx, job, rank)
+}
+
+func (f *flakyBackend) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	if err := f.guard(); err != nil {
+		return 0, false, err
+	}
+	return f.inner.Latest(ctx, job, rank)
+}
+
+func (f *flakyBackend) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	if err := f.guard(); err != nil {
+		return iostore.Object{}, 0, false, err
+	}
+	return f.inner.StatBlocks(ctx, key)
+}
+
+func (f *flakyBackend) GetBlock(ctx context.Context, key iostore.Key, index int) ([]byte, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.inner.GetBlock(ctx, key, index)
+}
+
+// rig builds a shard client over n in-process flaky backends with the
+// background repair loop disabled (tests drive Rereplicate explicitly).
+func rig(t *testing.T, n int, cfg Config) (*Store, []*flakyBackend, []*iostore.Store) {
+	t.Helper()
+	if cfg.Probe == 0 {
+		cfg.Probe = -1
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 500 * time.Millisecond
+	}
+	flakies := make([]*flakyBackend, n)
+	inners := make([]*iostore.Store, n)
+	members := make([]Member, n)
+	for i := range members {
+		inners[i] = iostore.New(nvm.Pacer{})
+		flakies[i] = &flakyBackend{inner: inners[i]}
+		members[i] = Member{Name: fmt.Sprintf("iod-%d", i), Store: flakies[i]}
+	}
+	s, err := New(members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, flakies, inners
+}
+
+func key(id uint64) iostore.Key { return iostore.Key{Job: "j", Rank: 0, ID: id} }
+
+func obj(id uint64, payload string) iostore.Object {
+	return iostore.Object{
+		Key:      key(id),
+		OrigSize: int64(len(payload)),
+		Blocks:   [][]byte{[]byte(payload)},
+		Meta:     map[string]string{"step": "1"},
+	}
+}
+
+func TestPutPlacesRReplicas(t *testing.T) {
+	s, _, inners := rig(t, 3, Config{Replicas: 2})
+	for id := uint64(1); id <= 20; id++ {
+		if err := s.Put(context.Background(), obj(id, "payload")); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.ReplicaCount(context.Background(), key(id)); n != 2 {
+			t.Fatalf("object %d on %d backends, want 2", id, n)
+		}
+	}
+	// With 20 objects over 3 backends, HRW must spread the load: no
+	// backend may be empty and no backend may hold everything.
+	for i, inner := range inners {
+		ids, err := inner.IDs(context.Background(), "j", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) == 0 || len(ids) == 20 {
+			t.Errorf("backend %d holds %d/20 objects: placement is not spreading", i, len(ids))
+		}
+	}
+	got, err := s.Get(context.Background(), key(7))
+	if err != nil || !bytes.Equal(got.Blocks[0], []byte("payload")) {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestPlacementIsDeterministic(t *testing.T) {
+	// Two independent clients over same-named backends must agree on
+	// placement (a restarted writer finds its own objects).
+	a, _, _ := rig(t, 4, Config{Replicas: 2})
+	b, _, _ := rig(t, 4, Config{Replicas: 2})
+	for id := uint64(1); id <= 10; id++ {
+		ra, rb := a.ranking(key(id)), b.ranking(key(id))
+		for i := range ra {
+			if ra[i].name != rb[i].name {
+				t.Fatalf("object %d ranked differently: %s vs %s at %d", id, ra[i].name, rb[i].name, i)
+			}
+		}
+	}
+}
+
+func TestStickyAssignmentAcrossBlocks(t *testing.T) {
+	s, _, inners := rig(t, 4, Config{Replicas: 2})
+	k := key(1)
+	meta := iostore.Object{OrigSize: 12}
+	for i := 0; i < 3; i++ {
+		if err := s.PutBlock(context.Background(), k, meta, i, []byte("blk0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every backend that holds the object must hold all three blocks: a
+	// scattered multi-block object would be torn everywhere.
+	holders := 0
+	for i, inner := range inners {
+		if _, n, ok, _ := inner.StatBlocks(context.Background(), k); ok {
+			holders++
+			if n != 3 {
+				t.Errorf("backend %d holds %d/3 blocks: object scattered", i, n)
+			}
+		}
+	}
+	if holders != 2 {
+		t.Errorf("object on %d backends, want 2", holders)
+	}
+}
+
+func TestWriteSurvivesReplicaDeathMidStream(t *testing.T) {
+	s, flakies, _ := rig(t, 3, Config{Replicas: 2})
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	k := key(1)
+	meta := iostore.Object{OrigSize: 40}
+	if err := s.PutBlock(context.Background(), k, meta, 0, []byte("block-0000")); err != nil {
+		t.Fatal(err)
+	}
+	// One of the two assigned replicas dies mid-object.
+	victim := s.replicasOf(k)[0]
+	for i, f := range flakies {
+		if fmt.Sprintf("iod-%d", i) == victim.name {
+			f.down.Store(true)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if err := s.PutBlock(context.Background(), k, meta, i, []byte("block-0000")); err != nil {
+			t.Fatalf("block %d after replica death: %v", i, err)
+		}
+	}
+	// The survivor holds the whole object; the victim was dropped.
+	if got := s.replicasOf(k); len(got) != 1 || got[0] == victim {
+		t.Fatalf("replica set after death = %v", got)
+	}
+	if v := reg.Counter("ndpcr_shardstore_replicas_dropped_total", "").Value(); v == 0 {
+		t.Error("mid-stream death did not count a dropped replica")
+	}
+	got, err := s.Get(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blocks) != 4 {
+		t.Fatalf("survivor holds %d/4 blocks", len(got.Blocks))
+	}
+
+	// Re-replication copies the object back up to R once the dead backend
+	// rejoins (or a third backend takes over — here the third is healthy).
+	fixed, err := s.Rereplicate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != 1 {
+		t.Errorf("rereplicate fixed %d objects, want 1", fixed)
+	}
+	if n := s.ReplicaCount(context.Background(), k); n != 2 {
+		t.Errorf("replicas after repair = %d, want 2", n)
+	}
+}
+
+func TestReadFailsOverToSurvivingReplica(t *testing.T) {
+	s, flakies, _ := rig(t, 3, Config{Replicas: 2})
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	k := key(9)
+	if err := s.Put(context.Background(), obj(9, "precious")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the replica the read would try first.
+	first := s.readCandidates(k)[0]
+	for i, f := range flakies {
+		if fmt.Sprintf("iod-%d", i) == first.name {
+			f.down.Store(true)
+		}
+	}
+	got, err := s.Get(context.Background(), k)
+	if err != nil || !bytes.Equal(got.Blocks[0], []byte("precious")) {
+		t.Fatalf("failover read: %v", err)
+	}
+	if v := reg.Counter("ndpcr_shardstore_read_failovers_total", "").Value(); v == 0 {
+		t.Error("failover read not counted")
+	}
+	if s.Healthy(first.name) {
+		t.Error("erroring backend still marked healthy")
+	}
+}
+
+func TestNotFoundRequiresUnanimity(t *testing.T) {
+	s, flakies, _ := rig(t, 3, Config{Replicas: 2})
+	// All reachable and empty: honest not-found.
+	if _, err := s.Get(context.Background(), key(404)); !errors.Is(err, iostore.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// One backend unreachable: a missing answer proves nothing — the
+	// object could live exactly there. The error must be the transport
+	// failure, not not-found.
+	flakies[0].down.Store(true)
+	if _, err := s.Get(context.Background(), key(404)); errors.Is(err, iostore.ErrNotFound) {
+		t.Fatal("not-found reported while a backend was unreachable")
+	}
+}
+
+func TestInventoryToleratesFewerThanRUnreachable(t *testing.T) {
+	s, flakies, _ := rig(t, 3, Config{Replicas: 2})
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	for id := uint64(1); id <= 6; id++ {
+		if err := s.Put(context.Background(), obj(id, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One of 3 backends down (< R=2): every object still has a reachable
+	// replica, so the union is complete and the planner sees all IDs.
+	flakies[2].down.Store(true)
+	ids, err := s.IDs(context.Background(), "j", 0)
+	if err != nil {
+		t.Fatalf("inventory with one backend down: %v", err)
+	}
+	if len(ids) != 6 {
+		t.Errorf("degraded inventory = %v, want all 6", ids)
+	}
+	if v := reg.Counter("ndpcr_shardstore_degraded_inventories_total", "").Value(); v == 0 {
+		t.Error("degraded merge not counted")
+	}
+	if latest, ok, err := s.Latest(context.Background(), "j", 0); err != nil || !ok || latest != 6 {
+		t.Errorf("Latest degraded = %d, %v, %v", latest, ok, err)
+	}
+	// R backends down: some replica set may be fully unreachable — the
+	// merge must refuse rather than under-report.
+	flakies[1].down.Store(true)
+	if _, err := s.IDs(context.Background(), "j", 0); err == nil {
+		t.Error("inventory succeeded with R backends unreachable")
+	}
+	if _, _, err := s.Latest(context.Background(), "j", 0); err == nil {
+		t.Error("Latest succeeded with R backends unreachable")
+	}
+}
+
+func TestRereplicateAfterBackendDeath(t *testing.T) {
+	s, flakies, inners := rig(t, 3, Config{Replicas: 2})
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	for id := uint64(1); id <= 12; id++ {
+		if err := s.Put(context.Background(), obj(id, "data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backend 0 dies for good: every object it held is down to one copy.
+	flakies[0].down.Store(true)
+	s.MarkUnhealthy("iod-0")
+	if _, err := s.Rereplicate(context.Background()); err != nil {
+		t.Fatalf("rereplicate: %v", err)
+	}
+	for id := uint64(1); id <= 12; id++ {
+		n := 0
+		for i, inner := range inners {
+			if i == 0 {
+				continue // dead; its copies don't count
+			}
+			if _, ok, _ := inner.Stat(context.Background(), key(id)); ok {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Errorf("object %d has %d live replicas after repair, want 2", id, n)
+		}
+	}
+	if v := reg.Counter("ndpcr_shardstore_rereplications_total", "").Value(); v == 0 {
+		t.Error("repairs not counted")
+	}
+}
+
+func TestProbeRejoinsRecoveredBackend(t *testing.T) {
+	s, flakies, _ := rig(t, 2, Config{Replicas: 2})
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	flakies[1].down.Store(true)
+	if err := s.Put(context.Background(), obj(1, "x")); err != nil {
+		t.Fatal(err) // lands on the survivor
+	}
+	if s.Healthy("iod-1") {
+		t.Fatal("dead backend still healthy after failed write")
+	}
+	// The backend comes back; the probe re-admits it and repair restores R.
+	flakies[1].down.Store(false)
+	if _, err := s.Rereplicate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Healthy("iod-1") {
+		t.Error("recovered backend not re-admitted")
+	}
+	if v := reg.Counter("ndpcr_shardstore_backend_rejoins_total", "").Value(); v == 0 {
+		t.Error("rejoin not counted")
+	}
+	if n := s.ReplicaCount(context.Background(), key(1)); n != 2 {
+		t.Errorf("replicas after rejoin = %d, want 2", n)
+	}
+}
+
+func TestDeleteFansOutAndReportsErrors(t *testing.T) {
+	s, flakies, inners := rig(t, 3, Config{Replicas: 2})
+	if err := s.Put(context.Background(), obj(1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(context.Background(), key(1)); err != nil {
+		t.Fatalf("clean delete: %v", err)
+	}
+	for i, inner := range inners {
+		if _, ok, _ := inner.Stat(context.Background(), key(1)); ok {
+			t.Errorf("backend %d still holds the deleted object", i)
+		}
+	}
+	// A delete that cannot reach a backend is a visible error, not a
+	// silent leak.
+	if err := s.Put(context.Background(), obj(2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	flakies[0].down.Store(true)
+	if err := s.Delete(context.Background(), key(2)); err == nil {
+		t.Error("delete with an unreachable backend reported success")
+	}
+}
+
+func TestStreamedRestoreSurfaceFailsOver(t *testing.T) {
+	s, flakies, _ := rig(t, 3, Config{Replicas: 2})
+	k := key(5)
+	meta := iostore.Object{Codec: "gzip", CodecLevel: 1, OrigSize: 8}
+	for i := 0; i < 2; i++ {
+		if err := s.PutBlock(context.Background(), k, meta, i, []byte("cccc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill one replica mid-restore: StatBlocks and every GetBlock must
+	// fail over to the survivor.
+	victim := s.replicasOf(k)[0]
+	for i, f := range flakies {
+		if fmt.Sprintf("iod-%d", i) == victim.name {
+			f.down.Store(true)
+		}
+	}
+	m, n, ok, err := s.StatBlocks(context.Background(), k)
+	if err != nil || !ok || n != 2 || m.Codec != "gzip" {
+		t.Fatalf("StatBlocks after replica death = %+v, %d, %v, %v", m, n, ok, err)
+	}
+	for i := 0; i < 2; i++ {
+		blk, err := s.GetBlock(context.Background(), k, i)
+		if err != nil || !bytes.Equal(blk, []byte("cccc")) {
+			t.Fatalf("GetBlock(%d) after replica death: %q, %v", i, blk, err)
+		}
+	}
+}
+
+func TestChaosStalledReplicaDoesNotBlockReads(t *testing.T) {
+	// Exactly one backend stalls on every read (faultinject ModeStall).
+	// CallTimeout bounds the damage: reads fail over to a prompt replica
+	// instead of inheriting the stall.
+	const stall = 2 * time.Second
+	in := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteStoreGet, Rank: faultinject.AnyRank,
+		Mode: faultinject.ModeStall, Delay: stall,
+	})
+	slow := faultinject.WrapStore(iostore.New(nvm.Pacer{}), in)
+	members := []Member{
+		{Name: "iod-slow", Store: slow},
+		{Name: "iod-b", Store: iostore.New(nvm.Pacer{})},
+		{Name: "iod-c", Store: iostore.New(nvm.Pacer{})},
+	}
+	s, err := New(members, Config{Replicas: 2, CallTimeout: 100 * time.Millisecond, Probe: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for id := uint64(1); id <= 8; id++ {
+		if err := s.Put(context.Background(), obj(id, "steady")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	for id := uint64(1); id <= 8; id++ {
+		got, err := s.Get(context.Background(), key(id))
+		if err != nil || !bytes.Equal(got.Blocks[0], []byte("steady")) {
+			t.Fatalf("read %d under stall: %v", id, err)
+		}
+	}
+	// 8 reads, each at most one CallTimeout of stall exposure; well under
+	// a single full stall had the slow replica been waited out.
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Errorf("reads took %v: the stalled replica was waited out", elapsed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, err := New([]Member{{Name: "", Store: iostore.New(nvm.Pacer{})}}, Config{}); err == nil {
+		t.Error("unnamed member accepted")
+	}
+	dup := []Member{
+		{Name: "a", Store: iostore.New(nvm.Pacer{})},
+		{Name: "a", Store: iostore.New(nvm.Pacer{})},
+	}
+	if _, err := New(dup, Config{}); err == nil {
+		t.Error("duplicate backend name accepted")
+	}
+	// R is capped at the backend count.
+	s, err := New([]Member{{Name: "only", Store: iostore.New(nvm.Pacer{})}}, Config{Replicas: 5, Probe: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.cfg.Replicas != 1 {
+		t.Errorf("replicas = %d, want capped to 1", s.cfg.Replicas)
+	}
+}
+
+func TestClosedStoreRefuses(t *testing.T) {
+	s, _, _ := rig(t, 2, Config{})
+	s.Close()
+	if err := s.Put(context.Background(), obj(1, "x")); err == nil {
+		t.Error("Put on closed store succeeded")
+	}
+	if _, err := s.IDs(context.Background(), "j", 0); err == nil {
+		t.Error("IDs on closed store succeeded")
+	}
+	s.Close() // idempotent
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the sharded store-tier benchmarks and emits BENCH_shard.json at the
+# repo root: replicated drain throughput per backend count. The JSON
+# carries the claim the shard tier makes: aggregate drain throughput grows
+# monotonically with the backend count (1 -> 4) at a fixed replication
+# factor, i.e. adding I/O nodes buys bandwidth, not just redundancy.
+#
+# Usage: scripts/bench_shard.sh [benchtime]   (default 300ms)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-300ms}"
+out=$(go test ./internal/shardstore/ -run '^$' \
+    -bench 'BenchmarkShardDrain' \
+    -benchtime "$benchtime" -count=1)
+
+echo "$out"
+
+echo "$out" | awk '
+/^BenchmarkShardDrain\/backends=/ {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])
+    backends[n++] = parts[2]
+    ns[parts[2]] = $3
+    mbs[parts[2]] = $5
+}
+END {
+    printf "{\n"
+    printf "  \"bench\": \"shardstore drain\",\n"
+    printf "  \"replicas\": 2,\n"
+    printf "  \"drain_backends\": {\n"
+    for (i = 0; i < n; i++) {
+        bk = backends[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"mb_per_s\": %s}%s\n", \
+            bk, ns[bk], mbs[bk], (i < n - 1 ? "," : "")
+    }
+    printf "  },\n"
+    mono = "true"
+    for (i = 1; i < n; i++)
+        if (mbs[backends[i]] + 0 <= mbs[backends[i-1]] + 0) mono = "false"
+    printf "  \"drain_monotonic\": %s\n", mono
+    printf "}\n"
+}' > BENCH_shard.json
+
+cat BENCH_shard.json
+
+if ! grep -q '"drain_monotonic": true' BENCH_shard.json; then
+    echo "bench_shard.sh: drain throughput is NOT monotonic in backend count" >&2
+    exit 1
+fi
+echo "bench_shard.sh: monotonic backend scaling confirmed"

@@ -17,10 +17,15 @@ fi
 go vet ./...
 
 go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... \
-    ./internal/metrics/... ./internal/iod/... ./internal/faultinject/...
+    ./internal/metrics/... ./internal/iod/... ./internal/faultinject/... \
+    ./internal/shardstore/...
 
 # Transport benchmarks: regenerates BENCH_iod.json and fails if lane
 # scaling or the streamed-restore win regressed.
 scripts/bench_iod.sh
+
+# Shard-tier benchmarks: regenerates BENCH_shard.json and fails if drain
+# throughput stopped scaling with the backend count.
+scripts/bench_shard.sh
 
 echo "check.sh: all green"
