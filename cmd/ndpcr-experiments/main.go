@@ -30,6 +30,8 @@ var (
 	flagMetrics = flag.Bool("metrics", false, "dump per-phase wall-time histograms accumulated across every simulated trial")
 	flagFaults  = flag.String("faults", "", "chaos: fault-injection schedule (rules 'site,key=value,...' joined by ';'; empty = a representative default)")
 
+	flagSwarmTenants = flag.Int("swarm-tenants", 64, "swarm: concurrent tenant clients (-quick caps at 8)")
+
 	// simPhases accumulates phase observations from every Monte-Carlo run
 	// when -metrics is set; nil otherwise.
 	simReg    *metrics.Registry
@@ -61,7 +63,10 @@ experiments:
            sharded replicated store tier (3 live iod backends, R=2):
            one backend is killed mid-drain; no committed restart line
            may be lost, and re-replication restores 2 copies
-  all      everything above (except chaos and shardchaos)
+  swarm    multi-tenant gateway under -swarm-tenants concurrent clients
+           over a 3-backend shard tier: zero lost checkpoints, zero
+           cross-tenant visibility, quotas and rate limits enforced
+  all      everything above (except chaos, shardchaos, and swarm)
 
 flags:
 `)
@@ -134,6 +139,7 @@ func main() {
 		"ext":        func() error { return runExt(extSection) },
 		"chaos":      runChaos,
 		"shardchaos": runShardChaos,
+		"swarm":      runSwarm,
 	}
 	if exp == "all" {
 		order := []string{"fig1", "table1", "table2", "table3", "table4",

@@ -8,13 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
 
 	"ndpcr/internal/iod"
+	"ndpcr/internal/lifecycle"
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/nvm"
@@ -61,8 +62,8 @@ func main() {
 		fmt.Printf("ndpcr-iod: Prometheus metrics on http://%s/metrics\n", *metricsAddr)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	ctx, stop := lifecycle.SignalContext(context.Background())
+	defer stop()
 	fmt.Printf("ndpcr-iod: serving checkpoint store on %s", *listen)
 	if *bwMBps > 0 {
 		fmt.Printf(" (paced at %.0f MB/s per transfer)", *bwMBps)
@@ -74,10 +75,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	case <-sig:
+	case <-ctx.Done():
+		// SIGINT or SIGTERM: stop accepting, drain in-flight exchanges
+		// (Close waits for every connection handler), flush metrics.
 		fmt.Println("\nndpcr-iod: shutting down")
 		srv.Close()
 		<-done
+		fmt.Println("ndpcr-iod: final metrics:")
+		srv.Metrics().Dump(os.Stdout)
 	}
 }
 

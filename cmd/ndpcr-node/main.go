@@ -16,6 +16,7 @@ import (
 
 	"ndpcr/internal/compress"
 	"ndpcr/internal/iod"
+	"ndpcr/internal/lifecycle"
 	"ndpcr/internal/miniapps"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
@@ -92,8 +93,21 @@ func main() {
 	fmt.Printf("running %s for %d steps, checkpoint every %d, drain codec %s\n",
 		*appName, *steps, *every, codecLabel(codec))
 
+	// SIGINT/SIGTERM interrupt the run cleanly: finish the current step,
+	// let the last committed checkpoint drain, close the runtime, exit 0 —
+	// the run is resumable from the drained checkpoint.
+	ctx, stop := lifecycle.SignalContext(context.Background())
+	defer stop()
+
 	var lastCommitted uint64
 	for s := 1; s <= *steps; s++ {
+		if ctx.Err() != nil {
+			fmt.Printf("\nndpcr-node: interrupted at step %d; draining checkpoint %d and exiting\n",
+				s, lastCommitted)
+			waitDrain(n, lastCommitted)
+			n.Close()
+			return
+		}
 		if err := app.Step(); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"ndpcr/internal/node/iostore"
+)
+
+// StoreRestartLines computes the restart lines visible from the global
+// store alone: the checkpoint IDs present for every rank in [0, ranks),
+// newest first. It is the store-level projection of Cluster.RestartLines
+// for callers — the gateway resuming a run it did not execute — that have
+// no live nodes and therefore no NVM, partner, or erasure inventories to
+// merge; the global store is the only level a service front-end can see.
+//
+// The same "unknown, not absent" rule applies as in Cluster.available: an
+// inventory error on any rank wraps ErrLevelUnavailable, and lines found
+// despite it are still genuinely restorable (the ranks that answered vouch
+// for them), so a caller may proceed on the returned lines and retry for a
+// possibly-newer one once the store heals.
+func StoreRestartLines(ctx context.Context, store iostore.Backend, job string, ranks int) ([]uint64, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("cluster: StoreRestartLines: ranks must be positive, got %d", ranks)
+	}
+	var common map[uint64]bool
+	var invErr error
+	for i := 0; i < ranks; i++ {
+		ids, err := store.IDs(ctx, job, i)
+		if err != nil {
+			// Unknown, not absent: an unreachable rank inventory must not
+			// veto every line with a vacuously empty set. Skip its
+			// constraint, keep the error so the caller knows the returned
+			// lines are vouched for only by the ranks that answered.
+			if invErr == nil {
+				invErr = fmt.Errorf("%w: rank %d global-store inventory: %v", ErrLevelUnavailable, i, err)
+			}
+			continue
+		}
+		if common == nil {
+			common = make(map[uint64]bool, len(ids))
+			for _, id := range ids {
+				common[id] = true
+			}
+			continue
+		}
+		avail := make(map[uint64]bool, len(ids))
+		for _, id := range ids {
+			avail[id] = true
+		}
+		for id := range common {
+			if !avail[id] {
+				delete(common, id)
+			}
+		}
+		if len(common) == 0 {
+			break
+		}
+	}
+	if common == nil {
+		// Every rank's inventory failed: nothing is known, not "nothing
+		// exists".
+		return nil, invErr
+	}
+	out := make([]uint64, 0, len(common))
+	for id := range common {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out, invErr
+}

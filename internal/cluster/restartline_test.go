@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// idsStore overlays scripted per-rank inventories (and failures) on an
+// in-memory store for StoreRestartLines tests.
+type idsStore struct {
+	iostore.Backend
+	ids  map[int][]uint64
+	fail map[int]bool
+}
+
+func (s *idsStore) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	if s.fail[rank] {
+		return nil, errors.New("inventory down")
+	}
+	return s.ids[rank], nil
+}
+
+func TestStoreRestartLinesIntersects(t *testing.T) {
+	s := &idsStore{
+		Backend: iostore.New(nvm.Pacer{}),
+		ids: map[int][]uint64{
+			0: {1, 2, 3, 5},
+			1: {2, 3, 4, 5},
+			2: {1, 3, 5, 6},
+		},
+	}
+	lines, err := StoreRestartLines(context.Background(), s, "job", 3)
+	if err != nil {
+		t.Fatalf("StoreRestartLines: %v", err)
+	}
+	want := []uint64{5, 3}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %v, want %v (newest first)", lines, want)
+		}
+	}
+}
+
+func TestStoreRestartLinesUnavailableRankSkipped(t *testing.T) {
+	s := &idsStore{
+		Backend: iostore.New(nvm.Pacer{}),
+		ids: map[int][]uint64{
+			0: {2, 3},
+			2: {3, 4},
+		},
+		fail: map[int]bool{1: true},
+	}
+	lines, err := StoreRestartLines(context.Background(), s, "job", 3)
+	if !errors.Is(err, ErrLevelUnavailable) {
+		t.Fatalf("err = %v, want ErrLevelUnavailable", err)
+	}
+	// Rank 1's unknown inventory must not veto the lines the answering
+	// ranks vouch for.
+	if len(lines) != 1 || lines[0] != 3 {
+		t.Fatalf("lines = %v, want [3]", lines)
+	}
+}
+
+func TestStoreRestartLinesAllUnavailable(t *testing.T) {
+	s := &idsStore{
+		Backend: iostore.New(nvm.Pacer{}),
+		fail:    map[int]bool{0: true, 1: true},
+	}
+	lines, err := StoreRestartLines(context.Background(), s, "job", 2)
+	if !errors.Is(err, ErrLevelUnavailable) {
+		t.Fatalf("err = %v, want ErrLevelUnavailable", err)
+	}
+	if len(lines) != 0 {
+		t.Fatalf("lines = %v, want none (nothing is known)", lines)
+	}
+}
+
+func TestStoreRestartLinesBadRanks(t *testing.T) {
+	if _, err := StoreRestartLines(context.Background(), iostore.New(nvm.Pacer{}), "job", 0); err == nil {
+		t.Fatal("ranks=0 accepted")
+	}
+}

@@ -35,12 +35,13 @@ var ErrInjected = errors.New("faultinject: injected fault")
 // Injection sites. Sites name the operation being sabotaged; the rank (when
 // the site is per-rank) is matched separately by Rule.Rank.
 const (
-	SiteNVMPut        = "nvm.put"        // node-local NVM checkpoint write
-	SiteNVMGet        = "nvm.get"        // node-local NVM checkpoint read
-	SiteStorePut      = "store.put"      // whole-object global-store write
-	SiteStorePutBlock = "store.putblock" // streamed drain block write
-	SiteStoreGet      = "store.get"      // global-store object fetch
-	SiteIODConn       = "iod.conn"       // I/O-node connection (drop mid-exchange)
+	SiteNVMPut        = "nvm.put"         // node-local NVM checkpoint write
+	SiteNVMGet        = "nvm.get"         // node-local NVM checkpoint read
+	SiteStorePut      = "store.put"       // whole-object global-store write
+	SiteStorePutBlock = "store.putblock"  // streamed drain block write
+	SiteStoreGet      = "store.get"       // global-store object fetch
+	SiteIODConn       = "iod.conn"        // I/O-node connection (drop mid-exchange)
+	SiteGatewayFront  = "gateway.handler" // gateway request handling (the service front door)
 )
 
 // Mode is what happens when a rule fires.
@@ -285,7 +286,7 @@ func parseRule(s string) (Rule, error) {
 	fields := strings.Split(s, ",")
 	r := Rule{Site: strings.TrimSpace(fields[0]), Rank: AnyRank}
 	switch r.Site {
-	case SiteNVMPut, SiteNVMGet, SiteStorePut, SiteStorePutBlock, SiteStoreGet, SiteIODConn:
+	case SiteNVMPut, SiteNVMGet, SiteStorePut, SiteStorePutBlock, SiteStoreGet, SiteIODConn, SiteGatewayFront:
 	default:
 		return Rule{}, fmt.Errorf("faultinject: unknown site %q", r.Site)
 	}

@@ -40,10 +40,7 @@ func WrapStore(inner iostore.Backend, in *Injector) *Store {
 	return &Store{inner: inner, in: in}
 }
 
-var (
-	_ iostore.Backend   = (*Store)(nil)
-	_ iostore.Inventory = (*Store)(nil)
-)
+var _ iostore.Backend = (*Store)(nil)
 
 // Instrument forwards to the inner store when it is instrumentable, so
 // wrapping does not hide store metrics.
@@ -188,27 +185,6 @@ func (s *Store) IDs(ctx context.Context, job string, rank int) ([]uint64, error)
 // Latest implements iostore.Backend (pass-through).
 func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
 	return s.inner.Latest(ctx, job, rank)
-}
-
-// StatErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Stat, which is error-first now.
-func (s *Store) StatErr(key iostore.Key) (iostore.Object, bool, error) {
-	return s.Stat(context.Background(), key)
-}
-
-// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call IDs, which is error-first now.
-func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
-	return s.IDs(context.Background(), job, rank)
-}
-
-// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Latest, which is error-first now.
-func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
-	return s.Latest(context.Background(), job, rank)
 }
 
 // corruptObject returns o with one payload byte flipped in a copied block;

@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// BenchmarkGatewaySave measures end-to-end save throughput (commit + NDP
+// drain + durable ack over HTTP) as the concurrent tenant count scales.
+// Each tenant hammers its own namespace/run, so the benchmark exercises
+// the multi-tenant session map, quota accounting, and per-tenant rate
+// machinery, not just one hot session. Custom metrics: req/s aggregate
+// and the gateway's own p99 request latency in ms.
+func BenchmarkGatewaySave(b *testing.B) {
+	for _, tenants := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			var ts []Tenant
+			for i := 0; i < tenants; i++ {
+				ts = append(ts, Tenant{
+					Name:  fmt.Sprintf("t%02d", i),
+					Token: fmt.Sprintf("tok-%02d", i),
+				})
+			}
+			srv, err := New(Config{
+				Store:        iostore.New(nvm.Pacer{}),
+				Tenants:      ts,
+				DrainTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			hs := httptest.NewServer(srv)
+			defer func() {
+				hs.Close()
+				srv.Shutdown(context.Background())
+			}()
+
+			payload := bytes.Repeat([]byte("bench-state "), 341) // ~4 KiB
+			var ops atomic.Int64
+			var failed atomic.Int64
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for i := 0; i < tenants; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c := NewClient(hs.URL, fmt.Sprintf("tok-%02d", i))
+					ns := fmt.Sprintf("t%02d", i)
+					for step := 0; ; step++ {
+						if ops.Add(1) > int64(b.N) {
+							return
+						}
+						if _, err := c.Save(context.Background(), ns, "bench", 0, step, payload); err != nil {
+							failed.Add(1)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d tenants failed their saves", n)
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+			p99 := srv.Metrics().Histogram(`ndpcr_gateway_request_seconds{op="save"}`, "", 0).Quantile(0.99)
+			b.ReportMetric(p99*1000, "p99_ms")
+			b.SetBytes(int64(len(payload)))
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// APIError is a gateway rejection decoded back into its typed form: the
+// HTTP status plus the stable machine-readable code the server attached.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gateway: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Client is a Go client for the gateway API, scoped to one tenant token.
+type Client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// NewClient builds a client for the gateway at base (e.g.
+// "http://127.0.0.1:9600") presenting the given bearer token.
+func NewClient(base, token string) *Client {
+	return &Client{base: base, token: token, http: &http.Client{}}
+}
+
+// Checkpoint is one restored checkpoint: its payload plus identity.
+type Checkpoint struct {
+	ID    uint64
+	Step  int
+	Level string
+	Data  []byte
+}
+
+func (c *Client) runURL(ns, run, tail string) string {
+	u := c.base + "/v1/ns/" + url.PathEscape(ns) + "/runs/" + url.PathEscape(run) + tail
+	return u
+}
+
+func (c *Client) do(ctx context.Context, method, u string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		var e struct {
+			Error   string `json:"error"`
+			Message string `json:"message"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(raw, &e) != nil || e.Error == "" {
+			e.Error, e.Message = "internal", string(raw)
+		}
+		return nil, &APIError{Status: resp.StatusCode, Code: e.Error, Message: e.Message}
+	}
+	return resp, nil
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Save writes one snapshot as rank's next checkpoint of ns/run and returns
+// the durable checkpoint ID.
+func (c *Client) Save(ctx context.Context, ns, run string, rank, step int, snapshot []byte) (uint64, error) {
+	u := c.runURL(ns, run, "/checkpoints") + "?rank=" + strconv.Itoa(rank) + "&step=" + strconv.Itoa(step)
+	resp, err := c.do(ctx, http.MethodPost, u, snapshot)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		ID uint64 `json:"id"`
+	}
+	if err := decodeJSON(resp, &out); err != nil {
+		return 0, fmt.Errorf("gateway: decoding save response: %w", err)
+	}
+	return out.ID, nil
+}
+
+// List reports the checkpoint IDs stored for rank of ns/run.
+func (c *Client) List(ctx context.Context, ns, run string, rank int) ([]uint64, error) {
+	u := c.runURL(ns, run, "/checkpoints") + "?rank=" + strconv.Itoa(rank)
+	resp, err := c.do(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		IDs []uint64 `json:"ids"`
+	}
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, fmt.Errorf("gateway: decoding list response: %w", err)
+	}
+	return out.IDs, nil
+}
+
+// snapshotFrom decodes a snapshot-bearing response.
+func snapshotFrom(resp *http.Response) (Checkpoint, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("gateway: reading snapshot: %w", err)
+	}
+	id, _ := strconv.ParseUint(resp.Header.Get("X-Ndpcr-Checkpoint"), 10, 64)
+	step, _ := strconv.Atoi(resp.Header.Get("X-Ndpcr-Step"))
+	return Checkpoint{
+		ID:    id,
+		Step:  step,
+		Level: resp.Header.Get("X-Ndpcr-Level"),
+		Data:  data,
+	}, nil
+}
+
+// Load restores one specific checkpoint ID.
+func (c *Client) Load(ctx context.Context, ns, run string, rank int, id uint64) (Checkpoint, error) {
+	u := c.runURL(ns, run, "/checkpoints/"+strconv.FormatUint(id, 10)) + "?rank=" + strconv.Itoa(rank)
+	resp, err := c.do(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return snapshotFrom(resp)
+}
+
+// Delete removes one checkpoint.
+func (c *Client) Delete(ctx context.Context, ns, run string, rank int, id uint64) error {
+	u := c.runURL(ns, run, "/checkpoints/"+strconv.FormatUint(id, 10)) + "?rank=" + strconv.Itoa(rank)
+	resp, err := c.do(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Resume restores rank's newest checkpoint; with ranks > 0 it restores
+// this rank's member of the newest restart line common to ranks [0,ranks).
+func (c *Client) Resume(ctx context.Context, ns, run string, rank, ranks int) (Checkpoint, error) {
+	u := c.runURL(ns, run, "/resume") + "?rank=" + strconv.Itoa(rank)
+	if ranks > 0 {
+		u += "&ranks=" + strconv.Itoa(ranks)
+	}
+	resp, err := c.do(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return snapshotFrom(resp)
+}

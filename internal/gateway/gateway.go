@@ -1,0 +1,630 @@
+// Package gateway is the multi-tenant checkpoint-as-a-service front door
+// over the NDP stack: an HTTP/JSON API that maps authenticated tenants'
+// namespaces and run IDs onto the shardstore keyspace and drives the
+// existing node → NDP → store pipeline for every save, load, and resume.
+// Tenants get bearer-token identity, byte/checkpoint/in-flight quotas, and
+// token-bucket rate limits; the gateway gets request contexts threaded end
+// to end (a disconnected client cancels its in-flight drain wait) and a
+// graceful shutdown that drains accepted requests before exiting.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ndpcr/internal/cluster"
+	"ndpcr/internal/compress"
+	"ndpcr/internal/faultinject"
+	"ndpcr/internal/metrics"
+	"ndpcr/internal/node"
+	"ndpcr/internal/node/iostore"
+)
+
+// Config assembles a gateway server.
+type Config struct {
+	// Store is the backing checkpoint store (required): typically a
+	// sharded replicated tier (shardstore.Store), but any
+	// iostore.Backend works.
+	Store iostore.Backend
+	// Tenants is the static principal set (see LoadTenants).
+	Tenants []Tenant
+
+	// Codec compresses drained checkpoints; nil drains raw.
+	Codec compress.Codec
+	// BlockSize is the drain streaming unit (node default when zero).
+	BlockSize int
+	// DrainWindow bounds in-flight drain writes (node default when zero).
+	DrainWindow int
+	// SessionNVM sizes each session's local NVM region (node default
+	// when zero).
+	SessionNVM int64
+	// RetainLocal bounds how many drained checkpoints each session keeps
+	// in local NVM as a restore cache; older ones are evicted once their
+	// drain completes. Zero selects 4; negative retains everything.
+	RetainLocal int
+	// DrainTimeout bounds how long a save waits for its NDP drain to
+	// reach the global store before rolling the checkpoint back
+	// (default 30s).
+	DrainTimeout time.Duration
+
+	// Injector enables fault injection at the gateway.handler site.
+	Injector *faultinject.Injector
+	// Metrics receives the ndpcr_gateway_* series (and every session
+	// node's series); nil creates a private registry.
+	Metrics *metrics.Registry
+	// Now substitutes the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Server is the gateway. It implements http.Handler.
+type Server struct {
+	cfg     Config
+	reg     *metrics.Registry
+	mux     *http.ServeMux
+	now     func() time.Time
+	byToken map[string]*tenantState
+
+	mu        sync.Mutex
+	sessions  map[sessKey]*node.Node
+	draining  bool
+	active    int
+	drainDone chan struct{}
+
+	mAuthFailures *metrics.Counter
+	mRateRejects  *metrics.Counter
+	mCanceled     *metrics.Counter
+	mFaults       *metrics.Counter
+	mInflight     *metrics.Gauge
+}
+
+type sessKey struct {
+	job  string
+	rank int
+}
+
+// New builds a gateway server over cfg.Store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("gateway: Config.Store is required")
+	}
+	if err := ValidateTenants(cfg.Tenants); err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.RetainLocal == 0 {
+		cfg.RetainLocal = 4
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		now:      cfg.Now,
+		byToken:  make(map[string]*tenantState, len(cfg.Tenants)),
+		sessions: make(map[sessKey]*node.Node),
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	for _, t := range cfg.Tenants {
+		s.byToken[t.Token] = newTenantState(t, s.now())
+	}
+	s.mAuthFailures = s.reg.Counter("ndpcr_gateway_auth_failures_total",
+		"requests rejected for a missing or unknown bearer token")
+	s.mRateRejects = s.reg.Counter("ndpcr_gateway_rate_limit_rejections_total",
+		"requests rejected by a tenant's token-bucket rate limit")
+	s.mCanceled = s.reg.Counter("ndpcr_gateway_canceled_requests_total",
+		"requests abandoned because the client disconnected mid-flight")
+	s.mFaults = s.reg.Counter("ndpcr_gateway_faults_injected_total",
+		"requests failed or delayed by the gateway.handler fault site")
+	s.mInflight = s.reg.Gauge("ndpcr_gateway_inflight_requests",
+		"requests currently being served")
+	s.reg.GaugeFunc("ndpcr_gateway_sessions",
+		"live per-(namespace,run,rank) node sessions", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ns/{ns}/runs/{run}/checkpoints", s.wrap("save", s.handleSave))
+	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/checkpoints", s.wrap("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/checkpoints/{id}", s.wrap("load", s.handleLoad))
+	s.mux.HandleFunc("DELETE /v1/ns/{ns}/runs/{run}/checkpoints/{id}", s.wrap("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/resume", s.wrap("resume", s.handleResume))
+	s.mux.Handle("GET /metrics", metrics.Handler(s.reg))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s, nil
+}
+
+// Metrics returns the registry the gateway (and its sessions) report into.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is a typed request failure: an HTTP status plus a stable
+// machine-readable code and a human message.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// wrap is the common front half of every API handler: shutdown gating,
+// bearer-token auth, namespace authorization, rate limiting, in-flight
+// caps, fault injection, and metrics. Handlers behind it only do the
+// operation.
+func (s *Server) wrap(op string, fn func(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError) http.HandlerFunc {
+	mReqs := s.reg.Counter(fmt.Sprintf("ndpcr_gateway_requests_total{op=%q}", op),
+		"API requests served, by operation")
+	mSecs := s.reg.Histogram(fmt.Sprintf("ndpcr_gateway_request_seconds{op=%q}", op),
+		"API request latency, by operation", metrics.UnitSeconds)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mReqs.Inc()
+		s.mInflight.Inc()
+		defer s.mInflight.Dec()
+		defer mSecs.ObserveSince(start)
+
+		if !s.enterRequest() {
+			s.fail(w, errf(http.StatusServiceUnavailable, "shutting_down", "gateway is draining for shutdown"))
+			return
+		}
+		defer s.leaveRequest()
+
+		st, aerr := s.authenticate(r)
+		if aerr != nil {
+			s.mAuthFailures.Inc()
+			s.fail(w, aerr)
+			return
+		}
+		s.reg.Counter(fmt.Sprintf("ndpcr_gateway_tenant_requests_total{tenant=%q}", st.Name),
+			"API requests served, by tenant").Inc()
+
+		if ns := r.PathValue("ns"); !st.allowed[ns] {
+			s.fail(w, errf(http.StatusForbidden, "namespace_forbidden",
+				"tenant %q may not access namespace %q", st.Name, ns))
+			return
+		}
+		if !st.takeToken(s.now()) {
+			s.mRateRejects.Inc()
+			s.fail(w, errf(http.StatusTooManyRequests, "rate_limited",
+				"tenant %q exceeded %g requests/s", st.Name, st.Rate.PerSec))
+			return
+		}
+		if !st.beginRequest() {
+			s.quotaReject("inflight")
+			s.fail(w, errf(http.StatusTooManyRequests, "inflight_limit",
+				"tenant %q has %d requests in flight (limit)", st.Name, st.Quota.MaxInFlight))
+			return
+		}
+		defer st.endRequest()
+
+		if d, ok := s.cfg.Injector.Decide(faultinject.SiteGatewayFront, faultinject.AnyRank); ok {
+			s.mFaults.Inc()
+			if d.Mode == faultinject.ModeStall {
+				s.cfg.Injector.StallCtx(r.Context(), d)
+			} else {
+				s.fail(w, errf(http.StatusInternalServerError, "injected_fault",
+					"injected %s fault at gateway.handler", d.Mode))
+				return
+			}
+		}
+
+		if err := fn(w, r, st); err != nil {
+			if r.Context().Err() != nil {
+				s.mCanceled.Inc()
+			}
+			s.fail(w, err)
+		}
+	}
+}
+
+// fail writes an apiError response and counts it by code.
+func (s *Server) fail(w http.ResponseWriter, e *apiError) {
+	s.reg.Counter(fmt.Sprintf("ndpcr_gateway_request_errors_total{code=%q}", e.code),
+		"API requests rejected or failed, by error code").Inc()
+	writeJSON(w, e.status, map[string]string{"error": e.code, "message": e.msg})
+}
+
+// quotaReject counts one quota rejection of the given kind.
+func (s *Server) quotaReject(kind string) {
+	s.reg.Counter(fmt.Sprintf("ndpcr_gateway_quota_rejections_total{kind=%q}", kind),
+		"requests rejected by a tenant quota, by exhausted dimension").Inc()
+}
+
+// tenantBytes counts payload bytes moved for a tenant (dir in|out).
+func (s *Server) tenantBytes(st *tenantState, dir string, n int) {
+	s.reg.Counter(fmt.Sprintf("ndpcr_gateway_tenant_bytes_total{tenant=%q,dir=%q}", st.Name, dir),
+		"checkpoint payload bytes moved, by tenant and direction").Add(uint64(n))
+}
+
+func (s *Server) authenticate(r *http.Request) (*tenantState, *apiError) {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || auth[:len(prefix)] != prefix {
+		return nil, errf(http.StatusUnauthorized, "unauthorized", "missing bearer token")
+	}
+	st, ok := s.byToken[auth[len(prefix):]]
+	if !ok {
+		return nil, errf(http.StatusUnauthorized, "unauthorized", "unknown bearer token")
+	}
+	return st, nil
+}
+
+// enterRequest admits a request unless the gateway is draining.
+func (s *Server) enterRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) leaveRequest() {
+	s.mu.Lock()
+	s.active--
+	if s.draining && s.active == 0 && s.drainDone != nil {
+		close(s.drainDone)
+		s.drainDone = nil
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown stops admitting requests, waits (bounded by ctx) for the
+// in-flight ones to finish, then closes every session node. It returns
+// ctx's error when the drain did not finish in time; sessions are closed
+// either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	var done chan struct{}
+	if s.active > 0 {
+		if s.drainDone == nil {
+			s.drainDone = make(chan struct{})
+		}
+		done = s.drainDone
+	}
+	s.mu.Unlock()
+
+	var err error
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	s.mu.Lock()
+	sessions := s.sessions
+	s.sessions = make(map[sessKey]*node.Node)
+	s.mu.Unlock()
+	for _, n := range sessions {
+		n.Close()
+	}
+	return err
+}
+
+// session returns (creating if needed) the node runtime serving one
+// (namespace, run, rank). A fresh session resynchronizes its checkpoint
+// counter from the store's newest ID, so a restarted gateway appends to a
+// run instead of overwriting it.
+func (s *Server) session(ctx context.Context, job string, rank int) (*node.Node, error) {
+	key := sessKey{job: job, rank: rank}
+	s.mu.Lock()
+	if n, ok := s.sessions[key]; ok {
+		s.mu.Unlock()
+		return n, nil
+	}
+	s.mu.Unlock()
+
+	// Build outside the lock: node.New allocates NVM and spins up the NDP
+	// engine. A racing builder for the same key loses and closes its copy.
+	n, err := node.New(node.Config{
+		Job:         job,
+		Rank:        rank,
+		Store:       s.cfg.Store,
+		Codec:       s.cfg.Codec,
+		BlockSize:   s.cfg.BlockSize,
+		DrainWindow: s.cfg.DrainWindow,
+		NVMCapacity: s.cfg.SessionNVM,
+		Metrics:     s.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if latest, ok, err := s.cfg.Store.Latest(ctx, job, rank); err != nil {
+		n.Close()
+		return nil, fmt.Errorf("resync from store: %w", err)
+	} else if ok {
+		n.ResyncNextID(latest + 1)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.sessions[key]; ok {
+		go n.Close()
+		return existing, nil
+	}
+	if s.draining {
+		go n.Close()
+		return nil, errors.New("gateway: shutting down")
+	}
+	s.sessions[key] = n
+	return n, nil
+}
+
+// reqScope extracts the common request scope: namespace, run, rank, and
+// the derived store job key.
+func reqScope(r *http.Request) (job string, rank int, aerr *apiError) {
+	ns, run := r.PathValue("ns"), r.PathValue("run")
+	if ns == "" || run == "" {
+		return "", 0, errf(http.StatusBadRequest, "bad_request", "namespace and run are required")
+	}
+	rank = 0
+	if v := r.URL.Query().Get("rank"); v != "" {
+		var err error
+		if rank, err = strconv.Atoi(v); err != nil || rank < 0 {
+			return "", 0, errf(http.StatusBadRequest, "bad_request", "invalid rank %q", v)
+		}
+	}
+	return JobKey(ns, run), rank, nil
+}
+
+// mapStoreErr translates pipeline errors into API errors.
+func mapStoreErr(err error, what string) *apiError {
+	switch {
+	case errors.Is(err, iostore.ErrNotFound), errors.Is(err, node.ErrNoCheckpoint):
+		return errf(http.StatusNotFound, "not_found", "%s: %v", what, err)
+	case errors.Is(err, context.Canceled):
+		return errf(http.StatusServiceUnavailable, "canceled", "%s: request canceled", what)
+	default:
+		return errf(http.StatusInternalServerError, "internal", "%s: %v", what, err)
+	}
+}
+
+// handleSave commits one checkpoint snapshot (the request body) and waits
+// for the NDP drain to land it in the global store before acknowledging:
+// a 200 means the checkpoint is durable at the I/O level, not merely
+// accepted. A failed or timed-out drain rolls the commit back so the run's
+// checkpoint sequence holds only durable IDs.
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, rank, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	step := 0
+	if v := r.URL.Query().Get("step"); v != "" {
+		var err error
+		if step, err = strconv.Atoi(v); err != nil {
+			return errf(http.StatusBadRequest, "bad_request", "invalid step %q", v)
+		}
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad_request", "reading snapshot: %v", err)
+	}
+	if len(body) == 0 {
+		return errf(http.StatusBadRequest, "bad_request", "empty snapshot")
+	}
+
+	release, kind, ok := st.reserve(int64(len(body)))
+	if !ok {
+		s.quotaReject(kind)
+		return errf(http.StatusForbidden, "quota_"+kind,
+			"tenant %q would exceed its %s quota", st.Name, kind)
+	}
+
+	n, err := s.session(r.Context(), job, rank)
+	if err != nil {
+		release()
+		return mapStoreErr(err, "session")
+	}
+	id, err := n.Commit(body, node.Metadata{Job: job, Rank: rank, Step: step})
+	if err != nil {
+		release()
+		return mapStoreErr(err, "commit")
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DrainTimeout)
+	defer cancel()
+	if eng := n.Engine(); eng != nil && !eng.WaitDrainedCtx(ctx, id) {
+		// Not durable at the I/O level: roll the checkpoint back rather
+		// than acknowledge state the store may not hold.
+		n.DiscardCommit(id)
+		release()
+		if r.Context().Err() != nil {
+			return errf(http.StatusServiceUnavailable, "canceled",
+				"client went away before checkpoint %d drained; rolled back", id)
+		}
+		return errf(http.StatusGatewayTimeout, "drain_timeout",
+			"checkpoint %d not drained within %s; rolled back", id, s.cfg.DrainTimeout)
+	}
+	s.evictLocal(n, id)
+
+	s.tenantBytes(st, "in", len(body))
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "bytes": len(body), "step": step})
+	return nil
+}
+
+// evictLocal bounds the session's local-NVM restore cache to RetainLocal
+// drained checkpoints.
+func (s *Server) evictLocal(n *node.Node, id uint64) {
+	if s.cfg.RetainLocal < 0 {
+		return
+	}
+	if keep := uint64(s.cfg.RetainLocal); id > keep {
+		n.Device().Discard(id - keep)
+	}
+}
+
+// handleList reports the checkpoint IDs the store holds for one rank of a
+// run, newest last, plus the newest ID for convenience.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, rank, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	ids, err := s.cfg.Store.IDs(r.Context(), job, rank)
+	if err != nil {
+		return mapStoreErr(err, "list")
+	}
+	resp := map[string]any{"ids": ids}
+	if len(ids) > 0 {
+		resp["latest"] = ids[len(ids)-1]
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// serveSnapshot writes a restored checkpoint as the response body with its
+// identity in headers.
+func (s *Server) serveSnapshot(w http.ResponseWriter, st *tenantState, data []byte, id uint64, meta node.Metadata, level node.Level) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Ndpcr-Checkpoint", strconv.FormatUint(id, 10))
+	h.Set("X-Ndpcr-Step", strconv.Itoa(meta.Step))
+	h.Set("X-Ndpcr-Level", level.String())
+	h.Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+	s.tenantBytes(st, "out", len(data))
+}
+
+func parseID(r *http.Request) (uint64, *apiError) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		return 0, errf(http.StatusBadRequest, "bad_request", "invalid checkpoint id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+// handleLoad restores one specific checkpoint ID.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, rank, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	id, aerr := parseID(r)
+	if aerr != nil {
+		return aerr
+	}
+	n, err := s.session(r.Context(), job, rank)
+	if err != nil {
+		return mapStoreErr(err, "session")
+	}
+	data, meta, level, err := n.RestoreID(r.Context(), id)
+	if err != nil {
+		return mapStoreErr(err, fmt.Sprintf("restore %d", id))
+	}
+	s.serveSnapshot(w, st, data, id, meta, level)
+	return nil
+}
+
+// handleDelete removes one checkpoint and returns its quota to the tenant.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, rank, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	id, aerr := parseID(r)
+	if aerr != nil {
+		return aerr
+	}
+	key := iostore.Key{Job: job, Rank: rank, ID: id}
+	obj, ok, err := s.cfg.Store.Stat(r.Context(), key)
+	if err != nil {
+		return mapStoreErr(err, "stat")
+	}
+	if !ok {
+		return errf(http.StatusNotFound, "not_found", "checkpoint %d not found", id)
+	}
+
+	// Through the session when one is live (cleans NVM and the NDP's
+	// drain state too), straight at the store otherwise.
+	s.mu.Lock()
+	n := s.sessions[sessKey{job: job, rank: rank}]
+	s.mu.Unlock()
+	if n != nil {
+		err = n.DiscardCommit(id)
+	} else {
+		err = s.cfg.Store.Delete(r.Context(), key)
+	}
+	if err != nil {
+		return mapStoreErr(err, "delete")
+	}
+	st.unreserve(obj.OrigSize)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	return nil
+}
+
+// handleResume restores the newest usable checkpoint. With ?ranks=N it
+// first computes the newest store-level restart line common to ranks
+// [0,N) — the multi-rank consistent rollback point — and serves this
+// rank's member of it; without, it serves this rank's newest checkpoint.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, rank, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	n, err := s.session(r.Context(), job, rank)
+	if err != nil {
+		return mapStoreErr(err, "session")
+	}
+	if v := r.URL.Query().Get("ranks"); v != "" {
+		ranks, err := strconv.Atoi(v)
+		if err != nil || ranks <= 0 || rank >= ranks {
+			return errf(http.StatusBadRequest, "bad_request", "invalid ranks %q for rank %d", v, rank)
+		}
+		lines, lerr := cluster.StoreRestartLines(r.Context(), s.cfg.Store, job, ranks)
+		if len(lines) == 0 {
+			if lerr != nil {
+				return mapStoreErr(lerr, "restart line")
+			}
+			return errf(http.StatusNotFound, "not_found", "no restart line common to %d ranks", ranks)
+		}
+		data, meta, level, err := n.RestoreID(r.Context(), lines[0])
+		if err != nil {
+			return mapStoreErr(err, fmt.Sprintf("restore line %d", lines[0]))
+		}
+		s.serveSnapshot(w, st, data, lines[0], meta, level)
+		return nil
+	}
+	data, meta, level, err := n.Restore(r.Context())
+	if err != nil {
+		return mapStoreErr(err, "resume")
+	}
+	// The restored ID travels in metadata-adjacent headers; Restore picks
+	// the newest, which the store's Latest identifies.
+	id, _, _ := s.cfg.Store.Latest(r.Context(), job, rank)
+	s.serveSnapshot(w, st, data, id, meta, level)
+	return nil
+}

@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+	"ndpcr/internal/shardstore"
+)
+
+func TestJobKeyInjective(t *testing.T) {
+	// Pairs an attacker could craft to collide a naive "ns/run"
+	// concatenation. Every pair must map to distinct job keys.
+	pairs := [][2][2]string{
+		{{"a/b", "c"}, {"a", "b/c"}},
+		{{"a", "b"}, {"a/b", ""}},
+		{{"ns", "r%2Fx"}, {"ns", "r/x"}},
+		{{"ns/", "r"}, {"ns", "/r"}},
+	}
+	for _, p := range pairs {
+		k1, k2 := JobKey(p[0][0], p[0][1]), JobKey(p[1][0], p[1][1])
+		if k1 == k2 {
+			t.Fatalf("JobKey(%q,%q) == JobKey(%q,%q) == %q",
+				p[0][0], p[0][1], p[1][0], p[1][1], k1)
+		}
+	}
+}
+
+// TestNamespacesDisjointInShardstore drives two tenants with identical run
+// and checkpoint IDs through a real sharded store and proves their objects
+// land under disjoint keys: same-looking runs from different namespaces
+// can never alias each other's placement.
+func TestNamespacesDisjointInShardstore(t *testing.T) {
+	var members []shardstore.Member
+	backends := make([]*iostore.Store, 3)
+	for i := range backends {
+		backends[i] = iostore.New(nvm.Pacer{})
+		members = append(members, shardstore.Member{
+			Name:  fmt.Sprintf("backend-%d", i),
+			Store: backends[i],
+		})
+	}
+	shard, err := shardstore.New(members, shardstore.Config{Replicas: 2})
+	if err != nil {
+		t.Fatalf("shardstore.New: %v", err)
+	}
+	defer shard.Close()
+
+	_, ts := newTestServer(t, func(c *Config) { c.Store = shard })
+	ctx := context.Background()
+
+	// Identical run IDs, ranks, steps — only the namespace differs.
+	clients := map[string]*Client{
+		"acme":  NewClient(ts.URL, "tok-acme"),
+		"umbra": NewClient(ts.URL, "tok-umbra"),
+	}
+	for ns, c := range clients {
+		payload := []byte("secret state of " + ns)
+		if _, err := c.Save(ctx, ns, "train", 0, 1, payload); err != nil {
+			t.Fatalf("%s save: %v", ns, err)
+		}
+	}
+	// Each tenant reads back exactly its own bytes through the shared
+	// store and run ID.
+	for ns, c := range clients {
+		cp, err := c.Load(ctx, ns, "train", 0, 1)
+		if err != nil {
+			t.Fatalf("%s load: %v", ns, err)
+		}
+		want := []byte("secret state of " + ns)
+		if !bytes.Equal(cp.Data, want) {
+			t.Fatalf("%s loaded %q — cross-tenant bleed", ns, cp.Data)
+		}
+	}
+	// The backends hold both objects under distinct job keys.
+	jobs := map[string]int{}
+	for _, b := range backends {
+		for _, ns := range []string{"acme", "umbra"} {
+			if _, ok, _ := b.Stat(ctx, iostore.Key{Job: JobKey(ns, "train"), Rank: 0, ID: 1}); ok {
+				jobs[ns]++
+			}
+		}
+	}
+	for _, ns := range []string{"acme", "umbra"} {
+		if jobs[ns] == 0 {
+			t.Fatalf("namespace %s has no replicas in any backend", ns)
+		}
+	}
+}
+
+// TestCrossTenantInvisibility checks the full negative surface: a tenant
+// can neither read, list, delete, nor resume another tenant's namespace,
+// and every rejection is the same typed 403 (no existence oracle).
+func TestCrossTenantInvisibility(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	ctx := context.Background()
+	owner := NewClient(ts.URL, "tok-acme")
+	intruder := NewClient(ts.URL, "tok-umbra")
+
+	id, err := owner.Save(ctx, "acme", "r", 0, 1, []byte("private"))
+	if err != nil {
+		t.Fatalf("owner save: %v", err)
+	}
+
+	checks := map[string]func() error{
+		"load":   func() error { _, err := intruder.Load(ctx, "acme", "r", 0, id); return err },
+		"list":   func() error { _, err := intruder.List(ctx, "acme", "r", 0); return err },
+		"save":   func() error { _, err := intruder.Save(ctx, "acme", "r", 0, 2, []byte("overwrite")); return err },
+		"delete": func() error { return intruder.Delete(ctx, "acme", "r", 0, id) },
+		"resume": func() error { _, err := intruder.Resume(ctx, "acme", "r", 0, 0); return err },
+	}
+	for op, fn := range checks {
+		err := fn()
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusForbidden || ae.Code != "namespace_forbidden" {
+			t.Fatalf("%s across tenants: err = %v, want 403 namespace_forbidden", op, err)
+		}
+	}
+	// The owner's data survived the intrusion attempts untouched.
+	cp, err := owner.Load(ctx, "acme", "r", 0, id)
+	if err != nil || !bytes.Equal(cp.Data, []byte("private")) {
+		t.Fatalf("owner data damaged: %q, %v", cp.Data, err)
+	}
+}
+
+// TestSharedNamespaceGrant is the positive counterpart: a tenant granted
+// an extra namespace can use it.
+func TestSharedNamespaceGrant(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Tenants = []Tenant{
+			{Name: "acme", Token: "tok-acme", Namespaces: []string{"acme", "shared"}},
+			{Name: "umbra", Token: "tok-umbra", Namespaces: []string{"umbra", "shared"}},
+		}
+	})
+	ctx := context.Background()
+	a := NewClient(ts.URL, "tok-acme")
+	u := NewClient(ts.URL, "tok-umbra")
+	id, err := a.Save(ctx, "shared", "r", 0, 1, []byte("handoff"))
+	if err != nil {
+		t.Fatalf("save to shared ns: %v", err)
+	}
+	cp, err := u.Load(ctx, "shared", "r", 0, id)
+	if err != nil || string(cp.Data) != "handoff" {
+		t.Fatalf("load from shared ns: %q, %v", cp.Data, err)
+	}
+}

@@ -1,0 +1,15 @@
+package gateway
+
+import "net/url"
+
+// JobKey maps a (namespace, run) pair onto the shardstore keyspace as the
+// job component of iostore.Key. Path-escaping each component makes the
+// mapping injective — no tenant can mint a namespace or run ID whose
+// concatenation collides with another tenant's ("a/b"+"c" vs "a"+"b/c"
+// escape differently) — so isolation between namespaces reduces to plain
+// key inequality in every backend, with no backend-side tenancy support
+// needed. The "ns/" prefix keeps gateway-minted jobs disjoint from jobs
+// written by directly-wired clusters sharing the same store.
+func JobKey(namespace, run string) string {
+	return "ns/" + url.PathEscape(namespace) + "/" + url.PathEscape(run)
+}

@@ -137,10 +137,7 @@ func (c *Client) Instrument(r *metrics.Registry) {
 	})
 }
 
-var (
-	_ iostore.Backend   = (*Client)(nil)
-	_ iostore.Inventory = (*Client)(nil)
-)
+var _ iostore.Backend = (*Client)(nil)
 
 // Dial retry schedule: during a coordinated startup the I/O node may come
 // up seconds after the compute nodes, so a single failed connect must not
@@ -548,27 +545,6 @@ func (c *Client) Latest(ctx context.Context, job string, rank int) (uint64, bool
 		return 0, false, err
 	}
 	return resp.Latest, resp.OK, nil
-}
-
-// StatErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Stat, which is error-first now.
-func (c *Client) StatErr(key iostore.Key) (iostore.Object, bool, error) {
-	return c.Stat(context.Background(), key)
-}
-
-// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call IDs, which is error-first now.
-func (c *Client) IDsErr(job string, rank int) ([]uint64, error) {
-	return c.IDs(context.Background(), job, rank)
-}
-
-// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Latest, which is error-first now.
-func (c *Client) LatestErr(job string, rank int) (uint64, bool, error) {
-	return c.Latest(context.Background(), job, rank)
 }
 
 func respErr(resp *response) error {

@@ -399,8 +399,7 @@ func TestStatBlocksFallsBackOnOldServer(t *testing.T) {
 func TestInventoryErrorsSurfacedAndMaskedCounted(t *testing.T) {
 	// Regression: Stat/IDs/Latest used to swallow transport errors as
 	// not-found/empty, silently deleting the I/O level from restart-line
-	// intersections. The Inventory surface must return the error, and the
-	// legacy surface must at least count each masked failure.
+	// intersections. The error-first Backend surface must return the error.
 	a, b := net.Pipe()
 	b.Close()
 	client := NewClient(a)
@@ -417,17 +416,6 @@ func TestInventoryErrorsSurfacedAndMaskedCounted(t *testing.T) {
 	}
 	if _, _, err := client.Latest(context.Background(), "inv", 0); err == nil {
 		t.Error("Latest masked a dead transport")
-	}
-	// The deprecated shims forward to the same error-first surface, so
-	// nothing can silently read a transport outage as "no checkpoints".
-	if _, err := client.IDsErr("inv", 0); err == nil {
-		t.Error("IDsErr shim masked a dead transport")
-	}
-	if _, _, err := client.LatestErr("inv", 0); err == nil {
-		t.Error("LatestErr shim masked a dead transport")
-	}
-	if _, _, err := client.StatErr(key); err == nil {
-		t.Error("StatErr shim masked a dead transport")
 	}
 }
 

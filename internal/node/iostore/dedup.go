@@ -61,10 +61,7 @@ type refBlock struct {
 	refs int
 }
 
-var (
-	_ Backend   = (*DedupStore)(nil)
-	_ Inventory = (*DedupStore)(nil)
-)
+var _ Backend = (*DedupStore)(nil)
 
 // NewDedup creates a content-addressed store paced like New.
 func NewDedup(pacer nvm.Pacer) *DedupStore {
@@ -307,27 +304,6 @@ func (s *DedupStore) GetBlock(ctx context.Context, key Key, index int) ([]byte, 
 	s.mu.Unlock()
 	s.pacer.Move(len(data))
 	return data, nil
-}
-
-// StatErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Stat, which is error-first now.
-func (s *DedupStore) StatErr(key Key) (Object, bool, error) {
-	return s.Stat(context.Background(), key)
-}
-
-// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call IDs, which is error-first now.
-func (s *DedupStore) IDsErr(job string, rank int) ([]uint64, error) {
-	return s.IDs(context.Background(), job, rank)
-}
-
-// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Latest, which is error-first now.
-func (s *DedupStore) LatestErr(job string, rank int) (uint64, bool, error) {
-	return s.Latest(context.Background(), job, rank)
 }
 
 // DedupStats reports the storage savings.

@@ -94,18 +94,6 @@ type Backend interface {
 	GetBlock(ctx context.Context, key Key, index int) ([]byte, error)
 }
 
-// Inventory is the deprecated error-surfacing extension of the old API
-// surface. Its methods survive as thin shims on every Backend
-// implementation so pre-redesign callers keep compiling, but new code calls
-// Stat/IDs/Latest on Backend directly — they are error-first now.
-//
-// Deprecated: use Backend.
-type Inventory interface {
-	StatErr(key Key) (Object, bool, error)
-	IDsErr(job string, rank int) ([]uint64, error)
-	LatestErr(job string, rank int) (uint64, bool, error)
-}
-
 // Store is the shared global store. All methods are safe for concurrent
 // use by many node goroutines.
 type Store struct {
@@ -318,30 +306,5 @@ func (s *Store) GetBlock(ctx context.Context, key Key, index int) ([]byte, error
 	return b, nil
 }
 
-// StatErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Stat, which is error-first now.
-func (s *Store) StatErr(key Key) (Object, bool, error) {
-	return s.Stat(context.Background(), key)
-}
-
-// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call IDs, which is error-first now.
-func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
-	return s.IDs(context.Background(), job, rank)
-}
-
-// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Latest, which is error-first now.
-func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
-	return s.Latest(context.Background(), job, rank)
-}
-
-// Store satisfies the unified Backend surface (and the deprecated
-// Inventory shims).
-var (
-	_ Backend   = (*Store)(nil)
-	_ Inventory = (*Store)(nil)
-)
+// Store satisfies the unified Backend surface.
+var _ Backend = (*Store)(nil)

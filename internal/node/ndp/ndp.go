@@ -209,6 +209,16 @@ type drainWaiter struct {
 // the drain completed. Unlike polling LastDrained, the wait is woken by the
 // drain completion itself.
 func (e *Engine) WaitDrained(id uint64, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return e.WaitDrainedCtx(ctx, id)
+}
+
+// WaitDrainedCtx is WaitDrained bounded by a context instead of a plain
+// timeout: a canceled caller (a gateway client that disconnected, a
+// deadline) stops waiting immediately. It reports whether the drain
+// completed before ctx ended or the engine stopped.
+func (e *Engine) WaitDrainedCtx(ctx context.Context, id uint64) bool {
 	e.mu.Lock()
 	if e.hasDrained && e.lastDrained >= id {
 		e.mu.Unlock()
@@ -217,14 +227,12 @@ func (e *Engine) WaitDrained(id uint64, timeout time.Duration) bool {
 	w := drainWaiter{id: id, ch: make(chan struct{})}
 	e.waiters = append(e.waiters, w)
 	e.mu.Unlock()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case <-w.ch:
 		return true
 	case <-e.stop:
 		return false
-	case <-timer.C:
+	case <-ctx.Done():
 		return false
 	}
 }

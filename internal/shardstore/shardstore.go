@@ -215,10 +215,7 @@ func Dial(addrs []string, lanes int, cfg Config) (*Store, error) {
 	return s, nil
 }
 
-var (
-	_ iostore.Backend   = (*Store)(nil)
-	_ iostore.Inventory = (*Store)(nil)
-)
+var _ iostore.Backend = (*Store)(nil)
 
 // Instrument registers the shard tier's placement/failover/re-replication
 // metrics with r. Registration is idempotent, so every node of a cluster
@@ -748,27 +745,6 @@ func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool,
 		return 0, false, err
 	}
 	return ids[len(ids)-1], true, nil
-}
-
-// StatErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Stat, which is error-first now.
-func (s *Store) StatErr(key iostore.Key) (iostore.Object, bool, error) {
-	return s.Stat(context.Background(), key)
-}
-
-// IDsErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call IDs, which is error-first now.
-func (s *Store) IDsErr(job string, rank int) ([]uint64, error) {
-	return s.IDs(context.Background(), job, rank)
-}
-
-// LatestErr is a deprecated shim for the pre-redesign Inventory surface.
-//
-// Deprecated: call Latest, which is error-first now.
-func (s *Store) LatestErr(job string, rank int) (uint64, bool, error) {
-	return s.Latest(context.Background(), job, rank)
 }
 
 // repairLoop probes unhealthy backends and re-replicates under-replicated

@@ -18,7 +18,7 @@ go vet ./...
 
 go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... \
     ./internal/metrics/... ./internal/iod/... ./internal/faultinject/... \
-    ./internal/shardstore/...
+    ./internal/shardstore/... ./internal/gateway/...
 
 # Transport benchmarks: regenerates BENCH_iod.json and fails if lane
 # scaling or the streamed-restore win regressed.
@@ -27,5 +27,9 @@ scripts/bench_iod.sh
 # Shard-tier benchmarks: regenerates BENCH_shard.json and fails if drain
 # throughput stopped scaling with the backend count.
 scripts/bench_shard.sh
+
+# Gateway benchmarks: regenerates BENCH_gateway.json and fails if the
+# multi-tenant front door collapses under 64 concurrent tenants.
+scripts/bench_gateway.sh
 
 echo "check.sh: all green"
