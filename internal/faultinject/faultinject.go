@@ -40,7 +40,7 @@ const (
 	SiteStorePut      = "store.put"       // whole-object global-store write
 	SiteStorePutBlock = "store.putblock"  // streamed drain block write
 	SiteStoreGet      = "store.get"       // global-store object fetch
-	SiteIODConn       = "iod.conn"        // I/O-node connection (drop mid-exchange)
+	SiteIODConn       = "iod.conn"        // I/O-node connection (drop or corrupt mid-exchange)
 	SiteGatewayFront  = "gateway.handler" // gateway request handling (the service front door)
 )
 
@@ -245,15 +245,38 @@ func (in *Injector) NVMHook(rank int) func(op string, id uint64) error {
 
 // ConnDropHook adapts the injector to iod.Server.SetConnDropHook: when the
 // SiteIODConn rule fires, the server severs the connection mid-exchange,
-// exercising the client's reconnect+retry path.
+// exercising the client's reconnect+retry path. Kept for drop-only
+// callers; ConnFaultHook is the full adapter.
 func (in *Injector) ConnDropHook() func() bool {
+	h := in.ConnFaultHook()
 	return func() bool {
+		drop, corrupt := h()
+		return drop || corrupt
+	}
+}
+
+// ConnFaultHook adapts the injector to iod.Server.SetConnFaultHook. A
+// SiteIODConn rule in ModeCorrupt flips a byte of the next wire-v2
+// response frame after its checksum is computed, so the client's CRC
+// verification — not a codec decode error — must catch the damage (on a
+// gob connection, which has no checksum, the server degrades corrupt to a
+// drop). ModeStall delays the request and lets it proceed; every other
+// mode severs the connection.
+func (in *Injector) ConnFaultHook() func() (drop, corrupt bool) {
+	return func() (bool, bool) {
 		d, ok := in.Decide(SiteIODConn, AnyRank)
 		if !ok {
-			return false
+			return false, false
 		}
 		in.Stall(d) // a stall rule delays the request instead of dropping
-		return d.Mode != ModeStall
+		switch d.Mode {
+		case ModeStall:
+			return false, false
+		case ModeCorrupt:
+			return false, true
+		default:
+			return true, false
+		}
 	}
 }
 

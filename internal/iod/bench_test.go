@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ndpcr/internal/compress"
+	"ndpcr/internal/iod/wire"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
 	"ndpcr/internal/node/nvm"
@@ -52,6 +53,13 @@ func (s *latencyStore) GetBlock(ctx context.Context, key iostore.Key, index int)
 // benchServer starts an iod server over a latency-shaped store and a lane
 // pool dialed against it.
 func benchServer(b *testing.B, lanes int, perBlock time.Duration) *Client {
+	return benchServerWire(b, lanes, perBlock, 0)
+}
+
+// benchServerWire is benchServer with the client's offered wire version
+// capped: maxWire 1 reproduces a v1 gob client (the wire benchmark's
+// baseline), 0 or 2 negotiates the current binary protocol.
+func benchServerWire(b *testing.B, lanes int, perBlock time.Duration, maxWire int) *Client {
 	b.Helper()
 	backing := &latencyStore{Store: iostore.New(nvm.Pacer{}), perBlock: perBlock}
 	srv, err := NewServer(backing)
@@ -66,7 +74,10 @@ func benchServer(b *testing.B, lanes int, perBlock time.Duration) *Client {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	client, err := DialPool(srv.Addr().String(), lanes)
+	if maxWire == 0 {
+		maxWire = wire.Version
+	}
+	client, err := dialPoolWire(srv.Addr().String(), lanes, maxWire)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -87,7 +98,12 @@ func BenchmarkDrainLanes(b *testing.B) {
 	block := bytes.Repeat([]byte{0xA5}, blockSize)
 	for _, lanes := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
-			client := benchServer(b, lanes, time.Millisecond)
+			// A nominal 250µs per block (timer granularity on a loaded host
+			// stretches the sleep, so treat it as a floor, not a budget)
+			// keeps the device latency, not the v2 codec, as the bottleneck:
+			// the claim gated here is monotonic lane scaling, and the
+			// wire-bound ceiling lives in BenchmarkWireDrain.
+			client := benchServer(b, lanes, 250*time.Microsecond)
 			key := iostore.Key{Job: "bench", Rank: 0, ID: 1}
 			meta := iostore.Object{Key: key, OrigSize: blockSize}
 			var next atomic.Int64
@@ -103,6 +119,47 @@ func BenchmarkDrainLanes(b *testing.B) {
 					// Cycle 64 indices so the backing object stays bounded
 					// while every send still crosses the wire and pays the
 					// device's per-block cost.
+					if err := client.PutBlock(context.Background(), key, meta, i%64, block); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkWireDrain isolates the wire codec: a 4-lane drain against a
+// zero-latency store, so every nanosecond is framing, copying, and
+// allocation — the part of the stack protocol v2 replaces. Blocks are
+// 16 KiB (the experiments' drain block size, where per-block codec
+// overhead is most visible against the loopback syscall floor) and carry
+// a production-shaped metadata map (the NDP engine sends Meta: ckpt.Meta
+// on every PutBlock), which gob re-reflects and re-allocates per block
+// while the binary codec varint-codes flat and memoizes server-side.
+// wire=v1 is the gob baseline via a version-capped client; bench_iod.sh
+// compares the two and gates the v2 number against the recorded v1
+// 4-lane drain baseline.
+func BenchmarkWireDrain(b *testing.B) {
+	const blockSize = 16 << 10
+	block := bytes.Repeat([]byte{0xA5}, blockSize)
+	for _, wireVer := range []int{1, 2} {
+		b.Run(fmt.Sprintf("wire=v%d", wireVer), func(b *testing.B) {
+			client := benchServerWire(b, 4, 0, wireVer)
+			key := iostore.Key{Job: "bench", Rank: 0, ID: 1}
+			meta := iostore.Object{
+				Key: key, OrigSize: blockSize, Codec: "gzip", CodecLevel: 1,
+				// The BLCR-style map node.Metadata.toMap attaches to every
+				// checkpoint, which the engine forwards on every PutBlock.
+				Meta: map[string]string{"job": "bench", "rank": "0", "step": "400", "ckpt": "1"},
+			}
+			var next atomic.Int64
+			b.SetBytes(blockSize)
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1))
 					if err := client.PutBlock(context.Background(), key, meta, i%64, block); err != nil {
 						b.Error(err)
 						return

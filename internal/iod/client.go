@@ -6,17 +6,19 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ndpcr/internal/iod/wire"
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 )
 
-// lane is one TCP connection in a client's pool, with its own gob
-// encoder/decoder pair. mu serializes exchanges on the lane (gob streams
-// are stateful, so a lane carries one request/response at a time); connMu
+// lane is one TCP connection in a client's pool, with its own codec state.
+// mu serializes exchanges on the lane (both wire codecs are stateful
+// streams, so a lane carries one request/response at a time); connMu
 // guards only the conn pointer so Close can sever an in-flight exchange
 // without waiting behind it.
 type lane struct {
@@ -28,9 +30,27 @@ type lane struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
 
+	// wireVer is the protocol negotiated on the current connection: 0 =
+	// not yet negotiated, 1 = gob (a v1 server), 2 = binary frames. Every
+	// fresh connection renegotiates, so a server upgrade or rollback takes
+	// effect at the next redial. Guarded by mu.
+	wireVer int
+	// v2 frames the connection when wireVer == 2. Guarded by mu.
+	v2 *wire.Conn
+	// scratch is the reused v2 request-meta encode buffer; pbuf is the
+	// reused single-entry scatter/gather list for PutBlock payloads (a
+	// drain sends millions of them, so the one-element slice must not be
+	// reallocated per block). Guarded by mu.
+	scratch []byte
+	pbuf    [1][]byte
+
 	// broken marks the lane as needing a (re)dial before its next
 	// exchange. Lazily-dialed pool lanes start broken with no conn.
-	broken bool
+	// Guarded by mu; healthy mirrors !broken lock-free so acquireLane's
+	// all-busy fallback can avoid queueing behind a lane stuck in redial
+	// backoff.
+	broken  bool
+	healthy atomic.Bool
 }
 
 // setConn installs a fresh connection, closing any previous one. Caller
@@ -44,6 +64,21 @@ func (ln *lane) setConn(conn net.Conn) {
 	ln.connMu.Unlock()
 	ln.enc = gob.NewEncoder(conn)
 	ln.dec = gob.NewDecoder(conn)
+	ln.wireVer = 0
+	ln.v2 = nil
+}
+
+// markBroken flags the lane for repair before its next exchange. Caller
+// holds ln.mu.
+func (ln *lane) markBroken() {
+	ln.broken = true
+	ln.healthy.Store(false)
+}
+
+// markHealthy clears the repair flag. Caller holds ln.mu.
+func (ln *lane) markHealthy() {
+	ln.broken = false
+	ln.healthy.Store(true)
 }
 
 // setDeadline applies (or clears) an I/O deadline on the lane's current
@@ -56,11 +91,21 @@ func (ln *lane) setDeadline(t time.Time) {
 	ln.connMu.Unlock()
 }
 
-// exchange runs one request/response on the lane. Caller holds ln.mu. A
-// context deadline is projected onto the connection so a blocked read
-// cannot outlive the caller's budget (the failed read marks the lane
-// broken; the next claimant redials it).
+// exchange runs one request/response on the lane through whichever codec
+// the lane negotiated. Caller holds ln.mu. A context deadline is projected
+// onto the connection so a blocked read cannot outlive the caller's budget
+// (the failed read marks the lane broken; the next claimant redials it).
 func (ln *lane) exchange(ctx context.Context, req *request) (*response, error) {
+	if ln.wireVer == 2 {
+		return ln.exchangeV2(ctx, req)
+	}
+	return ln.exchangeGob(ctx, req)
+}
+
+// exchangeGob is the v1 codec: one gob-encoded request, one gob-encoded
+// response. Also carries the opHello negotiation probe, which is always
+// sent as gob so a v1 server can parse it.
+func (ln *lane) exchangeGob(ctx context.Context, req *request) (*response, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		ln.setDeadline(dl)
 		defer ln.setDeadline(time.Time{})
@@ -73,6 +118,39 @@ func (ln *lane) exchange(ctx context.Context, req *request) (*response, error) {
 		return nil, fmt.Errorf("iod: receive: %w", err)
 	}
 	return &resp, nil
+}
+
+// exchangeV2 is the binary codec: the request's meta section is encoded
+// into the lane's reused scratch buffer, block payloads ride the
+// scatter/gather list untouched, and the response's checksum is verified
+// before decode. A checksum mismatch is a transport error — the caller
+// marks the lane broken and the retry path redials.
+func (ln *lane) exchangeV2(ctx context.Context, req *request) (*response, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		ln.setDeadline(dl)
+		defer ln.setDeadline(time.Time{})
+	}
+	ln.scratch = appendRequestMeta(ln.scratch[:0], req)
+	h := wire.Header{Op: uint8(req.Op), Index: uint32(int32(req.Index))}
+	payloads := req.Meta.Blocks
+	if len(payloads) == 0 && req.Block != nil {
+		ln.pbuf[0] = req.Block
+		payloads = ln.pbuf[:]
+	}
+	err := ln.v2.WriteFrame(h, ln.scratch, payloads...)
+	ln.pbuf[0] = nil
+	if err != nil {
+		return nil, fmt.Errorf("iod: send: %w", err)
+	}
+	rh, rmeta, rpayload, err := ln.v2.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("iod: receive: %w", err)
+	}
+	resp, err := decodeResponseWire(rh, rmeta, rpayload)
+	if err != nil {
+		return nil, fmt.Errorf("iod: receive: %w", err)
+	}
+	return resp, nil
 }
 
 // Client talks to an iod server and satisfies iostore.Backend, so a node
@@ -100,6 +178,17 @@ type Client struct {
 	lanes []*lane
 	next  atomic.Uint64 // round-robin lane cursor
 
+	// maxWire caps the protocol version the client offers at negotiation:
+	// 2 (the default) sends the v2 hello on every fresh connection; 1
+	// skips negotiation and speaks gob, reproducing a v1 client exactly
+	// (compat tests and the v1-vs-v2 benchmark baseline).
+	maxWire int
+	// arena pools receive buffers across every lane's frames.
+	arena *wire.Arena
+	// wireSeen is the highest protocol version any lane has negotiated (0
+	// until the first negotiation), exported as ndpcr_iod_wire_version.
+	wireSeen atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 
@@ -109,14 +198,16 @@ type Client struct {
 	closing atomic.Bool
 
 	// Metrics (nil until Instrument is called).
-	mDialRetries *metrics.Counter
-	mReconnects  *metrics.Counter
-	mRetries     *metrics.Counter
-	mCallErrs    *metrics.Counter
-	mDeleteErrs  *metrics.Counter
-	mLaneWaits   *metrics.Counter
-	mInFlight    *metrics.Gauge
-	mCallSecs    *metrics.Histogram
+	mDialRetries  *metrics.Counter
+	mReconnects   *metrics.Counter
+	mRetries      *metrics.Counter
+	mCallErrs     *metrics.Counter
+	mDeleteErrs   *metrics.Counter
+	mLaneWaits    *metrics.Counter
+	mChecksumErrs *metrics.Counter
+	mMaskedInv    *metrics.Counter
+	mInFlight     *metrics.Gauge
+	mCallSecs     *metrics.Histogram
 }
 
 // Instrument registers the client's metrics (dial retries, reconnect+retry
@@ -130,11 +221,19 @@ func (c *Client) Instrument(r *metrics.Registry) {
 		"deletes that failed (global objects possibly leaked by an abort cleanup)")
 	c.mLaneWaits = r.Counter("ndpcr_iod_lane_waits_total",
 		"calls that found every lane busy and had to queue")
+	c.mChecksumErrs = r.Counter("ndpcr_iod_checksum_errors_total",
+		"wire frames whose CRC32C verification failed (corruption caught before it reached a checkpoint)")
+	c.mMaskedInv = r.Counter("ndpcr_iod_masked_inventory_errors_total",
+		"remote Stat/IDs/Latest/StatBlocks errors surfaced to the caller (the v1 client silently read these as absence)")
 	c.mInFlight = r.Gauge("ndpcr_iod_inflight_calls", "calls currently on the wire (drain streams in flight)")
 	c.mCallSecs = r.Histogram("ndpcr_iod_call_seconds", "round-trip time per call", metrics.UnitSeconds)
 	r.GaugeFunc("ndpcr_iod_lanes", "TCP lanes in this client's pool", func() float64 {
 		return float64(len(c.lanes))
 	})
+	r.GaugeFunc("ndpcr_iod_wire_version", "highest wire protocol version negotiated on any lane (0 = none yet)",
+		func() float64 { return float64(c.wireSeen.Load()) })
+	c.arena.Hit = r.Counter("ndpcr_iod_arena_hits_total", "wire receive buffers served from the pooled arena")
+	c.arena.Miss = r.Counter("ndpcr_iod_arena_misses_total", "wire receive buffers freshly allocated (pool empty or oversized)")
 }
 
 var _ iostore.Backend = (*Client)(nil)
@@ -171,11 +270,19 @@ func Dial(addr string) (*Client, error) {
 // DialPool connects to an iod server with a pool of n lanes. Lane 0 is
 // dialed eagerly (so a dead server fails fast, as Dial always has); the
 // rest dial lazily on first use, so idle lanes cost the server nothing.
+// Each lane negotiates the wire protocol at first use: v2 binary frames
+// against a current server, gob against a v1 server (see opHello).
 func DialPool(addr string, n int) (*Client, error) {
+	return dialPoolWire(addr, n, wire.Version)
+}
+
+// dialPoolWire is DialPool with the offered wire version capped: maxWire 1
+// reproduces a v1 gob client (the compat matrix and the bench baseline).
+func dialPoolWire(addr string, n, maxWire int) (*Client, error) {
 	if n < 1 {
 		n = 1
 	}
-	c := &Client{addr: addr, lanes: make([]*lane, n)}
+	c := &Client{addr: addr, lanes: make([]*lane, n), maxWire: maxWire, arena: wire.NewArena()}
 	for i := range c.lanes {
 		c.lanes[i] = &lane{broken: true}
 	}
@@ -184,7 +291,7 @@ func DialPool(addr string, n int) (*Client, error) {
 		return nil, fmt.Errorf("iod: dial %s: %w", addr, err)
 	}
 	c.lanes[0].setConn(conn)
-	c.lanes[0].broken = false
+	c.lanes[0].markHealthy()
 	return c, nil
 }
 
@@ -249,10 +356,12 @@ func (c *Client) dialRetry(ctx context.Context) (net.Conn, error) {
 }
 
 // NewClient wraps an established connection (tests use net.Pipe). Clients
-// built this way have one lane and do not reconnect.
+// built this way have one lane and do not reconnect, but still negotiate
+// the wire protocol on first use.
 func NewClient(conn net.Conn) *Client {
 	ln := &lane{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	return &Client{lanes: []*lane{ln}}
+	ln.healthy.Store(true)
+	return &Client{lanes: []*lane{ln}, maxWire: wire.Version, arena: wire.NewArena()}
 }
 
 // acquireLane claims a lane for one exchange, returning it locked. It
@@ -289,6 +398,19 @@ func (c *Client) acquireLane() *lane {
 	if c.mLaneWaits != nil {
 		c.mLaneWaits.Inc()
 	}
+	// Every lane is busy: queue behind an in-flight exchange. Prefer a
+	// healthy lane (round-robin from the cursor) — blindly queueing on
+	// lanes[start%n] could park the call behind a lane stuck in redial
+	// backoff while a healthy lane would have freed up in microseconds.
+	// healthy is a lock-free snapshot, so this is a heuristic: a lane that
+	// breaks after the check still fails over through the retry path.
+	for i := uint64(0); i < n; i++ {
+		ln := c.lanes[(start+i)%n]
+		if ln.healthy.Load() {
+			ln.mu.Lock()
+			return ln
+		}
+	}
 	ln := c.lanes[start%n]
 	ln.mu.Lock()
 	return ln
@@ -317,16 +439,55 @@ func (c *Client) repairLane(ctx context.Context, ln *lane) error {
 		return nil
 	}
 	ln.setConn(conn)
-	ln.broken = false
+	ln.markHealthy()
 	if c.mReconnects != nil {
 		c.mReconnects.Inc()
 	}
 	return nil
 }
 
+// negotiateLane runs the version handshake on a freshly-connected lane.
+// The hello travels as gob so every server generation can parse it: a v2
+// server acks and both sides switch the connection to binary frames; a v1
+// server's unknown-op reply (or any refusal) downgrades the lane to gob.
+// Transport failures bubble up so the caller's retry path redials. Caller
+// holds ln.mu.
+func (c *Client) negotiateLane(ctx context.Context, ln *lane) error {
+	if c.maxWire < 2 {
+		ln.wireVer = 1
+		c.noteWire(1)
+		return nil
+	}
+	resp, err := ln.exchangeGob(ctx, &request{Op: opHello, Index: wire.Version})
+	if err != nil {
+		return err
+	}
+	if resp.Err == "" && resp.OK && resp.NumBlocks >= 2 {
+		ln.wireVer = 2
+		ln.v2 = wire.NewConn(ln.conn, c.arena)
+	} else {
+		ln.wireVer = 1
+	}
+	c.noteWire(ln.wireVer)
+	return nil
+}
+
+// noteWire records the highest negotiated protocol version for the
+// ndpcr_iod_wire_version gauge.
+func (c *Client) noteWire(v int) {
+	for {
+		cur := c.wireSeen.Load()
+		if int64(v) <= cur || c.wireSeen.CompareAndSwap(cur, int64(v)) {
+			return
+		}
+	}
+}
+
 // attempt runs one exchange on one lane, repairing the lane first if it is
-// broken (or was never dialed). A failed exchange marks the lane broken so
-// the next claimant redials it.
+// broken (or was never dialed) and negotiating the wire protocol on a
+// fresh connection. A failed exchange — including a checksum mismatch in
+// either direction — marks the lane broken so the next claimant redials
+// it.
 func (c *Client) attempt(ctx context.Context, req *request) (*response, error) {
 	ln := c.acquireLane()
 	defer ln.mu.Unlock()
@@ -335,11 +496,31 @@ func (c *Client) attempt(ctx context.Context, req *request) (*response, error) {
 			return nil, err
 		}
 	}
+	if ln.wireVer == 0 {
+		if err := c.negotiateLane(ctx, ln); err != nil {
+			ln.markBroken()
+			return nil, err
+		}
+	}
 	resp, err := ln.exchange(ctx, req)
 	if err != nil {
-		ln.broken = true
+		if errors.Is(err, wire.ErrChecksum) && c.mChecksumErrs != nil {
+			c.mChecksumErrs.Inc()
+		}
+		ln.markBroken()
+		return nil, err
 	}
-	return resp, err
+	if strings.HasPrefix(resp.Err, checksumErrPrefix) {
+		// The server read a corrupted frame from us: integrity of the lane
+		// is suspect, so treat it like a transport failure and let the
+		// retry cycle redial and resend.
+		if c.mChecksumErrs != nil {
+			c.mChecksumErrs.Inc()
+		}
+		ln.markBroken()
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
 }
 
 // Close shuts every lane down; in-flight calls fail. Lane locks are not
@@ -501,47 +682,80 @@ func (c *Client) GetBlock(ctx context.Context, key iostore.Key, index int) ([]by
 	return resp.Block, nil
 }
 
+// inventoryErr surfaces a remote inventory error the old client silently
+// swallowed: Stat/IDs/Latest used to ignore resp.Err entirely, so a
+// failing server read as "no checkpoints stored" and a restore coordinator
+// would conclude there was nothing to restore. Each surfaced error is
+// counted so operators can see how often the old behavior would have lied.
+func (c *Client) inventoryErr(resp *response) error {
+	if resp.Err == "" {
+		return nil
+	}
+	if c.mMaskedInv != nil {
+		c.mMaskedInv.Inc()
+	}
+	return errors.New(resp.Err)
+}
+
 // StatBlocks implements iostore.Backend. ok == false with a nil error
 // covers object absence and — via the unknown-op reply matched on
 // unknownOpPrefix — a pre-streaming server; in both cases the caller falls
-// back to a whole-object Get, so old servers keep working unmodified.
-// Transport failures surface as errors.
+// back to a whole-object Get, so old servers keep working unmodified. Any
+// other remote error is a real failure and surfaces as one: the previous
+// client conflated every remote error with "streaming unsupported", so a
+// briefly-failing backend silently downgraded restores to whole-object
+// fetches.
 func (c *Client) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
 	resp, err := c.call(ctx, &request{Op: opStatBlocks, Key: key})
 	if err != nil {
 		return iostore.Object{}, 0, false, err
 	}
-	if resp.Err != "" || !resp.OK {
+	if strings.HasPrefix(resp.Err, unknownOpPrefix) {
+		return iostore.Object{}, 0, false, nil
+	}
+	if err := c.inventoryErr(resp); err != nil {
+		return iostore.Object{}, 0, false, err
+	}
+	if !resp.OK {
 		return iostore.Object{}, 0, false, nil
 	}
 	return resp.Object, resp.NumBlocks, true, nil
 }
 
-// Stat implements iostore.Backend: transport errors kept distinct from
-// "no such checkpoint".
+// Stat implements iostore.Backend: transport errors and remote failures
+// kept distinct from "no such checkpoint".
 func (c *Client) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
 	resp, err := c.call(ctx, &request{Op: opStat, Key: key})
 	if err != nil {
 		return iostore.Object{}, false, err
 	}
+	if err := c.inventoryErr(resp); err != nil {
+		return iostore.Object{}, false, err
+	}
 	return resp.Object, resp.OK, nil
 }
 
-// IDs implements iostore.Backend: transport errors kept distinct from "no
-// checkpoints stored".
+// IDs implements iostore.Backend: transport errors and remote failures
+// kept distinct from "no checkpoints stored".
 func (c *Client) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
 	resp, err := c.call(ctx, &request{Op: opIDs, Job: job, Rank: rank})
 	if err != nil {
 		return nil, err
 	}
+	if err := c.inventoryErr(resp); err != nil {
+		return nil, err
+	}
 	return resp.IDs, nil
 }
 
-// Latest implements iostore.Backend: transport errors kept distinct from
-// "no checkpoints stored".
+// Latest implements iostore.Backend: transport errors and remote failures
+// kept distinct from "no checkpoints stored".
 func (c *Client) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
 	resp, err := c.call(ctx, &request{Op: opLatest, Job: job, Rank: rank})
 	if err != nil {
+		return 0, false, err
+	}
+	if err := c.inventoryErr(resp); err != nil {
 		return 0, false, err
 	}
 	return resp.Latest, resp.OK, nil

@@ -1,0 +1,269 @@
+package iod
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ndpcr/internal/faultinject"
+	"ndpcr/internal/metrics"
+	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/nvm"
+)
+
+// exerciseSuite runs one full drain/restore/inventory cycle through a
+// client — the shared body of the version-compat matrix.
+func exerciseSuite(t *testing.T, client *Client) {
+	t.Helper()
+	ctx := context.Background()
+	key := iostore.Key{Job: "compat", Rank: 2, ID: 7}
+	meta := iostore.Object{Key: key, OrigSize: 12, Meta: map[string]string{"step": "9"}}
+	if err := client.PutBlock(ctx, key, meta, 0, []byte("hello ")); err != nil {
+		t.Fatalf("PutBlock 0: %v", err)
+	}
+	if err := client.PutBlock(ctx, key, meta, 1, []byte("wire!")); err != nil {
+		t.Fatalf("PutBlock 1: %v", err)
+	}
+	obj, err := client.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got := string(bytes.Join(obj.Blocks, nil)); got != "hello wire!" {
+		t.Fatalf("Get blocks = %q", got)
+	}
+	if obj.Meta["step"] != "9" {
+		t.Errorf("object meta lost: %v", obj.Meta)
+	}
+	if _, ok, err := client.Stat(ctx, key); err != nil || !ok {
+		t.Fatalf("Stat = %v, %v", ok, err)
+	}
+	if latest, ok, err := client.Latest(ctx, "compat", 2); err != nil || !ok || latest != 7 {
+		t.Fatalf("Latest = %d, %v, %v", latest, ok, err)
+	}
+	if _, err := client.Get(ctx, iostore.Key{Job: "compat", Rank: 2, ID: 404}); !errors.Is(err, iostore.ErrNotFound) {
+		t.Fatalf("missing Get err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestCompatV2BothEnds is the happy path: current client, current server,
+// every lane negotiates binary frames.
+func TestCompatV2BothEnds(t *testing.T) {
+	srv, client, _ := startPool(t, 2)
+	exerciseSuite(t, client)
+	if v := client.wireSeen.Load(); v != 2 {
+		t.Errorf("wireSeen = %d, want 2", v)
+	}
+	if n := srv.mWireConns[1].Value(); n < 1 {
+		t.Errorf("server counted %v v2 connections, want >= 1", n)
+	}
+	client.lanes[0].mu.Lock()
+	ver := client.lanes[0].wireVer
+	client.lanes[0].mu.Unlock()
+	if ver != 2 {
+		t.Errorf("lane 0 wireVer = %d, want 2", ver)
+	}
+}
+
+// TestCompatV2ClientV1Server points a current client at a gob-only server
+// stub: the hello must downgrade every lane to gob and the suite (minus the
+// streaming extension the stub lacks) must pass.
+func TestCompatV2ClientV1Server(t *testing.T) {
+	backing := iostore.New(nvm.Pacer{})
+	addr := startOldServer(t, backing)
+	client, err := DialPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	exerciseSuite(t, client)
+	if v := client.wireSeen.Load(); v != 1 {
+		t.Errorf("wireSeen = %d, want 1 (gob downgrade)", v)
+	}
+	if _, _, ok, err := client.StatBlocks(context.Background(), iostore.Key{Job: "compat", Rank: 2, ID: 7}); ok || err != nil {
+		t.Errorf("StatBlocks against v1 server = %v, %v; want unsupported fallback", ok, err)
+	}
+}
+
+// TestCompatV1ClientV2Server reproduces an un-upgraded client (no hello,
+// gob frames only) against a current server.
+func TestCompatV1ClientV2Server(t *testing.T) {
+	srv, _, _ := startPool(t, 1)
+	client, err := dialPoolWire(srv.Addr().String(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	exerciseSuite(t, client)
+	if v := client.wireSeen.Load(); v != 1 {
+		t.Errorf("wireSeen = %d, want 1", v)
+	}
+	if n := srv.mWireConns[0].Value(); n < 1 {
+		t.Errorf("server counted %v v1 connections, want >= 1", n)
+	}
+}
+
+// TestCorruptFaultTripsChecksumAndRecovers injects one corrupt fault on
+// the server's response path: the client's CRC check must catch it, count
+// it, and the retry cycle must complete the call against the repaired
+// lane.
+func TestCorruptFaultTripsChecksumAndRecovers(t *testing.T) {
+	srv, client, backing := startPool(t, 1)
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+	in := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteIODConn, Rank: faultinject.AnyRank,
+		Count: 1, Mode: faultinject.ModeCorrupt,
+	})
+	srv.SetConnFaultHook(in.ConnFaultHook())
+
+	key := iostore.Key{Job: "crc", Rank: 0, ID: 1}
+	if err := client.PutBlock(context.Background(), key, iostore.Object{Key: key, OrigSize: 4}, 0, []byte("data")); err != nil {
+		t.Fatalf("PutBlock through corruption: %v", err)
+	}
+	if got := client.mChecksumErrs.Value(); got != 1 {
+		t.Errorf("client checksum errors = %v, want 1", got)
+	}
+	if fired := in.Fired()[faultinject.SiteIODConn]; fired != 1 {
+		t.Errorf("corrupt rule fired %d times, want 1", fired)
+	}
+	if obj, err := backing.Get(context.Background(), key); err != nil || string(obj.Blocks[0]) != "data" {
+		t.Errorf("stored object wrong after recovery: %v, %v", obj, err)
+	}
+}
+
+// TestServerRejectsCorruptRequestFrame corrupts a client->server frame:
+// the server must answer with the checksum error (stream aligned, counted)
+// and the client must treat it as a transport failure and retry to
+// success.
+func TestServerRejectsCorruptRequestFrame(t *testing.T) {
+	srv, client, backing := startPool(t, 1)
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+	// Warm the lane so the v2 conn exists, then corrupt the next request.
+	if _, _, err := client.Latest(context.Background(), "crc", 0); err != nil {
+		t.Fatal(err)
+	}
+	ln := client.lanes[0]
+	ln.mu.Lock()
+	if ln.wireVer != 2 {
+		ln.mu.Unlock()
+		t.Fatalf("lane wireVer = %d, want 2", ln.wireVer)
+	}
+	ln.v2.CorruptNext = true
+	ln.mu.Unlock()
+
+	key := iostore.Key{Job: "crc", Rank: 0, ID: 2}
+	if err := client.PutBlock(context.Background(), key, iostore.Object{Key: key, OrigSize: 4}, 0, []byte("data")); err != nil {
+		t.Fatalf("PutBlock through request corruption: %v", err)
+	}
+	if got := client.mChecksumErrs.Value(); got != 1 {
+		t.Errorf("client checksum errors = %v, want 1", got)
+	}
+	waitFor := time.Now().Add(3 * time.Second)
+	for srv.mChecksumErrs.Value() == 0 {
+		if time.Now().After(waitFor) {
+			t.Fatal("server never counted the checksum failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if obj, err := backing.Get(context.Background(), key); err != nil || string(obj.Blocks[0]) != "data" {
+		t.Errorf("stored object wrong after recovery: %v, %v", obj, err)
+	}
+}
+
+// failingBackend errors every inventory read; writes succeed.
+type failingBackend struct {
+	iostore.Backend
+}
+
+func (f failingBackend) Stat(ctx context.Context, key iostore.Key) (iostore.Object, bool, error) {
+	return iostore.Object{}, false, errors.New("backend melted")
+}
+func (f failingBackend) IDs(ctx context.Context, job string, rank int) ([]uint64, error) {
+	return nil, errors.New("backend melted")
+}
+func (f failingBackend) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
+	return 0, false, errors.New("backend melted")
+}
+func (f failingBackend) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
+	return iostore.Object{}, 0, false, errors.New("backend melted")
+}
+
+// TestRemoteInventoryErrorsSurfaced is the masking regression: a remote
+// Stat/IDs/Latest/StatBlocks failure must surface as an error — the old
+// client read all of them as "nothing stored", so a restore coordinator
+// on a sick I/O node concluded there was no checkpoint to restore.
+func TestRemoteInventoryErrorsSurfaced(t *testing.T) {
+	srv, err := NewServer(failingBackend{iostore.New(nvm.Pacer{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ListenAndServe("127.0.0.1:0")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	reg := metrics.NewRegistry()
+	client.Instrument(reg)
+
+	ctx := context.Background()
+	key := iostore.Key{Job: "sick", Rank: 0, ID: 1}
+	if _, ok, err := client.Stat(ctx, key); err == nil || ok {
+		t.Error("Stat masked a remote failure as absence")
+	}
+	if ids, err := client.IDs(ctx, "sick", 0); err == nil || ids != nil {
+		t.Error("IDs masked a remote failure as an empty inventory")
+	}
+	if _, ok, err := client.Latest(ctx, "sick", 0); err == nil || ok {
+		t.Error("Latest masked a remote failure as absence")
+	}
+	if _, _, ok, err := client.StatBlocks(ctx, key); err == nil || ok {
+		t.Error("StatBlocks conflated a remote failure with 'streaming unsupported'")
+	}
+	if got := client.mMaskedInv.Value(); got != 4 {
+		t.Errorf("masked-inventory counter = %v, want 4", got)
+	}
+}
+
+// TestAcquireLanePrefersHealthyWhenAllBusy pins every lane busy and checks
+// the queueing fallback picks the healthy lane, not blindly the cursor's.
+func TestAcquireLanePrefersHealthyWhenAllBusy(t *testing.T) {
+	c := &Client{lanes: []*lane{{}, {}, {}}}
+	for _, ln := range c.lanes {
+		ln.broken = true
+		ln.mu.Lock() // every lane busy
+	}
+	c.lanes[2].healthy.Store(true)
+
+	got := make(chan *lane)
+	go func() { got <- c.acquireLane() }()
+	// The cursor starts at lane 0 (unhealthy, held forever): the old
+	// fallback queued there and would never return. The fixed fallback
+	// queues on the healthy lane 2, so freeing it releases the waiter.
+	select {
+	case <-got:
+		t.Fatal("acquireLane returned while every lane was still held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.lanes[2].mu.Unlock()
+	select {
+	case ln := <-got:
+		if ln != c.lanes[2] {
+			t.Error("acquireLane queued on an unhealthy lane instead of the healthy one")
+		}
+		ln.mu.Unlock()
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquireLane never returned after the healthy lane freed (queued on an unhealthy lane?)")
+	}
+}

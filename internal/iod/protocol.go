@@ -1,8 +1,16 @@
 // Package iod implements the global I/O node as a network service: a TCP
-// daemon exposing the iostore API over a gob-framed request/response
-// protocol, and a client that satisfies iostore.API so a node runtime (and
-// its NDP drain engine) can target a remote I/O node instead of an
-// in-process store.
+// daemon exposing the iostore API over a request/response protocol, and a
+// client that satisfies iostore.Backend so a node runtime (and its NDP
+// drain engine) can target a remote I/O node instead of an in-process
+// store.
+//
+// Two wire codecs share the port. Protocol v2 (internal/iod/wire) is the
+// default: length-prefixed little-endian binary frames with CRC32C
+// checksums, pooled receive buffers, and scatter/gather sends — the
+// zero-copy wire that lets a drain run at hardware speed. Protocol v1 is
+// the original gob framing, kept for mixed-version fleets: each lane
+// negotiates at connect (see opHello) and falls back to gob when the peer
+// predates v2.
 //
 // This is the substrate behind the paper's §4.2.2 requirement that "the
 // NDP must be able to operate the relevant system code for running the
@@ -37,6 +45,23 @@ const (
 	// opMax is the highest valid op (metric array sizing).
 	opMax = opStatBlocks
 )
+
+// opHello is the wire-v2 negotiation probe: the first request a v2-capable
+// client sends on every fresh connection, as gob, with Index carrying the
+// highest protocol version the client speaks. A v2 server acks it
+// (OK=true, NumBlocks=negotiated version) and switches the connection to
+// binary framing; a v1 server answers with its unknown-op error, which
+// downgrades the lane to gob — the same trick as the opStatBlocks
+// fallback, so mixed-version fleets keep working in both directions. The
+// value sits far above opMax so it can never collide with a real op.
+const opHello op = 0x7F
+
+// checksumErrPrefix opens the error a v2 server returns when a received
+// frame fails CRC verification. The client maps it to a transport failure
+// (redial + retry) rather than an application error: corruption on the
+// wire must not fail a drain the way a full disk would. Like
+// unknownOpPrefix, the string is part of the wire contract.
+const checksumErrPrefix = "iod: payload checksum mismatch"
 
 // opName labels operations in metric series.
 func opName(o op) string {

@@ -1,6 +1,7 @@
 package iod
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"ndpcr/internal/iod/wire"
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node/iostore"
 )
@@ -30,10 +32,13 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	// connDrop, when set, is consulted before each request; returning true
-	// severs the connection without responding (fault injection: exercises
-	// the client's reconnect+retry path).
-	connDrop func() bool
+	// connFault, when set, is consulted before each request; drop severs
+	// the connection without responding (fault injection: exercises the
+	// client's reconnect+retry path), corrupt flips a byte of the next v2
+	// response frame after its checksum is computed (exercises the client's
+	// CRC verification; on a gob lane corrupt degrades to drop, since gob
+	// has no checksum to trip).
+	connFault func() (drop, corrupt bool)
 
 	// maxConns, when > 0, caps concurrently served connections: a lane
 	// budget for the I/O node. Excess connections are closed at accept, so
@@ -41,12 +46,19 @@ type Server struct {
 	// its surplus lanes break and retries on the funded ones.
 	maxConns int
 
-	reg        *metrics.Registry
-	mRequests  [opMax + 1]*metrics.Counter
-	mInFlight  *metrics.Gauge
-	mReqSecs   *metrics.Histogram
-	mReqErrors *metrics.Counter
-	mRejected  *metrics.Counter
+	// arena pools v2 receive buffers across every connection; request
+	// payloads are recycled as soon as the handler returns (every
+	// iostore.Backend copies block bytes it keeps, so recycling is safe).
+	arena *wire.Arena
+
+	reg           *metrics.Registry
+	mRequests     [opMax + 1]*metrics.Counter
+	mInFlight     *metrics.Gauge
+	mReqSecs      *metrics.Histogram
+	mReqErrors    *metrics.Counter
+	mRejected     *metrics.Counter
+	mChecksumErrs *metrics.Counter
+	mWireConns    [2]*metrics.Counter // [0]=v1 (gob), [1]=v2 (binary)
 }
 
 // NewServer wraps a backing store (usually *iostore.Store, possibly paced
@@ -55,7 +67,7 @@ func NewServer(backing iostore.Backend) (*Server, error) {
 	if backing == nil {
 		return nil, errors.New("iod: backing store is required")
 	}
-	s := &Server{backing: backing, conns: make(map[net.Conn]struct{})}
+	s := &Server{backing: backing, conns: make(map[net.Conn]struct{}), arena: wire.NewArena()}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.reg = metrics.NewRegistry()
 	for op := opPut; op <= opMax; op++ {
@@ -67,6 +79,14 @@ func NewServer(backing iostore.Backend) (*Server, error) {
 	s.mReqSecs = s.reg.Histogram("ndpcr_iod_request_seconds", "handling time per request", metrics.UnitSeconds)
 	s.mReqErrors = s.reg.Counter("ndpcr_iod_request_errors_total", "requests answered with an error")
 	s.mRejected = s.reg.Counter("ndpcr_iod_conns_rejected_total", "connections refused by the -max-conns lane budget")
+	s.mChecksumErrs = s.reg.Counter("ndpcr_iod_checksum_errors_total",
+		"received wire frames whose CRC32C verification failed (corruption caught before it reached the store)")
+	s.mWireConns[0] = s.reg.Counter(`ndpcr_iod_wire_conns_total{version="v1"}`,
+		"connections negotiated down to the gob wire, by protocol version")
+	s.mWireConns[1] = s.reg.Counter(`ndpcr_iod_wire_conns_total{version="v2"}`,
+		"connections negotiated up to binary frames, by protocol version")
+	s.arena.Hit = s.reg.Counter("ndpcr_iod_arena_hits_total", "wire receive buffers served from the pooled arena")
+	s.arena.Miss = s.reg.Counter("ndpcr_iod_arena_misses_total", "wire receive buffers freshly allocated (pool empty or oversized)")
 	s.reg.GaugeFunc("ndpcr_iod_connections", "compute-node connections currently open", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -85,10 +105,23 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // SetConnDropHook installs (or, with nil, removes) a fault-injection hook
 // consulted before each request; when it returns true the server drops the
 // connection mid-exchange instead of answering, as a crashing or
-// restarting I/O node would.
+// restarting I/O node would. Kept as the drop-only form of
+// SetConnFaultHook for existing callers.
 func (s *Server) SetConnDropHook(h func() bool) {
+	if h == nil {
+		s.SetConnFaultHook(nil)
+		return
+	}
+	s.SetConnFaultHook(func() (bool, bool) { return h(), false })
+}
+
+// SetConnFaultHook installs (or, with nil, removes) the full fault hook:
+// drop severs the connection without answering; corrupt flips a byte of
+// the next v2 response frame after its checksum is computed, so the
+// client's CRC verification — not a codec decode error — must catch it.
+func (s *Server) SetConnFaultHook(h func() (drop, corrupt bool)) {
 	s.mu.Lock()
-	s.connDrop = h
+	s.connFault = h
 	s.mu.Unlock()
 }
 
@@ -173,17 +206,34 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	counted := false
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			// EOF and reset are normal client departures.
 			return
 		}
-		s.mu.Lock()
-		drop := s.connDrop
-		s.mu.Unlock()
-		if drop != nil && drop() {
-			return // sever without responding: the client must reconnect
+		if req.Op == opHello && req.Index >= wire.Version {
+			// A v2-capable client's negotiation probe: ack (NumBlocks
+			// carries the agreed version) and switch this connection to
+			// binary frames. The ack itself is gob — the client reads it
+			// with the gob decoder before sending any v2 bytes.
+			if err := enc.Encode(&response{OK: true, NumBlocks: wire.Version}); err != nil {
+				return
+			}
+			s.mWireConns[1].Inc()
+			s.serveV2(conn)
+			return
+		}
+		if !counted {
+			counted = true
+			s.mWireConns[0].Inc()
+		}
+		drop, corrupt := s.fault()
+		if drop || corrupt {
+			// gob has no checksum to trip, so corrupt degrades to drop:
+			// sever without responding and let the client reconnect.
+			return
 		}
 		resp := s.handle(&req)
 		if err := enc.Encode(resp); err != nil {
@@ -192,7 +242,112 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// fault consults the fault-injection hook, if any.
+func (s *Server) fault() (drop, corrupt bool) {
+	s.mu.Lock()
+	h := s.connFault
+	s.mu.Unlock()
+	if h == nil {
+		return false, false
+	}
+	return h()
+}
+
+// serveV2 serves binary frames on a connection that completed the opHello
+// upgrade. Request payloads land in pooled arena buffers and are recycled
+// the moment the handler returns (every iostore.Backend copies block bytes
+// it keeps); response blocks ride the scatter/gather list straight from
+// the backing store. A frame that fails CRC verification is answered with
+// a checksumErrPrefix error — the stream stays aligned, and the client
+// treats the reply as a transport failure and redials.
+func (s *Server) serveV2(conn net.Conn) {
+	wc := wire.NewConn(conn, s.arena)
+	var scratch []byte // reused response-meta encode buffer
+	reply := func(h wire.Header, resp *response) error {
+		scratch = appendResponseMeta(scratch[:0], resp)
+		return wc.WriteFrame(h, scratch, responsePayload(resp)...)
+	}
+	// A drain (or streamed restore) repeats a byte-identical meta section
+	// on every block — same key, same checkpoint metadata, only the header
+	// index and the payload change. Memoize the last decoded request per
+	// connection so the steady state skips the meta decode and its map and
+	// string allocations entirely. Multi-block frames (whole-object Put)
+	// split the payload by a meta-coded length table, so they bypass the
+	// cache. Handing the same decoded Meta map to many requests is safe:
+	// every backend treats it as read-only.
+	var (
+		lastMeta  []byte
+		lastOp    uint8
+		cached    request
+		haveCache bool
+		memoReq   request
+		connResp  response // reused reply struct; done with once reply() returns
+	)
+	for {
+		h, meta, payload, err := wc.ReadFrame()
+		if err != nil {
+			if errors.Is(err, wire.ErrChecksum) {
+				s.mChecksumErrs.Inc()
+				resp := &response{Err: fmt.Sprintf("%s: op %d", checksumErrPrefix, h.Op)}
+				if werr := reply(wire.Header{Op: h.Op}, resp); werr != nil {
+					return
+				}
+				continue
+			}
+			// EOF and reset are normal client departures; framing errors
+			// mean the stream is unrecoverable either way.
+			return
+		}
+		var req *request
+		if haveCache && h.Op == lastOp && bytes.Equal(meta, lastMeta) {
+			memoReq = cached
+			memoReq.Index = int(int32(h.Index))
+			if h.PayloadLen > 0 {
+				memoReq.Block = payload
+			}
+			req = &memoReq
+		} else if req, err = decodeRequestWire(h, meta, payload); err != nil {
+			// CRC passed but the meta section is structurally invalid: a
+			// codec bug or a hostile peer. The stream is still aligned, so
+			// answer with the error rather than dying.
+			s.arena.Put(payload)
+			if werr := reply(wire.Header{Op: h.Op}, &response{Err: err.Error()}); werr != nil {
+				return
+			}
+			continue
+		} else if req.Meta.Blocks == nil {
+			lastMeta = append(lastMeta[:0], meta...)
+			lastOp = h.Op
+			cached = *req
+			cached.Index, cached.Block = 0, nil
+			haveCache = true
+		} else {
+			haveCache = false
+		}
+		drop, corrupt := s.fault()
+		if drop {
+			s.arena.Put(payload)
+			return // sever without responding: the client must reconnect
+		}
+		s.handleInto(req, &connResp)
+		s.arena.Put(payload)
+		wc.CorruptNext = corrupt
+		if err := reply(wire.Header{Op: h.Op, Flags: respFlags(&connResp)}, &connResp); err != nil {
+			return
+		}
+	}
+}
+
 func (s *Server) handle(req *request) *response {
+	resp := &response{}
+	s.handleInto(req, resp)
+	return resp
+}
+
+// handleInto dispatches req to the backing store, filling resp in place —
+// the v2 serve loop reuses one response per connection, so the steady
+// drain state allocates nothing per block on the reply path.
+func (s *Server) handleInto(req *request, resp *response) {
 	start := time.Now()
 	s.mInFlight.Inc()
 	defer func() {
@@ -202,7 +357,7 @@ func (s *Server) handle(req *request) *response {
 	if req.Op >= opPut && req.Op <= opMax {
 		s.mRequests[req.Op].Inc()
 	}
-	resp := &response{}
+	*resp = response{}
 	ctx := s.ctx
 	switch req.Op {
 	case opPut:
@@ -275,7 +430,6 @@ func (s *Server) handle(req *request) *response {
 	if resp.Err != "" {
 		s.mReqErrors.Inc()
 	}
-	return resp
 }
 
 // Close stops accepting, closes every connection, and waits for handlers.

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Magic:      Magic,
+		Version:    Version,
+		Op:         7,
+		Flags:      FlagOK | FlagNotFound,
+		Index:      0xdeadbeef,
+		MetaLen:    123,
+		PayloadLen: 456,
+		Aux:        0x0123456789abcdef,
+		CRC:        0xcafef00d,
+	}
+	var buf [HeaderSize]byte
+	EncodeHeader(buf[:], h)
+	got, err := DecodeHeader(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestDecodeHeaderRejects(t *testing.T) {
+	mk := func(mut func(h *Header)) []byte {
+		h := Header{Magic: Magic, Version: Version}
+		mut(&h)
+		var buf [HeaderSize]byte
+		EncodeHeader(buf[:], h)
+		return buf[:]
+	}
+	cases := []struct {
+		name string
+		src  []byte
+		want error
+	}{
+		{"short", make([]byte, HeaderSize-1), ErrTruncated},
+		{"magic", mk(func(h *Header) { h.Magic = 0x12345678 }), ErrBadMagic},
+		{"version", mk(func(h *Header) { h.Version = 3 }), ErrBadVersion},
+		{"meta cap", mk(func(h *Header) { h.MetaLen = MaxMetaLen + 1 }), ErrFrameTooLarge},
+		{"payload cap", mk(func(h *Header) { h.PayloadLen = MaxPayloadLen + 1 }), ErrFrameTooLarge},
+	}
+	for _, c := range cases {
+		if _, err := DecodeHeader(c.src); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// pipeConn joins a write buffer and a read buffer so one Conn's output can
+// feed another Conn's input.
+type pipeConn struct {
+	io.Reader
+	io.Writer
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var net bytes.Buffer
+	tx := NewConn(pipeConn{Writer: &net}, nil)
+	rx := NewConn(pipeConn{Reader: &net}, NewArena())
+
+	meta := []byte("meta-section")
+	p1, p2 := []byte("hello "), []byte("world")
+	h := Header{Op: 3, Flags: FlagOK, Index: 42, Aux: 99}
+	if err := tx.WriteFrame(h, meta, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	gh, gmeta, gpayload, err := rx.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.Op != 3 || gh.Flags != FlagOK || gh.Index != 42 || gh.Aux != 99 {
+		t.Errorf("header fields lost: %+v", gh)
+	}
+	if !bytes.Equal(gmeta, meta) {
+		t.Errorf("meta = %q, want %q", gmeta, meta)
+	}
+	if !bytes.Equal(gpayload, []byte("hello world")) {
+		t.Errorf("payload = %q, want %q", gpayload, "hello world")
+	}
+}
+
+func TestFrameEmptySections(t *testing.T) {
+	var net bytes.Buffer
+	tx := NewConn(pipeConn{Writer: &net}, nil)
+	rx := NewConn(pipeConn{Reader: &net}, nil)
+	if err := tx.WriteFrame(Header{Op: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, meta, payload, err := rx.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MetaLen != 0 || h.PayloadLen != 0 || len(meta) != 0 || payload != nil {
+		t.Errorf("empty frame decoded as meta=%d payload=%d", h.MetaLen, h.PayloadLen)
+	}
+}
+
+func TestCorruptNextTripsChecksum(t *testing.T) {
+	var net bytes.Buffer
+	tx := NewConn(pipeConn{Writer: &net}, nil)
+	rx := NewConn(pipeConn{Reader: &net}, nil)
+
+	payload := []byte("precious checkpoint bytes")
+	keep := append([]byte(nil), payload...)
+	tx.CorruptNext = true
+	if err := tx.WriteFrame(Header{Op: 2}, []byte("m"), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := rx.ReadFrame(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted frame err = %v, want ErrChecksum", err)
+	}
+	if !bytes.Equal(payload, keep) {
+		t.Error("CorruptNext mutated the caller's payload slice")
+	}
+	if tx.CorruptNext {
+		t.Error("CorruptNext did not clear after one frame")
+	}
+
+	// The stream stays aligned: the next frame decodes cleanly.
+	if err := tx.WriteFrame(Header{Op: 2}, nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, err := rx.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, keep) {
+		t.Error("frame after a checksum failure decoded wrong")
+	}
+}
+
+func TestArenaClassesAndReuse(t *testing.T) {
+	a := NewArena()
+	b := a.Get(1000)
+	if len(b) != 1000 || cap(b) != 1<<10 {
+		t.Fatalf("Get(1000): len %d cap %d, want 1000/%d", len(b), cap(b), 1<<10)
+	}
+	a.Put(b)
+	b2 := a.Get(512)
+	if cap(b2) != 1<<10 {
+		t.Errorf("recycled buffer cap %d, want %d", cap(b2), 1<<10)
+	}
+
+	big := a.Get(8 << 20) // beyond the largest class
+	if len(big) != 8<<20 {
+		t.Fatalf("oversize Get len %d", len(big))
+	}
+	a.Put(big) // dropped silently: capacity matches no class
+
+	// Foreign slices are never pooled.
+	a.Put(make([]byte, 777))
+	if got := a.Get(777); cap(got) != 1<<10 {
+		t.Errorf("foreign slice entered the pool: cap %d", cap(got))
+	}
+}
+
+func TestNilArenaDegrades(t *testing.T) {
+	var a *Arena
+	b := a.Get(4096)
+	if len(b) != 4096 {
+		t.Fatalf("nil arena Get len %d", len(b))
+	}
+	a.Put(b) // must not panic
+}

@@ -1,0 +1,137 @@
+package iod
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ndpcr/internal/iod/wire"
+	"ndpcr/internal/node/iostore"
+)
+
+// flatten concatenates payload slices the way the wire does.
+func flatten(payloads [][]byte) []byte {
+	var out []byte
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// reqRoundTrip pushes a request through the v2 codec and back.
+func reqRoundTrip(t *testing.T, req *request) *request {
+	t.Helper()
+	meta := appendRequestMeta(nil, req)
+	payloads := requestPayload(req)
+	h := wire.Header{
+		Op:         uint8(req.Op),
+		Index:      uint32(int32(req.Index)),
+		MetaLen:    uint32(len(meta)),
+		PayloadLen: uint32(len(flatten(payloads))),
+	}
+	got, err := decodeRequestWire(h, meta, flatten(payloads))
+	if err != nil {
+		t.Fatalf("decodeRequestWire: %v", err)
+	}
+	return got
+}
+
+func TestRequestWireRoundTripAllOps(t *testing.T) {
+	obj := iostore.Object{
+		Key:        iostore.Key{Job: "sim", Rank: 3, ID: 17},
+		Codec:      "zstd",
+		CodecLevel: 3,
+		OrigSize:   1 << 20,
+		DeltaBase:  16,
+		Meta:       map[string]string{"step": "400", "epoch": "7"},
+		Blocks:     [][]byte{[]byte("block-zero"), []byte("b1"), {}, []byte("three")},
+	}
+	reqs := []*request{
+		{Op: opPut, Meta: obj},
+		{Op: opPutBlock, Key: obj.Key, Meta: iostore.Object{Key: obj.Key, OrigSize: 10}, Index: 5, Block: []byte("payload!")},
+		{Op: opDelete, Key: obj.Key},
+		{Op: opGet, Key: obj.Key},
+		{Op: opStat, Key: obj.Key},
+		{Op: opIDs, Job: "sim", Rank: 3},
+		{Op: opLatest, Job: "sim", Rank: -1},
+		{Op: opGetBlock, Key: obj.Key, Index: -2},
+		{Op: opStatBlocks, Key: obj.Key},
+	}
+	for _, req := range reqs {
+		got := reqRoundTrip(t, req)
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("op %s roundtrip:\n got %+v\nwant %+v", opName(req.Op), got, req)
+		}
+	}
+}
+
+func TestResponseWireRoundTrip(t *testing.T) {
+	resps := []*response{
+		{},
+		{Err: "disk full"},
+		{NotFound: true, Err: "iostore: not found: sim/3/17"},
+		{OK: true, Latest: 99},
+		{IDs: []uint64{1, 5, 44}},
+		{OK: true, NumBlocks: 12, Object: iostore.Object{Key: iostore.Key{Job: "j", Rank: 1, ID: 2}, OrigSize: 77}},
+		{Block: []byte("one block")},
+		{Object: iostore.Object{
+			Key:    iostore.Key{Job: "j", Rank: 0, ID: 9},
+			Meta:   map[string]string{"k": "v"},
+			Blocks: [][]byte{[]byte("aa"), []byte("bbb")},
+		}},
+	}
+	for i, resp := range resps {
+		meta := appendResponseMeta(nil, resp)
+		payloads := responsePayload(resp)
+		h := wire.Header{
+			Flags:      respFlags(resp),
+			MetaLen:    uint32(len(meta)),
+			PayloadLen: uint32(len(flatten(payloads))),
+		}
+		got, err := decodeResponseWire(h, meta, flatten(payloads))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("case %d roundtrip:\n got %+v\nwant %+v", i, got, resp)
+		}
+	}
+}
+
+func TestSplitPayloadRejectsMismatch(t *testing.T) {
+	payload := []byte("0123456789")
+	if _, err := splitPayload(payload, []int{4, 99}); err == nil {
+		t.Error("overrunning length table accepted")
+	}
+	if _, err := splitPayload(payload, []int{4, 4}); err == nil {
+		t.Error("under-covering length table accepted")
+	}
+	if _, err := splitPayload(payload, []int{-1, 11}); err == nil {
+		t.Error("negative length accepted")
+	}
+	blocks, err := splitPayload(payload, []int{4, 0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blocks[0], []byte("0123")) || len(blocks[1]) != 0 || !bytes.Equal(blocks[2], []byte("456789")) {
+		t.Errorf("split wrong: %q", blocks)
+	}
+}
+
+func TestDecodeRejectsHostileCounts(t *testing.T) {
+	// A tiny meta section claiming a huge map/ID/block count must fail
+	// cleanly instead of allocating by the claimed size.
+	var meta []byte
+	meta = wire.AppendString(meta, "j")
+	meta = wire.AppendInt(meta, 0)
+	meta = wire.AppendUvarint(meta, 1)
+	meta = wire.AppendString(meta, "zstd")
+	meta = wire.AppendInt(meta, 0)
+	meta = wire.AppendInt(meta, 0)
+	meta = wire.AppendUvarint(meta, 0)
+	meta = wire.AppendUvarint(meta, 1<<40) // hostile meta-map count
+	r := wire.NewReader(meta)
+	if _, _ = readObjectMeta(r); r.Err() == nil {
+		t.Error("hostile meta-map count decoded without error")
+	}
+}

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Runs the iod transport benchmarks and emits BENCH_iod.json at the repo
-# root: drain throughput per lane count and streamed-vs-whole restore
-# latency. The JSON carries the two claims the multiplexed transport makes:
+# root: drain throughput per lane count, the v1-vs-v2 wire comparison, and
+# streamed-vs-whole restore latency. The JSON carries the claims the
+# transport makes:
 #
 #   - drain throughput grows monotonically with the lane count (1 -> 4);
+#   - the v2 binary wire's 4-lane drain is at least 2x the v1 gob wire's
+#     recorded 4-lane drain baseline (172.94 MB/s, the BENCH_iod.json
+#     figure the gob wire shipped with), and beats a freshly-measured v1
+#     client outright;
 #   - a streamed restore (block fetch overlapped with decompression)
 #     finishes faster than the serial fetch-everything-then-decompress sum.
 #
@@ -13,19 +18,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${1:-300ms}"
+
+# The 4-lane drain the v1 gob wire recorded in BENCH_iod.json before the
+# binary protocol landed: the fixed yardstick for the 2x gate, so the gate
+# measures the wire upgrade rather than the benchmark host's mood.
+v1_baseline_mbps=172.94
+
 out=$(go test ./internal/iod/ -run '^$' \
-    -bench 'BenchmarkDrainLanes|BenchmarkStreamedRestore' \
+    -bench 'BenchmarkDrainLanes|BenchmarkWireDrain|BenchmarkStreamedRestore' \
     -benchtime "$benchtime" -count=1)
 
 echo "$out"
 
-echo "$out" | awk '
+echo "$out" | awk -v baseline="$v1_baseline_mbps" '
 /^BenchmarkDrainLanes\/lanes=/ {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])
     lanes[n_lanes++] = parts[2]
     lane_ns[parts[2]] = $3
     lane_mbs[parts[2]] = $5
+}
+/^BenchmarkWireDrain\/wire=/ {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])
+    wire_ns[parts[2]] = $3
+    wire_mbs[parts[2]] = $5
 }
 /^BenchmarkStreamedRestore\/mode=/ {
     split($1, parts, "=")
@@ -36,12 +53,24 @@ echo "$out" | awk '
 END {
     printf "{\n"
     printf "  \"bench\": \"iod transport\",\n"
+    printf "  \"wire_version\": 2,\n"
     printf "  \"drain_lanes\": {\n"
     for (i = 0; i < n_lanes; i++) {
         l = lanes[i]
         printf "    \"%s\": {\"ns_per_op\": %s, \"mb_per_s\": %s}%s\n", \
             l, lane_ns[l], lane_mbs[l], (i < n_lanes - 1 ? "," : "")
     }
+    printf "  },\n"
+    speedup = wire_mbs["v2"] / wire_mbs["v1"]
+    baseline_x = wire_mbs["v2"] / baseline
+    printf "  \"wire_compare\": {\n"
+    printf "    \"v1\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", \
+        wire_ns["v1"], wire_mbs["v1"]
+    printf "    \"v2\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", \
+        wire_ns["v2"], wire_mbs["v2"]
+    printf "    \"v1_baseline_mb_per_s\": %s,\n", baseline
+    printf "    \"speedup_vs_fresh_v1\": %.2f,\n", speedup
+    printf "    \"speedup_vs_baseline\": %.2f\n", baseline_x
     printf "  },\n"
     printf "  \"restore\": {\n"
     printf "    \"streamed\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", \
@@ -53,6 +82,8 @@ END {
     for (i = 1; i < n_lanes; i++)
         if (lane_ns[lanes[i]] + 0 >= lane_ns[lanes[i-1]] + 0) mono = "false"
     printf "  \"drain_monotonic\": %s,\n", mono
+    printf "  \"wire_v2_2x_baseline\": %s,\n", (baseline_x >= 2.0 ? "true" : "false")
+    printf "  \"wire_v2_beats_v1\": %s,\n", (speedup > 1.0 ? "true" : "false")
     printf "  \"streamed_beats_whole\": %s\n", \
         (mode_ns["streamed"] + 0 < mode_ns["whole"] + 0 ? "true" : "false")
     printf "}\n"
@@ -64,8 +95,16 @@ if ! grep -q '"drain_monotonic": true' BENCH_iod.json; then
     echo "bench_iod.sh: drain throughput is NOT monotonic in lane count" >&2
     exit 1
 fi
+if ! grep -q '"wire_v2_2x_baseline": true' BENCH_iod.json; then
+    echo "bench_iod.sh: v2 4-lane drain did NOT reach 2x the v1 baseline (${v1_baseline_mbps} MB/s)" >&2
+    exit 1
+fi
+if ! grep -q '"wire_v2_beats_v1": true' BENCH_iod.json; then
+    echo "bench_iod.sh: v2 wire did NOT beat the freshly-measured v1 gob wire" >&2
+    exit 1
+fi
 if ! grep -q '"streamed_beats_whole": true' BENCH_iod.json; then
     echo "bench_iod.sh: streamed restore did NOT beat whole fetch+decompress" >&2
     exit 1
 fi
-echo "bench_iod.sh: monotonic lanes + streamed win confirmed"
+echo "bench_iod.sh: monotonic lanes + v2 wire win + streamed win confirmed"

@@ -20,6 +20,14 @@ go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... 
     ./internal/metrics/... ./internal/iod/... ./internal/faultinject/... \
     ./internal/shardstore/... ./internal/gateway/...
 
+# Wire-version compat matrix under the race detector, re-run explicitly:
+# v2<->v2, v2 client -> v1 server (gob downgrade), v1 client -> v2 server,
+# and the corruption/checksum recovery paths. A mixed-version fleet rides
+# on exactly these transitions, so they get their own -count=2 stress on
+# top of the package run above.
+go test -race -count=2 -run 'TestCompat|TestCorruptFault|TestServerRejectsCorrupt' \
+    ./internal/iod/
+
 # Transport benchmarks: regenerates BENCH_iod.json and fails if lane
 # scaling or the streamed-restore win regressed.
 scripts/bench_iod.sh
