@@ -19,9 +19,12 @@
 // so a sender ships header+meta+payload with a single scatter/gather
 // (writev) system call and zero intermediate copies, and a receiver reads
 // the payload straight into a pooled arena buffer. The crc field is CRC32C
-// (Castagnoli) over meta then payload, verified on every receive: silent
-// wire corruption trips a checksum error instead of surfacing later as a
-// garbage checkpoint.
+// (Castagnoli) over the header (with the crc field itself zeroed), then
+// meta, then payload, verified on every receive: silent wire corruption —
+// including a flipped bit in the header's op, flags, index, or aux fields,
+// which would otherwise silently redirect a block or invert a NotFound
+// reply — trips a checksum error instead of surfacing later as a garbage
+// checkpoint.
 package wire
 
 import (
@@ -68,10 +71,17 @@ var (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Checksum computes the frame checksum: CRC32C over the meta section
-// followed by every payload slice in order.
-func Checksum(meta []byte, payloads ...[]byte) uint32 {
-	crc := crc32.Update(0, castagnoli, meta)
+// Checksum computes the frame checksum: CRC32C over the encoded header
+// with its CRC field zeroed (so Op, Flags, Index, Aux, and the section
+// lengths are all covered — a flipped header bit must not silently
+// redirect a block or invert a reply flag), then the meta section, then
+// every payload slice in order. h.CRC is ignored.
+func Checksum(h Header, meta []byte, payloads ...[]byte) uint32 {
+	h.CRC = 0
+	var hdr [HeaderSize]byte
+	EncodeHeader(hdr[:], h)
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	crc = crc32.Update(crc, castagnoli, meta)
 	for _, p := range payloads {
 		crc = crc32.Update(crc, castagnoli, p)
 	}
@@ -182,7 +192,7 @@ func (c *Conn) WriteFrame(h Header, meta []byte, payloads ...[]byte) error {
 		plen += len(p)
 	}
 	h.PayloadLen = uint32(plen)
-	h.CRC = Checksum(meta, payloads...)
+	h.CRC = Checksum(h, meta, payloads...)
 	EncodeHeader(c.hdrW[:], h)
 	bufs := append(c.bufs[:0], c.hdrW[:])
 	if len(meta) > 0 {
@@ -249,7 +259,7 @@ func (c *Conn) ReadFrame() (Header, []byte, []byte, error) {
 			return Header{}, nil, nil, fmt.Errorf("wire: payload section: %w", err)
 		}
 	}
-	if crc := Checksum(meta, payload); crc != h.CRC {
+	if crc := Checksum(h, meta, payload); crc != h.CRC {
 		c.arena.Put(payload)
 		return h, nil, nil, fmt.Errorf("%w: op %d: computed %08x, header %08x", ErrChecksum, h.Op, crc, h.CRC)
 	}

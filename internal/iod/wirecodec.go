@@ -86,7 +86,11 @@ func splitPayload(payload []byte, lens []int) ([][]byte, error) {
 	blocks := make([][]byte, len(lens))
 	off := 0
 	for i, n := range lens {
-		if n < 0 || off+n > len(payload) {
+		// n > len(payload)-off, not off+n > len(payload): a hostile length
+		// near MaxInt64 would wrap off+n negative and slip past the check
+		// into a panicking slice expression. off never exceeds len(payload),
+		// so the subtraction cannot overflow.
+		if n < 0 || n > len(payload)-off {
 			return nil, fmt.Errorf("iod: block-length table overruns payload (%d bytes)", len(payload))
 		}
 		blocks[i] = payload[off : off+n : off+n]

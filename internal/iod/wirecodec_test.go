@@ -2,6 +2,7 @@ package iod
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"testing"
 
@@ -108,6 +109,14 @@ func TestSplitPayloadRejectsMismatch(t *testing.T) {
 	}
 	if _, err := splitPayload(payload, []int{-1, 11}); err == nil {
 		t.Error("negative length accepted")
+	}
+	// Regression: a length near MaxInt64 used to wrap off+n negative,
+	// slip past the bounds check, and panic the slice expression.
+	if _, err := splitPayload(payload, []int{4, math.MaxInt64}); err == nil {
+		t.Error("overflowing length accepted")
+	}
+	if _, err := splitPayload(payload, []int{math.MaxInt64, math.MaxInt64}); err == nil {
+		t.Error("overflowing length accepted at offset 0")
 	}
 	blocks, err := splitPayload(payload, []int{4, 0, 6})
 	if err != nil {
