@@ -63,10 +63,15 @@ experiments:
            sharded replicated store tier (3 live iod backends, R=2):
            one backend is killed mid-drain; no committed restart line
            may be lost, and re-replication restores 2 copies
+  membership
+           dynamic shard-tier membership: a backend joins and another
+           is decommissioned mid-drain; zero lost restart lines, the
+           leaver ends empty, and a fresh (restart-blind) client's
+           inventory repair restores R copies
   swarm    multi-tenant gateway under -swarm-tenants concurrent clients
            over a 3-backend shard tier: zero lost checkpoints, zero
            cross-tenant visibility, quotas and rate limits enforced
-  all      everything above (except chaos, shardchaos, and swarm)
+  all      everything above (except chaos, shardchaos, membership, and swarm)
 
 flags:
 `)
@@ -139,6 +144,7 @@ func main() {
 		"ext":        func() error { return runExt(extSection) },
 		"chaos":      runChaos,
 		"shardchaos": runShardChaos,
+		"membership": runMembership,
 		"swarm":      runSwarm,
 	}
 	if exp == "all" {

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"ndpcr/internal/shardstore"
+)
+
+// adminMux serves the shard-tier membership surface. It is deliberately a
+// separate listener from the tenant API: membership changes are operator
+// actions, not tenant ones, and the tenant-facing port must never expose
+// them. Endpoints:
+//
+//	GET  /admin/shard/members               member names + states
+//	POST /admin/shard/add?addr=H:P[&lanes=N]  dial and join a new backend
+//	POST /admin/shard/decommission?addr=H:P   start draining a member
+//	POST /admin/shard/repair                  one inventory-driven repair pass
+func adminMux(shard *shardstore.Store) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, status int, err error) {
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/admin/shard/members", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		type member struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		}
+		var out []member
+		for _, name := range shard.Members() {
+			st, _ := shard.MemberState(name)
+			out = append(out, member{Name: name, State: st.String()})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("/admin/shard/add", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			http.Error(w, "missing addr parameter", http.StatusBadRequest)
+			return
+		}
+		lanes := 2
+		if l := r.URL.Query().Get("lanes"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n < 1 {
+				http.Error(w, "bad lanes parameter", http.StatusBadRequest)
+				return
+			}
+			lanes = n
+		}
+		if err := shard.AddBackendAddr(addr, lanes); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"added": addr, "state": "joining"})
+	})
+
+	mux.HandleFunc("/admin/shard/decommission", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			http.Error(w, "missing addr parameter", http.StatusBadRequest)
+			return
+		}
+		if err := shard.Decommission(addr); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"decommissioning": addr})
+	})
+
+	mux.HandleFunc("/admin/shard/repair", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		moved, err := shard.RepairInventory(r.Context())
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"moved": moved})
+	})
+
+	return mux
+}

@@ -54,6 +54,7 @@ func main() {
 		retain    = flag.Int("retain-local", 0, "drained checkpoints kept in each session's local NVM cache (0 = default 4, <0 = all)")
 		faults    = flag.String("faults", "", "fault schedule, e.g. \"gateway.handler,p=0.01,mode=err\"")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault schedule seed")
+		adminAddr = flag.String("admin-listen", "", "serve shard-tier membership admin endpoints on this address (requires -iod-addrs; keep off the tenant-facing network)")
 	)
 	flag.Parse()
 
@@ -80,10 +81,11 @@ func main() {
 	}
 
 	var store iostore.Backend = iostore.New(nvm.Pacer{})
+	var shard *shardstore.Store
 	switch {
 	case *iodAddrs != "":
 		addrs := strings.Split(*iodAddrs, ",")
-		shard, err := shardstore.Dial(addrs, *iodLanes, shardstore.Config{Replicas: *replicas})
+		shard, err = shardstore.Dial(addrs, *iodLanes, shardstore.Config{Replicas: *replicas})
 		if err != nil {
 			fatal(err)
 		}
@@ -119,6 +121,20 @@ func main() {
 		fatal(err)
 	}
 
+	var admin *http.Server
+	if *adminAddr != "" {
+		if shard == nil {
+			fatal(fmt.Errorf("-admin-listen requires the shard tier (-iod-addrs)"))
+		}
+		admin = &http.Server{Addr: *adminAddr, Handler: adminMux(shard)}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "ndpcr-gateway: admin listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("ndpcr-gateway: shard membership admin on http://%s/admin/shard/\n", *adminAddr)
+	}
+
 	hs := &http.Server{Addr: *listen, Handler: gw}
 	done := make(chan error, 1)
 	go func() { done <- hs.ListenAndServe() }()
@@ -140,6 +156,11 @@ func main() {
 	// accepted work and close the session runtimes.
 	if err := hs.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "ndpcr-gateway: http shutdown: %v\n", err)
+	}
+	if admin != nil {
+		if err := admin.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "ndpcr-gateway: admin shutdown: %v\n", err)
+		}
 	}
 	if err := gw.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "ndpcr-gateway: drain incomplete: %v\n", err)

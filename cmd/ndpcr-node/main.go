@@ -40,6 +40,9 @@ func main() {
 		iodLanes = flag.Int("iod-lanes", 2, "concurrent transport lanes to each remote I/O node (1 = serial legacy wire)")
 		drainWin = flag.Int("drain-window", 0, "NDP send window: blocks in flight to the store per drain (0 = default)")
 		dumpMet  = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
+		joinAddr = flag.String("join", "", "shard tier: add this ndpcr-iod backend to the member set at -member-at (requires -iod-addrs)")
+		decomm   = flag.String("decommission", "", "shard tier: decommission this backend at -member-at, draining its replicas off first (requires -iod-addrs)")
+		memberAt = flag.Int("member-at", 0, "step after whose checkpoint the -join/-decommission membership changes land (0 = never)")
 	)
 	flag.Parse()
 
@@ -53,10 +56,22 @@ func main() {
 	}
 
 	var store iostore.Backend = iostore.New(nvm.Pacer{})
+	var shard *shardstore.Store
 	switch {
 	case *iodAddrs != "":
 		addrs := strings.Split(*iodAddrs, ",")
-		shard, err := shardstore.Dial(addrs, *iodLanes, shardstore.Config{Replicas: *replicas})
+		cfg := shardstore.Config{Replicas: *replicas}
+		if *memberAt > 0 {
+			cfg.OnEvent = func(ev shardstore.Event) {
+				if ev.Err != nil {
+					return // contention voids retry silently; metrics count them
+				}
+				fmt.Printf("  shard membership: %s %s (moved %d, dropped %d)\n",
+					ev.Kind, ev.Backend, ev.Moved, ev.Dropped)
+			}
+		}
+		var err error
+		shard, err = shardstore.Dial(addrs, *iodLanes, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,6 +98,10 @@ func main() {
 		fatal(err)
 	}
 	defer n.Close()
+
+	if (*joinAddr != "" || *decomm != "") && (shard == nil || *memberAt <= 0) {
+		fatal(fmt.Errorf("-join/-decommission require -iod-addrs and a positive -member-at"))
+	}
 
 	app, err := miniapps.New(*appName, miniapps.Small, *seed)
 	if err != nil {
@@ -127,6 +146,24 @@ func main() {
 				s, id, buf.Len())
 		}
 
+		if *memberAt > 0 && s == *memberAt && shard != nil {
+			// Land the membership changes right here — typically while the
+			// last committed checkpoint is still draining, which is exactly
+			// the window the drain controller must survive.
+			if *joinAddr != "" {
+				if err := shard.AddBackendAddr(*joinAddr, *iodLanes); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  step %2d: shard tier: added backend %s (joining)\n", s, *joinAddr)
+			}
+			if *decomm != "" {
+				if err := shard.Decommission(*decomm); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  step %2d: shard tier: decommissioning %s\n", s, *decomm)
+			}
+		}
+
 		if *failAt > 0 && s == *failAt {
 			waitDrain(n, lastCommitted)
 			fmt.Printf("  step %2d: NODE FAILURE — local NVM wiped\n", s)
@@ -147,6 +184,17 @@ func main() {
 			}
 			fmt.Printf("           re-ran %d lost steps\n", s-meta.Step)
 		}
+	}
+
+	if *decomm != "" && shard != nil {
+		waitDrain(n, lastCommitted)
+		wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := shard.WaitDecommissioned(wctx, *decomm)
+		cancel()
+		if err != nil {
+			fatal(fmt.Errorf("decommission of %s never completed: %w", *decomm, err))
+		}
+		fmt.Printf("shard tier: %s decommissioned; members now %v\n", *decomm, shard.Members())
 	}
 
 	if app.Signature() == twin.Signature() {

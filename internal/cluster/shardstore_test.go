@@ -152,6 +152,121 @@ func TestShardClusterSurvivesBackendDeathMidDrain(t *testing.T) {
 	}
 }
 
+// TestShardClusterMembershipMidDrain is the membership acceptance
+// scenario: while the NDP engines are draining a committed checkpoint, a
+// new backend joins the shard set and an original member is
+// decommissioned. The restart line must survive the reshuffle, the
+// decommissioned backend must end empty, and an inventory-driven repair by
+// a *fresh* client (restart-blind: empty assignment map) must confirm and
+// restore R copies of every object — including ones the fresh client never
+// wrote.
+func TestShardClusterMembershipMidDrain(t *testing.T) {
+	const ranks = 2
+	c, apps, store, iods := shardCluster(t, ranks, 3)
+	for _, a := range apps {
+		if err := a.app.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.Checkpoint(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Membership changes land while the drains are in flight.
+	joiner := startIODBackend(t)
+	if err := store.AddBackendAddr(joiner.addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Decommission(iods[0].addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ranks; i++ {
+		if !c.Node(i).Engine().WaitDrained(id, 20*time.Second) {
+			t.Fatalf("rank %d never drained checkpoint %d through the membership change", i, id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := store.WaitDecommissioned(ctx, iods[0].addr); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range store.Members() {
+		if name == iods[0].addr {
+			t.Fatal("decommissioned backend still a member")
+		}
+	}
+	// The decommissioned backend's server is still running; ask it
+	// directly — it must hold nothing.
+	direct, err := iod.Dial(iods[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys, err := direct.Keys(context.Background()); err != nil || len(keys) != 0 {
+		t.Fatalf("decommissioned backend holds %d objects (%v), want 0", len(keys), err)
+	}
+	direct.Close()
+
+	// Zero lost restart lines: recovery from the reshuffled shard tier.
+	for i := 0; i < ranks; i++ {
+		if err := c.FailNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := c.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("recover after membership change: %v", err)
+	}
+	if out.ID != id {
+		t.Fatalf("recovered id %d, want %d", out.ID, id)
+	}
+	for i, lvl := range out.Levels {
+		if lvl != node.LevelIO {
+			t.Errorf("rank %d recovered from %v, want the I/O level", i, lvl)
+		}
+	}
+
+	// Restart-blind repair: a fresh client over the post-change member set
+	// has an empty assignment map, yet the inventory-driven planner must
+	// verify (and where needed restore) R copies of the pre-"restart"
+	// checkpoint objects. Damage one replica first so there is real work.
+	survivors := []string{iods[1].addr, iods[2].addr, joiner.addr}
+	fresh, err := shardstore.Dial(survivors, 2, shardstore.Config{
+		Replicas:    2,
+		CallTimeout: 300 * time.Millisecond,
+		Probe:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	k0 := iostore.Key{Job: "shardjob", Rank: 0, ID: id}
+	damaged, err := iod.Dial(iods[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := damaged.Keys(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range held {
+		if k == k0 {
+			if err := damaged.Delete(context.Background(), k0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	damaged.Close()
+	if _, err := fresh.RepairInventory(context.Background()); err != nil {
+		t.Fatalf("inventory repair: %v", err)
+	}
+	for i := 0; i < ranks; i++ {
+		k := iostore.Key{Job: "shardjob", Rank: i, ID: id}
+		if n := fresh.ReplicaCount(context.Background(), k); n < 2 {
+			t.Errorf("rank %d checkpoint on %d replicas after restart-blind repair, want >= 2", i, n)
+		}
+	}
+}
+
 // TestShardClusterBackendDeathMidStreamedRestore kills a backend between
 // checkpoint and restore: the streamed block fetch must fail over to the
 // surviving replica of every block instead of failing the restore.

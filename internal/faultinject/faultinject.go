@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ndpcr/internal/node/iostore"
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure, so tests
@@ -42,6 +44,7 @@ const (
 	SiteStoreGet      = "store.get"       // global-store object fetch
 	SiteIODConn       = "iod.conn"        // I/O-node connection (drop or corrupt mid-exchange)
 	SiteGatewayFront  = "gateway.handler" // gateway request handling (the service front door)
+	SiteShardMove     = "shard.move"      // shardstore rebalance mover (one object copy during drain/backfill)
 )
 
 // Mode is what happens when a rule fires.
@@ -280,6 +283,28 @@ func (in *Injector) ConnFaultHook() func() (drop, corrupt bool) {
 	}
 }
 
+// ShardMoveHook adapts the injector to shardstore.Config.MoveFault: it is
+// consulted before each rebalance object move (a drain-off migration or a
+// join backfill copy). ModeStall sleeps and lets the move proceed; every
+// other mode fails the move, which the drain controller counts, reports,
+// and retries on its next pass — a failed move must never lose a replica.
+func (in *Injector) ShardMoveHook() func(key iostore.Key) error {
+	return func(key iostore.Key) error {
+		d, ok := in.Decide(SiteShardMove, key.Rank)
+		if !ok {
+			return nil
+		}
+		if d.Mode == ModeStall {
+			in.Stall(d)
+			return nil
+		}
+		if d.Err != nil {
+			return fmt.Errorf("%w (move %s)", d.Err, key)
+		}
+		return fmt.Errorf("%w: shard.move %s (%s)", ErrInjected, key, d.Mode)
+	}
+}
+
 // Parse builds an injector from a compact schedule spec (the -faults flag):
 // rules separated by ';', each "site[,key=value...]" with keys rank, after,
 // count, p, mode (err|torn|corrupt|stall) and delay (a Go duration, e.g.
@@ -309,7 +334,7 @@ func parseRule(s string) (Rule, error) {
 	fields := strings.Split(s, ",")
 	r := Rule{Site: strings.TrimSpace(fields[0]), Rank: AnyRank}
 	switch r.Site {
-	case SiteNVMPut, SiteNVMGet, SiteStorePut, SiteStorePutBlock, SiteStoreGet, SiteIODConn, SiteGatewayFront:
+	case SiteNVMPut, SiteNVMGet, SiteStorePut, SiteStorePutBlock, SiteStoreGet, SiteIODConn, SiteGatewayFront, SiteShardMove:
 	default:
 		return Rule{}, fmt.Errorf("faultinject: unknown site %q", r.Site)
 	}

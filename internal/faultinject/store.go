@@ -187,6 +187,12 @@ func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool,
 	return s.inner.Latest(ctx, job, rank)
 }
 
+// Keys implements iostore.Backend (pass-through; the mover's faults are
+// injected via Injector.ShardMoveHook, not the enumeration).
+func (s *Store) Keys(ctx context.Context) ([]iostore.Key, error) {
+	return s.inner.Keys(ctx)
+}
+
 // corruptObject returns o with one payload byte flipped in a copied block;
 // the caller's and store's memory stay intact.
 func corruptObject(o iostore.Object) iostore.Object {

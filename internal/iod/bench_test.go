@@ -205,6 +205,7 @@ func (p plainAPI) IDs(ctx context.Context, job string, rank int) ([]uint64, erro
 func (p plainAPI) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
 	return p.inner.Latest(ctx, job, rank)
 }
+func (p plainAPI) Keys(ctx context.Context) ([]iostore.Key, error) { return p.inner.Keys(ctx) }
 func (p plainAPI) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
 	return iostore.Object{}, 0, false, nil
 }

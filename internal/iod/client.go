@@ -748,6 +748,25 @@ func (c *Client) IDs(ctx context.Context, job string, rank int) ([]uint64, error
 	return resp.IDs, nil
 }
 
+// Keys implements iostore.Backend: the remote store's full key inventory,
+// the surface shardstore's restart-blind rebalance planner enumerates. A
+// server predating opKeys answers with its unknown-op error, which maps to
+// iostore.ErrUnsupported so planners can tell "cannot enumerate" from "the
+// backend is failing".
+func (c *Client) Keys(ctx context.Context) ([]iostore.Key, error) {
+	resp, err := c.call(ctx, &request{Op: opKeys})
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(resp.Err, unknownOpPrefix) {
+		return nil, fmt.Errorf("%w: keys enumeration (server predates opKeys)", iostore.ErrUnsupported)
+	}
+	if err := c.inventoryErr(resp); err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}
+
 // Latest implements iostore.Backend: transport errors and remote failures
 // kept distinct from "no checkpoints stored".
 func (c *Client) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {

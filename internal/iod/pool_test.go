@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -393,6 +394,59 @@ func TestStatBlocksFallsBackOnOldServer(t *testing.T) {
 	}
 	if !bytes.Equal(obj.Blocks[0], []byte("data")) {
 		t.Error("fallback Get returned wrong data")
+	}
+}
+
+func TestKeysEnumerationOverWire(t *testing.T) {
+	// opKeys must cross the wire on both codecs and come back in iostore's
+	// canonical order — the shard planner's inventory is built from it.
+	_, client, backing := startServer(t)
+	want := []iostore.Key{
+		{Job: "a", Rank: 0, ID: 1},
+		{Job: "a", Rank: 0, ID: 2},
+		{Job: "a", Rank: 3, ID: 1},
+		{Job: "b", Rank: 0, ID: 7},
+	}
+	for _, k := range want {
+		err := backing.Put(context.Background(), iostore.Object{Key: k, OrigSize: 1, Blocks: [][]byte{{0xff}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := client.Keys(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys over wire = %v, want %v", got, want)
+	}
+	// Empty store: empty listing, no error (the trailing wire section is
+	// simply absent).
+	for _, k := range want {
+		if err := backing.Delete(context.Background(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = client.Keys(context.Background())
+	if err != nil || len(got) != 0 {
+		t.Errorf("Keys on empty store = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestKeysUnsupportedOnOldServer(t *testing.T) {
+	// A server predating opKeys answers with the unknown-op error; the
+	// client must surface iostore.ErrUnsupported — a typed "this backend
+	// cannot enumerate" the shard planner treats as a degraded inventory,
+	// not a transport failure.
+	backing := iostore.New(nvm.Pacer{})
+	addr := startOldServer(t, backing)
+	client, err := DialPool(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Keys(context.Background()); !errors.Is(err, iostore.ErrUnsupported) {
+		t.Errorf("Keys against old server err = %v, want ErrUnsupported", err)
 	}
 }
 

@@ -41,9 +41,14 @@ const (
 	opLatest
 	opGetBlock
 	opStatBlocks
+	// opKeys enumerates every key the backing store holds (the inventory
+	// surface behind shardstore's restart-blind rebalance planner). Added
+	// after opStatBlocks, so an old server answers it with an unknown-op
+	// error, which the client maps to iostore.ErrUnsupported.
+	opKeys
 
 	// opMax is the highest valid op (metric array sizing).
-	opMax = opStatBlocks
+	opMax = opKeys
 )
 
 // opHello is the wire-v2 negotiation probe: the first request a v2-capable
@@ -84,6 +89,8 @@ func opName(o op) string {
 		return "get_block"
 	case opStatBlocks:
 		return "stat_blocks"
+	case opKeys:
+		return "keys"
 	}
 	return "unknown"
 }
@@ -118,6 +125,10 @@ type response struct {
 	// zero — harmless, since old servers also set Err for the unknown op.
 	Block     []byte
 	NumBlocks int
+	// Keys is opKeys' inventory listing. On the v2 wire it travels as a
+	// trailing meta section that absent-field decoders skip, so mixed
+	// versions interoperate the same way gob's omitted fields do.
+	Keys []iostore.Key
 }
 
 // unknownOpPrefix is how servers report an op they do not understand. The

@@ -424,6 +424,13 @@ func (s *Server) handleInto(req *request, resp *response) {
 		} else {
 			resp.Object, resp.NumBlocks, resp.OK = obj, n, ok
 		}
+	case opKeys:
+		keys, err := s.backing.Keys(ctx)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Keys = keys
+		}
 	default:
 		resp.Err = fmt.Sprintf("%s %d", unknownOpPrefix, req.Op)
 	}

@@ -177,6 +177,19 @@ func appendResponseMeta(b []byte, resp *response) []byte {
 	}
 	b = wire.AppendUvarint(b, resp.Latest)
 	b = wire.AppendInt(b, int64(resp.NumBlocks))
+	// The opKeys inventory rides as a *trailing* section written only when
+	// non-empty: decoders that predate it never see it (only opKeys
+	// responses carry keys, and old clients never send opKeys), and the
+	// current decoder reads it only when bytes remain — the binary-frame
+	// equivalent of gob's omitted absent fields.
+	if len(resp.Keys) > 0 {
+		b = wire.AppendUvarint(b, uint64(len(resp.Keys)))
+		for _, k := range resp.Keys {
+			b = wire.AppendString(b, k.Job)
+			b = wire.AppendInt(b, int64(k.Rank))
+			b = wire.AppendUvarint(b, k.ID)
+		}
+	}
 	return b
 }
 
@@ -216,6 +229,22 @@ func decodeResponseWire(h wire.Header, meta, payload []byte) (*response, error) 
 	}
 	resp.Latest = r.Uvarint()
 	resp.NumBlocks = int(r.Int())
+	if r.Err() == nil && r.Len() > 0 {
+		nKeys := r.Uvarint()
+		if nKeys > uint64(r.Len())/3 { // every key costs >= 3 bytes
+			r.Fail("key count overruns section")
+		}
+		if nKeys > 0 && r.Err() == nil {
+			resp.Keys = make([]iostore.Key, 0, nKeys)
+			for i := uint64(0); i < nKeys && r.Err() == nil; i++ {
+				var k iostore.Key
+				k.Job = r.String()
+				k.Rank = int(r.Int())
+				k.ID = r.Uvarint()
+				resp.Keys = append(resp.Keys, k)
+			}
+		}
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("iod: response meta: %w", err)
 	}

@@ -57,6 +57,7 @@ func TestRequestWireRoundTripAllOps(t *testing.T) {
 		{Op: opLatest, Job: "sim", Rank: -1},
 		{Op: opGetBlock, Key: obj.Key, Index: -2},
 		{Op: opStatBlocks, Key: obj.Key},
+		{Op: opKeys},
 	}
 	for _, req := range reqs {
 		got := reqRoundTrip(t, req)
@@ -80,6 +81,8 @@ func TestResponseWireRoundTrip(t *testing.T) {
 			Meta:   map[string]string{"k": "v"},
 			Blocks: [][]byte{[]byte("aa"), []byte("bbb")},
 		}},
+		// The opKeys inventory rides as a trailing optional section.
+		{Keys: []iostore.Key{{Job: "a", Rank: 0, ID: 1}, {Job: "b", Rank: -3, ID: 1 << 40}}},
 	}
 	for i, resp := range resps {
 		meta := appendResponseMeta(nil, resp)

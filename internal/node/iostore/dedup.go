@@ -251,6 +251,21 @@ func (s *DedupStore) IDs(ctx context.Context, job string, rank int) ([]uint64, e
 	return out, nil
 }
 
+// Keys enumerates every stored object key, sorted by (job, rank, ID).
+func (s *DedupStore) Keys(ctx context.Context) ([]Key, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	out := make([]Key, 0, len(s.objects))
+	for k := range s.objects {
+		out = append(out, k)
+	}
+	s.mu.Unlock()
+	SortKeys(out)
+	return out, nil
+}
+
 // Latest returns the newest checkpoint ID for (job, rank).
 func (s *DedupStore) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
 	ids, err := s.IDs(ctx, job, rank)

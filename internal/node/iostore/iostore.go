@@ -19,6 +19,12 @@ import (
 // ErrNotFound reports a missing object.
 var ErrNotFound = errors.New("iostore: object not found")
 
+// ErrUnsupported reports an operation the backend cannot serve at all —
+// e.g. keys enumeration against an iod server predating opKeys. Callers
+// that can degrade (a rebalance planner falling back to per-scope IDs)
+// match it with errors.Is; everyone else surfaces it like any failure.
+var ErrUnsupported = errors.New("iostore: operation unsupported by this backend")
+
 // Key identifies one rank's checkpoint.
 type Key struct {
 	Job  string
@@ -92,6 +98,14 @@ type Backend interface {
 	Latest(ctx context.Context, job string, rank int) (uint64, bool, error)
 	StatBlocks(ctx context.Context, key Key) (meta Object, blocks int, ok bool, err error)
 	GetBlock(ctx context.Context, key Key, index int) ([]byte, error)
+	// Keys enumerates every object key the backend holds, sorted by
+	// (job, rank, ID). It is the inventory surface that makes repair and
+	// rebalance restart-blind: a fresh shardstore client (empty in-memory
+	// assignment map) can still discover what each backend holds, compute
+	// placement, and fix under-replication for objects written by an
+	// earlier process. Backends that cannot enumerate (an old iod server)
+	// return an error matching ErrUnsupported.
+	Keys(ctx context.Context) ([]Key, error)
 }
 
 // Store is the shared global store. All methods are safe for concurrent
@@ -255,6 +269,36 @@ func (s *Store) IDs(ctx context.Context, job string, rank int) ([]uint64, error)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// Keys enumerates every stored object key, sorted by (job, rank, ID).
+func (s *Store) Keys(ctx context.Context) ([]Key, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	out := make([]Key, 0, len(s.objects))
+	for k := range s.objects {
+		out = append(out, k)
+	}
+	s.mu.Unlock()
+	SortKeys(out)
+	return out, nil
+}
+
+// SortKeys orders keys by (job, rank, ID) — the canonical enumeration
+// order every Backend's Keys must produce.
+func SortKeys(keys []Key) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.ID < b.ID
+	})
 }
 
 // Latest returns the newest checkpoint ID for (job, rank).

@@ -36,6 +36,7 @@ func (p plainStore) IDs(ctx context.Context, job string, rank int) ([]uint64, er
 func (p plainStore) Latest(ctx context.Context, job string, rank int) (uint64, bool, error) {
 	return p.inner.Latest(ctx, job, rank)
 }
+func (p plainStore) Keys(ctx context.Context) ([]iostore.Key, error) { return p.inner.Keys(ctx) }
 func (p plainStore) StatBlocks(ctx context.Context, key iostore.Key) (iostore.Object, int, bool, error) {
 	return iostore.Object{}, 0, false, nil
 }

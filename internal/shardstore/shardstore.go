@@ -53,6 +53,28 @@ type Config struct {
 	// background repair loop (default 2s; negative disables the loop —
 	// Rereplicate can still be driven explicitly).
 	Probe time.Duration
+	// RejoinProbes is how many *consecutive* successful probes an
+	// unhealthy backend must answer before it is re-admitted (default 3).
+	// One lucky inventory call must not rejoin a backend that still fails
+	// writes — without damping such a backend flaps healthy/unhealthy on
+	// every probe tick and every flap re-routes placement.
+	RejoinProbes int
+	// MoverBudget caps concurrent object copies during a membership
+	// rebalance (join backfill, decommission drain-off); default 2. The
+	// mover shares backend bandwidth with live drains, so the budget is
+	// the throttle that keeps a rebalance from starving checkpoint
+	// traffic.
+	MoverBudget int
+	// MoveFault, when non-nil, is consulted before every rebalance object
+	// move (faultinject.Injector.ShardMoveHook wires the shard.move site
+	// here). A returned error fails that move; the drain controller
+	// counts it and retries on its next pass.
+	MoveFault func(key iostore.Key) error
+	// OnEvent, when non-nil, receives membership and rebalance progress
+	// events. It is called synchronously from the drain controller (and
+	// from AddBackend/Decommission), so it must not block for long and
+	// must not call back into membership methods.
+	OnEvent func(Event)
 }
 
 func (cfg *Config) fill(n int) {
@@ -67,6 +89,12 @@ func (cfg *Config) fill(n int) {
 	}
 	if cfg.Probe == 0 {
 		cfg.Probe = 2 * time.Second
+	}
+	if cfg.RejoinProbes <= 0 {
+		cfg.RejoinProbes = 3
+	}
+	if cfg.MoverBudget <= 0 {
+		cfg.MoverBudget = 2
 	}
 }
 
@@ -83,7 +111,7 @@ type Member struct {
 	Close func() error
 }
 
-// backend is one member plus its health/latency state.
+// backend is one member plus its health/latency/membership state.
 type backend struct {
 	name  string
 	store iostore.Backend
@@ -91,11 +119,38 @@ type backend struct {
 	hash  uint64 // fnv64a(name), mixed per-key for HRW scoring
 
 	healthy atomic.Bool
+	// state is the backend's membership state (MemberState). Joining and
+	// Active backends take new assignments; Draining ones serve reads and
+	// in-flight sticky writes while the controller migrates their replica
+	// sets off.
+	state atomic.Int32
+	// probeStreak counts consecutive successful probes while unhealthy;
+	// re-admission requires Config.RejoinProbes in a row (flap damping).
+	probeStreak atomic.Int32
+	// everRejoined marks a backend that has been probed back to healthy
+	// at least once: a later health loss on such a backend is a flap.
+	everRejoined atomic.Bool
 	// ewmaNanos is the smoothed observed call latency (float64 bits);
 	// zero means "no observation yet" and sorts as fast.
 	ewmaNanos atomic.Uint64
 }
 
+func (b *backend) memberState() MemberState { return MemberState(b.state.Load()) }
+
+// eligible reports whether new replica assignments may target b: joining
+// and active members take new writes; draining and drained ones are being
+// emptied and must not accumulate new objects.
+func (b *backend) eligible() bool {
+	st := b.memberState()
+	return st == StateJoining || st == StateActive
+}
+
+// observeLatency folds one latency sample into the EWMA. The CAS MUST
+// loop: a single compare-and-swap that gives up when it loses a race
+// silently discards the sample, and under concurrent reads the loser is
+// systematically the slow replica's sample — starving the EWMA that
+// drives fastest-replica ordering (regression-tested by
+// TestObserveLatencyConcurrentSamples).
 func (b *backend) observeLatency(d time.Duration) {
 	const alpha = 0.25
 	for {
@@ -122,21 +177,42 @@ type objState struct {
 	// (a replica died mid-write, or placement found too few healthy
 	// backends); the repair loop re-replicates it.
 	under bool
+	// gen counts write snapshots taken against this assignment, and
+	// writers counts writes currently in flight. Together they serialise
+	// the rebalance mover against the drain stream: the mover refuses to
+	// start while writers > 0, records gen, and installs the moved
+	// assignment only if gen is unchanged and writers is still zero. A
+	// violated check means some block write overlapped the copy against
+	// the old replica set — the copy may be a silent prefix, or worse a
+	// nil-padded gap (the NDP sender's windowed writes land out of
+	// order) — so the move is voided and retried after the stream ends.
+	gen     uint64
+	writers int
 }
 
 // Store is the sharded, replicated store client. It satisfies
 // iostore.Backend, so the node runtime, NDP drain engine, and cluster
 // restart-line planner use it exactly like a single store.
 type Store struct {
-	backends []*backend
-	cfg      Config
+	cfg Config
 
-	mu   sync.Mutex
-	objs map[iostore.Key]*objState
+	// mu guards both the sticky-assignment map and the member set; the
+	// backends slice is mutable at runtime (AddBackend/Decommission) and
+	// must be read through snapshot() outside the lock.
+	mu       sync.Mutex
+	backends []*backend
+	objs     map[iostore.Key]*objState
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+
+	// Membership watcher plumbing: kicks wake the drain controller,
+	// runCtx cancels its in-flight pass on Close.
+	memberKick  chan struct{}
+	watcherDone chan struct{}
+	runCtx      context.Context
+	runCancel   context.CancelFunc
 
 	closed atomic.Bool
 
@@ -150,7 +226,21 @@ type Store struct {
 	mRejoins      *metrics.Counter
 	mRepairErrs   *metrics.Counter
 	mInvDegraded  *metrics.Counter
+	mFlaps        *metrics.Counter
+	mMoved        *metrics.Counter
+	mRebalDropped *metrics.Counter
+	mMoveErrs     *metrics.Counter
+	mDrainRemain  *metrics.Gauge
 	mCallSecs     *metrics.Histogram
+}
+
+// snapshot copies the current member set out from under the lock: every
+// iteration outside s.mu must use it, because AddBackend and the drain
+// controller mutate the slice at runtime.
+func (s *Store) snapshot() []*backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*backend(nil), s.backends...)
 }
 
 // New assembles a shard client over pre-built members (tests compose
@@ -163,11 +253,14 @@ func New(members []Member, cfg Config) (*Store, error) {
 	seen := make(map[string]bool, len(members))
 	cfg.fill(len(members))
 	s := &Store{
-		cfg:  cfg,
-		objs: make(map[iostore.Key]*objState),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:         cfg,
+		objs:        make(map[iostore.Key]*objState),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		memberKick:  make(chan struct{}, 1),
+		watcherDone: make(chan struct{}),
 	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	for _, m := range members {
 		if m.Name == "" || m.Store == nil {
 			return nil, errors.New("shardstore: member needs a name and a store")
@@ -187,6 +280,9 @@ func New(members []Member, cfg Config) (*Store, error) {
 	} else {
 		close(s.done)
 	}
+	// The membership watcher runs even with the repair loop disabled:
+	// AddBackend/Decommission must make progress in Probe<0 test rigs.
+	go s.watcher()
 	return s, nil
 }
 
@@ -222,17 +318,30 @@ var _ iostore.Backend = (*Store)(nil)
 // can instrument the shared store into the same registry.
 func (s *Store) Instrument(r *metrics.Registry) {
 	r.GaugeFunc("ndpcr_shardstore_backends", "I/O backends in the shard set", func() float64 {
-		return float64(len(s.backends))
+		return float64(len(s.snapshot()))
 	})
 	r.GaugeFunc("ndpcr_shardstore_healthy_backends", "backends currently believed healthy", func() float64 {
 		n := 0
-		for _, b := range s.backends {
+		for _, b := range s.snapshot() {
 			if b.healthy.Load() {
 				n++
 			}
 		}
 		return float64(n)
 	})
+	for _, ms := range []MemberState{StateActive, StateJoining, StateDraining, StateDrained} {
+		ms := ms
+		r.GaugeFunc(fmt.Sprintf("ndpcr_shardstore_membership_state{state=%q}", ms),
+			"backends currently in this membership state", func() float64 {
+				n := 0
+				for _, b := range s.snapshot() {
+					if b.memberState() == ms {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
 	r.GaugeFunc("ndpcr_shardstore_underreplicated_objects",
 		"tracked objects currently holding fewer than R replicas", func() float64 {
 			s.mu.Lock()
@@ -261,6 +370,16 @@ func (s *Store) Instrument(r *metrics.Registry) {
 		"re-replication attempts that failed (retried next pass)")
 	s.mInvDegraded = r.Counter("ndpcr_shardstore_degraded_inventories_total",
 		"inventory merges that ran with some backends unreachable (but < R, so the merge is complete)")
+	s.mFlaps = r.Counter("ndpcr_shardstore_backend_flaps_total",
+		"backends that lost health again after being probed back in (rejoin flaps)")
+	s.mMoved = r.Counter("ndpcr_shardstore_rebalance_moved_total",
+		"object copies created by the membership rebalance planner")
+	s.mRebalDropped = r.Counter("ndpcr_shardstore_rebalance_dropped_total",
+		"replicas deleted off draining backends after R copies were confirmed elsewhere")
+	s.mMoveErrs = r.Counter("ndpcr_shardstore_rebalance_errors_total",
+		"rebalance object moves that failed (retried on the watcher's next pass)")
+	s.mDrainRemain = r.Gauge("ndpcr_shardstore_drain_remaining_objects",
+		"objects still to migrate off draining backends (0 when no drain is active)")
 	s.mCallSecs = r.Histogram("ndpcr_shardstore_call_seconds", "per-replica call latency", metrics.UnitSeconds)
 }
 
@@ -295,13 +414,20 @@ func keyHash(key iostore.Key) uint64 {
 // index 0 is the key's primary home, and a dead backend's keys fall to
 // their next-ranked survivor without moving anyone else's.
 func (s *Store) ranking(key iostore.Key) []*backend {
+	return rankingOf(s.snapshot(), key)
+}
+
+// rankingOf is the pure HRW ordering over an explicit member snapshot, so
+// assignment (already holding s.mu) and the planner (working from one
+// consistent snapshot) can rank without re-locking.
+func rankingOf(backends []*backend, key iostore.Key) []*backend {
 	kh := keyHash(key)
 	type scored struct {
 		b     *backend
 		score uint64
 	}
-	sc := make([]scored, len(s.backends))
-	for i, b := range s.backends {
+	sc := make([]scored, len(backends))
+	for i, b := range backends {
 		sc[i] = scored{b, splitmix64(b.hash ^ kh)}
 	}
 	sort.Slice(sc, func(i, j int) bool { return sc[i].score > sc[j].score })
@@ -320,33 +446,45 @@ func (s *Store) callCtx(ctx context.Context) (context.Context, context.CancelFun
 }
 
 // blame marks b unhealthy after a failed call — unless the caller's own
-// context ended, in which case the failure proves nothing about b.
+// context ended, in which case the failure proves nothing about b. A
+// backend that loses health after having been probed back in is a flap:
+// counted, and its probe streak restarts from zero.
 func (s *Store) blame(ctx context.Context, b *backend, err error) {
 	inc(s.mReplicaErrs)
 	if ctx.Err() != nil {
 		return
 	}
 	_ = err
-	b.healthy.Store(false)
+	b.probeStreak.Store(0)
+	if b.healthy.Swap(false) && b.everRejoined.Load() {
+		inc(s.mFlaps)
+	}
 }
 
 // assignment returns the sticky replica set for key, creating it on first
-// write from the top R healthy backends in HRW order (falling back to
-// unhealthy ones only when fewer than R healthy backends exist, so a
-// degraded cluster still lands writes somewhere).
+// write from the top R healthy *eligible* backends in HRW order (falling
+// back to unhealthy eligible ones only when fewer than R healthy exist, so
+// a degraded cluster still lands writes somewhere). Draining backends are
+// never assigned: they are being emptied, and every object landed on one
+// is an object the drain controller must move again.
 func (s *Store) assignment(key iostore.Key) *objState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.assignLocked(key)
+}
+
+// assignLocked is assignment with s.mu already held.
+func (s *Store) assignLocked(key iostore.Key) *objState {
 	if st, ok := s.objs[key]; ok {
 		return st
 	}
-	rank := s.ranking(key)
+	rank := rankingOf(s.backends, key)
 	st := &objState{}
 	for _, b := range rank {
 		if len(st.replicas) >= s.cfg.Replicas {
 			break
 		}
-		if b.healthy.Load() {
+		if b.eligible() && b.healthy.Load() {
 			st.replicas = append(st.replicas, b)
 		}
 	}
@@ -354,7 +492,7 @@ func (s *Store) assignment(key iostore.Key) *objState {
 		if len(st.replicas) >= s.cfg.Replicas {
 			break
 		}
-		if !b.healthy.Load() {
+		if b.eligible() && !b.healthy.Load() {
 			st.replicas = append(st.replicas, b)
 		}
 	}
@@ -365,12 +503,20 @@ func (s *Store) assignment(key iostore.Key) *objState {
 	return st
 }
 
-// dropReplica removes b from key's replica set after a mid-write failure
-// and flags the object under-replicated. It reports how many replicas
-// remain.
-func (s *Store) dropReplica(key iostore.Key, st *objState, b *backend) int {
+// dropReplica removes b from key's *current* replica set after a mid-write
+// failure and flags the object under-replicated. The objState is looked up
+// by key under the lock, never taken from the caller: fanOutWrite's
+// reassignment path (and the planner's installAssignment) can replace the
+// key's objState while a concurrent writer still holds a pointer to the
+// old one, and mutating the orphaned state would silently lose the drop —
+// the fresh assignment keeps crediting a replica that just failed.
+func (s *Store) dropReplica(key iostore.Key, b *backend) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st, ok := s.objs[key]
+	if !ok {
+		return
+	}
 	kept := st.replicas[:0]
 	for _, r := range st.replicas {
 		if r != b {
@@ -382,7 +528,34 @@ func (s *Store) dropReplica(key iostore.Key, st *objState, b *backend) int {
 	}
 	st.replicas = kept
 	st.under = true
-	return len(kept)
+}
+
+// writeSnapshot atomically takes key's assignment for one write: it
+// creates the assignment if missing, bumps the write generation, and
+// returns a private copy of the replica set. The generation bump is what
+// serialises writers against the rebalance mover — the mover records the
+// generation before copying and refuses to install the moved assignment
+// if it changed, because a bumped generation means some block of this
+// write went to the pre-move replica set and the mover's copy may be a
+// silent prefix of the object.
+func (s *Store) writeSnapshot(key iostore.Key) []*backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.assignLocked(key)
+	st.gen++
+	st.writers++
+	return append([]*backend(nil), st.replicas...)
+}
+
+// writeDone retires one in-flight write taken with writeSnapshot. The
+// floor guards the reassignment path, which can replace a key's objState
+// (and so lose its writer count) while older writers are still in flight.
+func (s *Store) writeDone(key iostore.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.objs[key]; ok && st.writers > 0 {
+		st.writers--
+	}
 }
 
 // replicasOf snapshots key's current replica set (nil when untracked).
@@ -405,16 +578,15 @@ func (s *Store) fanOutWrite(ctx context.Context, key iostore.Key,
 		return errors.New("shardstore: closed")
 	}
 	inc(s.mPuts)
-	st := s.assignment(key)
-	replicas := s.replicasOf(key)
+	replicas := s.writeSnapshot(key)
+	defer s.writeDone(key)
 	if len(replicas) == 0 {
 		// Every assigned replica was dropped earlier in this object's
 		// life; reassign from scratch (the healthy set may have changed).
 		s.mu.Lock()
 		delete(s.objs, key)
 		s.mu.Unlock()
-		st = s.assignment(key)
-		replicas = s.replicasOf(key)
+		replicas = s.writeSnapshot(key)
 		if len(replicas) == 0 {
 			return errors.New("shardstore: no backends available")
 		}
@@ -451,7 +623,7 @@ func (s *Store) fanOutWrite(ctx context.Context, key iostore.Key,
 		if firstErr == nil {
 			firstErr = err
 		}
-		s.dropReplica(key, st, replicas[i])
+		s.dropReplica(key, replicas[i])
 	}
 	if survivors == 0 {
 		return fmt.Errorf("shardstore: write %s lost on all %d replicas: %w", key, len(replicas), firstErr)
@@ -647,9 +819,10 @@ func (s *Store) Delete(ctx context.Context, key iostore.Key) error {
 	s.mu.Lock()
 	delete(s.objs, key)
 	s.mu.Unlock()
-	errs := make([]error, len(s.backends))
+	backends := s.snapshot()
+	errs := make([]error, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range s.backends {
+	for i, b := range backends {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
@@ -678,10 +851,11 @@ func (s *Store) inventory(ctx context.Context, list func(ctx context.Context, b 
 	if s.closed.Load() {
 		return nil, errors.New("shardstore: closed")
 	}
-	ids := make([][]uint64, len(s.backends))
-	errs := make([]error, len(s.backends))
+	backends := s.snapshot()
+	ids := make([][]uint64, len(backends))
+	errs := make([]error, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range s.backends {
+	for i, b := range backends {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
@@ -709,7 +883,7 @@ func (s *Store) inventory(ctx context.Context, list func(ctx context.Context, b 
 	}
 	if unreachable >= s.cfg.Replicas {
 		return nil, fmt.Errorf("shardstore: %d/%d backends unreachable (replication factor %d, inventory incomplete): %w",
-			unreachable, len(s.backends), s.cfg.Replicas, firstErr)
+			unreachable, len(backends), s.cfg.Replicas, firstErr)
 	}
 	if unreachable > 0 {
 		inc(s.mInvDegraded)
@@ -747,6 +921,67 @@ func (s *Store) Latest(ctx context.Context, job string, rank int) (uint64, bool,
 	return ids[len(ids)-1], true, nil
 }
 
+// Keys implements iostore.Backend: the union of every reachable backend's
+// key listing, with inventory's <R unreachable tolerance. A backend whose
+// server predates the Keys op counts as unreachable for the merge (its
+// holdings are unknown) without being blamed as unhealthy.
+func (s *Store) Keys(ctx context.Context) ([]iostore.Key, error) {
+	if s.closed.Load() {
+		return nil, errors.New("shardstore: closed")
+	}
+	backends := s.snapshot()
+	listings := make([][]iostore.Key, len(backends))
+	errs := make([]error, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			cctx, cancel := s.callCtx(ctx)
+			defer cancel()
+			out, err := b.store.Keys(cctx)
+			if err != nil {
+				errs[i] = err
+				if !errors.Is(err, iostore.ErrUnsupported) {
+					s.blame(ctx, b, err)
+				}
+				return
+			}
+			listings[i] = out
+		}(i, b)
+	}
+	wg.Wait()
+	unreachable := 0
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			unreachable++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if unreachable >= s.cfg.Replicas {
+		return nil, fmt.Errorf("shardstore: %d/%d backends unreachable (replication factor %d, inventory incomplete): %w",
+			unreachable, len(backends), s.cfg.Replicas, firstErr)
+	}
+	if unreachable > 0 {
+		inc(s.mInvDegraded)
+	}
+	seen := make(map[iostore.Key]bool)
+	var union []iostore.Key
+	for _, part := range listings {
+		for _, k := range part {
+			if !seen[k] {
+				seen[k] = true
+				union = append(union, k)
+			}
+		}
+	}
+	iostore.SortKeys(union)
+	return union, nil
+}
+
 // repairLoop probes unhealthy backends and re-replicates under-replicated
 // objects every Probe interval until Close.
 func (s *Store) repairLoop() {
@@ -766,21 +1001,32 @@ func (s *Store) repairLoop() {
 }
 
 // probe re-checks every unhealthy backend with a cheap inventory call and
-// reports how many rejoined.
+// reports how many rejoined. Re-admission is damped: a backend must answer
+// RejoinProbes *consecutive* probes before it counts as healthy again. One
+// lucky inventory call proves very little — a backend whose writes still
+// fail would otherwise flap healthy/unhealthy on every probe tick, and
+// each flap re-routes placement for every key it wins.
 func (s *Store) probe(ctx context.Context) int {
 	rejoined := 0
-	for _, b := range s.backends {
+	for _, b := range s.snapshot() {
 		if b.healthy.Load() {
 			continue
 		}
 		cctx, cancel := s.callCtx(ctx)
 		_, err := b.store.IDs(cctx, "shardstore-probe", 0)
 		cancel()
-		if err == nil {
-			b.healthy.Store(true)
-			rejoined++
-			inc(s.mRejoins)
+		if err != nil {
+			b.probeStreak.Store(0)
+			continue
 		}
+		if b.probeStreak.Add(1) < int32(s.cfg.RejoinProbes) {
+			continue
+		}
+		b.probeStreak.Store(0)
+		b.healthy.Store(true)
+		b.everRejoined.Store(true)
+		rejoined++
+		inc(s.mRejoins)
 	}
 	return rejoined
 }
@@ -886,7 +1132,10 @@ func (s *Store) repairObject(ctx context.Context, key iostore.Key) (bool, error)
 		if len(holders) >= s.cfg.Replicas {
 			break
 		}
-		if holders[b] || !b.healthy.Load() {
+		// Copy targets must be eligible: repairing an object *onto* a
+		// draining backend is work the drain controller immediately
+		// undoes. (Draining holders still count and serve as sources.)
+		if holders[b] || !b.healthy.Load() || !b.eligible() {
 			continue
 		}
 		if !loaded {
@@ -917,7 +1166,7 @@ func (s *Store) repairObject(ctx context.Context, key iostore.Key) (bool, error)
 		s.objs[key] = st
 	}
 	st.replicas = st.replicas[:0]
-	for _, b := range s.ranking(key) { // deterministic order
+	for _, b := range rankingOf(s.backends, key) { // deterministic order
 		if holders[b] {
 			st.replicas = append(st.replicas, b)
 		}
@@ -936,7 +1185,7 @@ func (s *Store) repairObject(ctx context.Context, key iostore.Key) (bool, error)
 // key (tests assert re-replication restored R).
 func (s *Store) ReplicaCount(ctx context.Context, key iostore.Key) int {
 	n := 0
-	for _, b := range s.backends {
+	for _, b := range s.snapshot() {
 		cctx, cancel := s.callCtx(ctx)
 		_, ok, err := b.store.Stat(cctx, key)
 		cancel()
@@ -950,8 +1199,9 @@ func (s *Store) ReplicaCount(ctx context.Context, key iostore.Key) int {
 // MarkUnhealthy force-marks a backend unhealthy by name (tests, operator
 // tooling); the probe loop re-admits it when it answers again.
 func (s *Store) MarkUnhealthy(name string) {
-	for _, b := range s.backends {
+	for _, b := range s.snapshot() {
 		if b.name == name {
+			b.probeStreak.Store(0)
 			b.healthy.Store(false)
 		}
 	}
@@ -959,7 +1209,7 @@ func (s *Store) MarkUnhealthy(name string) {
 
 // Healthy reports backend health by name.
 func (s *Store) Healthy(name string) bool {
-	for _, b := range s.backends {
+	for _, b := range s.snapshot() {
 		if b.name == name {
 			return b.healthy.Load()
 		}
@@ -967,15 +1217,18 @@ func (s *Store) Healthy(name string) bool {
 	return false
 }
 
-// Close stops the repair loop and tears down every backend connection.
+// Close stops the repair loop and the membership watcher, then tears down
+// every backend connection.
 func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.runCancel()
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	<-s.watcherDone
 	var first error
-	for _, b := range s.backends {
+	for _, b := range s.snapshot() {
 		if b.close != nil {
 			if err := b.close(); err != nil && first == nil {
 				first = err

@@ -95,6 +95,13 @@ func (f *flakyBackend) GetBlock(ctx context.Context, key iostore.Key, index int)
 	return f.inner.GetBlock(ctx, key, index)
 }
 
+func (f *flakyBackend) Keys(ctx context.Context) ([]iostore.Key, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.inner.Keys(ctx)
+}
+
 // rig builds a shard client over n in-process flaky backends with the
 // background repair loop disabled (tests drive Rereplicate explicitly).
 func rig(t *testing.T, n int, cfg Config) (*Store, []*flakyBackend, []*iostore.Store) {
@@ -372,8 +379,17 @@ func TestProbeRejoinsRecoveredBackend(t *testing.T) {
 	if s.Healthy("iod-1") {
 		t.Fatal("dead backend still healthy after failed write")
 	}
-	// The backend comes back; the probe re-admits it and repair restores R.
+	// The backend comes back. Re-admission is damped: the first
+	// RejoinProbes-1 probe passes must NOT rejoin it (Rereplicate also
+	// errors on those passes — with only one healthy backend there is
+	// nowhere to restore R=2); the RejoinProbes-th pass does.
 	flakies[1].down.Store(false)
+	for i := 1; i < s.cfg.RejoinProbes; i++ {
+		_, _ = s.Rereplicate(context.Background())
+		if s.Healthy("iod-1") {
+			t.Fatalf("backend re-admitted after %d probes, want damping to %d", i, s.cfg.RejoinProbes)
+		}
+	}
 	if _, err := s.Rereplicate(context.Background()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Runs the sharded store-tier benchmarks and emits BENCH_shard.json at the
-# repo root: replicated drain throughput per backend count. The JSON
-# carries the claim the shard tier makes: aggregate drain throughput grows
-# monotonically with the backend count (1 -> 4) at a fixed replication
-# factor, i.e. adding I/O nodes buys bandwidth, not just redundancy. Each
-# tier runs 3 times and the fastest run counts — the claim is about the
-# tier's capability, not about what a loaded single-core CI box happened
-# to schedule — and the check still allows 10% noise per step.
+# repo root: replicated drain throughput per backend count, plus drain
+# throughput while a decommission's background migration is in flight.
+# The JSON carries two claims the shard tier makes: aggregate drain
+# throughput grows monotonically with the backend count (1 -> 4) at a
+# fixed replication factor, i.e. adding I/O nodes buys bandwidth, not
+# just redundancy; and a membership drain (mover budget throttled) must
+# not collapse foreground writes below roughly half the 4-backend
+# steady-state baseline. Each tier runs 3 times and the fastest run
+# counts — the claims are about the tier's capability, not about what a
+# loaded single-core CI box happened to schedule — and the monotonic
+# check still allows 10% noise per step.
 #
 # Usage: scripts/bench_shard.sh [benchtime]   (default 300ms)
 set -euo pipefail
@@ -28,6 +32,9 @@ echo "$out" | awk '
     if (!(bk in mbs)) backends[n++] = bk
     if ($5 + 0 > mbs[bk] + 0) { mbs[bk] = $5; ns[bk] = $3 }
 }
+/^BenchmarkShardDrainRebalance/ {
+    if ($5 + 0 > rmbs + 0) { rmbs = $5; rns = $3 }
+}
 END {
     printf "{\n"
     printf "  \"bench\": \"shardstore drain\",\n"
@@ -39,10 +46,13 @@ END {
             bk, ns[bk], mbs[bk], (i < n - 1 ? "," : "")
     }
     printf "  },\n"
+    printf "  \"drain_during_rebalance\": {\"ns_per_op\": %s, \"mb_per_s\": %s},\n", rns, rmbs
     mono = "true"
     for (i = 1; i < n; i++)
         if (mbs[backends[i]] + 0 < (mbs[backends[i-1]] + 0) * 0.9) mono = "false"
-    printf "  \"drain_monotonic\": %s\n", mono
+    printf "  \"drain_monotonic\": %s,\n", mono
+    holds = (rmbs + 0 >= (mbs["4"] + 0) * 0.5) ? "true" : "false"
+    printf "  \"rebalance_holds\": %s\n", holds
     printf "}\n"
 }' > BENCH_shard.json
 
@@ -52,4 +62,8 @@ if ! grep -q '"drain_monotonic": true' BENCH_shard.json; then
     echo "bench_shard.sh: drain throughput is NOT monotonic in backend count" >&2
     exit 1
 fi
-echo "bench_shard.sh: monotonic backend scaling confirmed"
+if ! grep -q '"rebalance_holds": true' BENCH_shard.json; then
+    echo "bench_shard.sh: drain throughput collapsed below half the steady-state baseline during rebalance" >&2
+    exit 1
+fi
+echo "bench_shard.sh: monotonic backend scaling confirmed; rebalance holds drain throughput"

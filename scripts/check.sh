@@ -20,6 +20,20 @@ go test -race ./internal/cluster/... ./internal/node/... ./internal/erasure/... 
     ./internal/metrics/... ./internal/iod/... ./internal/faultinject/... \
     ./internal/shardstore/... ./internal/gateway/...
 
+# Membership drain controller under the race detector, re-run explicitly:
+# join/decommission mid-drain, the restart-blind inventory repair, and the
+# mover-vs-stream void protocol are the riskiest interleavings in the
+# tree, so they get their own -count=2 stress on top of the package run.
+go test -race -count=2 -run 'TestShardClusterMembership|TestAddBackend|TestDecommission|TestRestartBlindRepair|TestRebalanceMover' \
+    ./internal/cluster/ ./internal/shardstore/
+
+# Membership chaos experiment: a backend joins and another is
+# decommissioned while a live multi-rank drain is in flight; zero lost
+# restart lines, the leaver ends empty, and a fresh client's
+# inventory-driven repair restores R copies.
+go run ./cmd/ndpcr-experiments -quick membership > /dev/null
+echo "check.sh: membership experiment green"
+
 # Wire-version compat matrix under the race detector, re-run explicitly:
 # v2<->v2, v2 client -> v1 server (gob downgrade), v1 client -> v2 server,
 # and the corruption/checksum recovery paths. A mixed-version fleet rides
