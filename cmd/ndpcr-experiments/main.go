@@ -68,10 +68,16 @@ experiments:
            is decommissioned mid-drain; zero lost restart lines, the
            leaver ends empty, and a fresh (restart-blind) client's
            inventory repair restores R copies
+  asyncchaos
+           async-acknowledge gateway over 3 live iod backends (R=2):
+           one backend is killed while acked checkpoints are still
+           propagating; every acked ID must reach store durability or
+           be reported failed — zero silent losses
   swarm    multi-tenant gateway under -swarm-tenants concurrent clients
            over a 3-backend shard tier: zero lost checkpoints, zero
            cross-tenant visibility, quotas and rate limits enforced
-  all      everything above (except chaos, shardchaos, membership, and swarm)
+  all      everything above (except the chaos, shardchaos, asyncchaos,
+           membership, and swarm live runs)
 
 flags:
 `)
@@ -144,6 +150,7 @@ func main() {
 		"ext":        func() error { return runExt(extSection) },
 		"chaos":      runChaos,
 		"shardchaos": runShardChaos,
+		"asyncchaos": runAsyncChaos,
 		"membership": runMembership,
 		"swarm":      runSwarm,
 	}

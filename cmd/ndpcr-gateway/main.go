@@ -49,6 +49,11 @@ func main() {
 		level     = flag.Int("level", 1, "codec level")
 		drainWin  = flag.Int("drain-window", 0, "NDP send window per session drain (0 = default)")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "how long a save may wait for its drain to reach the store")
+		asyncAck  = flag.Bool("async-ack", false, "acknowledge saves at NVM durability (202) and drain to the store in the background")
+		asyncTO   = flag.Duration("async-drain-timeout", 0, "background store-drain bound for async-acked saves (0 = 4x -drain-timeout)")
+		drSlots   = flag.Int("drain-slots", 0, "concurrent NDP drain slots shared across sessions, QoS-weighted by tenant drain_weight (0 = ungated)")
+		drTries   = flag.Int("drain-attempts", 0, "automatic drain retries per checkpoint before permanent failure (0 = no retry)")
+		drBackoff = flag.Duration("drain-retry-backoff", 50*time.Millisecond, "base linear backoff between automatic drain retries")
 		shutTO    = flag.Duration("shutdown-timeout", 20*time.Second, "how long shutdown waits for in-flight requests to drain")
 		sessNVM   = flag.Int64("session-nvm", 0, "per-session NVM region bytes (0 = default)")
 		retain    = flag.Int("retain-local", 0, "drained checkpoints kept in each session's local NVM cache (0 = default 4, <0 = all)")
@@ -107,15 +112,20 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	gw, err := gateway.New(gateway.Config{
-		Store:        store,
-		Tenants:      tenants,
-		Codec:        codec,
-		DrainWindow:  *drainWin,
-		DrainTimeout: *drainTO,
-		SessionNVM:   *sessNVM,
-		RetainLocal:  *retain,
-		Injector:     injector,
-		Metrics:      reg,
+		Store:             store,
+		Tenants:           tenants,
+		Codec:             codec,
+		DrainWindow:       *drainWin,
+		DrainTimeout:      *drainTO,
+		AsyncAck:          *asyncAck,
+		AsyncDrainTimeout: *asyncTO,
+		DrainSlots:        *drSlots,
+		MaxDrainAttempts:  *drTries,
+		DrainRetryBackoff: *drBackoff,
+		SessionNVM:        *sessNVM,
+		RetainLocal:       *retain,
+		Injector:          injector,
+		Metrics:           reg,
 	})
 	if err != nil {
 		fatal(err)

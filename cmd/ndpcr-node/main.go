@@ -39,6 +39,8 @@ func main() {
 		replicas = flag.Int("replicas", 2, "replica count R per checkpoint object across -iod-addrs backends")
 		iodLanes = flag.Int("iod-lanes", 2, "concurrent transport lanes to each remote I/O node (1 = serial legacy wire)")
 		drainWin = flag.Int("drain-window", 0, "NDP send window: blocks in flight to the store per drain (0 = default)")
+		async    = flag.Bool("async", false, "commit checkpoints asynchronously: return at NVM durability with admission control instead of ErrFull")
+		drTries  = flag.Int("drain-attempts", 0, "automatic drain retries per checkpoint before permanent failure (0 = no retry)")
 		dumpMet  = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
 		joinAddr = flag.String("join", "", "shard tier: add this ndpcr-iod backend to the member set at -member-at (requires -iod-addrs)")
 		decomm   = flag.String("decommission", "", "shard tier: decommission this backend at -member-at, draining its replicas off first (requires -iod-addrs)")
@@ -90,9 +92,10 @@ func main() {
 	}
 	n, err := node.New(node.Config{
 		Job: "demo", Rank: 0, Store: store, Codec: codec,
-		Incremental: *incr,
-		DrainWindow: *drainWin,
-		OnError:     func(err error) { fmt.Fprintf(os.Stderr, "ndp async error: %v\n", err) },
+		Incremental:      *incr,
+		DrainWindow:      *drainWin,
+		MaxDrainAttempts: *drTries,
+		OnError:          func(err error) { fmt.Fprintf(os.Stderr, "ndp async error: %v\n", err) },
 	})
 	if err != nil {
 		fatal(err)
@@ -137,7 +140,12 @@ func main() {
 			if err := app.Checkpoint(&buf); err != nil {
 				fatal(err)
 			}
-			id, err := n.Commit(buf.Bytes(), node.Metadata{Step: s})
+			var id uint64
+			if *async {
+				id, err = n.CommitAsync(ctx, buf.Bytes(), node.Metadata{Step: s})
+			} else {
+				id, err = n.Commit(buf.Bytes(), node.Metadata{Step: s})
+			}
 			if err != nil {
 				fatal(err)
 			}

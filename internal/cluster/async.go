@@ -1,0 +1,166 @@
+// Asynchronous coordinated checkpoints (VELOC-style): the application is
+// paused only for the local NVM captures — the commit barrier returns as
+// soon as every rank's snapshot is NVM-durable — and a background round
+// propagates the checkpoint through the redundancy hierarchy (partner
+// copies, erasure encode; the per-node NDP engines carry it to global I/O
+// concurrently). Completion is observable per level through each node's
+// durability tracker; a propagation failure triggers a deferred abort that
+// rolls the whole round back and marks the ID permanently failed, so
+// waiters learn the checkpoint is gone rather than pending.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ndpcr/internal/node"
+	"ndpcr/internal/node/ndp"
+)
+
+// CheckpointAsync performs one coordinated checkpoint in async mode: all
+// ranks snapshot and commit to local NVM under the same global ID — with
+// admission control instead of ErrFull when drain-locked residents crowd
+// the device (ctx bounds the wait; nvm.ErrBackpressure on expiry) — and
+// the call returns as soon as the last rank's NVM write lands. Partner
+// copies and the erasure encode run in a background propagation round;
+// the NDP engines drain to global I/O as usual.
+//
+// Use WaitDurable / per-node WaitDurableCtx to await any level, e.g.
+// WaitDurable(ctx, id, ndp.LevelStore) for the synchronous mode's
+// durable-at-I/O guarantee. A failed commit barrier is rolled back
+// synchronously (like Checkpoint); a failed background propagation is a
+// *deferred abort* — the round is rolled back at every level, the ID is
+// permanently failed on every rank's tracker, and the error is reported
+// through WithOnAsyncError.
+func (c *Cluster) CheckpointAsync(ctx context.Context, step int) (uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, errors.New("cluster: closed")
+	}
+	want := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+
+	barrierStart := time.Now()
+	errs := make([]error, len(c.ranks))
+	snaps := make([][]byte, len(c.ranks))
+	committed := make([]uint64, len(c.ranks))
+	var wg sync.WaitGroup
+	for i := range c.ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := c.ranks[i].Snapshot()
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d snapshot: %w", i, err)
+				return
+			}
+			snaps[i] = snap
+			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
+			id, err := c.nodes[i].CommitAsync(ctx, snap, meta)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: rank %d commit: %w", i, err)
+				return
+			}
+			committed[i] = id
+			if id != want {
+				errs[i] = fmt.Errorf("cluster: rank %d committed id %d, expected %d (nodes out of sync)",
+					i, id, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The barrier here is only the slowest rank's snapshot + NVM commit —
+	// the async mode's whole point: the pause excludes partner copies, the
+	// erasure encode, and the I/O drain.
+	c.mBarrierSecs.ObserveSince(barrierStart)
+	for _, err := range errs {
+		if err != nil {
+			c.mCkptErrors.Inc()
+			c.rollback(want, committed)
+			return 0, err
+		}
+	}
+	c.propWG.Add(1)
+	go c.propagate(want, step, snaps, committed)
+	c.mCkpts.Inc()
+	return want, nil
+}
+
+// propagate runs one background propagation round: partner copies for
+// every rank (parallel), then the erasure encode. Rounds are serialized in
+// commit order. Any failure is a deferred abort: rollback at every level
+// plus a permanent per-rank failure mark (rollback's DiscardCommit fails
+// the ID on each tracker), so watermark waiters resolve instead of hanging.
+func (c *Cluster) propagate(id uint64, step int, snaps [][]byte, committed []uint64) {
+	defer c.propWG.Done()
+	c.propMu.Lock()
+	defer c.propMu.Unlock()
+
+	var firstErr error
+	if c.partner {
+		errs := make([]error, len(c.ranks))
+		var wg sync.WaitGroup
+		for i := range c.ranks {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				meta := node.Metadata{Job: c.job, Rank: i, Step: step}
+				buddy := c.nodes[(i+1)%len(c.nodes)]
+				if err := buddy.StorePartnerCopy(i, id, snaps[i], meta); err != nil {
+					errs[i] = fmt.Errorf("cluster: rank %d async partner copy %d: %w", i, id, err)
+					return
+				}
+				c.nodes[i].Durability().MarkDurable(ndp.LevelPartner, id)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr == nil && c.eraCode != nil {
+		if err := c.encodeErasure(id, step, snaps); err != nil {
+			firstErr = fmt.Errorf("cluster: async erasure encode %d: %w", id, err)
+		} else {
+			c.markDurable(ndp.LevelErasure, id)
+		}
+	}
+	if firstErr != nil {
+		c.mCkptErrors.Inc()
+		c.rollback(id, committed)
+		if c.onAsyncErr != nil {
+			c.onAsyncErr(firstErr)
+		}
+	}
+}
+
+// WaitDurable blocks until checkpoint id is durable at level on every
+// rank, any rank permanently fails it (error wraps ndp.ErrCheckpointFailed),
+// ctx ends, or the cluster shuts down.
+func (c *Cluster) WaitDurable(ctx context.Context, id uint64, level ndp.Level) error {
+	for i, n := range c.nodes {
+		if err := n.WaitDurableCtx(ctx, id, level); err != nil {
+			return fmt.Errorf("cluster: rank %d durability %d@%s: %w", i, id, level, err)
+		}
+	}
+	return nil
+}
+
+// DurableAt reports whether checkpoint id is durable at level on every
+// rank.
+func (c *Cluster) DurableAt(id uint64, level ndp.Level) bool {
+	for _, n := range c.nodes {
+		if !n.DurableAt(id, level) {
+			return false
+		}
+	}
+	return true
+}

@@ -18,6 +18,7 @@ import (
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/ndp"
 )
 
 // Rank is one checkpointable application process.
@@ -47,6 +48,14 @@ type Cluster struct {
 	nextID uint64
 	closed bool
 
+	// Async-mode state: propMu serializes background propagation rounds
+	// (partner copies + erasure encode run in commit order), propWG tracks
+	// them so Close waits instead of wiping state under a live round, and
+	// onAsyncErr receives deferred-abort errors.
+	propMu     sync.Mutex
+	propWG     sync.WaitGroup
+	onAsyncErr func(error)
+
 	reg            *metrics.Registry
 	mCkpts         *metrics.Counter
 	mCkptErrors    *metrics.Counter
@@ -71,6 +80,14 @@ type Option func(*Cluster)
 // instead of global I/O. Requires at least two ranks.
 func WithPartnerReplication() Option {
 	return func(c *Cluster) { c.partner = true }
+}
+
+// WithOnAsyncError registers a handler for deferred-abort errors: a
+// CheckpointAsync whose background propagation fails rolls the round back
+// and reports the cause here (waiters also observe it as a permanent
+// failure on every rank's durability tracker).
+func WithOnAsyncError(fn func(error)) Option {
+	return func(c *Cluster) { c.onAsyncErr = fn }
 }
 
 // New assembles a cluster. nodes[i] backs ranks[i]; the slices must be the
@@ -205,7 +222,9 @@ func (c *Cluster) Checkpoint(ctx context.Context, step int) (uint64, error) {
 				buddy := c.nodes[(i+1)%len(c.nodes)]
 				if err := buddy.StorePartnerCopy(i, id, snap, meta); err != nil {
 					errs[i] = fmt.Errorf("cluster: rank %d partner copy: %w", i, err)
+					return
 				}
+				c.nodes[i].Durability().MarkDurable(ndp.LevelPartner, id)
 			}
 		}(i)
 	}
@@ -229,9 +248,17 @@ func (c *Cluster) Checkpoint(ctx context.Context, step int) (uint64, error) {
 			c.rollback(want, committed)
 			return 0, err
 		}
+		c.markDurable(ndp.LevelErasure, want)
 	}
 	c.mCkpts.Inc()
 	return want, nil
+}
+
+// markDurable advances one durability level's watermark on every rank.
+func (c *Cluster) markDurable(level ndp.Level, id uint64) {
+	for _, n := range c.nodes {
+		n.Durability().MarkDurable(level, id)
+	}
 }
 
 // rollback erases every trace of an aborted coordinated checkpoint and
@@ -499,7 +526,8 @@ func (c *Cluster) FailNode(i int) error {
 	return nil
 }
 
-// Close shuts every node down.
+// Close shuts every node down, first waiting for any in-flight async
+// propagation rounds (their deferred aborts must run against live nodes).
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -508,6 +536,7 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	c.propWG.Wait()
 	for _, n := range c.nodes {
 		n.Close()
 	}

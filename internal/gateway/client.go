@@ -100,6 +100,59 @@ func (c *Client) Save(ctx context.Context, ns, run string, rank, step int, snaps
 	return out.ID, nil
 }
 
+// SaveAsync writes one snapshot with asynchronous acknowledgment
+// (?durable=nvm): it returns as soon as the gateway holds the snapshot
+// NVM-durably, while propagation to the global store continues in the
+// background. Poll Durability (or call it with wait="store") to learn when
+// — or whether — the checkpoint became store-durable.
+func (c *Client) SaveAsync(ctx context.Context, ns, run string, rank, step int, snapshot []byte) (uint64, error) {
+	u := c.runURL(ns, run, "/checkpoints") + "?rank=" + strconv.Itoa(rank) +
+		"&step=" + strconv.Itoa(step) + "&durable=nvm"
+	resp, err := c.do(ctx, http.MethodPost, u, snapshot)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		ID uint64 `json:"id"`
+	}
+	if err := decodeJSON(resp, &out); err != nil {
+		return 0, fmt.Errorf("gateway: decoding save response: %w", err)
+	}
+	return out.ID, nil
+}
+
+// Durability is one checkpoint's per-level durability state.
+type Durability struct {
+	ID      uint64          `json:"id"`
+	Levels  map[string]bool `json:"levels"`
+	Failed  bool            `json:"failed"`
+	Failure string          `json:"failure"`
+}
+
+// Durable reports whether the checkpoint reached the named level
+// ("nvm", "partner", "erasure", "store").
+func (d Durability) Durable(level string) bool { return d.Levels[level] }
+
+// Durability fetches one checkpoint's durability state. A non-empty wait
+// names a level ("store", "nvm", ...) to block for (bounded by the
+// gateway's drain timeout) before reporting.
+func (c *Client) Durability(ctx context.Context, ns, run string, rank int, id uint64, wait string) (Durability, error) {
+	u := c.runURL(ns, run, "/checkpoints/"+strconv.FormatUint(id, 10)+"/durability") +
+		"?rank=" + strconv.Itoa(rank)
+	if wait != "" {
+		u += "&wait=" + url.QueryEscape(wait)
+	}
+	resp, err := c.do(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Durability{}, err
+	}
+	var out Durability
+	if err := decodeJSON(resp, &out); err != nil {
+		return Durability{}, fmt.Errorf("gateway: decoding durability response: %w", err)
+	}
+	return out, nil
+}
+
 // List reports the checkpoint IDs stored for rank of ns/run.
 func (c *Client) List(ctx context.Context, ns, run string, rank int) ([]uint64, error) {
 	u := c.runURL(ns, run, "/checkpoints") + "?rank=" + strconv.Itoa(rank)

@@ -25,6 +25,8 @@ import (
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node"
 	"ndpcr/internal/node/iostore"
+	"ndpcr/internal/node/ndp"
+	"ndpcr/internal/node/nvm"
 )
 
 // Config assembles a gateway server.
@@ -54,6 +56,26 @@ type Config struct {
 	// (default 30s).
 	DrainTimeout time.Duration
 
+	// AsyncAck switches saves to VELOC-style asynchronous acknowledgment:
+	// a save returns 202 as soon as the snapshot is NVM-durable, and the
+	// drain to the global store completes in the background (observable
+	// through the durability endpoint). A per-request ?durable=store|nvm
+	// query overrides the mode either way.
+	AsyncAck bool
+	// AsyncDrainTimeout bounds the background store-durability wait for an
+	// async-acked save before it is rolled back and reported failed
+	// (default 4×DrainTimeout).
+	AsyncDrainTimeout time.Duration
+	// DrainSlots bounds how many NDP drains run concurrently across all
+	// sessions; tenants share the pool in proportion to their DrainWeight
+	// (stride-scheduled, starvation-free). Zero leaves drains ungated.
+	DrainSlots int
+	// MaxDrainAttempts / DrainRetryBackoff forward to every session node:
+	// automatic NDP drain retries with linear backoff before a checkpoint
+	// is permanently failed (zero keeps the legacy no-retry behavior).
+	MaxDrainAttempts  int
+	DrainRetryBackoff time.Duration
+
 	// Injector enables fault injection at the gateway.handler site.
 	Injector *faultinject.Injector
 	// Metrics receives the ndpcr_gateway_* series (and every session
@@ -71,6 +93,9 @@ type Server struct {
 	now     func() time.Time
 	byToken map[string]*tenantState
 
+	sched   *drainScheduler // nil unless DrainSlots > 0
+	asyncWG sync.WaitGroup  // background async-save completion waits
+
 	mu        sync.Mutex
 	sessions  map[sessKey]*node.Node
 	draining  bool
@@ -82,6 +107,9 @@ type Server struct {
 	mCanceled     *metrics.Counter
 	mFaults       *metrics.Counter
 	mInflight     *metrics.Gauge
+	mAsyncPending *metrics.Gauge
+	mAsyncFails   *metrics.Counter
+	mBackpressure *metrics.Counter
 }
 
 type sessKey struct {
@@ -99,6 +127,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.AsyncDrainTimeout <= 0 {
+		cfg.AsyncDrainTimeout = 4 * cfg.DrainTimeout
 	}
 	if cfg.RetainLocal == 0 {
 		cfg.RetainLocal = 4
@@ -129,6 +160,21 @@ func New(cfg Config) (*Server, error) {
 		"requests failed or delayed by the gateway.handler fault site")
 	s.mInflight = s.reg.Gauge("ndpcr_gateway_inflight_requests",
 		"requests currently being served")
+	s.mAsyncPending = s.reg.Gauge("ndpcr_gateway_async_pending",
+		"async-acked saves whose background store drain has not resolved")
+	s.mAsyncFails = s.reg.Counter("ndpcr_gateway_async_failures_total",
+		"async-acked saves rolled back because the store drain failed or timed out")
+	s.mBackpressure = s.reg.Counter("ndpcr_gateway_backpressure_rejections_total",
+		"async saves rejected because NVM admission control timed out")
+	if cfg.DrainSlots > 0 {
+		s.sched = newDrainScheduler(cfg.DrainSlots)
+		s.reg.GaugeFunc("ndpcr_gateway_drain_slots_in_use",
+			"NDP drain slots currently held, of the DrainSlots pool",
+			func() float64 { return float64(s.sched.InUse()) })
+		s.reg.GaugeFunc("ndpcr_gateway_drain_queue_depth",
+			"drains parked waiting for a slot under QoS scheduling",
+			func() float64 { return float64(s.sched.Queued()) })
+	}
 	s.reg.GaugeFunc("ndpcr_gateway_sessions",
 		"live per-(namespace,run,rank) node sessions", func() float64 {
 			s.mu.Lock()
@@ -140,6 +186,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/ns/{ns}/runs/{run}/checkpoints", s.wrap("save", s.handleSave))
 	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/checkpoints", s.wrap("list", s.handleList))
 	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/checkpoints/{id}", s.wrap("load", s.handleLoad))
+	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/checkpoints/{id}/durability", s.wrap("durability", s.handleDurability))
 	s.mux.HandleFunc("DELETE /v1/ns/{ns}/runs/{run}/checkpoints/{id}", s.wrap("delete", s.handleDelete))
 	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/resume", s.wrap("resume", s.handleResume))
 	s.mux.Handle("GET /metrics", metrics.Handler(s.reg))
@@ -300,9 +347,9 @@ func (s *Server) leaveRequest() {
 }
 
 // Shutdown stops admitting requests, waits (bounded by ctx) for the
-// in-flight ones to finish, then closes every session node. It returns
-// ctx's error when the drain did not finish in time; sessions are closed
-// either way.
+// in-flight ones to finish and for async-acked saves to resolve, then
+// closes every session node. It returns ctx's error when the drain did not
+// finish in time; sessions are closed either way.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -323,6 +370,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = ctx.Err()
 		}
 	}
+	// Async-acked saves still propagating: give their background waits the
+	// remaining budget before tearing sessions down. Closing a node stops
+	// its engine, which resolves any stragglers through ndp.ErrStopped.
+	asyncDone := make(chan struct{})
+	go func() {
+		s.asyncWG.Wait()
+		close(asyncDone)
+	}()
+	select {
+	case <-asyncDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
 	s.mu.Lock()
 	sessions := s.sessions
 	s.sessions = make(map[sessKey]*node.Node)
@@ -336,8 +396,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // session returns (creating if needed) the node runtime serving one
 // (namespace, run, rank). A fresh session resynchronizes its checkpoint
 // counter from the store's newest ID, so a restarted gateway appends to a
-// run instead of overwriting it.
-func (s *Server) session(ctx context.Context, job string, rank int) (*node.Node, error) {
+// run instead of overwriting it. Under QoS scheduling the session's drains
+// are gated on the creating tenant's weight (a namespace shared across
+// tenants drains at its first user's weight — a deliberate simplification).
+func (s *Server) session(ctx context.Context, job string, rank int, st *tenantState) (*node.Node, error) {
 	key := sessKey{job: job, rank: rank}
 	s.mu.Lock()
 	if n, ok := s.sessions[key]; ok {
@@ -346,17 +408,27 @@ func (s *Server) session(ctx context.Context, job string, rank int) (*node.Node,
 	}
 	s.mu.Unlock()
 
+	var gate func(ctx context.Context) (func(), error)
+	if s.sched != nil {
+		tenant, weight := st.Name, st.DrainWeight
+		gate = func(ctx context.Context) (func(), error) {
+			return s.sched.Acquire(ctx, tenant, weight)
+		}
+	}
 	// Build outside the lock: node.New allocates NVM and spins up the NDP
 	// engine. A racing builder for the same key loses and closes its copy.
 	n, err := node.New(node.Config{
-		Job:         job,
-		Rank:        rank,
-		Store:       s.cfg.Store,
-		Codec:       s.cfg.Codec,
-		BlockSize:   s.cfg.BlockSize,
-		DrainWindow: s.cfg.DrainWindow,
-		NVMCapacity: s.cfg.SessionNVM,
-		Metrics:     s.reg,
+		Job:               job,
+		Rank:              rank,
+		Store:             s.cfg.Store,
+		Codec:             s.cfg.Codec,
+		BlockSize:         s.cfg.BlockSize,
+		DrainWindow:       s.cfg.DrainWindow,
+		NVMCapacity:       s.cfg.SessionNVM,
+		Metrics:           s.reg,
+		MaxDrainAttempts:  s.cfg.MaxDrainAttempts,
+		DrainRetryBackoff: s.cfg.DrainRetryBackoff,
+		DrainGate:         gate,
 	})
 	if err != nil {
 		return nil, err
@@ -411,11 +483,17 @@ func mapStoreErr(err error, what string) *apiError {
 	}
 }
 
-// handleSave commits one checkpoint snapshot (the request body) and waits
-// for the NDP drain to land it in the global store before acknowledging:
-// a 200 means the checkpoint is durable at the I/O level, not merely
-// accepted. A failed or timed-out drain rolls the commit back so the run's
-// checkpoint sequence holds only durable IDs.
+// handleSave commits one checkpoint snapshot (the request body). In the
+// default synchronous mode it waits for the NDP drain to land the
+// checkpoint in the global store before acknowledging: a 200 means durable
+// at the I/O level, not merely accepted, and a failed or timed-out drain
+// rolls the commit back so the run's checkpoint sequence holds only durable
+// IDs. In async mode (Config.AsyncAck or ?durable=nvm) the save returns 202
+// as soon as the snapshot is NVM-durable — under admission control, so a
+// full device blocks (bounded by DrainTimeout) instead of failing — and the
+// drain to the store resolves in the background: the acked ID either
+// reaches store durability or is rolled back and reported failed through
+// the durability endpoint, never silently lost.
 func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
 	job, rank, aerr := reqScope(r)
 	if aerr != nil {
@@ -427,6 +505,17 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, st *tenantSt
 		if step, err = strconv.Atoi(v); err != nil {
 			return errf(http.StatusBadRequest, "bad_request", "invalid step %q", v)
 		}
+	}
+	async := s.cfg.AsyncAck
+	switch v := r.URL.Query().Get("durable"); v {
+	case "":
+	case "nvm":
+		async = true
+	case "store":
+		async = false
+	default:
+		return errf(http.StatusBadRequest, "bad_request",
+			"invalid durable mode %q (want nvm or store)", v)
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -443,35 +532,166 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, st *tenantSt
 			"tenant %q would exceed its %s quota", st.Name, kind)
 	}
 
-	n, err := s.session(r.Context(), job, rank)
+	n, err := s.session(r.Context(), job, rank, st)
 	if err != nil {
 		release()
 		return mapStoreErr(err, "session")
 	}
-	id, err := n.Commit(body, node.Metadata{Job: job, Rank: rank, Step: step})
+	meta := node.Metadata{Job: job, Rank: rank, Step: step}
+
+	if async {
+		actx, cancel := context.WithTimeout(r.Context(), s.cfg.DrainTimeout)
+		id, err := n.CommitAsync(actx, body, meta)
+		cancel()
+		if err != nil {
+			release()
+			if errors.Is(err, nvm.ErrBackpressure) {
+				s.mBackpressure.Inc()
+				return errf(http.StatusTooManyRequests, "backpressure",
+					"NVM admission wait expired (drain-locked residents hold the device): %v", err)
+			}
+			return mapStoreErr(err, "commit")
+		}
+		s.finishAsync(n, id, release)
+		s.tenantBytes(st, "in", len(body))
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id": id, "bytes": len(body), "step": step, "durable": "nvm",
+		})
+		return nil
+	}
+
+	id, err := n.Commit(body, meta)
 	if err != nil {
 		release()
 		return mapStoreErr(err, "commit")
 	}
-
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DrainTimeout)
 	defer cancel()
-	if eng := n.Engine(); eng != nil && !eng.WaitDrainedCtx(ctx, id) {
+	var werr error
+	if n.Engine() != nil {
+		werr = n.WaitDurableCtx(ctx, id, ndp.LevelStore)
+	}
+	if werr != nil && !n.DurableAt(id, ndp.LevelStore) {
 		// Not durable at the I/O level: roll the checkpoint back rather
-		// than acknowledge state the store may not hold.
+		// than acknowledge state the store may not hold. The DurableAt
+		// re-check above keeps a drain that completed in the same instant
+		// the wait aborted (engine stop, ctx expiry) acknowledged instead
+		// of rolled back.
 		n.DiscardCommit(id)
 		release()
-		if r.Context().Err() != nil {
+		switch {
+		case r.Context().Err() != nil:
 			return errf(http.StatusServiceUnavailable, "canceled",
 				"client went away before checkpoint %d drained; rolled back", id)
+		case errors.Is(werr, ndp.ErrStopped):
+			return errf(http.StatusServiceUnavailable, "shutting_down",
+				"drain engine stopped before checkpoint %d reached the store; rolled back", id)
+		case errors.Is(werr, ndp.ErrCheckpointFailed):
+			return errf(http.StatusInternalServerError, "drain_failed",
+				"checkpoint %d permanently failed to drain: %v; rolled back", id, werr)
+		default:
+			return errf(http.StatusGatewayTimeout, "drain_timeout",
+				"checkpoint %d not drained within %s; rolled back", id, s.cfg.DrainTimeout)
 		}
-		return errf(http.StatusGatewayTimeout, "drain_timeout",
-			"checkpoint %d not drained within %s; rolled back", id, s.cfg.DrainTimeout)
 	}
 	s.evictLocal(n, id)
 
 	s.tenantBytes(st, "in", len(body))
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "bytes": len(body), "step": step})
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "bytes": len(body), "step": step, "durable": "store"})
+	return nil
+}
+
+// finishAsync resolves one async-acked save in the background: wait
+// (bounded by AsyncDrainTimeout) for store durability, then either trim the
+// local restore cache like a synchronous save, or — on permanent drain
+// failure, shutdown, or timeout without durability — roll the checkpoint
+// back and return its quota, leaving the ID marked failed on the node's
+// durability tracker so pollers see an explicit failure, not silence.
+func (s *Server) finishAsync(n *node.Node, id uint64, release func()) {
+	s.asyncWG.Add(1)
+	s.mAsyncPending.Inc()
+	go func() {
+		defer s.asyncWG.Done()
+		defer s.mAsyncPending.Dec()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AsyncDrainTimeout)
+		defer cancel()
+		err := n.WaitDurableCtx(ctx, id, ndp.LevelStore)
+		if err == nil || n.DurableAt(id, ndp.LevelStore) {
+			s.evictLocal(n, id)
+			return
+		}
+		s.mAsyncFails.Inc()
+		n.DiscardCommit(id)
+		release()
+	}()
+}
+
+// handleDurability reports one checkpoint's per-level durability:
+// GET .../checkpoints/{id}/durability?rank=N[&wait=LEVEL][&timeout=DUR].
+// With wait= it blocks (bounded by timeout, default DrainTimeout) until the
+// checkpoint reaches that level or fails. When no session holds the rank
+// (e.g. after a gateway restart) the store is consulted directly, so
+// store-level truth survives the tracker's loss of state.
+func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, rank, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	id, aerr := parseID(r)
+	if aerr != nil {
+		return aerr
+	}
+	s.mu.Lock()
+	n := s.sessions[sessKey{job: job, rank: rank}]
+	s.mu.Unlock()
+
+	if v := r.URL.Query().Get("wait"); v != "" && n != nil {
+		lvl, err := ndp.ParseLevel(v)
+		if err != nil {
+			return errf(http.StatusBadRequest, "bad_request", "invalid wait level %q", v)
+		}
+		timeout := s.cfg.DrainTimeout
+		if tv := r.URL.Query().Get("timeout"); tv != "" {
+			if timeout, err = time.ParseDuration(tv); err != nil || timeout <= 0 {
+				return errf(http.StatusBadRequest, "bad_request", "invalid timeout %q", tv)
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		// The wait is advisory — the response below reports whatever state
+		// the checkpoint reached, including a failure.
+		n.WaitDurableCtx(ctx, id, lvl)
+		cancel()
+	}
+
+	levels := make(map[string]bool, 4)
+	failed := false
+	failure := ""
+	if n != nil {
+		tr := n.Durability()
+		for _, lvl := range []ndp.Level{ndp.LevelNVM, ndp.LevelPartner, ndp.LevelErasure, ndp.LevelStore} {
+			levels[lvl.String()] = n.DurableAt(id, lvl)
+		}
+		if err := tr.FailedErr(id); err != nil {
+			failed, failure = true, err.Error()
+		}
+	} else {
+		for _, lvl := range []ndp.Level{ndp.LevelNVM, ndp.LevelPartner, ndp.LevelErasure, ndp.LevelStore} {
+			levels[lvl.String()] = false
+		}
+	}
+	if !levels[ndp.LevelStore.String()] && !failed {
+		// Tracker says not yet store-durable (or no tracker at all): the
+		// store itself is the authority for drained objects, e.g. after a
+		// gateway restart rebuilt the session with an empty tracker.
+		if _, ok, err := s.cfg.Store.Stat(r.Context(), iostore.Key{Job: job, Rank: rank, ID: id}); err == nil && ok {
+			levels[ndp.LevelStore.String()] = true
+		}
+	}
+	resp := map[string]any{"id": id, "levels": levels, "failed": failed}
+	if failure != "" {
+		resp["failure"] = failure
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -537,7 +757,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, st *tenantSt
 	if aerr != nil {
 		return aerr
 	}
-	n, err := s.session(r.Context(), job, rank)
+	n, err := s.session(r.Context(), job, rank, st)
 	if err != nil {
 		return mapStoreErr(err, "session")
 	}
@@ -595,7 +815,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, st *tenant
 	if aerr != nil {
 		return aerr
 	}
-	n, err := s.session(r.Context(), job, rank)
+	n, err := s.session(r.Context(), job, rank, st)
 	if err != nil {
 		return mapStoreErr(err, "session")
 	}

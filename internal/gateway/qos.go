@@ -1,0 +1,179 @@
+package gateway
+
+import (
+	"context"
+	"math"
+	"sync"
+)
+
+// drainScheduler arbitrates a fixed pool of NDP drain slots across tenants
+// by stride scheduling: every grant advances the owning tenant's pass value
+// by 1/weight, and when a slot frees the queued waiter belonging to the
+// smallest-pass tenant runs next. Long-run slot share therefore converges
+// to the weight ratio, while no tenant starves — a waiting tenant's pass is
+// frozen, so heavier tenants' passes eventually overtake it and its head
+// waiter becomes the minimum.
+type drainScheduler struct {
+	mu     sync.Mutex
+	slots  int
+	inUse  int
+	queues map[string][]*drainWaiter // tenant -> FIFO of parked acquirers
+	pass   map[string]float64
+	vtime  float64 // pass of the most recent grant; newcomers start here
+}
+
+// drainWaiter is one parked Acquire. granted is written under the scheduler
+// mutex and resolves the grant-vs-cancel race: a waiter that was granted a
+// slot in the same instant its context expired must hand the slot back, not
+// leak it.
+type drainWaiter struct {
+	tenant  string
+	weight  float64
+	ch      chan struct{}
+	granted bool
+}
+
+func newDrainScheduler(slots int) *drainScheduler {
+	return &drainScheduler{
+		slots:  slots,
+		queues: make(map[string][]*drainWaiter),
+		pass:   make(map[string]float64),
+	}
+}
+
+// Acquire claims one drain slot for tenant, parking behind the weighted
+// schedule while all slots are busy. The returned release must be called
+// when the drain finishes (calling it more than once is harmless). A
+// canceled ctx abandons the wait and removes the parked entry.
+func (s *drainScheduler) Acquire(ctx context.Context, tenant string, weight float64) (func(), error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	s.mu.Lock()
+	if _, ok := s.pass[tenant]; !ok {
+		// A newcomer starts at the current virtual time rather than zero,
+		// so it cannot replay the history it missed and monopolize slots.
+		s.pass[tenant] = s.vtime
+	}
+	if s.inUse < s.slots && s.queuedLocked() == 0 {
+		s.grantLocked(tenant, weight)
+		s.mu.Unlock()
+		return s.releaseFunc(), nil
+	}
+	w := &drainWaiter{tenant: tenant, weight: weight, ch: make(chan struct{})}
+	s.queues[tenant] = append(s.queues[tenant], w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return s.releaseFunc(), nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	if w.granted {
+		// The grant raced the cancellation: we own a slot the caller will
+		// never use. Recycle it to the next waiter immediately.
+		s.releaseLocked()
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+	s.removeLocked(w)
+	s.mu.Unlock()
+	return nil, ctx.Err()
+}
+
+// Queued reports how many acquirers are parked (metrics).
+func (s *drainScheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedLocked()
+}
+
+// InUse reports how many slots are held (metrics).
+func (s *drainScheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+func (s *drainScheduler) grantLocked(tenant string, weight float64) {
+	s.inUse++
+	s.vtime = s.pass[tenant]
+	s.pass[tenant] += 1 / weight
+}
+
+// releaseFunc wraps releaseLocked in a once so double release (defensive
+// callers) cannot corrupt the slot count.
+func (s *drainScheduler) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.releaseLocked()
+			s.mu.Unlock()
+		})
+	}
+}
+
+func (s *drainScheduler) releaseLocked() {
+	s.inUse--
+	for s.inUse < s.slots {
+		w := s.popMinLocked()
+		if w == nil {
+			return
+		}
+		w.granted = true
+		s.grantLocked(w.tenant, w.weight)
+		close(w.ch)
+	}
+}
+
+// popMinLocked removes and returns the head waiter of the smallest-pass
+// tenant with a non-empty queue (ties break alphabetically so scheduling is
+// deterministic), or nil when nothing is parked.
+func (s *drainScheduler) popMinLocked() *drainWaiter {
+	best := ""
+	bestPass := math.Inf(1)
+	for t, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if p := s.pass[t]; p < bestPass || (p == bestPass && (best == "" || t < best)) {
+			best, bestPass = t, p
+		}
+	}
+	if best == "" {
+		return nil
+	}
+	q := s.queues[best]
+	w := q[0]
+	if len(q) == 1 {
+		delete(s.queues, best)
+	} else {
+		s.queues[best] = q[1:]
+	}
+	return w
+}
+
+func (s *drainScheduler) removeLocked(w *drainWaiter) {
+	q := s.queues[w.tenant]
+	for i, x := range q {
+		if x == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(s.queues, w.tenant)
+	} else {
+		s.queues[w.tenant] = q
+	}
+}
+
+func (s *drainScheduler) queuedLocked() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -39,6 +39,9 @@ type Tenant struct {
 	Namespaces []string `json:"namespaces,omitempty"`
 	Quota      Quota    `json:"quota"`
 	Rate       Rate     `json:"rate"`
+	// DrainWeight is the tenant's share of the gateway's drain slots under
+	// QoS scheduling (Config.DrainSlots). Zero or negative means 1.
+	DrainWeight float64 `json:"drain_weight,omitempty"`
 }
 
 // LoadTenants reads a JSON token file: an array of Tenant objects. Every

@@ -71,6 +71,31 @@ type Config struct {
 	// OnError receives asynchronous drain errors; nil discards them.
 	OnError func(error)
 
+	// Tracker receives per-level durability watermarks as drains complete
+	// (LevelStore) and failures exhaust their retries. Nil creates a
+	// private tracker, owned (and closed) by the engine; a caller-supplied
+	// tracker is shared — the node marks LevelNVM on commit and the
+	// cluster marks partner/erasure levels — and the caller closes it.
+	Tracker *Tracker
+
+	// Gate, when non-nil, is acquired around every drain: the engine calls
+	// it before picking a candidate (so no NVM lock is held while queued)
+	// and invokes the returned release after the drain finishes. The
+	// gateway uses it for QoS-weighted drain scheduling across tenants.
+	// The context is canceled when the engine stops; a Gate error is
+	// treated as "stopping" and ends the current drain sweep.
+	Gate func(ctx context.Context) (release func(), err error)
+
+	// MaxDrainAttempts bounds automatic retries of a failing drain. Zero
+	// keeps the legacy behavior: no automatic retry, the next doorbell
+	// re-attempts the newest checkpoint. With N > 0, a drain that fails N
+	// times is permanently failed on the tracker (waiters get
+	// ErrCheckpointFailed) and skipped thereafter.
+	MaxDrainAttempts int
+	// DrainRetryBackoff is the base delay between automatic retries
+	// (default 50ms, growing linearly per attempt, capped at 2s).
+	DrainRetryBackoff time.Duration
+
 	// Metrics, when non-nil, receives drain counters and per-phase
 	// latency/byte histograms.
 	Metrics *metrics.Registry
@@ -96,18 +121,25 @@ type Engine struct {
 
 	stopOnce sync.Once
 
-	mu          sync.Mutex
-	lastDrained uint64
-	hasDrained  bool
-	drained     chan uint64 // completion events (buffered; drop-on-full)
-	// waiters are WaitDrained callers parked until lastDrained reaches
-	// their ID.
-	waiters []drainWaiter
+	// tracker records per-level durability; ownTracker means the engine
+	// created it and closes it on Close.
+	tracker    *Tracker
+	ownTracker bool
+	// runCtx is canceled when the engine stops; it bounds Gate waits.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	mu      sync.Mutex
+	drained chan uint64 // completion events (buffered; drop-on-full)
 	// discarded holds checkpoint IDs whose coordinated checkpoint aborted:
 	// they must never be marked drained, and any blocks already shipped are
 	// deleted. IDs are never reused after an abort (the cluster resyncs
 	// counters forward), so entries are permanent and the set stays tiny.
 	discarded map[uint64]bool
+	// attempts counts consecutive drain failures per ID; failed holds IDs
+	// that exhausted MaxDrainAttempts and must be skipped like discards.
+	attempts map[uint64]int
+	failed   map[uint64]bool
 
 	// Incremental-drain state: the digest table of the last drained
 	// checkpoint and the number of patches since the last full drain.
@@ -127,6 +159,8 @@ type Engine struct {
 	mStoreSecs    *metrics.Histogram
 	mInBytes      *metrics.Histogram
 	mOutBytes     *metrics.Histogram
+	mRetries      *metrics.Counter
+	mPermFailures *metrics.Counter
 }
 
 // New creates and starts an engine.
@@ -159,7 +193,15 @@ func New(cfg Config) (*Engine, error) {
 		done:      make(chan struct{}),
 		drained:   make(chan uint64, 64),
 		discarded: make(map[uint64]bool),
+		attempts:  make(map[uint64]int),
+		failed:    make(map[uint64]bool),
 	}
+	e.tracker = cfg.Tracker
+	if e.tracker == nil {
+		e.tracker = NewTracker()
+		e.ownTracker = true
+	}
+	e.runCtx, e.runCancel = context.WithCancel(context.Background())
 	if r := cfg.Metrics; r != nil {
 		e.mDrains = r.Counter("ndpcr_ndp_drains_total", "checkpoints fully drained to global I/O")
 		e.mDrainErrors = r.Counter("ndpcr_ndp_drain_errors_total", "drains aborted by an error")
@@ -172,6 +214,8 @@ func New(cfg Config) (*Engine, error) {
 		e.mStoreSecs = r.Histogram("ndpcr_ndp_store_write_seconds", "busy time per block written to the store", metrics.UnitSeconds)
 		e.mInBytes = r.Histogram("ndpcr_ndp_drain_in_bytes", "payload bytes entering a drain", metrics.UnitBytes)
 		e.mOutBytes = r.Histogram("ndpcr_ndp_drain_out_bytes", "bytes shipped to global I/O per drain", metrics.UnitBytes)
+		e.mRetries = r.Counter("ndpcr_ndp_drain_retries_total", "automatic drain retries scheduled after a failure")
+		e.mPermFailures = r.Counter("ndpcr_ndp_drain_failures_total", "drains permanently failed after exhausting MaxDrainAttempts")
 	}
 	go e.run()
 	return e, nil
@@ -190,19 +234,15 @@ func (e *Engine) Notify() {
 // are dropped if the observer lags.
 func (e *Engine) Drained() <-chan uint64 { return e.drained }
 
-// LastDrained returns the newest checkpoint ID fully on global I/O.
+// LastDrained returns the newest checkpoint ID fully on global I/O (the
+// tracker's LevelStore watermark).
 func (e *Engine) LastDrained() (uint64, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.lastDrained, e.hasDrained
+	return e.tracker.Watermark(LevelStore)
 }
 
-// drainWaiter parks one WaitDrained call: ch is closed once lastDrained
-// reaches id.
-type drainWaiter struct {
-	id uint64
-	ch chan struct{}
-}
+// Tracker exposes the engine's durability tracker: the single completion
+// surface for drain progress (LevelStore watermark, per-ID failures).
+func (e *Engine) Tracker() *Tracker { return e.tracker }
 
 // WaitDrained blocks until checkpoint id (or anything newer) is fully on
 // global I/O, the timeout elapses, or the engine stops; it reports whether
@@ -218,37 +258,32 @@ func (e *Engine) WaitDrained(id uint64, timeout time.Duration) bool {
 // timeout: a canceled caller (a gateway client that disconnected, a
 // deadline) stops waiting immediately. It reports whether the drain
 // completed before ctx ended or the engine stopped.
+//
+// The wait parks on the durability tracker, which removes abandoned
+// waiters immediately (a churn of timed-out callers no longer accumulates
+// until the next completion sweep). Legacy watermark semantics hold: a
+// discarded or failed ID still reports true once a newer checkpoint has
+// drained, because its state is superseded rather than pending.
 func (e *Engine) WaitDrainedCtx(ctx context.Context, id uint64) bool {
-	e.mu.Lock()
-	if e.hasDrained && e.lastDrained >= id {
-		e.mu.Unlock()
-		return true
-	}
-	w := drainWaiter{id: id, ch: make(chan struct{})}
-	e.waiters = append(e.waiters, w)
-	e.mu.Unlock()
-	select {
-	case <-w.ch:
-		return true
-	case <-e.stop:
-		return false
-	case <-ctx.Done():
-		return false
-	}
-}
-
-// wakeWaitersLocked releases waiters satisfied by the current lastDrained.
-// Caller holds e.mu.
-func (e *Engine) wakeWaitersLocked() {
-	kept := e.waiters[:0]
-	for _, w := range e.waiters {
-		if e.hasDrained && e.lastDrained >= w.id {
-			close(w.ch)
-		} else {
-			kept = append(kept, w)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-e.stop:
+			cancel()
+		case <-wctx.Done():
 		}
+	}()
+	err := e.tracker.WaitDurableCtx(wctx, id, LevelStore)
+	if err == nil {
+		return true
 	}
-	e.waiters = kept
+	// Failed/discarded IDs and stop-vs-completion races resolve against
+	// the raw watermark: "id or newer on I/O" is this API's contract.
+	if wm, ok := e.tracker.Watermark(LevelStore); ok && wm >= id {
+		return true
+	}
+	return false
 }
 
 // Discard poisons a checkpoint ID whose coordinated checkpoint aborted: the
@@ -260,6 +295,9 @@ func (e *Engine) Discard(id uint64) {
 	e.mu.Lock()
 	e.discarded[id] = true
 	e.mu.Unlock()
+	// Waiters on the dead ID learn it will never arrive, instead of
+	// blocking until their deadline.
+	e.tracker.Fail(id, ErrDiscarded)
 }
 
 // isDiscarded reports whether id was poisoned by Discard.
@@ -277,10 +315,18 @@ func (e *Engine) PauseNVM() { e.gate.Lock() }
 func (e *Engine) ResumeNVM() { e.gate.Unlock() }
 
 // Close stops the engine, waiting for the current drain to abort. It is
-// safe to call multiple times.
+// safe to call multiple times. An engine-owned tracker is closed too,
+// releasing parked waiters with ErrStopped; a shared tracker stays open
+// for its owner (the node) to close.
 func (e *Engine) Close() {
-	e.stopOnce.Do(func() { close(e.stop) })
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		e.runCancel()
+	})
 	<-e.done
+	if e.ownTracker {
+		e.tracker.Close()
+	}
 }
 
 func (e *Engine) run() {
@@ -295,20 +341,33 @@ func (e *Engine) run() {
 		// a checkpoint committed mid-drain is picked up without another
 		// doorbell edge.
 		for {
+			release, ok := e.acquireGate()
+			if !ok {
+				break // gate refused: the engine is stopping
+			}
 			id, ok := e.nextUndrained() // holds an eviction lock on id
 			if !ok {
+				release()
 				break
 			}
-			if err := e.drain(id); err != nil {
+			err := e.drain(id)
+			release()
+			if err != nil {
 				// A drain aborted by engine shutdown is expected, not an
 				// error worth surfacing.
 				select {
 				case <-e.stop:
 				default:
 					e.reportError(err)
+					if e.retryOrFail(id, err) {
+						continue // permanently failed: skip it, look for other work
+					}
 				}
-				break // back to the doorbell; transient store errors retry then
+				break // back to the doorbell (a scheduled retry rings it)
 			}
+			e.mu.Lock()
+			delete(e.attempts, id)
+			e.mu.Unlock()
 			select {
 			case <-e.stop:
 				return
@@ -316,6 +375,57 @@ func (e *Engine) run() {
 			}
 		}
 	}
+}
+
+// acquireGate takes the configured drain-scheduling slot, if any. ok ==
+// false means the gate refused (engine stopping) and the sweep should end.
+func (e *Engine) acquireGate() (func(), bool) {
+	if e.cfg.Gate == nil {
+		return func() {}, true
+	}
+	release, err := e.cfg.Gate(e.runCtx)
+	if err != nil {
+		return nil, false
+	}
+	return release, true
+}
+
+// retryOrFail accounts one drain failure. It reports true when the ID was
+// permanently failed (the sweep should continue to other work); false
+// means either a retry was scheduled via the doorbell or legacy
+// no-auto-retry mode is in effect.
+func (e *Engine) retryOrFail(id uint64, cause error) bool {
+	max := e.cfg.MaxDrainAttempts
+	if max <= 0 {
+		return false // legacy: wait for the next doorbell edge
+	}
+	e.mu.Lock()
+	e.attempts[id]++
+	n := e.attempts[id]
+	if n >= max {
+		delete(e.attempts, id)
+		e.failed[id] = true
+		e.mu.Unlock()
+		e.tracker.Fail(id, cause)
+		if e.mPermFailures != nil {
+			e.mPermFailures.Inc()
+		}
+		return true
+	}
+	e.mu.Unlock()
+	if e.mRetries != nil {
+		e.mRetries.Inc()
+	}
+	backoff := e.cfg.DrainRetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	d := backoff * time.Duration(n)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	time.AfterFunc(d, e.Notify)
+	return false
 }
 
 // nextUndrained picks the newest NVM checkpoint not yet on I/O — the
@@ -330,8 +440,9 @@ func (e *Engine) nextUndrained() (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
+	wm, drainedAny := e.tracker.Watermark(LevelStore)
 	e.mu.Lock()
-	stale := (e.hasDrained && latest.ID <= e.lastDrained) || e.discarded[latest.ID]
+	stale := (drainedAny && latest.ID <= wm) || e.discarded[latest.ID] || e.failed[latest.ID]
 	e.mu.Unlock()
 	if stale {
 		if err := e.cfg.Device.Unlock(latest.ID); err != nil {
@@ -472,17 +583,11 @@ func (e *Engine) drain(id uint64) error {
 		e.tbl = nextTbl
 	}
 
-	e.mu.Lock()
 	skipped := uint64(0)
-	if e.hasDrained && id > e.lastDrained+1 {
-		skipped = id - e.lastDrained - 1
+	if wm, has := e.tracker.Watermark(LevelStore); has && id > wm+1 {
+		skipped = id - wm - 1
 	}
-	if !e.hasDrained || id > e.lastDrained {
-		e.lastDrained = id
-		e.hasDrained = true
-	}
-	e.wakeWaitersLocked()
-	e.mu.Unlock()
+	e.tracker.MarkDurable(LevelStore, id)
 	select {
 	case e.drained <- id:
 	default:

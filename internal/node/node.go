@@ -118,6 +118,18 @@ type Config struct {
 	// reach I/O only via explicit host writes (the conventional
 	// multilevel baseline).
 	DisableNDP bool
+	// MaxDrainAttempts bounds automatic NDP drain retries; after N
+	// failures the checkpoint is permanently failed on the durability
+	// tracker instead of blocking async waiters forever. Zero keeps the
+	// legacy no-auto-retry behavior (see ndp.Config.MaxDrainAttempts).
+	MaxDrainAttempts int
+	// DrainRetryBackoff is the base delay between automatic drain retries
+	// (default 50ms).
+	DrainRetryBackoff time.Duration
+	// DrainGate, when non-nil, is acquired around every NDP drain — the
+	// gateway's QoS-weighted drain scheduler plugs in here (see
+	// ndp.Config.Gate).
+	DrainGate func(ctx context.Context) (release func(), err error)
 	// NICBuffer is the NIC transmit buffer size (default 8 MB).
 	NICBuffer int
 	// NICBandwidth paces the NIC link; zero disables pacing.
@@ -144,6 +156,12 @@ type Node struct {
 	device *nvm.Device
 	link   *nic.Link
 	engine *ndp.Engine // nil when DisableNDP
+
+	// dur is the per-node durability state machine: commit marks LevelNVM,
+	// the NDP engine marks LevelStore as drains land, and the cluster's
+	// propagation marks the partner/erasure levels. The node owns it and
+	// closes it after the engine.
+	dur *ndp.Tracker
 
 	// partner is this node's region for *other* ranks' redundant copies;
 	// buddy is the node holding *this* rank's copies (§3.4 partner level).
@@ -210,7 +228,7 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{cfg: cfg, device: device, link: link, nextID: 1}
+	n := &Node{cfg: cfg, device: device, link: link, nextID: 1, dur: ndp.NewTracker()}
 	n.reg = cfg.Metrics
 	if n.reg == nil {
 		n.reg = metrics.NewRegistry()
@@ -221,6 +239,7 @@ func New(cfg Config) (*Node, error) {
 	}
 	device.Instrument(n.reg)
 	link.Instrument(n.reg)
+	n.dur.Instrument(n.reg)
 	if s, ok := cfg.Store.(interface{ Instrument(*metrics.Registry) }); ok {
 		s.Instrument(n.reg)
 	}
@@ -239,22 +258,26 @@ func New(cfg Config) (*Node, error) {
 	}
 	if !cfg.DisableNDP {
 		n.engine, err = ndp.New(ndp.Config{
-			Job:            cfg.Job,
-			Rank:           cfg.Rank,
-			Device:         device,
-			Store:          cfg.Store,
-			Link:           link,
-			Codec:          cfg.Codec,
-			Workers:        cfg.NDPWorkers,
-			BlockSize:      cfg.BlockSize,
-			Serialize:      cfg.SerializeDrain,
-			SendWindow:     cfg.DrainWindow,
-			Incremental:    cfg.Incremental,
-			FullEvery:      cfg.FullEvery,
-			DeltaBlockSize: cfg.DeltaBlockSize,
-			OnError:        cfg.OnError,
-			Metrics:        n.reg,
-			Timelines:      n.timelines,
+			Job:               cfg.Job,
+			Rank:              cfg.Rank,
+			Device:            device,
+			Store:             cfg.Store,
+			Link:              link,
+			Codec:             cfg.Codec,
+			Workers:           cfg.NDPWorkers,
+			BlockSize:         cfg.BlockSize,
+			Serialize:         cfg.SerializeDrain,
+			SendWindow:        cfg.DrainWindow,
+			Incremental:       cfg.Incremental,
+			FullEvery:         cfg.FullEvery,
+			DeltaBlockSize:    cfg.DeltaBlockSize,
+			OnError:           cfg.OnError,
+			Tracker:           n.dur,
+			Gate:              cfg.DrainGate,
+			MaxDrainAttempts:  cfg.MaxDrainAttempts,
+			DrainRetryBackoff: cfg.DrainRetryBackoff,
+			Metrics:           n.reg,
+			Timelines:         n.timelines,
 		})
 		if err != nil {
 			return nil, err
@@ -268,6 +291,24 @@ func (n *Node) Device() *nvm.Device { return n.device }
 
 // Engine exposes the NDP engine, nil when disabled.
 func (n *Node) Engine() *ndp.Engine { return n.engine }
+
+// Durability exposes the node's durability tracker: per-level watermarks,
+// per-ID failure state, and awaitable completion — the single surface that
+// replaces ad-hoc WaitDrained plumbing for async checkpointing.
+func (n *Node) Durability() *ndp.Tracker { return n.dur }
+
+// DurableAt reports whether checkpoint id is durable at the given level
+// ("id or newer" watermark semantics; failed IDs are never durable).
+func (n *Node) DurableAt(id uint64, level ndp.Level) bool {
+	return n.dur.DurableAt(id, level)
+}
+
+// WaitDurableCtx blocks until checkpoint id is durable at level, the ID
+// permanently fails (error wraps ndp.ErrCheckpointFailed), ctx ends, or
+// the node shuts down (ndp.ErrStopped).
+func (n *Node) WaitDurableCtx(ctx context.Context, id uint64, level ndp.Level) error {
+	return n.dur.WaitDurableCtx(ctx, id, level)
+}
 
 // Metrics exposes the node's metric registry.
 func (n *Node) Metrics() *metrics.Registry { return n.reg }
@@ -286,40 +327,98 @@ func (n *Node) Timelines() *metrics.TimelineSet { return n.timelines }
 func (n *Node) Commit(snapshot []byte, meta Metadata) (uint64, error) {
 	n.commitMu.Lock()
 	defer n.commitMu.Unlock()
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	id, ok := n.reserveID()
+	if !ok {
 		return 0, errors.New("node: closed")
 	}
-	id := n.nextID
-	n.mu.Unlock()
+	n.fillMeta(&meta)
+	start := time.Now()
+	if err := n.putNVM(id, snapshot, meta); err != nil {
+		return 0, fmt.Errorf("node: commit %d: %w", id, err)
+	}
+	n.finishCommit(id, len(snapshot), start)
+	return id, nil
+}
 
+// CommitAsync is Commit with admission control instead of ErrFull: when
+// NVM occupancy minus drain-locked residents cannot admit the snapshot,
+// the commit blocks until drains release space or ctx ends — the latter
+// surfaces a typed nvm.ErrBackpressure instead of failing. The commit
+// returns as soon as the NVM write lands (the checkpoint is durable at
+// ndp.LevelNVM); background propagation carries it to the higher levels,
+// observable via the durability tracker.
+func (n *Node) CommitAsync(ctx context.Context, snapshot []byte, meta Metadata) (uint64, error) {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	id, ok := n.reserveID()
+	if !ok {
+		return 0, errors.New("node: closed")
+	}
+	n.fillMeta(&meta)
+	start := time.Now()
+	for {
+		// Admission is checked without holding the NVM pause gate: a drain
+		// needs gate read access to make progress, and its progress is what
+		// frees the space being waited for.
+		if err := n.device.WaitAdmit(ctx, int64(len(snapshot))); err != nil {
+			return 0, fmt.Errorf("node: commit %d: %w", id, err)
+		}
+		err := n.putNVM(id, snapshot, meta)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, nvm.ErrFull) {
+			return 0, fmt.Errorf("node: commit %d: %w", id, err)
+		}
+		// A drain locked a new resident between the admission check and
+		// the write; WaitAdmit sees the changed state and parks again.
+	}
+	n.finishCommit(id, len(snapshot), start)
+	return id, nil
+}
+
+// reserveID returns the ID the commit will use without consuming it (a
+// failed NVM write must not burn an ID); ok is false on a closed node.
+func (n *Node) reserveID() (uint64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, false
+	}
+	return n.nextID, true
+}
+
+func (n *Node) fillMeta(meta *Metadata) {
 	if meta.Job == "" {
 		meta.Job = n.cfg.Job
 		meta.Rank = n.cfg.Rank
 	}
-	start := time.Now()
+}
+
+// putNVM performs the paused NVM write (§4.2.1: the host gets the full
+// device bandwidth; concurrent NDP reads are excluded).
+func (n *Node) putNVM(id uint64, snapshot []byte, meta Metadata) error {
 	if n.engine != nil {
 		n.engine.PauseNVM()
+		defer n.engine.ResumeNVM()
 	}
-	err := n.device.Put(nvm.Checkpoint{ID: id, Data: snapshot, Meta: meta.toMap(id)})
-	if n.engine != nil {
-		n.engine.ResumeNVM()
-	}
-	if err != nil {
-		return 0, fmt.Errorf("node: commit %d: %w", id, err)
-	}
+	return n.device.Put(nvm.Checkpoint{ID: id, Data: snapshot, Meta: meta.toMap(id)})
+}
+
+// finishCommit confirms the ID, marks NVM-durable, records commit metrics,
+// and rings the NDP doorbell.
+func (n *Node) finishCommit(id uint64, size int, start time.Time) {
 	n.mu.Lock()
 	n.nextID = id + 1
 	n.mu.Unlock()
+	n.dur.MarkDurable(ndp.LevelNVM, id)
 	n.timelines.Observe(metrics.KindCheckpoint, id, metrics.PhaseCommit, start, time.Now())
 	n.mCommits.Inc()
 	n.mCommitSecs.ObserveSince(start)
-	n.mCommitBytes.Observe(int64(len(snapshot)))
+	n.mCommitBytes.Observe(int64(size))
 	if n.engine != nil {
 		n.engine.Notify()
 	}
-	return id, nil
 }
 
 // NextID returns the checkpoint ID the next successful Commit will use.
@@ -353,7 +452,9 @@ func (n *Node) ResyncNextID(next uint64) {
 // caller can now see (and a cluster rollback counts).
 func (n *Node) DiscardCommit(id uint64) error {
 	if n.engine != nil {
-		n.engine.Discard(id)
+		n.engine.Discard(id) // also fails the ID on the shared tracker
+	} else {
+		n.dur.Fail(id, ndp.ErrDiscarded)
 	}
 	n.device.Discard(id)
 	return n.cfg.Store.Delete(context.Background(),
@@ -374,7 +475,11 @@ func (n *Node) WriteThrough(ctx context.Context, id uint64) error {
 		Blocks:   [][]byte{ckpt.Data},
 		Meta:     ckpt.Meta,
 	}
-	return n.cfg.Store.Put(ctx, obj)
+	if err := n.cfg.Store.Put(ctx, obj); err != nil {
+		return err
+	}
+	n.dur.MarkDurable(ndp.LevelStore, id)
+	return nil
 }
 
 // ErrNoCheckpoint reports that neither level holds a restorable checkpoint.
@@ -870,5 +975,9 @@ func (n *Node) Close() {
 	if n.engine != nil {
 		n.engine.Close()
 	}
+	// Close the tracker after the engine so an in-flight drain's final
+	// MarkDurable wins the race against the stop; parked waiters then get
+	// the definitive answer rather than ErrStopped.
+	n.dur.Close()
 	n.link.Close()
 }

@@ -1,0 +1,144 @@
+package nvm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaitAdmitImmediateWhenSpaceFree(t *testing.T) {
+	d := mk(t, 1000)
+	if err := d.WaitAdmit(context.Background(), 500); err != nil {
+		t.Fatalf("admission with a free device: %v", err)
+	}
+}
+
+func TestWaitAdmitRejectsOversized(t *testing.T) {
+	d := mk(t, 100)
+	if err := d.WaitAdmit(context.Background(), 200); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWaitAdmitCountsEvictableResidents(t *testing.T) {
+	d := mk(t, 100)
+	// Fill the device with an unlocked (evictable) resident: admission
+	// must pass immediately, because Put can evict it to make room.
+	if err := d.Put(Checkpoint{ID: 1, Data: make([]byte, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitAdmit(context.Background(), 80); err != nil {
+		t.Fatalf("admission over an evictable resident: %v", err)
+	}
+}
+
+func TestWaitAdmitBackpressureOnLockedResidents(t *testing.T) {
+	d := mk(t, 100)
+	if err := d.Put(Checkpoint{ID: 1, Data: make([]byte, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := d.WaitAdmit(ctx, 80)
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("got %v, want ErrBackpressure", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("backpressure error does not carry the ctx cause: %v", err)
+	}
+}
+
+// TestWaitAdmitBlocksThenAdmitsOnUnlock is the core admission-control
+// contract: a commit against a device full of drain-locked residents parks
+// instead of failing, and is admitted the instant a drain releases space.
+func TestWaitAdmitBlocksThenAdmitsOnUnlock(t *testing.T) {
+	d := mk(t, 100)
+	if err := d.Put(Checkpoint{ID: 1, Data: make([]byte, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.WaitAdmit(context.Background(), 80) }()
+	select {
+	case err := <-done:
+		t.Fatalf("admission did not block on a locked full device (err=%v)", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := d.Unlock(1); err != nil { // drain finished: resident evictable
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("admission after unlock: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admission never woke after the lock released")
+	}
+}
+
+func TestWaitAdmitWokenByDiscard(t *testing.T) {
+	d := mk(t, 100)
+	if err := d.Put(Checkpoint{ID: 1, Data: make([]byte, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.WaitAdmit(context.Background(), 50) }()
+	time.Sleep(5 * time.Millisecond)
+	d.Discard(1) // rollback path: locked resident dropped outright
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("admission after discard: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admission never woke after the discard")
+	}
+}
+
+// TestWaitAdmitConcurrentCommitters churns many waiters against one locked
+// device and releases space once; every waiter must eventually resolve
+// (admitted after the release) with none deadlocked.
+func TestWaitAdmitConcurrentCommitters(t *testing.T) {
+	d := mk(t, 100)
+	if err := d.Put(Checkpoint{ID: 1, Data: make([]byte, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			errs[i] = d.WaitAdmit(ctx, 40)
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := d.Unlock(1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+	}
+	if d.LockedBytes() != 0 {
+		t.Errorf("locked bytes %d after unlock", d.LockedBytes())
+	}
+}

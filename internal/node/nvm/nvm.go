@@ -7,10 +7,12 @@
 package nvm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/units"
@@ -25,6 +27,11 @@ var (
 	ErrNotFound = errors.New("nvm: checkpoint not found")
 	// ErrTooLarge reports a checkpoint bigger than the device.
 	ErrTooLarge = errors.New("nvm: checkpoint exceeds device capacity")
+	// ErrBackpressure reports that admission control gave up waiting for
+	// space: occupancy minus drain-locked residents could not admit the
+	// write before the caller's deadline. The async commit path surfaces
+	// this typed error instead of ErrFull.
+	ErrBackpressure = errors.New("nvm: admission backpressure (locked residents exceed free space)")
 )
 
 // Pacer throttles data movement to a simulated bandwidth. The zero-value
@@ -76,12 +83,20 @@ type Device struct {
 	// default costs one mutex-protected load per operation.
 	faultHook func(op string, id uint64) error
 
+	// admit, when non-nil, is a broadcast channel WaitAdmit callers park
+	// on; it is closed (and nilled) whenever space may have been released
+	// (an unlock, a discard, a wipe), waking every waiter to re-check.
+	admit chan struct{}
+
 	// Metrics (nil until Instrument is called).
 	mEvictions     *metrics.Counter
 	mFull          *metrics.Counter
 	mLockConflicts *metrics.Counter
 	mWriteBytes    *metrics.Histogram
 	mReadBytes     *metrics.Histogram
+	mAdmitWaits    *metrics.Counter
+	mBackpressure  *metrics.Counter
+	mAdmitWaitSecs *metrics.Histogram
 }
 
 type entry struct {
@@ -131,11 +146,16 @@ func (d *Device) Instrument(r *metrics.Registry) {
 			}
 			return float64(n)
 		})
+	r.GaugeFunc("ndpcr_nvm_locked_bytes", "bytes pinned by drain locks (not reclaimable by admission control)",
+		func() float64 { return float64(d.LockedBytes()) })
 	d.mEvictions = r.Counter("ndpcr_nvm_evictions_total", "checkpoints evicted by circular-buffer pressure")
 	d.mFull = r.Counter("ndpcr_nvm_full_total", "writes rejected because every resident checkpoint was locked")
 	d.mLockConflicts = r.Counter("ndpcr_nvm_lock_conflicts_total", "writes that skipped or collided with a locked checkpoint")
 	d.mWriteBytes = r.Histogram("ndpcr_nvm_write_bytes", "checkpoint sizes written to NVM", metrics.UnitBytes)
 	d.mReadBytes = r.Histogram("ndpcr_nvm_read_bytes", "checkpoint sizes read from NVM", metrics.UnitBytes)
+	d.mAdmitWaits = r.Counter("ndpcr_nvm_admission_waits_total", "async commits that had to wait for drain-locked space")
+	d.mBackpressure = r.Counter("ndpcr_nvm_backpressure_total", "admission waits abandoned at the caller's deadline (ErrBackpressure)")
+	d.mAdmitWaitSecs = r.Histogram("ndpcr_nvm_admission_wait_seconds", "time async commits spent blocked on admission", metrics.UnitSeconds)
 }
 
 // SetFaultHook installs (or, with nil, removes) a failure-injection hook
@@ -164,6 +184,98 @@ func (d *Device) Used() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.used
+}
+
+// LockedBytes returns the bytes pinned by drain locks — residents the
+// circular buffer may not evict and admission control may not count as
+// reclaimable.
+func (d *Device) LockedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, e := range d.ckpts {
+		if e.locks > 0 {
+			n += int64(len(e.ckpt.Data))
+		}
+	}
+	return n
+}
+
+// admissibleLocked reports whether a write of size bytes could succeed
+// right now: free space plus every unlocked (evictable) resident covers
+// it. This is exactly Put's evict-until-fit feasibility condition, checked
+// without mutating. Caller holds d.mu.
+func (d *Device) admissibleLocked(size int64) bool {
+	free := d.capacity - d.used
+	if free >= size {
+		return true
+	}
+	for _, e := range d.ckpts {
+		if e.locks == 0 {
+			free += int64(len(e.ckpt.Data))
+			if free >= size {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// signalAdmitLocked wakes every WaitAdmit caller to re-check. Caller holds
+// d.mu and has just released space or a lock.
+func (d *Device) signalAdmitLocked() {
+	if d.admit != nil {
+		close(d.admit)
+		d.admit = nil
+	}
+}
+
+// WaitAdmit blocks until a write of size bytes is admissible — free space
+// plus evictable (unlocked) residents covers it — or ctx ends, returning
+// an ErrBackpressure-wrapped error in the latter case. It is the async
+// commit path's admission control: instead of failing ErrFull when drain
+// locks pin the space, the committer parks here and is woken as drains
+// release their locks. Admission is advisory, not a reservation: the
+// caller re-runs Put and, if a new lock raced in between, waits again.
+func (d *Device) WaitAdmit(ctx context.Context, size int64) error {
+	if size > d.capacity {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, d.capacity)
+	}
+	var start time.Time
+	waited := false
+	for {
+		d.mu.Lock()
+		if d.admissibleLocked(size) {
+			d.mu.Unlock()
+			if waited && d.mAdmitWaitSecs != nil {
+				d.mAdmitWaitSecs.ObserveSince(start)
+			}
+			return nil
+		}
+		if d.admit == nil {
+			d.admit = make(chan struct{})
+		}
+		ch := d.admit
+		d.mu.Unlock()
+		if !waited {
+			waited = true
+			start = time.Now()
+			if d.mAdmitWaits != nil {
+				d.mAdmitWaits.Inc()
+			}
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			if d.mBackpressure != nil {
+				d.mBackpressure.Inc()
+			}
+			if d.mAdmitWaitSecs != nil {
+				d.mAdmitWaitSecs.ObserveSince(start)
+			}
+			return fmt.Errorf("%w: %d bytes not admissible: %w", ErrBackpressure, size, ctx.Err())
+		}
+	}
 }
 
 // Put writes a checkpoint, evicting the oldest unlocked checkpoints as
@@ -364,6 +476,10 @@ func (d *Device) Unlock(id uint64) error {
 		return fmt.Errorf("nvm: checkpoint %d is not locked", id)
 	}
 	e.locks--
+	if e.locks == 0 {
+		// The entry became evictable: admission waiters may fit now.
+		d.signalAdmitLocked()
+	}
 	return nil
 }
 
@@ -378,6 +494,7 @@ func (d *Device) Discard(id uint64) bool {
 		return false
 	}
 	d.removeLocked(id)
+	d.signalAdmitLocked()
 	return true
 }
 
@@ -389,4 +506,5 @@ func (d *Device) Wipe() {
 	d.ckpts = make(map[uint64]*entry)
 	d.order = nil
 	d.used = 0
+	d.signalAdmitLocked()
 }

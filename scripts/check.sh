@@ -34,6 +34,21 @@ go test -race -count=2 -run 'TestShardClusterMembership|TestAddBackend|TestDecom
 go run ./cmd/ndpcr-experiments -quick membership > /dev/null
 echo "check.sh: membership experiment green"
 
+# Async checkpoint mode under the race detector, re-run explicitly: the
+# durability tracker's waiter lifecycle, NVM admission control, deferred
+# aborts in background propagation, the QoS drain scheduler, and the
+# gateway's async-ack/shutdown paths are all fresh concurrency, so they
+# get their own -count=2 stress on top of the package run above.
+go test -race -count=2 -run 'TestTracker|TestEngineWaitDrained|TestEngineStopDuringWait|TestEngineDrainRetry|TestWaitAdmit|TestCommitAsync|TestCheckpointAsync|TestAsync|TestDrainScheduler|TestSyncSaveShutdown|TestSyncOverride|TestDurabilityEndpoint' \
+    ./internal/node/... ./internal/cluster/ ./internal/gateway/
+
+# Async chaos experiment: an async-ack gateway over 3 live iod backends
+# (R=2) loses one backend while acked checkpoints are still propagating;
+# every acked ID must reach store durability or be reported failed —
+# zero silent losses.
+go run ./cmd/ndpcr-experiments -quick asyncchaos > /dev/null
+echo "check.sh: asyncchaos experiment green"
+
 # Wire-version compat matrix under the race detector, re-run explicitly:
 # v2<->v2, v2 client -> v1 server (gob downgrade), v1 client -> v2 server,
 # and the corruption/checksum recovery paths. A mixed-version fleet rides
