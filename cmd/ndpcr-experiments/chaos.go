@@ -136,7 +136,7 @@ func runChaos() error {
 	}
 	lines := c.RestartLines(context.Background())
 	fmt.Printf("restart lines (newest first): %v\n", lines)
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), cluster.RecoverOptions{})
 	if err != nil {
 		return fmt.Errorf("recover: %w", err)
 	}

@@ -54,8 +54,14 @@ experiments:
   fig8     sensitivity to checkpoint size
   fig9     sensitivity to MTTI
   ext      ablations + extensions beyond the paper; optional section arg:
-           "ext ablations" (drain/restore/dedup studies) or
-           "ext erasure" (redundancy-set level sweep)
+           "ext ablations" (drain/restore/dedup studies),
+           "ext erasure" (redundancy-set level sweep),
+           "ext elastic" (N->M restart reshape-cost model sweep), or
+           "ext delta" (delta-chain vs full restore on live mini-apps)
+  elastic  elastic N->M restart over 3 live iod backends (R=2): a job
+           checkpointed at N=8 restarts at M=4 and M=12 through the
+           restore planner with byte-identical merged state, falling
+           back a restart line when the newest is made unreadable
   chaos    functional cluster under a deterministic fault-injection
            schedule (-faults, -seed): aborted checkpoints roll back,
            recovery falls back across restart lines
@@ -148,6 +154,7 @@ func main() {
 		"fig8":       runFig8,
 		"fig9":       runFig9,
 		"ext":        func() error { return runExt(extSection) },
+		"elastic":    runElastic,
 		"chaos":      runChaos,
 		"shardchaos": runShardChaos,
 		"asyncchaos": runAsyncChaos,

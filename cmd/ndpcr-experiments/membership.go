@@ -195,7 +195,7 @@ func runMembership() error {
 			return err
 		}
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), cluster.RecoverOptions{})
 	if err != nil {
 		return fmt.Errorf("recover after membership change: %w", err)
 	}

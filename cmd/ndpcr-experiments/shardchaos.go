@@ -145,7 +145,7 @@ func runShardChaos() error {
 			return err
 		}
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), cluster.RecoverOptions{})
 	if err != nil {
 		return fmt.Errorf("recover with one backend dead: %w", err)
 	}

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"time"
 
+	"ndpcr/internal/cluster"
+	"ndpcr/internal/cluster/elastic"
 	"ndpcr/internal/compress"
 	"ndpcr/internal/iod"
 	"ndpcr/internal/lifecycle"
@@ -42,6 +44,7 @@ func main() {
 		async    = flag.Bool("async", false, "commit checkpoints asynchronously: return at NVM durability with admission control instead of ErrFull")
 		drTries  = flag.Int("drain-attempts", 0, "automatic drain retries per checkpoint before permanent failure (0 = no retry)")
 		dumpMet  = flag.Bool("metrics", false, "print per-checkpoint phase timelines and pipeline metrics after the run")
+		rrRanks  = flag.Int("restart-ranks", 0, "commit elastic (framed) checkpoints and, at -fail-at, restart through the restore planner onto this many in-process targets instead of the same-shape path (0 = classic restore)")
 		joinAddr = flag.String("join", "", "shard tier: add this ndpcr-iod backend to the member set at -member-at (requires -iod-addrs)")
 		decomm   = flag.String("decommission", "", "shard tier: decommission this backend at -member-at, draining its replicas off first (requires -iod-addrs)")
 		memberAt = flag.Int("member-at", 0, "step after whose checkpoint the -join/-decommission membership changes land (0 = never)")
@@ -140,11 +143,22 @@ func main() {
 			if err := app.Checkpoint(&buf); err != nil {
 				fatal(err)
 			}
+			payload := buf.Bytes()
+			meta := node.Metadata{Step: s}
+			if *rrRanks > 0 {
+				// Elastic commits: frame the snapshot so the restore
+				// planner can re-cut it onto a different rank count, and
+				// stamp the shard count the planner reads from Stat.
+				payload = elastic.FrameBytes(payload, 0)
+				if meta.Shards, err = elastic.ShardCount(payload); err != nil {
+					fatal(err)
+				}
+			}
 			var id uint64
 			if *async {
-				id, err = n.CommitAsync(ctx, buf.Bytes(), node.Metadata{Step: s})
+				id, err = n.CommitAsync(ctx, payload, meta)
 			} else {
-				id, err = n.Commit(buf.Bytes(), node.Metadata{Step: s})
+				id, err = n.Commit(payload, meta)
 			}
 			if err != nil {
 				fatal(err)
@@ -176,8 +190,38 @@ func main() {
 			waitDrain(n, lastCommitted)
 			fmt.Printf("  step %2d: NODE FAILURE — local NVM wiped\n", s)
 			n.FailLocal()
-			data, meta, lvl, err := n.Restore(context.Background())
-			if err != nil {
+			var (
+				data []byte
+				meta node.Metadata
+				lvl  node.Level
+				err  error
+			)
+			if *rrRanks > 0 {
+				// Elastic restart: plan the dead rank's framed checkpoint
+				// onto -restart-ranks in-process targets, execute every
+				// member's slice of the plan against the store, and
+				// reassemble — the merged members must be the original
+				// snapshot byte-identically.
+				plan, perr := cluster.PlanRestore(context.Background(), store, "demo",
+					cluster.RestoreSpec{SourceRanks: 1, TargetRanks: *rrRanks})
+				if perr != nil {
+					fatal(perr)
+				}
+				members := make([][]byte, *rrRanks)
+				for t := range members {
+					if members[t], meta, lvl, err = n.RestoreElastic(
+						context.Background(), plan.Targets[t], true); err != nil {
+						fatal(err)
+					}
+				}
+				merged, merr := elastic.MergedBytes(members)
+				if merr != nil {
+					fatal(merr)
+				}
+				data = merged
+				fmt.Printf("           elastic restart: line %d re-planned 1→%d (%d shards), members reassembled\n",
+					plan.Line, *rrRanks, plan.TotalShards)
+			} else if data, meta, lvl, err = n.Restore(context.Background()); err != nil {
 				fatal(err)
 			}
 			if err := app.Restore(bytes.NewReader(data)); err != nil {

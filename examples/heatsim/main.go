@@ -199,7 +199,7 @@ func run(steps, every int, failAt map[int]bool, seed uint64, partner, erasure bo
 			if err := c.FailNode(victim); err != nil {
 				log.Fatal(err)
 			}
-			out, err := c.Recover(context.Background())
+			out, err := c.Recover(context.Background(), cluster.RecoverOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -61,6 +61,9 @@ func (c *Cluster) CheckpointAsync(ctx context.Context, step int) (uint64, error)
 			}
 			snaps[i] = snap
 			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
+			if meta.Shards, errs[i] = c.shardCount(i, snap); errs[i] != nil {
+				return
+			}
 			id, err := c.nodes[i].CommitAsync(ctx, snap, meta)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: rank %d commit: %w", i, err)

@@ -202,7 +202,7 @@ func TestRecoverFallsBackAcrossLines(t *testing.T) {
 		t.Fatalf("restart lines = %v, want [4 3 1]", lines)
 	}
 
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatalf("recover: %v", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"ndpcr/internal/cluster/elastic"
 	"ndpcr/internal/erasure"
 	"ndpcr/internal/metrics"
 	"ndpcr/internal/node"
@@ -27,6 +28,19 @@ type Rank interface {
 	Snapshot() ([]byte, error)
 	// Restore replaces the rank's state from a snapshot.
 	Restore(data []byte) error
+}
+
+// PartitionedRank is a Rank whose Snapshot returns an elastic snapshot
+// frame (elastic.Encode / elastic.FrameBytes): a self-describing shard
+// sequence the restore planner can re-distribute onto a different rank
+// count. Checkpoint verifies the frame and stamps its shard count into the
+// checkpoint metadata, which is what makes a later N→M restore plannable
+// from Stat calls alone. Restore receives an elastic frame holding the
+// shard range the new topology assigns this rank.
+type PartitionedRank interface {
+	Rank
+	// Partitioned marks the contract; implementations return trivially.
+	Partitioned()
 }
 
 // Cluster coordinates C/R for a fixed set of ranks, each backed by its own
@@ -207,6 +221,9 @@ func (c *Cluster) Checkpoint(ctx context.Context, step int) (uint64, error) {
 			}
 			snaps[i] = snap
 			meta := node.Metadata{Job: c.job, Rank: i, Step: step}
+			if meta.Shards, errs[i] = c.shardCount(i, snap); errs[i] != nil {
+				return
+			}
 			id, err := c.nodes[i].Commit(snap, meta)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: rank %d commit: %w", i, err)
@@ -252,6 +269,21 @@ func (c *Cluster) Checkpoint(ctx context.Context, step int) (uint64, error) {
 	}
 	c.mCkpts.Inc()
 	return want, nil
+}
+
+// shardCount validates a PartitionedRank's snapshot frame and returns its
+// shard count for metadata stamping; opaque ranks return 0. A
+// PartitionedRank producing a non-frame snapshot is a checkpoint failure:
+// committing it would poison every later elastic restore plan.
+func (c *Cluster) shardCount(i int, snap []byte) (int, error) {
+	if _, ok := c.ranks[i].(PartitionedRank); !ok {
+		return 0, nil
+	}
+	n, err := elastic.ShardCount(snap)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: rank %d partitioned snapshot: %w", i, err)
+	}
+	return n, nil
 }
 
 // markDurable advances one durability level's watermark on every rank.
@@ -428,29 +460,71 @@ type RecoverOutcome struct {
 	// abandoned (unreadable on some rank) before ID succeeded, newest
 	// first; empty when the newest line restored cleanly.
 	FailedLines []uint64
+	// Plan is the restore plan that was executed — nil on the classic
+	// same-shape path, set whenever the elastic planner ran (reshape or
+	// store-only recovery).
+	Plan *RestorePlan
+}
+
+// RecoverOptions selects the restart topology and line. The zero value
+// reproduces the classic recovery: same rank count as the checkpoint,
+// newest restart line first with fallback, every storage level in play.
+type RecoverOptions struct {
+	// SourceRanks is the rank count of the job when it checkpointed (N).
+	// Zero means the checkpoint topology matches this cluster and selects
+	// the classic multilevel recovery. Any non-zero value — equal to the
+	// cluster's size or not — engages the restore planner over the global
+	// store (an explicit topology implies the local levels may not
+	// describe it).
+	SourceRanks int
+	// Line pins one specific restart line: recovery tries it and fails
+	// rather than falling back. Zero walks lines newest to oldest.
+	Line uint64
+	// StoreOnly restores from the global store alone even when local
+	// levels exist — the restore path of a cluster whose nodes are new
+	// machines (every elastic restore is implicitly store-only for shard
+	// fetches; StoreOnly additionally forces it for same-shape fetches).
+	StoreOnly bool
 }
 
 // Recover rolls every rank back to a common restart line in parallel,
-// walking the restart-line list newest to oldest: if any rank fails to
+// walking the restart-line ladder newest to oldest: if any rank fails to
 // restore at a line (corrupt object, insufficient erasure shards, buddy
 // gone), the cluster falls back to the next-older common line instead of
 // aborting — the multilevel hierarchy keeps recovery progressing through
 // partial damage. Per-line attempts and fallbacks are recorded in metrics.
+//
+// With zero-value options this is the classic same-shape recovery over
+// every storage level. Options select an elastic N→M restore instead: the
+// planner (PlanRestore) re-shards opts.SourceRanks checkpointed snapshots
+// onto this cluster's ranks from the global store, and the checkpoint
+// counters resynchronize past the source job's newest ID so the restarted
+// job appends rather than overwrites.
+//
 // The context bounds the global-I/O legs (inventories, fetches, shard
 // failover): a deadline aborts the whole recovery rather than letting a
 // retry schedule serve out.
-func (c *Cluster) Recover(ctx context.Context) (RecoverOutcome, error) {
+func (c *Cluster) Recover(ctx context.Context, opts RecoverOptions) (RecoverOutcome, error) {
 	recoverStart := time.Now()
 	defer c.mRecoverSecs.ObserveSince(recoverStart)
-	lines, invErr := c.restartLines(ctx)
-	if len(lines) == 0 {
-		if invErr != nil {
-			// "Unknown, not absent": with a level unreachable, an empty
-			// intersection proves nothing — report the outage, not a
-			// (possibly false) absence of restart lines.
-			return RecoverOutcome{}, invErr
+	if opts.StoreOnly || opts.SourceRanks != 0 {
+		return c.recoverElastic(ctx, opts)
+	}
+	var lines []uint64
+	if opts.Line != 0 {
+		lines = []uint64{opts.Line}
+	} else {
+		var invErr error
+		lines, invErr = c.restartLines(ctx)
+		if len(lines) == 0 {
+			if invErr != nil {
+				// "Unknown, not absent": with a level unreachable, an empty
+				// intersection proves nothing — report the outage, not a
+				// (possibly false) absence of restart lines.
+				return RecoverOutcome{}, invErr
+			}
+			return RecoverOutcome{}, ErrNoRestartLine
 		}
-		return RecoverOutcome{}, ErrNoRestartLine
 	}
 	var failed []uint64
 	var lastErr error
@@ -469,6 +543,125 @@ func (c *Cluster) Recover(ctx context.Context) (RecoverOutcome, error) {
 	return RecoverOutcome{}, fmt.Errorf(
 		"cluster: all %d restart lines failed (newest to oldest %v): %w",
 		len(lines), lines, lastErr)
+}
+
+// recoverElastic is the planner-driven recovery: restart lines come from
+// the global store (the only level that survives a topology change), each
+// line is planned with PlanRestore and executed by every node's elastic
+// executor in parallel, and an unreadable line — plan failure or fetch/
+// decode failure on any target — falls back to the next-older line exactly
+// like the classic path.
+func (c *Cluster) recoverElastic(ctx context.Context, opts RecoverOptions) (RecoverOutcome, error) {
+	n := opts.SourceRanks
+	if n == 0 {
+		n = len(c.ranks)
+	}
+	var lines []uint64
+	if opts.Line != 0 {
+		lines = []uint64{opts.Line}
+	} else {
+		var invErr error
+		lines, invErr = StoreRestartLines(ctx, c.store, c.job, n)
+		if len(lines) == 0 {
+			if invErr != nil {
+				return RecoverOutcome{}, invErr
+			}
+			return RecoverOutcome{}, ErrNoRestartLine
+		}
+	}
+	var failed []uint64
+	var lastErr error
+	for _, line := range lines {
+		c.mLineAttempts.Inc()
+		plan, err := PlanRestore(ctx, c.store, c.job, RestoreSpec{
+			SourceRanks: n, TargetRanks: len(c.ranks), Line: line,
+		})
+		if err == nil {
+			var out RecoverOutcome
+			out, err = c.recoverPlan(ctx, plan, opts.StoreOnly)
+			if err == nil {
+				out.FailedLines = failed
+				c.resyncAfterElastic(ctx, n, line)
+				c.mRecoveries.Inc()
+				return out, nil
+			}
+		}
+		lastErr = err
+		failed = append(failed, line)
+		c.mFallbacks.Inc()
+	}
+	return RecoverOutcome{}, fmt.Errorf(
+		"cluster: all %d restart lines failed elastically (newest to oldest %v): %w",
+		len(lines), lines, lastErr)
+}
+
+// recoverPlan executes one restore plan across all ranks in parallel.
+// Targets that own no shards restore the empty frame with a synthetic
+// step of -1; the step-consistency check skips them.
+func (c *Cluster) recoverPlan(ctx context.Context, plan RestorePlan, storeOnly bool) (RecoverOutcome, error) {
+	out := RecoverOutcome{ID: plan.Line, Step: -1, Levels: make([]node.Level, len(c.ranks)), Plan: &plan}
+	errs := make([]error, len(c.ranks))
+	steps := make([]int, len(c.ranks))
+	var wg sync.WaitGroup
+	for i := range c.ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, meta, level, err := c.nodes[i].RestoreElastic(ctx, plan.Targets[i], storeOnly)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: target %d restore %d: %w", i, plan.Line, err)
+				return
+			}
+			if err := c.ranks[i].Restore(data); err != nil {
+				errs[i] = fmt.Errorf("cluster: target %d apply restore: %w", i, err)
+				return
+			}
+			out.Levels[i] = level
+			steps[i] = meta.Step
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return RecoverOutcome{}, err
+		}
+	}
+	for i, s := range steps {
+		if s == -1 {
+			continue // shardless target, synthetic metadata
+		}
+		if out.Step == -1 {
+			out.Step = s
+		} else if s != out.Step {
+			return RecoverOutcome{}, fmt.Errorf(
+				"cluster: inconsistent restart line %d: target %d at step %d, earlier targets at step %d",
+				plan.Line, i, s, out.Step)
+		}
+	}
+	return out, nil
+}
+
+// resyncAfterElastic moves every node's checkpoint counter — and the
+// cluster's — past the source job's newest store object, so the restarted
+// M-rank incarnation appends new checkpoints instead of overwriting the
+// N-rank history it just restored from. Best-effort: an unreachable rank
+// inventory can only make the resync conservative (the restored line
+// itself is always cleared).
+func (c *Cluster) resyncAfterElastic(ctx context.Context, sourceRanks int, line uint64) {
+	next := line + 1
+	for i := 0; i < sourceRanks; i++ {
+		if id, ok, err := c.store.Latest(ctx, c.job, i); err == nil && ok && id+1 > next {
+			next = id + 1
+		}
+	}
+	for _, n := range c.nodes {
+		n.ResyncNextID(next)
+	}
+	c.mu.Lock()
+	if next > c.nextID {
+		c.nextID = next
+	}
+	c.mu.Unlock()
 }
 
 // recoverAt rolls every rank back to one specific line. A rank whose state

@@ -110,7 +110,7 @@ func TestRecoverFromLocal(t *testing.T) {
 	for _, a := range apps {
 		a.app.Step()
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestRecoverFromIOAfterNodeLoss(t *testing.T) {
 	if err := c.FailNode(1); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestRestartLineDropsPartiallyAvailable(t *testing.T) {
 	if _, err := c.RestartLine(context.Background()); !errors.Is(err, ErrNoRestartLine) {
 		t.Errorf("err = %v, want ErrNoRestartLine", err)
 	}
-	if _, err := c.Recover(context.Background()); err == nil {
+	if _, err := c.Recover(context.Background(), RecoverOptions{}); err == nil {
 		t.Error("recover succeeded with no restart line")
 	}
 }

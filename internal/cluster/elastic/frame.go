@@ -1,0 +1,158 @@
+// Package elastic implements the shardable-snapshot contract behind
+// elastic N→M restart: a rank whose state is a sequence of shards encodes
+// its snapshot in a small self-describing framed format, and the restore
+// planner re-distributes the global shard sequence — the concatenation of
+// every source rank's shards in rank order — onto any target rank count
+// deterministically. Merge∘Split is lossless by construction: re-sharding
+// permutes ownership boundaries, never shard contents or order.
+//
+// The package is deliberately dependency-free (stdlib only): the cluster
+// coordinator, the node-level executor, the gateway's restore endpoint, and
+// command-line tools all import it without cycles.
+package elastic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame wire layout (little-endian):
+//
+//	magic "NDPE" | u8 version | u32 shardCount |
+//	shardCount × u32 shardLen | shard payloads in order
+//
+// The header is fixed-size up front so a decoder can learn the shard count
+// and per-shard offsets without touching the payloads.
+const (
+	frameMagic   = "NDPE"
+	frameVersion = 1
+
+	headerSize = 4 + 1 + 4 // magic + version + count
+
+	// MaxShards bounds a frame's shard count against corrupt or hostile
+	// headers (a u32 count could otherwise demand a 16 GiB length table).
+	MaxShards = 1 << 20
+)
+
+// ErrCorrupt reports a malformed frame.
+var ErrCorrupt = errors.New("elastic: corrupt snapshot frame")
+
+// Encode frames a shard sequence into one self-describing snapshot
+// payload. Encoding an empty (or nil) sequence is valid: it is the
+// snapshot of a target that owns no shards (M exceeds the total shard
+// count).
+func Encode(shards [][]byte) []byte {
+	total := headerSize + 4*len(shards)
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, frameMagic...)
+	out = append(out, frameVersion)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(shards)))
+	out = append(out, u32[:]...)
+	for _, s := range shards {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(s)))
+		out = append(out, u32[:]...)
+	}
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// IsFrame reports whether data begins with a well-formed frame header.
+func IsFrame(data []byte) bool {
+	return len(data) >= headerSize &&
+		string(data[:4]) == frameMagic &&
+		data[4] == frameVersion
+}
+
+// ShardCount parses only the frame header and returns the shard count —
+// the cheap probe Checkpoint uses to stamp checkpoint metadata.
+func ShardCount(data []byte) (int, error) {
+	if len(data) < headerSize {
+		return 0, fmt.Errorf("%w: %d-byte payload is shorter than a frame header", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != frameMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if data[4] != frameVersion {
+		return 0, fmt.Errorf("%w: unknown frame version %d", ErrCorrupt, data[4])
+	}
+	n := binary.LittleEndian.Uint32(data[5:])
+	if n > MaxShards {
+		return 0, fmt.Errorf("%w: %d shards exceeds the %d cap", ErrCorrupt, n, MaxShards)
+	}
+	return int(n), nil
+}
+
+// Decode parses a frame into its shard sequence. Returned shards alias
+// data. Every declared byte must be present and no trailing bytes are
+// tolerated: a truncated or padded frame is corruption, not a shorter
+// snapshot.
+func Decode(data []byte) ([][]byte, error) {
+	n, err := ShardCount(data)
+	if err != nil {
+		return nil, err
+	}
+	lenTable := headerSize + 4*n
+	if len(data) < lenTable {
+		return nil, fmt.Errorf("%w: length table truncated (%d bytes for %d shards)", ErrCorrupt, len(data), n)
+	}
+	shards := make([][]byte, n)
+	off := lenTable
+	for i := 0; i < n; i++ {
+		l := int(binary.LittleEndian.Uint32(data[headerSize+4*i:]))
+		if l > len(data)-off {
+			return nil, fmt.Errorf("%w: shard %d declares %d bytes, %d remain", ErrCorrupt, i, l, len(data)-off)
+		}
+		shards[i] = data[off : off+l : off+l]
+		off += l
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	}
+	return shards, nil
+}
+
+// FrameBytes chunks an opaque payload into a frame of shardSize-byte
+// shards (the final shard may be short) — the generic adapter that makes
+// any byte-serializable state partitionable at chunk granularity.
+func FrameBytes(data []byte, shardSize int) []byte {
+	if shardSize <= 0 {
+		shardSize = 64 << 10
+	}
+	n := (len(data) + shardSize - 1) / shardSize
+	shards := make([][]byte, 0, n)
+	for lo := 0; lo < len(data); lo += shardSize {
+		hi := lo + shardSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		shards = append(shards, data[lo:hi])
+	}
+	return Encode(shards)
+}
+
+// MergedBytes decodes each frame and concatenates every shard in order —
+// the byte-level inverse of FrameBytes followed by any re-sharding, and
+// the canonical "merged application state" an elastic restart must
+// reproduce byte-identically.
+func MergedBytes(frames [][]byte) ([]byte, error) {
+	shards, err := Merge(frames)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out, nil
+}

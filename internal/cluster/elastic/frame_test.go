@@ -1,0 +1,114 @@
+package elastic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{},
+		{[]byte("a")},
+		{[]byte(""), []byte("xy"), []byte("")},
+		{bytes.Repeat([]byte{7}, 1<<16), []byte("tail")},
+	}
+	for _, shards := range cases {
+		f := Encode(shards)
+		if !IsFrame(f) {
+			t.Fatalf("Encode(%d shards) not recognized as frame", len(shards))
+		}
+		n, err := ShardCount(f)
+		if err != nil || n != len(shards) {
+			t.Fatalf("ShardCount = %d, %v; want %d", n, err, len(shards))
+		}
+		got, err := Decode(f)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if len(got) != len(shards) {
+			t.Fatalf("Decode returned %d shards, want %d", len(got), len(shards))
+		}
+		for i := range shards {
+			if !bytes.Equal(got[i], shards[i]) {
+				t.Fatalf("shard %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestFrameRejectsCorrupt(t *testing.T) {
+	good := Encode([][]byte{[]byte("abc"), []byte("defg")})
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		f := mutate(append([]byte(nil), good...))
+		if _, err := Decode(f); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decode err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	corrupt("bad magic", func(f []byte) []byte { f[0] = 'X'; return f })
+	corrupt("bad version", func(f []byte) []byte { f[4] = 9; return f })
+	corrupt("truncated payload", func(f []byte) []byte { return f[:len(f)-2] })
+	corrupt("trailing bytes", func(f []byte) []byte { return append(f, 0xee) })
+	corrupt("short header", func(f []byte) []byte { return f[:3] })
+	corrupt("shard count over cap", func(f []byte) []byte {
+		binary.LittleEndian.PutUint32(f[5:], MaxShards+1)
+		return f
+	})
+	corrupt("length overflow", func(f []byte) []byte {
+		// First shard claims more bytes than the frame holds.
+		binary.LittleEndian.PutUint32(f[headerSize:], 1<<30)
+		return f
+	})
+	// An opaque payload (e.g. a miniapp snapshot) must not decode.
+	if _, err := Decode([]byte("not a frame at all")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("opaque payload: Decode err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameBytesMergedBytes(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789"), 100) // 1000 bytes
+	f := FrameBytes(data, 64)
+	n, err := ShardCount(f)
+	if err != nil || n != 16 { // ceil(1000/64)
+		t.Fatalf("ShardCount = %d, %v; want 16", n, err)
+	}
+	back, err := MergedBytes([][]byte{f})
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("MergedBytes round trip failed: %v", err)
+	}
+	// Re-shard onto 3 and merge: still byte-identical.
+	frames, err := Reshard([][]byte{f}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := MergedBytes(frames)
+	if err != nil || !bytes.Equal(back2, data) {
+		t.Fatalf("MergedBytes after Reshard failed: %v", err)
+	}
+}
+
+// FuzzFrameDecode hammers the shardable-snapshot frame decoder: any input
+// must either decode cleanly or fail with ErrCorrupt — never panic, never
+// mis-slice — and whatever decodes must re-encode to the identical frame.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("NDPE"))
+	f.Add(Encode(nil))
+	f.Add(Encode([][]byte{[]byte("seed"), {}, []byte("corpus")}))
+	f.Add(FrameBytes(bytes.Repeat([]byte{0xab}, 300), 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		shards, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if !bytes.Equal(Encode(shards), data) {
+			t.Fatal("decode→encode is not the identity on a valid frame")
+		}
+	})
+}

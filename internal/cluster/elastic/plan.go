@@ -1,0 +1,152 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Merge concatenates the shard sequences of K source snapshots in rank
+// order, producing the global shard sequence. Every input must be a valid
+// frame.
+func Merge(frames [][]byte) ([][]byte, error) {
+	var out [][]byte
+	for i, f := range frames {
+		shards, err := Decode(f)
+		if err != nil {
+			return nil, fmt.Errorf("elastic: merge source %d: %w", i, err)
+		}
+		out = append(out, shards...)
+	}
+	return out, nil
+}
+
+// SplitRange returns the half-open global index range [lo, hi) target t
+// owns when total shards are split contiguously and near-evenly across m
+// targets. The boundary math is the single source of truth for every
+// re-shard decision — planner, executor, tests, and applications choosing
+// initial ownership all call it, so they can never disagree.
+func SplitRange(total, m, t int) (lo, hi int) {
+	return t * total / m, (t + 1) * total / m
+}
+
+// Split partitions a global shard sequence onto m targets using
+// SplitRange. Targets beyond the shard count receive empty slices.
+func Split(shards [][]byte, m int) ([][][]byte, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("elastic: split onto %d targets", m)
+	}
+	out := make([][][]byte, m)
+	for t := 0; t < m; t++ {
+		lo, hi := SplitRange(len(shards), m, t)
+		out[t] = shards[lo:hi]
+	}
+	return out, nil
+}
+
+// Reshard merges K source snapshots and re-encodes them as M target
+// snapshots — the whole-payload form of the planner's per-fetch math, used
+// where all sources are already in hand (tests, the gateway's plan
+// verification, single-process tools).
+func Reshard(frames [][]byte, m int) ([][]byte, error) {
+	shards, err := Merge(frames)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := Split(shards, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, m)
+	for t, p := range parts {
+		out[t] = Encode(p)
+	}
+	return out, nil
+}
+
+// Fetch is one planned retrieval: which source rank's snapshot of which
+// checkpoint line to fetch, and which shard range [Lo, Hi) of its frame
+// this target takes. Whole marks an identity fetch — the source snapshot
+// is adopted verbatim, frame or not — which is how same-shape plans keep
+// opaque (non-partitioned) snapshots restorable.
+type Fetch struct {
+	SourceRank int    `json:"source_rank"`
+	Line       uint64 `json:"line"`
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+	Whole      bool   `json:"whole,omitempty"`
+}
+
+// TargetPlan is the fetch list for one restart target. A target whose
+// fetch list is empty owns no shards (M exceeds the global shard count)
+// and restores the empty frame.
+type TargetPlan struct {
+	Target  int     `json:"target"`
+	Fetches []Fetch `json:"fetches"`
+}
+
+// ErrBadGeometry reports an impossible plan request.
+var ErrBadGeometry = errors.New("elastic: bad restore geometry")
+
+// IdentityPlan maps target t to source t's whole snapshot — the N→N plan,
+// valid for partitioned and opaque snapshots alike.
+func IdentityPlan(ranks int, line uint64) []TargetPlan {
+	out := make([]TargetPlan, ranks)
+	for t := range out {
+		out[t] = TargetPlan{
+			Target:  t,
+			Fetches: []Fetch{{SourceRank: t, Line: line, Whole: true}},
+		}
+	}
+	return out
+}
+
+// PlanShards computes the deterministic N→M re-shard plan from per-source
+// shard counts alone (no payloads): source i's shards occupy global
+// indices [prefix[i], prefix[i+1]), target t owns the SplitRange slice of
+// the global sequence, and each target's fetches are the overlapping
+// per-source sub-ranges in source order. It returns the plan and the
+// global shard total.
+//
+// Invariants (property-tested): every global shard is fetched by exactly
+// one target; within a target, fetches are source-ordered and ranges
+// non-empty; executing the plan and merging the M results reproduces the
+// merged source state byte-identically.
+func PlanShards(counts []int, line uint64, m int) ([]TargetPlan, int, error) {
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("%w: %d targets", ErrBadGeometry, m)
+	}
+	if len(counts) == 0 {
+		return nil, 0, fmt.Errorf("%w: no sources", ErrBadGeometry)
+	}
+	prefix := make([]int, len(counts)+1)
+	for i, c := range counts {
+		if c < 0 {
+			return nil, 0, fmt.Errorf("%w: source %d has negative shard count %d", ErrBadGeometry, i, c)
+		}
+		prefix[i+1] = prefix[i] + c
+	}
+	total := prefix[len(counts)]
+	plans := make([]TargetPlan, m)
+	src := 0
+	for t := 0; t < m; t++ {
+		glo, ghi := SplitRange(total, m, t)
+		tp := TargetPlan{Target: t}
+		// Targets consume the global sequence left to right, so the source
+		// cursor only ever advances.
+		for src < len(counts) && prefix[src+1] <= glo {
+			src++
+		}
+		for s := src; s < len(counts) && prefix[s] < ghi; s++ {
+			lo := max(glo, prefix[s]) - prefix[s]
+			hi := min(ghi, prefix[s+1]) - prefix[s]
+			if lo >= hi {
+				continue // empty source, or no overlap
+			}
+			tp.Fetches = append(tp.Fetches, Fetch{
+				SourceRank: s, Line: line, Lo: lo, Hi: hi,
+			})
+		}
+		plans[t] = tp
+	}
+	return plans, total, nil
+}

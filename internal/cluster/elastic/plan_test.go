@@ -1,0 +1,275 @@
+package elastic
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// reshapeMatrix is the (N, M) property matrix from the issue: shrink,
+// grow, collapse-to-one, ragged, and same-shape.
+var reshapeMatrix = []struct{ n, m int }{
+	{8, 4},
+	{8, 12},
+	{8, 1},
+	{3, 5},
+	{6, 6}, // N→N
+}
+
+// sourceFrames builds N source snapshots with uneven shard counts and
+// content that encodes (source, shard) so any reordering is detectable.
+func sourceFrames(n int) [][]byte {
+	frames := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		count := 3 + (i*7)%5 // uneven: 3..7 shards per source
+		shards := make([][]byte, count)
+		for j := range shards {
+			shards[j] = []byte(fmt.Sprintf("src%02d-shard%02d|%s", i, j,
+				bytes.Repeat([]byte{byte(i*31 + j)}, 10+j)))
+		}
+		frames[i] = Encode(shards)
+	}
+	return frames
+}
+
+func TestSplitMergeLossless(t *testing.T) {
+	for _, tc := range reshapeMatrix {
+		t.Run(fmt.Sprintf("%d->%d", tc.n, tc.m), func(t *testing.T) {
+			src := sourceFrames(tc.n)
+			want, err := MergedBytes(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Reshard(src, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != tc.m {
+				t.Fatalf("Reshard produced %d frames, want %d", len(out), tc.m)
+			}
+			got, err := MergedBytes(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("split∘merge is not lossless: merged bytes differ")
+			}
+			// A second reshape back to N must also be lossless.
+			back, err := Reshard(out, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := MergedBytes(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got2, want) {
+				t.Fatal("reshape round trip N→M→N is not lossless")
+			}
+		})
+	}
+}
+
+func TestSplitRangeCoversAll(t *testing.T) {
+	for total := 0; total <= 40; total++ {
+		for m := 1; m <= 15; m++ {
+			prevHi := 0
+			for tgt := 0; tgt < m; tgt++ {
+				lo, hi := SplitRange(total, m, tgt)
+				if lo != prevHi {
+					t.Fatalf("total=%d m=%d t=%d: lo=%d, want %d (gap/overlap)", total, m, tgt, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("total=%d m=%d t=%d: hi=%d < lo=%d", total, m, tgt, hi, lo)
+				}
+				prevHi = hi
+			}
+			if prevHi != total {
+				t.Fatalf("total=%d m=%d: ranges end at %d", total, m, prevHi)
+			}
+		}
+	}
+}
+
+// executePlan runs a TargetPlan the way the node executor does, against
+// in-memory source frames, returning the target's re-sharded frame.
+func executePlan(t *testing.T, tp TargetPlan, src [][]byte) []byte {
+	t.Helper()
+	var shards [][]byte
+	for _, f := range tp.Fetches {
+		srcShards, err := Decode(src[f.SourceRank])
+		if err != nil {
+			t.Fatalf("target %d: decode source %d: %v", tp.Target, f.SourceRank, err)
+		}
+		if f.Whole {
+			shards = append(shards, srcShards...)
+			continue
+		}
+		if f.Lo < 0 || f.Hi > len(srcShards) || f.Lo >= f.Hi {
+			t.Fatalf("target %d: fetch range [%d,%d) out of source %d's %d shards",
+				tp.Target, f.Lo, f.Hi, f.SourceRank, len(srcShards))
+		}
+		shards = append(shards, srcShards[f.Lo:f.Hi]...)
+	}
+	return Encode(shards)
+}
+
+func TestPlanShardsMatrix(t *testing.T) {
+	const line = 42
+	for _, tc := range reshapeMatrix {
+		t.Run(fmt.Sprintf("%d->%d", tc.n, tc.m), func(t *testing.T) {
+			src := sourceFrames(tc.n)
+			counts := make([]int, tc.n)
+			for i, f := range src {
+				c, err := ShardCount(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[i] = c
+			}
+			plans, total, err := PlanShards(counts, line, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTotal := 0
+			for _, c := range counts {
+				wantTotal += c
+			}
+			if total != wantTotal {
+				t.Fatalf("total = %d, want %d", total, wantTotal)
+			}
+			if len(plans) != tc.m {
+				t.Fatalf("%d target plans, want %d", len(plans), tc.m)
+			}
+
+			// Invariant: every global shard fetched exactly once, ranges
+			// non-empty and source-ordered within each target.
+			covered := 0
+			for _, tp := range plans {
+				prevSrc := -1
+				for _, f := range tp.Fetches {
+					if f.Line != line {
+						t.Fatalf("target %d: fetch line %d, want %d", tp.Target, f.Line, line)
+					}
+					if f.Whole {
+						t.Fatalf("target %d: PlanShards must not emit Whole fetches", tp.Target)
+					}
+					if f.SourceRank <= prevSrc {
+						t.Fatalf("target %d: fetches not strictly source-ordered", tp.Target)
+					}
+					prevSrc = f.SourceRank
+					if f.Lo >= f.Hi || f.Lo < 0 || f.Hi > counts[f.SourceRank] {
+						t.Fatalf("target %d: bad range [%d,%d) on source %d (count %d)",
+							tp.Target, f.Lo, f.Hi, f.SourceRank, counts[f.SourceRank])
+					}
+					covered += f.Hi - f.Lo
+				}
+			}
+			if covered != total {
+				t.Fatalf("plans cover %d shards, want %d", covered, total)
+			}
+
+			// Executing the plan and merging the M results reproduces the
+			// merged source state byte-identically.
+			out := make([][]byte, tc.m)
+			for i, tp := range plans {
+				out[i] = executePlan(t, tp, src)
+			}
+			want, err := MergedBytes(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MergedBytes(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("executed plan does not reproduce merged source state")
+			}
+
+			// The plan must agree with the whole-payload Reshard boundaries.
+			reference, err := Reshard(src, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range out {
+				if !bytes.Equal(out[i], reference[i]) {
+					t.Fatalf("target %d: planned frame differs from Reshard reference", i)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanShardsEmptySources(t *testing.T) {
+	// Sources with zero shards must not produce empty fetch ranges.
+	plans, total, err := PlanShards([]int{0, 4, 0, 2, 0}, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	covered := 0
+	for _, tp := range plans {
+		for _, f := range tp.Fetches {
+			if f.Lo >= f.Hi {
+				t.Fatalf("target %d: empty fetch range emitted", tp.Target)
+			}
+			if f.SourceRank == 0 || f.SourceRank == 2 || f.SourceRank == 4 {
+				t.Fatalf("target %d: fetch from empty source %d", tp.Target, f.SourceRank)
+			}
+			covered += f.Hi - f.Lo
+		}
+	}
+	if covered != total {
+		t.Fatalf("covered %d, want %d", covered, total)
+	}
+}
+
+func TestPlanShardsMoreTargetsThanShards(t *testing.T) {
+	plans, total, err := PlanShards([]int{1, 1}, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Fatalf("total = %d, want 2", total)
+	}
+	nonEmpty := 0
+	for _, tp := range plans {
+		if len(tp.Fetches) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("%d targets own shards, want 2 (the rest restore empty frames)", nonEmpty)
+	}
+}
+
+func TestPlanShardsBadGeometry(t *testing.T) {
+	if _, _, err := PlanShards([]int{1}, 0, 0); err == nil {
+		t.Fatal("zero targets accepted")
+	}
+	if _, _, err := PlanShards(nil, 0, 4); err == nil {
+		t.Fatal("no sources accepted")
+	}
+	if _, _, err := PlanShards([]int{2, -1}, 0, 4); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+func TestIdentityPlan(t *testing.T) {
+	plans := IdentityPlan(3, 99)
+	if len(plans) != 3 {
+		t.Fatalf("%d plans, want 3", len(plans))
+	}
+	for i, tp := range plans {
+		if tp.Target != i || len(tp.Fetches) != 1 {
+			t.Fatalf("plan %d malformed: %+v", i, tp)
+		}
+		f := tp.Fetches[0]
+		if f.SourceRank != i || !f.Whole || f.Line != 99 {
+			t.Fatalf("plan %d fetch malformed: %+v", i, f)
+		}
+	}
+}

@@ -70,7 +70,7 @@ func TestErasureRecoverySingleMemberLoss(t *testing.T) {
 	if err := c.FailNode(0); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestErasureWholeGroupLossDuringCheckpoint(t *testing.T) {
 		c.FailNode(0)
 		c.FailNode(1)
 
-		out, err := c.Recover(context.Background())
+		out, err := c.Recover(context.Background(), RecoverOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func TestErasureShardHolderLoss(t *testing.T) {
 	// Lose rank 0's NVM plus one shard holder: k=2 shards survive.
 	c.FailNode(0)
 	c.FailNode(2)
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

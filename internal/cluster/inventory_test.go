@@ -80,7 +80,7 @@ func TestRecoverDistinguishesUnreachableIO(t *testing.T) {
 	if _, err := c.RestartLine(context.Background()); err != nil {
 		t.Fatalf("restart line lost to an I/O-only outage: %v", err)
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatalf("recover during I/O outage: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestRecoverDistinguishesUnreachableIO(t *testing.T) {
 	if errors.Is(err, ErrNoRestartLine) {
 		t.Error("transport outage still reported as ErrNoRestartLine")
 	}
-	if _, err := c.Recover(context.Background()); !errors.Is(err, ErrLevelUnavailable) {
+	if _, err := c.Recover(context.Background(), RecoverOptions{}); !errors.Is(err, ErrLevelUnavailable) {
 		t.Errorf("Recover error = %v, want ErrLevelUnavailable", err)
 	}
 

@@ -76,7 +76,7 @@ func TestRecoverFromPartnerAfterNodeLoss(t *testing.T) {
 	if err := c.FailNode(1); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

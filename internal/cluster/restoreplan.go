@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ndpcr/internal/cluster/elastic"
+	"ndpcr/internal/node"
+	"ndpcr/internal/node/iostore"
+)
+
+// ErrNotPartitioned reports an N→M restore request against checkpoints
+// whose snapshots are opaque: re-sharding needs the per-source shard
+// counts that only a PartitionedRank's framed snapshot records.
+var ErrNotPartitioned = errors.New("cluster: checkpoint snapshots are not partitioned; N→M restore impossible")
+
+// RestoreSpec asks the planner for a restart topology.
+type RestoreSpec struct {
+	// SourceRanks is the rank count of the job when it checkpointed (N).
+	SourceRanks int
+	// TargetRanks is the rank count the job restarts on (M).
+	TargetRanks int
+	// Line pins a specific restart line; zero picks the newest line the
+	// global store holds for all N source ranks.
+	Line uint64
+}
+
+// RestorePlan is the explicit product of restore planning: for each of the
+// M targets, the exact (source rank, line, shard range) fetches that
+// rebuild its slice of the job state. Executing every target's plan and
+// merging the results reproduces the merged source state byte-identically.
+type RestorePlan struct {
+	// Line is the restart line the plan restores.
+	Line uint64 `json:"line"`
+	// SourceRanks and TargetRanks echo the planned geometry.
+	SourceRanks int `json:"source_ranks"`
+	TargetRanks int `json:"target_ranks"`
+	// TotalShards is the global shard count being redistributed; zero for
+	// identity (same-shape) plans over opaque snapshots.
+	TotalShards int `json:"total_shards"`
+	// Identity marks a same-shape plan (every target adopts its own
+	// source's snapshot verbatim, opaque or framed).
+	Identity bool `json:"identity,omitempty"`
+	// Targets holds one fetch list per target rank, indexed by target.
+	Targets []elastic.TargetPlan `json:"targets"`
+}
+
+// PlanRestore computes the deterministic restore plan for one restart
+// line using only store metadata — one Stat per source rank, no payload
+// fetches: checkpoint commits stamp each partitioned snapshot's shard
+// count into its object metadata precisely so planning stays O(N) cheap
+// RPCs. When spec.Line is zero the newest store restart line across the N
+// source ranks is used (the store is the only level that survives a
+// topology change, so store lines are the elastic fallback ladder).
+//
+// Same-shape requests (N == M) plan as identity without any Stat calls,
+// so opaque snapshots stay restorable; a genuine reshape over opaque
+// snapshots fails with ErrNotPartitioned.
+func PlanRestore(ctx context.Context, store iostore.Backend, job string, spec RestoreSpec) (RestorePlan, error) {
+	if spec.SourceRanks <= 0 || spec.TargetRanks <= 0 {
+		return RestorePlan{}, fmt.Errorf("%w: %d sources onto %d targets",
+			elastic.ErrBadGeometry, spec.SourceRanks, spec.TargetRanks)
+	}
+	line := spec.Line
+	if line == 0 {
+		lines, err := StoreRestartLines(ctx, store, job, spec.SourceRanks)
+		if len(lines) == 0 {
+			if err != nil {
+				return RestorePlan{}, err
+			}
+			return RestorePlan{}, ErrNoRestartLine
+		}
+		line = lines[0]
+	}
+	plan := RestorePlan{
+		Line:        line,
+		SourceRanks: spec.SourceRanks,
+		TargetRanks: spec.TargetRanks,
+	}
+	if spec.SourceRanks == spec.TargetRanks {
+		plan.Identity = true
+		plan.Targets = elastic.IdentityPlan(spec.TargetRanks, line)
+		return plan, nil
+	}
+	counts := make([]int, spec.SourceRanks)
+	for i := 0; i < spec.SourceRanks; i++ {
+		obj, ok, err := store.Stat(ctx, iostore.Key{Job: job, Rank: i, ID: line})
+		if err != nil {
+			return RestorePlan{}, fmt.Errorf("%w: rank %d checkpoint %d stat: %v",
+				ErrLevelUnavailable, i, line, err)
+		}
+		if !ok {
+			return RestorePlan{}, fmt.Errorf("cluster: plan restore: rank %d has no checkpoint %d", i, line)
+		}
+		meta, err := node.MetadataFromMap(obj.Meta)
+		if err != nil {
+			return RestorePlan{}, fmt.Errorf("cluster: plan restore: rank %d checkpoint %d: %w", i, line, err)
+		}
+		if meta.Shards == 0 {
+			return RestorePlan{}, fmt.Errorf("%w (rank %d checkpoint %d carries no shard count)",
+				ErrNotPartitioned, i, line)
+		}
+		counts[i] = meta.Shards
+	}
+	targets, total, err := elastic.PlanShards(counts, line, spec.TargetRanks)
+	if err != nil {
+		return RestorePlan{}, err
+	}
+	plan.TotalShards = total
+	plan.Targets = targets
+	return plan, nil
+}

@@ -124,7 +124,7 @@ func TestShardClusterSurvivesBackendDeathMidDrain(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			out, err := c.Recover(context.Background())
+			out, err := c.Recover(context.Background(), RecoverOptions{})
 			if err != nil {
 				t.Fatalf("recover with backend %d dead: %v", victim, err)
 			}
@@ -212,7 +212,7 @@ func TestShardClusterMembershipMidDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatalf("recover after membership change: %v", err)
 	}
@@ -294,7 +294,7 @@ func TestShardClusterBackendDeathMidStreamedRestore(t *testing.T) {
 	// The kill lands after the drain but before the restore: every block
 	// read during the streamed restore races the dead connection.
 	iods[1].srv.Close()
-	out, err := c.Recover(context.Background())
+	out, err := c.Recover(context.Background(), RecoverOptions{})
 	if err != nil {
 		t.Fatalf("recover across mid-restore backend death: %v", err)
 	}

@@ -220,3 +220,61 @@ func (c *Client) Resume(ctx context.Context, ns, run string, rank, ranks int) (C
 	}
 	return snapshotFrom(resp)
 }
+
+// RestorePlan mirrors the restore endpoint's plan-mode response.
+type RestorePlan struct {
+	Line        uint64   `json:"line"`
+	SourceRanks int      `json:"source_ranks"`
+	TargetRanks int      `json:"target_ranks"`
+	TotalShards int      `json:"total_shards"`
+	Identity    bool     `json:"identity"`
+	FailedLines []uint64 `json:"failed_lines"`
+	Targets     []struct {
+		Target  int `json:"target"`
+		Fetches []struct {
+			SourceRank int    `json:"source_rank"`
+			Line       uint64 `json:"line"`
+			Lo         int    `json:"lo"`
+			Hi         int    `json:"hi"`
+			Whole      bool   `json:"whole"`
+		} `json:"fetches"`
+	} `json:"targets"`
+}
+
+func restoreBody(ranks, targetRanks int, line uint64) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"ranks": ranks, "target_ranks": targetRanks, "line": line,
+	})
+	return b
+}
+
+// PlanRestore asks the gateway to plan an elastic restart of a job
+// checkpointed at ranks ranks onto targetRanks ranks. line pins a restart
+// line; zero picks the newest, falling back across older lines. No
+// payload bytes move: the returned plan says which source shard ranges
+// each restart target will fetch.
+func (c *Client) PlanRestore(ctx context.Context, ns, run string, ranks, targetRanks int, line uint64) (RestorePlan, error) {
+	resp, err := c.do(ctx, http.MethodPost, c.runURL(ns, run, "/restore"),
+		restoreBody(ranks, targetRanks, line))
+	if err != nil {
+		return RestorePlan{}, err
+	}
+	var out RestorePlan
+	if err := decodeJSON(resp, &out); err != nil {
+		return RestorePlan{}, fmt.Errorf("gateway: decoding restore plan: %w", err)
+	}
+	return out, nil
+}
+
+// RestoreMember executes member's slice of an elastic restart plan and
+// returns the re-sharded snapshot that target boots from. Pin line (from a
+// prior PlanRestore) when restoring several members so they all restore
+// the same cut.
+func (c *Client) RestoreMember(ctx context.Context, ns, run string, ranks, targetRanks, member int, line uint64) (Checkpoint, error) {
+	u := c.runURL(ns, run, "/restore") + "?member=" + strconv.Itoa(member)
+	resp, err := c.do(ctx, http.MethodPost, u, restoreBody(ranks, targetRanks, line))
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return snapshotFrom(resp)
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ndpcr/internal/cluster"
+	"ndpcr/internal/cluster/elastic"
 	"ndpcr/internal/compress"
 	"ndpcr/internal/faultinject"
 	"ndpcr/internal/metrics"
@@ -102,14 +103,15 @@ type Server struct {
 	active    int
 	drainDone chan struct{}
 
-	mAuthFailures *metrics.Counter
-	mRateRejects  *metrics.Counter
-	mCanceled     *metrics.Counter
-	mFaults       *metrics.Counter
-	mInflight     *metrics.Gauge
-	mAsyncPending *metrics.Gauge
-	mAsyncFails   *metrics.Counter
-	mBackpressure *metrics.Counter
+	mAuthFailures     *metrics.Counter
+	mRateRejects      *metrics.Counter
+	mCanceled         *metrics.Counter
+	mFaults           *metrics.Counter
+	mInflight         *metrics.Gauge
+	mAsyncPending     *metrics.Gauge
+	mAsyncFails       *metrics.Counter
+	mBackpressure     *metrics.Counter
+	mRestoreFallbacks *metrics.Counter
 }
 
 type sessKey struct {
@@ -166,6 +168,8 @@ func New(cfg Config) (*Server, error) {
 		"async-acked saves rolled back because the store drain failed or timed out")
 	s.mBackpressure = s.reg.Counter("ndpcr_gateway_backpressure_rejections_total",
 		"async saves rejected because NVM admission control timed out")
+	s.mRestoreFallbacks = s.reg.Counter("ndpcr_gateway_restore_fallbacks_total",
+		"restart lines abandoned for an older line while serving restore/resume requests")
 	if cfg.DrainSlots > 0 {
 		s.sched = newDrainScheduler(cfg.DrainSlots)
 		s.reg.GaugeFunc("ndpcr_gateway_drain_slots_in_use",
@@ -189,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/checkpoints/{id}/durability", s.wrap("durability", s.handleDurability))
 	s.mux.HandleFunc("DELETE /v1/ns/{ns}/runs/{run}/checkpoints/{id}", s.wrap("delete", s.handleDelete))
 	s.mux.HandleFunc("GET /v1/ns/{ns}/runs/{run}/resume", s.wrap("resume", s.handleResume))
+	s.mux.HandleFunc("POST /v1/ns/{ns}/runs/{run}/restore", s.wrap("restore", s.handleRestore))
 	s.mux.Handle("GET /metrics", metrics.Handler(s.reg))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -474,8 +479,15 @@ func reqScope(r *http.Request) (job string, rank int, aerr *apiError) {
 // mapStoreErr translates pipeline errors into API errors.
 func mapStoreErr(err error, what string) *apiError {
 	switch {
-	case errors.Is(err, iostore.ErrNotFound), errors.Is(err, node.ErrNoCheckpoint):
+	case errors.Is(err, iostore.ErrNotFound), errors.Is(err, node.ErrNoCheckpoint),
+		errors.Is(err, cluster.ErrNoRestartLine):
 		return errf(http.StatusNotFound, "not_found", "%s: %v", what, err)
+	case errors.Is(err, cluster.ErrNotPartitioned):
+		return errf(http.StatusConflict, "not_partitioned", "%s: %v", what, err)
+	case errors.Is(err, elastic.ErrBadGeometry):
+		return errf(http.StatusBadRequest, "bad_request", "%s: %v", what, err)
+	case errors.Is(err, cluster.ErrLevelUnavailable):
+		return errf(http.StatusServiceUnavailable, "level_unavailable", "%s: %v", what, err)
 	case errors.Is(err, context.Canceled):
 		return errf(http.StatusServiceUnavailable, "canceled", "%s: request canceled", what)
 	default:
@@ -538,6 +550,14 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, st *tenantSt
 		return mapStoreErr(err, "session")
 	}
 	meta := node.Metadata{Job: job, Rank: rank, Step: step}
+	// A snapshot framed by the client (elastic.Encode) self-describes its
+	// shard count; stamping it into the checkpoint metadata is what makes
+	// the run restorable onto a different rank count later.
+	if elastic.IsFrame(body) {
+		if shards, err := elastic.ShardCount(body); err == nil {
+			meta.Shards = shards
+		}
+	}
 
 	if async {
 		actx, cancel := context.WithTimeout(r.Context(), s.cfg.DrainTimeout)
@@ -806,10 +826,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, st *tenant
 	return nil
 }
 
-// handleResume restores the newest usable checkpoint. With ?ranks=N it
-// first computes the newest store-level restart line common to ranks
-// [0,N) — the multi-rank consistent rollback point — and serves this
-// rank's member of it; without, it serves this rank's newest checkpoint.
+// handleResume restores the newest usable checkpoint. With ?ranks=N it is
+// a thin wrapper over the restore planner: the identity (N→N) plan member
+// for this rank is served from the newest store restart line common to
+// ranks [0,N), walking lines newest-to-oldest when one turns out
+// unreadable — the same fallback ladder Cluster.Recover walks, with each
+// abandoned line counted in ndpcr_gateway_restore_fallbacks_total.
+// Without ?ranks= it serves this rank's newest checkpoint.
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
 	job, rank, aerr := reqScope(r)
 	if aerr != nil {
@@ -831,12 +854,22 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, st *tenant
 			}
 			return errf(http.StatusNotFound, "not_found", "no restart line common to %d ranks", ranks)
 		}
-		data, meta, level, err := n.RestoreID(r.Context(), lines[0])
-		if err != nil {
-			return mapStoreErr(err, fmt.Sprintf("restore line %d", lines[0]))
+		var lastErr error
+		for i, line := range lines {
+			if i > 0 {
+				s.mRestoreFallbacks.Inc()
+			}
+			data, meta, level, err := n.RestoreID(r.Context(), line)
+			if err == nil {
+				s.serveSnapshot(w, st, data, line, meta, level)
+				return nil
+			}
+			lastErr = err
+			if r.Context().Err() != nil {
+				break // the client is gone; older lines won't help it
+			}
 		}
-		s.serveSnapshot(w, st, data, lines[0], meta, level)
-		return nil
+		return mapStoreErr(lastErr, fmt.Sprintf("restore across %d restart lines", len(lines)))
 	}
 	data, meta, level, err := n.Restore(r.Context())
 	if err != nil {

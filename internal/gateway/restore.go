@@ -1,0 +1,138 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ndpcr/internal/cluster"
+	"ndpcr/internal/cluster/elastic"
+)
+
+// restoreRequest is the POST /restore body: the checkpointed topology, the
+// restart topology, and an optional pinned restart line (zero = newest,
+// with newest-to-oldest fallback).
+type restoreRequest struct {
+	Ranks       int    `json:"ranks"`
+	TargetRanks int    `json:"target_ranks"`
+	Line        uint64 `json:"line,omitempty"`
+}
+
+// restoreResponse is the plan-mode response: the chosen line and the full
+// source-shard map (which source ranks' shard ranges each target fetches).
+type restoreResponse struct {
+	Line        uint64               `json:"line"`
+	SourceRanks int                  `json:"source_ranks"`
+	TargetRanks int                  `json:"target_ranks"`
+	TotalShards int                  `json:"total_shards"`
+	Identity    bool                 `json:"identity,omitempty"`
+	FailedLines []uint64             `json:"failed_lines,omitempty"`
+	Targets     []elastic.TargetPlan `json:"targets"`
+}
+
+// handleRestore is the elastic restore endpoint:
+//
+//	POST /v1/ns/{ns}/runs/{run}/restore            — plan mode
+//	POST /v1/ns/{ns}/runs/{run}/restore?member=T   — member mode
+//
+// Plan mode runs the restore planner over the store and returns the typed
+// plan (chosen line, source-shard map) without moving any payload bytes.
+// Member mode additionally executes target T's slice of the plan — fetches
+// the planned shard ranges from the store, re-assembles them — and serves
+// the member snapshot the T-th restart rank boots from, with the chosen
+// line and step in the usual snapshot headers.
+//
+// Both modes walk restart lines newest to oldest when no line is pinned:
+// a line whose plan or payload turns out unreadable is abandoned (counted
+// in ndpcr_gateway_restore_fallbacks_total) in favor of the next-older
+// one. Clients restoring many members should plan once and pin the
+// returned line so every member restores the same cut.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, st *tenantState) *apiError {
+	job, _, aerr := reqScope(r)
+	if aerr != nil {
+		return aerr
+	}
+	var req restoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return errf(http.StatusBadRequest, "bad_request", "decoding restore request: %v", err)
+	}
+	if req.Ranks <= 0 {
+		return errf(http.StatusBadRequest, "bad_request", "ranks must be positive, got %d", req.Ranks)
+	}
+	if req.TargetRanks == 0 {
+		req.TargetRanks = req.Ranks
+	}
+	if req.TargetRanks < 0 {
+		return errf(http.StatusBadRequest, "bad_request", "target_ranks must be positive, got %d", req.TargetRanks)
+	}
+	member := -1
+	if v := r.URL.Query().Get("member"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m < 0 || m >= req.TargetRanks {
+			return errf(http.StatusBadRequest, "bad_request",
+				"invalid member %q for %d targets", v, req.TargetRanks)
+		}
+		member = m
+	}
+
+	// The fallback ladder: the pinned line alone, or every store restart
+	// line newest first.
+	var lines []uint64
+	if req.Line != 0 {
+		lines = []uint64{req.Line}
+	} else {
+		var lerr error
+		lines, lerr = cluster.StoreRestartLines(r.Context(), s.cfg.Store, job, req.Ranks)
+		if len(lines) == 0 {
+			if lerr != nil {
+				return mapStoreErr(lerr, "restart line")
+			}
+			return errf(http.StatusNotFound, "not_found", "no restart line common to %d ranks", req.Ranks)
+		}
+	}
+
+	var failed []uint64
+	var lastErr error
+	for i, line := range lines {
+		if i > 0 {
+			s.mRestoreFallbacks.Inc()
+		}
+		plan, err := cluster.PlanRestore(r.Context(), s.cfg.Store, job, cluster.RestoreSpec{
+			SourceRanks: req.Ranks, TargetRanks: req.TargetRanks, Line: line,
+		})
+		if err != nil {
+			lastErr = err
+			failed = append(failed, line)
+			continue
+		}
+		if member < 0 {
+			writeJSON(w, http.StatusOK, restoreResponse{
+				Line:        plan.Line,
+				SourceRanks: plan.SourceRanks,
+				TargetRanks: plan.TargetRanks,
+				TotalShards: plan.TotalShards,
+				Identity:    plan.Identity,
+				FailedLines: failed,
+				Targets:     plan.Targets,
+			})
+			return nil
+		}
+		// Member mode: execute this target's fetches through a session node
+		// keyed by the member's rank — store-only, since the member's future
+		// NVM does not hold the source job's state.
+		n, serr := s.session(r.Context(), job, member, st)
+		if serr != nil {
+			return mapStoreErr(serr, "session")
+		}
+		data, meta, level, err := n.RestoreElastic(r.Context(), plan.Targets[member], true)
+		if err != nil {
+			lastErr = err
+			failed = append(failed, line)
+			continue
+		}
+		s.serveSnapshot(w, st, data, plan.Line, meta, level)
+		return nil
+	}
+	return mapStoreErr(lastErr, fmt.Sprintf("restore across %d restart lines", len(lines)))
+}

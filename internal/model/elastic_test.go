@@ -1,0 +1,66 @@
+package model
+
+import (
+	"testing"
+
+	"ndpcr/internal/units"
+)
+
+func TestRestoreElastic(t *testing.T) {
+	p := DefaultParams()
+	p = WithCompression(p, 0.73)
+	base := p.RestoreIO()
+
+	// Same-shape restarts plan an identity reshape: no extra cost, and
+	// the classic term is unchanged whether or not the elastic fields
+	// are set.
+	p.ElasticSourceRanks, p.ElasticTargetRanks = 8, 8
+	if got := p.RestoreElastic(); got != base {
+		t.Fatalf("8→8 RestoreElastic = %v, want classic %v", got, base)
+	}
+	if got := p.RestoreIO(); got != base {
+		t.Fatalf("8→8 RestoreIO = %v, want classic %v", got, base)
+	}
+
+	// Shrinking 8→4 doubles the bytes each target fetches and adds the
+	// reshape pass: strictly dearer than the classic restore.
+	p.ElasticTargetRanks = 4
+	shrink := p.RestoreElastic()
+	if shrink <= base {
+		t.Fatalf("8→4 RestoreElastic = %v, not above classic %v", shrink, base)
+	}
+	if got := p.RestoreIO(); got != shrink {
+		t.Fatalf("RestoreIO does not delegate: %v != %v", got, shrink)
+	}
+
+	// Growing 8→16 halves the fetched bytes; even with the reshape pass
+	// it must beat the shrink and the reshape cost must scale down too.
+	p.ElasticTargetRanks = 16
+	grow := p.RestoreElastic()
+	if grow >= shrink {
+		t.Fatalf("8→16 RestoreElastic = %v, not below 8→4's %v", grow, shrink)
+	}
+
+	// A faster reshape engine only helps.
+	fast := p
+	fast.ReshapeRate = 64 * units.GBps
+	if got := fast.RestoreElastic(); got > grow {
+		t.Fatalf("faster ReshapeRate raised the stall: %v > %v", got, grow)
+	}
+}
+
+func TestValidateElastic(t *testing.T) {
+	p := DefaultParams()
+	p.ElasticSourceRanks = 8
+	if err := p.Validate(); err == nil {
+		t.Error("source ranks without target ranks validated")
+	}
+	p.ElasticSourceRanks, p.ElasticTargetRanks = -1, 4
+	if err := p.Validate(); err == nil {
+		t.Error("negative elastic rank count validated")
+	}
+	p.ElasticSourceRanks, p.ElasticTargetRanks = 8, 12
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid elastic geometry rejected: %v", err)
+	}
+}

@@ -94,6 +94,19 @@ type Params struct {
 	// drains (default 2 GB/s — a hash pass over NVM-resident data).
 	DiffRate units.Bandwidth
 
+	// ElasticSourceRanks and ElasticTargetRanks, when both positive,
+	// model an elastic N→M restart (the restore planner): the job
+	// checkpointed at SourceRanks restarts on TargetRanks, so each
+	// restart rank fetches SourceRanks/TargetRanks checkpoints' worth of
+	// bytes from global I/O and pays a reshape pass re-framing them into
+	// its member snapshot. Both zero models same-shape restart.
+	ElasticSourceRanks int
+	ElasticTargetRanks int
+	// ReshapeRate is the per-node shard re-framing throughput on elastic
+	// restore (a memory-bandwidth-class copy over the fetched state);
+	// zero selects 8 GB/s.
+	ReshapeRate units.Bandwidth
+
 	// Work is the simulated failure-free solve time.
 	Work units.Seconds
 	// Trials is the Monte-Carlo trial count.
@@ -175,6 +188,10 @@ func (p Params) Validate() error {
 		return errors.New("model: IncrementalRatio out of [0,1]")
 	case p.IncrementalRatio > 0 && p.DiffRate <= 0:
 		return errors.New("model: incremental drains enabled with zero DiffRate")
+	case p.ElasticSourceRanks < 0 || p.ElasticTargetRanks < 0:
+		return errors.New("model: negative elastic rank counts")
+	case (p.ElasticSourceRanks > 0) != (p.ElasticTargetRanks > 0):
+		return errors.New("model: elastic restart needs both source and target rank counts")
 	}
 	return nil
 }
@@ -292,10 +309,41 @@ func (p Params) RestoreErasure() units.Seconds {
 	return maxSeconds(fetch, p.erasureCodeTime())
 }
 
+// reshapeRate resolves the elastic re-framing throughput.
+func (p Params) reshapeRate() units.Bandwidth {
+	if p.ReshapeRate > 0 {
+		return p.ReshapeRate
+	}
+	return 8 * units.GBps
+}
+
+// RestoreElastic is the stall for an elastic N→M restore from global I/O:
+// each restart rank fetches SourceRanks/TargetRanks checkpoints' worth of
+// bytes — streamed and decompressed exactly like RestoreIO — and then
+// re-frames the shards into its member snapshot at ReshapeRate. A
+// same-shape restart (N == M, or elastic fields unset) plans an identity
+// reshape, pays no re-framing pass, and reduces to the classic term.
+func (p Params) RestoreElastic() units.Seconds {
+	pv := p
+	pv.ElasticSourceRanks, pv.ElasticTargetRanks = 0, 0
+	if p.ElasticSourceRanks <= 0 || p.ElasticTargetRanks <= 0 ||
+		p.ElasticSourceRanks == p.ElasticTargetRanks {
+		return pv.RestoreIO()
+	}
+	scale := float64(p.ElasticSourceRanks) / float64(p.ElasticTargetRanks)
+	pv.CheckpointSize = units.Bytes(float64(p.CheckpointSize)*scale + 0.5)
+	return pv.RestoreIO() + p.reshapeRate().TimeToMove(pv.CheckpointSize)
+}
+
 // RestoreIO is the stall to restore from global I/O. With compression the
 // retrieval streams directly to the host, which decompresses in a pipeline
-// (§4.3), so the stall is the slower of retrieval and decompression.
+// (§4.3), so the stall is the slower of retrieval and decompression. With
+// an elastic restart configured it delegates to RestoreElastic, so the
+// reshape cost flows into every figure built on this term.
 func (p Params) RestoreIO() units.Seconds {
+	if p.ElasticSourceRanks > 0 && p.ElasticTargetRanks > 0 {
+		return p.RestoreElastic()
+	}
 	if p.CompressionFactor <= 0 {
 		return p.IOBW.TimeToMove(p.CheckpointSize)
 	}

@@ -1,0 +1,100 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ndpcr/internal/cluster/elastic"
+	"ndpcr/internal/metrics"
+)
+
+// FetchRank retrieves an arbitrary source rank's checkpoint payload from
+// the global store, replaying incremental patch chains to the full state.
+// Unlike Restore/RestoreID it never consults this node's local levels —
+// another rank's NVM, partner copy, or erasure shards live on machines
+// that no longer exist after an elastic reshape, so the store is the only
+// authoritative source. It is the fetch primitive the elastic restore
+// executor is built on. The returned level is always LevelIO on success.
+func (n *Node) FetchRank(ctx context.Context, rank int, id uint64) ([]byte, Metadata, Level, error) {
+	start := time.Now()
+	data, meta, err := n.fetchFromIO(ctx, rank, id)
+	level := LevelIO
+	if err != nil {
+		level = LevelNone
+	} else {
+		n.timelines.Finish(metrics.KindRestore, id)
+	}
+	n.recordRestore(level, start, err)
+	return data, meta, level, err
+}
+
+// RestoreElastic executes one target's slice of an elastic restore plan:
+// it fetches each planned (source rank, line, shard range), re-assembles
+// the shards this target owns, and returns them as a fresh snapshot frame.
+//
+// Fetch routing: a Whole fetch of this node's own rank uses the full
+// restore hierarchy (NVM → partner → erasure → I/O) unless storeOnly is
+// set, so same-shape plans keep today's multilevel behavior; every other
+// fetch is store-only via FetchRank. A source payload that fails frame
+// decoding, or a shard range the payload cannot satisfy, is an error — the
+// cluster treats it as an unreadable restart line and falls back to an
+// older one.
+func (n *Node) RestoreElastic(ctx context.Context, tp elastic.TargetPlan, storeOnly bool) ([]byte, Metadata, Level, error) {
+	if len(tp.Fetches) == 1 && tp.Fetches[0].Whole {
+		f := tp.Fetches[0]
+		if f.SourceRank == n.cfg.Rank && !storeOnly {
+			return n.RestoreID(ctx, f.Line)
+		}
+		return n.FetchRank(ctx, f.SourceRank, f.Line)
+	}
+	start := time.Now()
+	data, meta, level, err := n.restoreElastic(ctx, tp, storeOnly)
+	n.recordRestore(level, start, err)
+	return data, meta, level, err
+}
+
+func (n *Node) restoreElastic(ctx context.Context, tp elastic.TargetPlan, storeOnly bool) ([]byte, Metadata, Level, error) {
+	if len(tp.Fetches) == 0 {
+		// M exceeds the global shard count: this target owns nothing and
+		// restores the empty frame. Step -1 marks the metadata synthetic so
+		// the cluster's step-consistency check skips it.
+		return elastic.Encode(nil), Metadata{Job: n.cfg.Job, Rank: n.cfg.Rank, Step: -1}, LevelIO, nil
+	}
+	var shards [][]byte
+	var meta Metadata
+	for i, f := range tp.Fetches {
+		if f.Whole {
+			return nil, Metadata{}, LevelNone, fmt.Errorf(
+				"node: elastic restore target %d: whole fetch mixed with shard fetches", tp.Target)
+		}
+		payload, m, err := n.fetchFromIO(ctx, f.SourceRank, f.Line)
+		if err != nil {
+			return nil, Metadata{}, LevelNone, fmt.Errorf(
+				"node: elastic restore target %d: source %d: %w", tp.Target, f.SourceRank, err)
+		}
+		src, err := elastic.Decode(payload)
+		if err != nil {
+			return nil, Metadata{}, LevelNone, fmt.Errorf(
+				"node: elastic restore target %d: source %d checkpoint %d: %w",
+				tp.Target, f.SourceRank, f.Line, err)
+		}
+		if f.Lo < 0 || f.Hi > len(src) || f.Lo >= f.Hi {
+			return nil, Metadata{}, LevelNone, fmt.Errorf(
+				"node: elastic restore target %d: plan range [%d,%d) outside source %d's %d shards (stale shard metadata?)",
+				tp.Target, f.Lo, f.Hi, f.SourceRank, len(src))
+		}
+		shards = append(shards, src[f.Lo:f.Hi]...)
+		if i == 0 {
+			meta = m
+		} else if m.Step != meta.Step {
+			return nil, Metadata{}, LevelNone, fmt.Errorf(
+				"node: elastic restore target %d: source %d at step %d, source %d at step %d",
+				tp.Target, tp.Fetches[0].SourceRank, meta.Step, f.SourceRank, m.Step)
+		}
+	}
+	n.timelines.Finish(metrics.KindRestore, tp.Fetches[0].Line)
+	meta.Rank = n.cfg.Rank
+	meta.Shards = len(shards)
+	return elastic.Encode(shards), meta, LevelIO, nil
+}

@@ -32,15 +32,25 @@ type Metadata struct {
 	Rank int
 	// Step is the application's own progress marker (iteration count).
 	Step int
+	// Shards is the shard count of a partitionable snapshot (the elastic
+	// frame's header count, stamped at checkpoint time). Zero means the
+	// snapshot is opaque — restorable only onto the same rank topology.
+	// Carrying the count in metadata lets the elastic restore planner size
+	// an N→M re-shard from Stat calls alone, without fetching payloads.
+	Shards int
 }
 
 func (m Metadata) toMap(id uint64) map[string]string {
-	return map[string]string{
+	mm := map[string]string{
 		"job":  m.Job,
 		"rank": strconv.Itoa(m.Rank),
 		"step": strconv.Itoa(m.Step),
 		"ckpt": strconv.FormatUint(id, 10),
 	}
+	if m.Shards > 0 {
+		mm["shards"] = strconv.Itoa(m.Shards)
+	}
+	return mm
 }
 
 // ErrBadMetadata reports checkpoint metadata that fails to decode. Corrupt
@@ -58,8 +68,19 @@ func metadataFrom(mm map[string]string) (Metadata, error) {
 	if m.Step, err = strconv.Atoi(mm["step"]); err != nil {
 		return Metadata{}, fmt.Errorf("%w: step %q: %v", ErrBadMetadata, mm["step"], err)
 	}
+	// "shards" is optional (pre-elastic checkpoints omit it) but must parse
+	// when present: a garbled count would mis-plan every elastic restore.
+	if s, ok := mm["shards"]; ok {
+		if m.Shards, err = strconv.Atoi(s); err != nil || m.Shards < 0 {
+			return Metadata{}, fmt.Errorf("%w: shards %q", ErrBadMetadata, s)
+		}
+	}
 	return m, nil
 }
+
+// MetadataFromMap decodes a store meta map into Metadata — the exported
+// form the restore planner uses to read shard counts off Stat results.
+func MetadataFromMap(mm map[string]string) (Metadata, error) { return metadataFrom(mm) }
 
 // Config assembles a node.
 type Config struct {
@@ -557,7 +578,7 @@ func (n *Node) restore(ctx context.Context) ([]byte, Metadata, Level, error) {
 		}
 		return nil, Metadata{}, LevelNone, ErrNoCheckpoint
 	}
-	data, meta, err := n.fetchFromIO(ctx, ioLatest)
+	data, meta, err := n.fetchFromIO(ctx, n.cfg.Rank, ioLatest)
 	if err != nil {
 		return nil, Metadata{}, LevelNone, err
 	}
@@ -598,7 +619,7 @@ func (n *Node) restoreByID(ctx context.Context, id uint64) ([]byte, Metadata, Le
 		n.timelines.Finish(metrics.KindRestore, id)
 		return data, meta, LevelErasure, nil
 	}
-	data, meta, err := n.fetchFromIO(ctx, id)
+	data, meta, err := n.fetchFromIO(ctx, n.cfg.Rank, id)
 	if err != nil {
 		return nil, Metadata{}, LevelNone, err
 	}
@@ -646,16 +667,18 @@ func (l Level) String() string {
 	return "none"
 }
 
-// fetchFromIO streams a checkpoint from the global store, decompressing
-// across a host worker pool and, for incremental objects, walking the
-// patch chain back to its full base and replaying it forward.
+// fetchFromIO streams rank's checkpoint from the global store (usually
+// this node's own rank; an elastic restore fetches other source ranks'
+// objects through the same path), decompressing across a host worker pool
+// and, for incremental objects, walking the patch chain back to its full
+// base and replaying it forward.
 //
 // Finish-or-discard: a failed fetch discards the restore timeline it
 // opened. The success paths Finish it (in the callers); without the
 // discard, every failed restore left an open timeline behind forever —
 // residue that DiscardOlder never collects, since failures don't advance
 // the finished-ID watermark.
-func (n *Node) fetchFromIO(ctx context.Context, id uint64) (_ []byte, _ Metadata, err error) {
+func (n *Node) fetchFromIO(ctx context.Context, rank int, id uint64) (_ []byte, _ Metadata, err error) {
 	defer func() {
 		if err != nil {
 			n.timelines.Discard(metrics.KindRestore, id)
@@ -669,7 +692,7 @@ func (n *Node) fetchFromIO(ctx context.Context, id uint64) (_ []byte, _ Metadata
 			return nil, Metadata{}, fmt.Errorf(
 				"node: restore %d: patch chain exceeds %d links", id, maxPatchChain)
 		}
-		payload, m, base, err := n.fetchObject(ctx, id, curID)
+		payload, m, base, err := n.fetchObject(ctx, rank, id, curID)
 		if err != nil {
 			return nil, Metadata{}, err
 		}
@@ -709,15 +732,15 @@ const maxPatchChain = 1024
 // patch-chain link being fetched. The streamed path (fetch overlapped with
 // decompression) is tried first; a store that declines block reads for the
 // key (StatBlocks ok == false) gets the monolithic whole-object fetch.
-func (n *Node) fetchObject(ctx context.Context, traceID, id uint64) ([]byte, Metadata, uint64, error) {
-	if out, meta, base, handled, err := n.fetchObjectStreamed(ctx, traceID, id); handled {
+func (n *Node) fetchObject(ctx context.Context, rank int, traceID, id uint64) ([]byte, Metadata, uint64, error) {
+	if out, meta, base, handled, err := n.fetchObjectStreamed(ctx, rank, traceID, id); handled {
 		if err == nil {
 			n.mStreamedRestores.Inc()
 		}
 		return out, meta, base, err
 	}
 	fetchStart := time.Now()
-	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
+	key := iostore.Key{Job: n.cfg.Job, Rank: rank, ID: id}
 	obj, err := n.cfg.Store.Get(ctx, key)
 	if err != nil {
 		return nil, Metadata{}, 0, fmt.Errorf("node: restore %d from I/O: %w", id, err)
@@ -814,8 +837,8 @@ func (c *envelope) mark(start, end time.Time) {
 // handled == false means the store declined block reads for this key
 // (pre-streaming iod server, absent object, transport failure) and the
 // caller must fall back to the monolithic fetch.
-func (n *Node) fetchObjectStreamed(ctx context.Context, traceID, id uint64) (_ []byte, _ Metadata, _ uint64, handled bool, err error) {
-	key := iostore.Key{Job: n.cfg.Job, Rank: n.cfg.Rank, ID: id}
+func (n *Node) fetchObjectStreamed(ctx context.Context, rank int, traceID, id uint64) (_ []byte, _ Metadata, _ uint64, handled bool, err error) {
+	key := iostore.Key{Job: n.cfg.Job, Rank: rank, ID: id}
 	obj, numBlocks, ok, serr := n.cfg.Store.StatBlocks(ctx, key)
 	if serr != nil || !ok {
 		return nil, Metadata{}, 0, false, nil

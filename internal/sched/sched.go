@@ -168,7 +168,7 @@ func (m *Manager) Run(totalSteps int, failures []trace.Event) (Report, error) {
 				return rep, err
 			}
 		}
-		out, err := m.cluster.Recover(context.Background())
+		out, err := m.cluster.Recover(context.Background(), cluster.RecoverOptions{})
 		if err != nil {
 			return rep, fmt.Errorf("sched: recovery at step %d: %w", step, err)
 		}

@@ -42,6 +42,21 @@ echo "check.sh: membership experiment green"
 go test -race -count=2 -run 'TestTracker|TestEngineWaitDrained|TestEngineStopDuringWait|TestEngineDrainRetry|TestWaitAdmit|TestCommitAsync|TestCheckpointAsync|TestAsync|TestDrainScheduler|TestSyncSaveShutdown|TestSyncOverride|TestDurabilityEndpoint' \
     ./internal/node/... ./internal/cluster/ ./internal/gateway/
 
+# Elastic restore planner under the race detector, re-run explicitly:
+# the N→M recovery path (parallel per-target plan execution, restart-line
+# fallback mid-reshape, post-recovery ID resync) and the gateway restore
+# endpoint are fresh concurrency, so they get their own -count=2 stress
+# on top of the package runs above.
+go test -race -count=2 -run 'TestElasticRecover|TestRecoverPinnedLine|TestPlanShards|TestSplitMerge|TestRestorePlanAndMembers|TestResumeFallsBack' \
+    ./internal/cluster/... ./internal/gateway/
+
+# Elastic restart experiment: a job checkpointed at N=8 over 3 live iod
+# backends (R=2) restarts at M=4 and M=12 through the restore planner —
+# merged state byte-identical both ways, and the poisoned newest line
+# forces a restart-line fallback mid-reshape.
+go run ./cmd/ndpcr-experiments -quick elastic > /dev/null
+echo "check.sh: elastic experiment green"
+
 # Async chaos experiment: an async-ack gateway over 3 live iod backends
 # (R=2) loses one backend while acked checkpoints are still propagating;
 # every acked ID must reach store durability or be reported failed —
